@@ -1,0 +1,66 @@
+// Ablation E: time-varying VCO sensitivity (non-trivial ISF).
+//
+// The paper's Section 5 verifies the time-invariant-VCO case and notes
+// the framework extends to LPTV VCOs (eq. 25).  This bench exercises
+// that branch: a VCO whose sensitivity swings sinusoidally over the
+// cycle (v(t) = kvco (1 + 2 c1 cos(w0 t))).  Columns compare
+//   * the LPTV HTM model (per-harmonic exact aliasing sums),
+//   * the TI model that ignores the ISF ripple,
+//   * the RK4 time-marching simulator integrating theta' = v(t+theta) y.
+//
+// Expected: the LPTV model tracks the simulator; the TI model drifts as
+// c1 grows.
+//
+// Usage: ablation_lptv [output.csv]
+#include <cmath>
+#include <iostream>
+#include <numbers>
+
+#include "htmpll/core/sampling_pll.hpp"
+#include "htmpll/timedomain/lptv_vco_sim.hpp"
+#include "htmpll/util/table.hpp"
+
+int main(int argc, char** argv) {
+  using namespace htmpll;
+  const double w0 = 2.0 * std::numbers::pi;
+  const cplx j{0.0, 1.0};
+  const double ratio = 0.15;
+  const PllParameters params = make_typical_loop(ratio * w0, w0);
+  const double wm = 0.12 * w0;
+
+  std::cout << "=== Ablation E: ISF ripple c1 vs model fidelity at w_m = "
+               "0.12 w0 ===\n\n";
+  Table t({"c1", "|H00| sim", "|H00| LPTV model", "|H00| TI model",
+           "LPTV_err", "TI_err"});
+  for (double c1 : {0.0, 0.1, 0.2, 0.3}) {
+    const HarmonicCoefficients isf =
+        HarmonicCoefficients::real_waveform(1.0, {cplx{c1}});
+    const SamplingPllModel lptv_model(params, isf);
+    const SamplingPllModel ti_model(params);
+
+    ProbeOptions opts;
+    opts.settle_periods = 300.0;
+    opts.measure_periods = 20;
+    const TransferMeasurement meas = measure_baseband_transfer_lptv(
+        params, IsfWaveform(isf, params.kvco, params.w0), wm, opts);
+
+    const double sim_mag = std::abs(meas.value);
+    const double lptv_mag =
+        std::abs(lptv_model.baseband_transfer(j * wm));
+    const double ti_mag = std::abs(ti_model.baseband_transfer(j * wm));
+    t.add_row(std::vector<double>{
+        c1, sim_mag, lptv_mag, ti_mag,
+        std::abs(sim_mag - lptv_mag) / sim_mag,
+        std::abs(sim_mag - ti_mag) / sim_mag});
+  }
+  t.print(std::cout);
+  std::cout << "\nthe per-harmonic aliasing-sum machinery (V~ of eq. 29 "
+               "with v_k != 0) stays on the simulator as the ISF ripple "
+               "grows; the TI approximation does not.\n";
+
+  if (argc > 1) {
+    t.write_csv_file(argv[1]);
+    std::cout << "wrote " << argv[1] << "\n";
+  }
+  return 0;
+}

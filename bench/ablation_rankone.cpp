@@ -1,0 +1,49 @@
+// Ablation B: the Sherman-Morrison rank-one closed form (eqs. 31-34)
+// against the dense (I + G)^{-1} G solve on the same truncated HTM.
+//
+// Both produce identical matrices (checked in tests/); the point here is
+// cost: the closed form is O(K^2) to fill the result, while the dense LU
+// path is O(K^3).  This is exactly why the paper bothers to exploit the
+// rank-one structure of the sampling PFD.
+#include <numbers>
+
+#include <benchmark/benchmark.h>
+
+#include "htmpll/core/sampling_pll.hpp"
+
+namespace {
+
+constexpr double kW0 = 2.0 * std::numbers::pi;
+const htmpll::cplx kJ{0.0, 1.0};
+
+const htmpll::SamplingPllModel& model() {
+  static const htmpll::SamplingPllModel m(
+      htmpll::make_typical_loop(0.2 * kW0, kW0));
+  return m;
+}
+
+void BM_RankOneClosedForm(benchmark::State& state) {
+  const htmpll::cplx s = kJ * (0.13 * kW0);
+  const int k = static_cast<int>(state.range(0));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(model().closed_loop_htm(s, k));
+  }
+  state.SetComplexityN(state.range(0));
+}
+BENCHMARK(BM_RankOneClosedForm)->Arg(4)->Arg(8)->Arg(16)->Arg(32)->Arg(64)
+    ->Complexity(benchmark::oNSquared);
+
+void BM_DenseLuSolve(benchmark::State& state) {
+  const htmpll::cplx s = kJ * (0.13 * kW0);
+  const int k = static_cast<int>(state.range(0));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(model().closed_loop_htm_dense(s, k));
+  }
+  state.SetComplexityN(state.range(0));
+}
+BENCHMARK(BM_DenseLuSolve)->Arg(4)->Arg(8)->Arg(16)->Arg(32)->Arg(64)
+    ->Complexity(benchmark::oNCubed);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,72 @@
+// Fig. 2 / Section 2 reproduction: how signal content moves between
+// frequency bands through the closed-loop HTM.
+//
+// The matrix printed below is |H_{n,m}(jw)| in dB for the closed loop at
+// w = 0.1 w0: element (n, m) is the transfer of content from the input
+// band around m*w0 to the output band around n*w0.  Because the
+// reference enters through the sampling PFD (rank-one HTM, eq. 20), all
+// columns are identical -- every input band aliases onto the same
+// baseband error before being re-distributed over output bands.  The
+// open-loop PFD map is printed first to show the aliasing structure
+// itself.
+//
+// Usage: fig2_bandmap [output.csv]
+#include <iomanip>
+#include <iostream>
+#include <numbers>
+
+#include "htmpll/core/sampling_pll.hpp"
+#include "htmpll/lti/bode.hpp"
+#include "htmpll/util/table.hpp"
+
+int main(int argc, char** argv) {
+  using namespace htmpll;
+  const double w0 = 2.0 * std::numbers::pi;
+  const cplx j{0.0, 1.0};
+  const int kShow = 3;
+  const int kTrunc = 24;  // computed wide, displayed narrow
+
+  const SamplingPllModel model(make_typical_loop(0.2 * w0, w0));
+  const cplx s = j * (0.1 * w0);
+
+  std::cout << "=== Fig. 2: band-to-band transfers |H_nm(jw)| at w = "
+               "0.1 w0, w_UG/w0 = 0.2 ===\n\n";
+
+  std::cout << "open-loop PFD HTM (eq. 19): every element w0/2pi = "
+            << w0 / (2.0 * std::numbers::pi)
+            << " -> rank one (pure aliasing)\n\n";
+
+  const Htm closed = model.closed_loop_htm(s, kTrunc);
+
+  std::vector<std::string> header{"out\\in"};
+  for (int m = -kShow; m <= kShow; ++m) {
+    header.push_back("m=" + std::to_string(m));
+  }
+  Table t(header);
+  for (int n = -kShow; n <= kShow; ++n) {
+    std::vector<std::string> row{"n=" + std::to_string(n)};
+    for (int m = -kShow; m <= kShow; ++m) {
+      row.push_back(Table::fmt(magnitude_db(closed.at(n, m))));
+    }
+    t.add_row(row);
+  }
+  t.print(std::cout);
+
+  std::cout << "\nobservations:\n"
+            << " * columns are identical: the sampler aliases every input "
+               "band to baseband (rank-one H_PFD)\n"
+            << " * |H_00| = "
+            << std::abs(closed.at(0, 0))
+            << " (baseband tracking), sidebands fall off like "
+               "|A(jw + j n w0)| ~ 1/n^2:\n";
+  for (int n = 0; n <= kShow; ++n) {
+    std::cout << "     |H_" << n << "0| = " << std::abs(closed.at(n, 0))
+              << "\n";
+  }
+
+  if (argc > 1) {
+    t.write_csv_file(argv[1]);
+    std::cout << "wrote " << argv[1] << "\n";
+  }
+  return 0;
+}

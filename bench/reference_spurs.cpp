@@ -1,0 +1,95 @@
+// Reference-spur chart: deterministic output sidebands at k*w0 caused by
+// charge-pump leakage/mismatch, from the harmonic steady-state closed
+// form (noise/spurs.hpp), cross-checked against the transient simulator
+// with leakage injection.
+//
+// Key physics the chart shows: the loop's own pulse retiming cancels the
+// leakage spectrum to first order (spurs measure the leakage pulse
+// SHAPE, not its charge), and the ripple capacitor's rolloff sets the
+// k-dependence.
+//
+// Usage: reference_spurs [output.csv]
+#include <cmath>
+#include <iostream>
+#include <numbers>
+
+#include "htmpll/noise/spurs.hpp"
+#include "htmpll/timedomain/pll_sim.hpp"
+#include "htmpll/util/table.hpp"
+
+namespace {
+
+using namespace htmpll;
+
+cplx fourier_bin(const std::vector<double>& t, const std::vector<double>& y,
+                 double w) {
+  cplx acc{0.0};
+  double norm = 0.0;
+  const std::size_t n = t.size();
+  for (std::size_t k = 0; k < n; ++k) {
+    const double hann =
+        0.5 * (1.0 - std::cos(2.0 * std::numbers::pi *
+                              static_cast<double>(k) /
+                              static_cast<double>(n - 1)));
+    acc += hann * y[k] * std::exp(cplx{0.0, -w * t[k]});
+    norm += hann;
+  }
+  return acc / norm;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const double w0 = 2.0 * std::numbers::pi;
+  const double ratio = 0.1;
+  const PllParameters params = make_typical_loop(ratio * w0, w0);
+  const SamplingPllModel model(params);
+
+  std::cout << "=== Reference spurs from charge-pump leakage "
+               "(w_UG/w0 = 0.1) ===\n\n";
+
+  // 5% mismatch current over a 5%-of-T reset window.
+  const ChargePumpLeakage leak{0.05 * params.icp, 0.05};
+  std::cout << "leakage: " << leak.mismatch_current << " A over "
+            << leak.window << " T; static phase offset "
+            << static_phase_offset(model, leak) << " T\n\n";
+
+  PllTransientSim sim(params);
+  sim.set_leakage(leak.mismatch_current, leak.window);
+  sim.set_recording(false);
+  sim.run_periods(500.0);
+  sim.set_recording(true);
+  sim.clear_samples();
+  sim.run_periods(128.0);
+
+  Table t({"k", "model |theta_k|", "sim |theta_k|", "rel_err",
+           "spur dBc"});
+  for (const SpurLevel& s : reference_spurs(model, leak, 3)) {
+    const cplx measured =
+        fourier_bin(sim.sample_times(), sim.theta_samples(),
+                    s.harmonic * w0);
+    t.add_row(std::vector<double>{
+        static_cast<double>(s.harmonic), std::abs(s.theta),
+        std::abs(measured),
+        std::abs(std::abs(measured) - std::abs(s.theta)) /
+            std::abs(s.theta),
+        s.dbc});
+  }
+  t.print(std::cout);
+
+  std::cout << "\nsweep: first-spur level vs leakage window (fixed "
+               "charge) -- impulse-like leakage cancels:\n";
+  const double charge = leak.mismatch_current * leak.window;
+  for (double window : {0.1, 0.05, 0.02, 0.01, 0.005}) {
+    const ChargePumpLeakage l{charge / window, window};
+    const auto spurs = reference_spurs(model, l, 1);
+    std::cout << "  window " << window << " T -> spur "
+              << spurs[0].dbc << " dBc\n";
+  }
+
+  if (argc > 1) {
+    t.write_csv_file(argv[1]);
+    std::cout << "wrote " << argv[1] << "\n";
+  }
+  return 0;
+}

@@ -1,0 +1,102 @@
+// Step-response (settling) comparison: classical continuous LTI
+// prediction vs the sampled-loop discrete model vs the behavioral
+// simulator.
+//
+// The time-domain face of Fig. 6/7: as w_UG/w0 grows the sampled loop
+// rings far harder and settles far slower than classical analysis
+// promises.  The discrete model (impulse-invariant closed loop expanded
+// in z^{-1}) tracks the simulator; the LTI column is what a textbook
+// settling budget would have signed off.
+//
+// Usage: transient_settling [output.csv]
+#include <cmath>
+#include <iostream>
+#include <numbers>
+
+#include "htmpll/lti/partial_fractions.hpp"
+#include "htmpll/timedomain/pll_sim.hpp"
+#include "htmpll/util/table.hpp"
+#include "htmpll/ztrans/discrete_response.hpp"
+#include "htmpll/ztrans/zdomain.hpp"
+
+namespace {
+
+using namespace htmpll;
+
+std::vector<double> lti_step_samples(const PllParameters& p,
+                                     std::size_t count) {
+  // y(t) = L^{-1}{ H_lti(s)/s } sampled at t = nT.
+  const RationalFunction h_over_s =
+      p.lti_closed_loop() * RationalFunction::integrator(1.0);
+  const PartialFractions pf(h_over_s);
+  std::vector<double> out(count);
+  for (std::size_t n = 0; n < count; ++n) {
+    out[n] = pf.impulse_response(static_cast<double>(n) * p.period())
+                 .real();
+  }
+  return out;
+}
+
+std::vector<double> discrete_step_samples(const PllParameters& p,
+                                          std::size_t count) {
+  const ImpulseInvariantModel zm(p.open_loop_gain(), p.w0);
+  const CVector s = step_response_z(zm.closed_loop_z(), count);
+  std::vector<double> out(count);
+  for (std::size_t n = 0; n < count; ++n) out[n] = s[n].real();
+  return out;
+}
+
+std::vector<double> simulated_step_samples(const PllParameters& p,
+                                           std::size_t count,
+                                           double delta) {
+  TransientConfig cfg;
+  cfg.sample_interval = p.period();
+  PllTransientSim sim(p, {}, cfg);
+  sim.set_initial_theta(-delta);
+  sim.run_periods(static_cast<double>(count) + 2.0);
+  std::vector<double> out;
+  out.push_back(0.0);  // t = 0
+  for (std::size_t i = 0; i + 1 < count && i < sim.theta_samples().size();
+       ++i) {
+    out.push_back(sim.theta_samples()[i] / delta + 1.0);
+  }
+  return out;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const double w0 = 2.0 * std::numbers::pi;
+  const std::size_t count = 600;
+  const double band = 0.02;
+
+  std::cout << "=== Reference phase step: overshoot and 2% settling "
+               "(periods) ===\n\n";
+  Table t({"w_UG/w0", "LTI ovsh%", "TV ovsh%", "sim ovsh%",
+           "LTI settle", "TV settle", "sim settle"});
+  for (double ratio : {0.05, 0.1, 0.15, 0.2, 0.25}) {
+    const PllParameters p = make_typical_loop(ratio * w0, w0);
+    const StepMetrics lti =
+        step_metrics(lti_step_samples(p, count), 1.0, band);
+    const StepMetrics tv =
+        step_metrics(discrete_step_samples(p, count), 1.0, band);
+    const StepMetrics sim =
+        step_metrics(simulated_step_samples(p, count, 1e-3), 1.0, band);
+    t.add_row(std::vector<double>{
+        ratio, 100.0 * lti.overshoot, 100.0 * tv.overshoot,
+        100.0 * sim.overshoot, static_cast<double>(lti.settle_index),
+        static_cast<double>(tv.settle_index),
+        static_cast<double>(sim.settle_index)});
+  }
+  t.print(std::cout);
+  std::cout << "\nthe discrete (time-varying) column tracks the "
+               "simulator; classical LTI analysis underestimates both "
+               "overshoot and settling once w_UG/w0 leaves the slow "
+               "regime.\n";
+
+  if (argc > 1) {
+    t.write_csv_file(argv[1]);
+    std::cout << "wrote " << argv[1] << "\n";
+  }
+  return 0;
+}

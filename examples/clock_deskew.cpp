@@ -1,0 +1,81 @@
+// Clock-buffering / deskew PLL (the digital application from the
+// paper's introduction).
+//
+// A deskew PLL regenerates a chip-internal clock phase-aligned to the
+// I/O bus clock.  Two specs dominate:
+//   * jitter peaking -- upstream jitter must not be amplified, or
+//     cascaded PLLs down the clock tree multiply it up;
+//   * bandwidth -- wide enough to track supply-induced drift.
+// Jitter peaking is exactly the passband-edge peaking of |H_00| that the
+// time-varying model predicts grows with w_UG/w0 (Fig. 6); LTI analysis
+// underestimates it.  This example finds the widest bandwidth meeting a
+// 1 dB peaking spec under both models.
+#include <iostream>
+#include <numbers>
+
+#include "htmpll/core/stability.hpp"
+#include "htmpll/lti/bode.hpp"
+#include "htmpll/util/grid.hpp"
+#include "htmpll/util/table.hpp"
+
+namespace {
+
+/// Peaking of the classical LTI closed loop over (0, w0/2).
+double lti_peaking_db(const htmpll::PllParameters& p) {
+  using namespace htmpll;
+  const RationalFunction cl = p.lti_closed_loop();
+  const std::vector<double> grid = logspace(1e-4 * p.w0, 0.5 * p.w0, 600);
+  double ref = magnitude_db(cl(cplx{0.0, grid[0]}));
+  double peak = ref;
+  for (double w : grid) {
+    peak = std::max(peak, magnitude_db(cl(cplx{0.0, w})));
+  }
+  return peak - ref;
+}
+
+}  // namespace
+
+int main() {
+  using namespace htmpll;
+  const double f_bus = 200e6;  // bus clock = reference
+  const double w0 = 2.0 * std::numbers::pi * f_bus;
+
+  std::cout << "=== 200 MHz clock deskew PLL: jitter peaking budget 1.7 dB "
+               "===\n\n";
+
+  // The gamma = 4 loop carries ~1.4 dB of inherent (LTI) peaking; the
+  // budget leaves ~0.3 dB of headroom for sampling effects.
+  const double budget_db = 1.7;
+  const std::vector<double> ratios{0.02, 0.05, 0.08, 0.12, 0.16, 0.2, 0.25};
+  std::vector<double> lti_pk, htm_pk;
+  Table t({"w_UG/w0", "LTI_peaking_dB", "HTM_peaking_dB", "LTI verdict",
+           "HTM verdict"});
+  for (double ratio : ratios) {
+    const PllParameters params = make_typical_loop(ratio * w0, w0);
+    const SamplingPllModel model(params);
+    lti_pk.push_back(lti_peaking_db(params));
+    htm_pk.push_back(closed_loop_summary(model).peaking_db);
+    t.add_row({Table::fmt(ratio), Table::fmt(lti_pk.back()),
+               Table::fmt(htm_pk.back()),
+               lti_pk.back() <= budget_db ? "pass" : "fail",
+               htm_pk.back() <= budget_db ? "pass" : "FAIL"});
+  }
+  t.print(std::cout);
+
+  // Widest bandwidth each model signs off on (scan from the top).
+  double best_lti = 0.0, best_htm = 0.0;
+  for (std::size_t i = ratios.size(); i-- > 0;) {
+    if (best_lti == 0.0 && lti_pk[i] <= budget_db) best_lti = ratios[i];
+    if (best_htm == 0.0 && htm_pk[i] <= budget_db) best_htm = ratios[i];
+  }
+
+  std::cout << "\nwidest bandwidth meeting the spec:\n"
+            << "  per LTI analysis:        w_UG = " << best_lti << " * w0\n"
+            << "  per time-varying model:  w_UG = " << best_htm << " * w0\n";
+  if (best_lti > best_htm) {
+    std::cout << "an LTI-based sign-off would overdrive the loop by "
+              << best_lti / best_htm << "x in bandwidth -- the deskew "
+              << "chain would amplify bus jitter.\n";
+  }
+  return 0;
+}

@@ -1,0 +1,84 @@
+// Fractional-N synthesizer design walk-through (umbrella-header demo).
+//
+// Task: synthesize 2.4321 GHz from a 24 MHz crystal -- divider
+// N + alpha = 101.3375, realized with a MASH-1-1-1 dithering the
+// divider.  The walk-through: pick the modulator word, inspect the
+// dithering sequence, then budget the loop bandwidth against the two
+// competing noise mechanisms (VCO random walk wants wide, MASH
+// quantization noise wants narrow).
+#include <iostream>
+#include <numbers>
+
+#include "htmpll/htmpll.hpp"
+
+int main() {
+  using namespace htmpll;
+  const double f_ref = 24e6;
+  const double f_out = 2.4321e9;
+  const double w0 = 2.0 * std::numbers::pi * f_ref;
+  const double t_ref = 1.0 / f_ref;
+
+  const double n_total = f_out / f_ref;
+  const auto n_int = static_cast<std::uint64_t>(n_total);
+  const std::uint64_t modulus = 1u << 24;
+  const auto word = static_cast<std::uint64_t>(
+      (n_total - static_cast<double>(n_int)) *
+      static_cast<double>(modulus));
+
+  std::cout << "=== Fractional-N synthesizer: " << f_out / 1e9
+            << " GHz from " << f_ref / 1e6 << " MHz ===\n\n";
+  std::cout << "divider N = " << n_int << " + " << word << "/" << modulus
+            << " (alpha = "
+            << static_cast<double>(word) / static_cast<double>(modulus)
+            << ")\n\n";
+
+  Mash111 mash(word, modulus);
+  std::cout << "first dithering offsets: ";
+  for (int i = 0; i < 16; ++i) std::cout << mash.next() << ' ';
+  std::cout << "...\n";
+  {
+    Mash111 check(word, modulus);
+    const auto seq = check.sequence(1u << 15);
+    double mean = 0.0;
+    for (int y : seq) mean += y;
+    std::cout << "sequence mean: "
+              << mean / static_cast<double>(seq.size())
+              << " (target " << check.mean() << ")\n\n";
+  }
+
+  // Noise budget: VCO random walk vs MASH quantization.
+  const double t_vco = t_ref / n_total;
+  const double ref_white = 1e-26;
+  // VCO random walk crossing the reference floor at 0.05 w0: analog
+  // noise alone would want the loop about that wide.
+  const PowerLawPsd s_vco{0.0, 0.0,
+                          ref_white * (0.05 * w0) * (0.05 * w0)};
+
+  std::cout << "bandwidth sweep (output phase rms, seconds):\n";
+  Table t({"w_UG/w0", "vco+ref noise", "MASH noise", "total"});
+  double best_total = 1e300, best_ratio = 0.0;
+  for (double ratio : {0.005, 0.01, 0.02, 0.05, 0.1, 0.15, 0.2}) {
+    JitterOptimizationSpec jspec;
+    jspec.w0 = w0;
+    jspec.s_ref = PowerLawPsd{ref_white, 0.0, 0.0};
+    jspec.s_vco = s_vco;
+    const double analog = output_jitter_tv(jspec, ratio * w0);
+    const SamplingPllModel model(make_typical_loop(ratio * w0, w0));
+    const double quant =
+        fracn_output_rms(model, t_vco, 1e-3 * w0, 0.49 * w0);
+    const double total = std::sqrt(analog * analog + quant * quant);
+    if (total < best_total) {
+      best_total = total;
+      best_ratio = ratio;
+    }
+    t.add_row(std::vector<double>{ratio, analog, quant, total});
+  }
+  t.print(std::cout);
+  std::cout << "\nbest bandwidth: w_UG/w0 = " << best_ratio
+            << " (total rms " << best_total << " s = "
+            << best_total / t_ref << " of a reference period)\n";
+  std::cout << "the MASH noise column is why fractional-N parts ship "
+               "with much narrower loops than integer-N parts of the "
+               "same reference.\n";
+  return 0;
+}

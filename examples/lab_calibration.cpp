@@ -1,0 +1,70 @@
+// Lab workflow: identify a PLL's loop parameters from bench
+// measurements of its closed-loop phase transfer.
+//
+// A "device under test" (here: the behavioral simulator standing in for
+// hardware, with parameters we pretend not to know) is driven with
+// small reference phase modulation at a handful of frequencies; the
+// complex response H_00(j w) is captured with a single-bin DFT, and the
+// time-varying model is fitted to the data by Gauss-Newton.  Fitting
+// the classical LTI model to the same data shows the structural bias
+// the paper warns about: the measured response of a fast loop contains
+// aliasing terms no LTI transfer function can represent.
+#include <cmath>
+#include <iostream>
+#include <numbers>
+
+#include "htmpll/core/calibration.hpp"
+#include "htmpll/timedomain/probe.hpp"
+#include "htmpll/util/table.hpp"
+
+int main() {
+  using namespace htmpll;
+  const double w0 = 2.0 * std::numbers::pi;  // normalized T = 1
+
+  // The "unknown" device under test.
+  const double true_ratio = 0.18;
+  const double true_gamma = 5.0;
+  const PllParameters dut = make_typical_loop(true_ratio * w0, w0,
+                                              true_gamma);
+
+  std::cout << "=== Step 1: measure the DUT at 5 frequencies ===\n\n";
+  const std::vector<double> freqs{0.03 * w0, 0.08 * w0, 0.15 * w0,
+                                  0.25 * w0, 0.38 * w0};
+  CVector measured;
+  Table meas({"w/w0", "|H00|", "arg deg"});
+  for (double w : freqs) {
+    ProbeOptions opts;
+    opts.settle_periods = 350.0;
+    opts.measure_periods = 20;
+    const cplx h = measure_baseband_transfer(dut, w, opts).value;
+    measured.push_back(h);
+    meas.add_row(std::vector<double>{
+        w / w0, std::abs(h),
+        std::arg(h) * 180.0 / std::numbers::pi});
+  }
+  meas.print(std::cout);
+
+  std::cout << "\n=== Step 2: fit the time-varying model ===\n\n";
+  const LoopFitResult tv = fit_typical_loop(freqs, measured, w0);
+  std::cout << "  fitted w_UG/w0 = " << tv.w_ug / w0 << "  (true "
+            << true_ratio << ")\n"
+            << "  fitted gamma   = " << tv.gamma << "  (true "
+            << true_gamma << ")\n"
+            << "  rms residual   = " << tv.rms_residual << " ("
+            << tv.iterations << " iterations)\n";
+
+  std::cout << "\n=== Step 3: try the same with the LTI model ===\n\n";
+  LoopFitOptions lti_opts;
+  lti_opts.use_lti_model = true;
+  const LoopFitResult lti = fit_typical_loop(freqs, measured, w0,
+                                             lti_opts);
+  std::cout << "  fitted w_UG/w0 = " << lti.w_ug / w0
+            << ", gamma = " << lti.gamma << "\n"
+            << "  rms residual   = " << lti.rms_residual << "  ("
+            << lti.rms_residual / std::max(tv.rms_residual, 1e-300)
+            << "x worse than the TV fit)\n";
+  std::cout << "\nthe LTI model cannot represent the measured aliasing "
+               "terms of a fast loop: its residual floor is structural, "
+               "not noise.\n";
+  return 0;
+}

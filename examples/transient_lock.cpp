@@ -1,0 +1,55 @@
+// Behavioral simulator demo: lock acquisition from a frequency offset,
+// then a small-signal modulation probe compared against the HTM
+// prediction -- the full verification loop of the paper's Section 5 in
+// one program.
+#include <cmath>
+#include <iostream>
+#include <numbers>
+
+#include "htmpll/core/sampling_pll.hpp"
+#include "htmpll/timedomain/probe.hpp"
+#include "htmpll/util/table.hpp"
+
+int main() {
+  using namespace htmpll;
+  const double w0 = 2.0 * std::numbers::pi;  // T = 1 (normalized time)
+  const cplx j{0.0, 1.0};
+  const PllParameters params = make_typical_loop(0.1 * w0, w0);
+
+  std::cout << "=== 1) lock acquisition from a 3% frequency offset ===\n\n";
+  PllTransientSim sim(params);
+  sim.set_initial_frequency_offset(0.03);
+  Table acq({"t/T", "theta/T", "control_y", "max_pulse_width/T"});
+  for (int chunk = 0; chunk < 10; ++chunk) {
+    // Fine-grained early (the pull-in happens within ~10 periods for
+    // this bandwidth), then coarser to confirm the lock holds.
+    sim.run_periods(chunk < 6 ? 2.0 : 50.0);
+    acq.add_row(std::vector<double>{sim.time(), sim.theta(),
+                                    sim.control_output(),
+                                    sim.max_recent_pulse_width()});
+  }
+  acq.print(std::cout);
+  std::cout << (sim.is_locked(1e-4) ? "\nlocked.\n" : "\nnot locked!\n");
+  std::cout << "PFD events processed: " << sim.event_count() << "\n\n";
+
+  std::cout << "=== 2) small-signal probe vs HTM prediction ===\n\n";
+  const SamplingPllModel model(params);
+  Table t({"w/w0", "|H00| simulated", "|H00| HTM", "|H00| LTI",
+           "sim-vs-HTM err"});
+  for (double f : {0.02, 0.05, 0.1, 0.2}) {
+    ProbeOptions opts;
+    opts.settle_periods = 300.0;
+    opts.measure_periods = 16;
+    const TransferMeasurement meas =
+        measure_baseband_transfer(params, f * w0, opts);
+    const cplx htm = model.baseband_transfer(j * (f * w0));
+    const cplx lti = model.lti_baseband_transfer(j * (f * w0));
+    t.add_row(std::vector<double>{
+        f, std::abs(meas.value), std::abs(htm), std::abs(lti),
+        std::abs(meas.value - htm) / std::abs(htm)});
+  }
+  t.print(std::cout);
+  std::cout << "\nthe HTM model predicts the simulated (flip-flop PFD, "
+               "finite pulse width) loop to a couple of percent.\n";
+  return 0;
+}

@@ -1,0 +1,28 @@
+#!/usr/bin/env bash
+# Regenerates every figure/table of the reproduction into results/ as
+# both console text and CSV.  Run from the repository root after
+# building (cmake -B build -G Ninja && cmake --build build).
+set -euo pipefail
+
+BUILD="${1:-build}"
+OUT="${2:-results}"
+mkdir -p "$OUT"
+
+for bench in "$BUILD"/bench/*; do
+  [ -f "$bench" ] && [ -x "$bench" ] || continue
+  name="$(basename "$bench")"
+  echo "=== $name ==="
+  case "$name" in
+    timing_htm_vs_sim|ablation_rankone)
+      # google-benchmark binaries: console + JSON.
+      "$bench" --benchmark_out="$OUT/$name.json" \
+               --benchmark_out_format=json | tee "$OUT/$name.txt"
+      ;;
+    *)
+      "$bench" "$OUT/$name.csv" | tee "$OUT/$name.txt"
+      ;;
+  esac
+done
+
+echo
+echo "wrote $(ls "$OUT" | wc -l) files to $OUT/"

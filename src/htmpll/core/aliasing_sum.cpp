@@ -1,0 +1,145 @@
+#include "htmpll/core/aliasing_sum.hpp"
+
+#include <cmath>
+#include <numbers>
+
+#include "htmpll/util/check.hpp"
+
+namespace htmpll {
+
+cplx stable_coth(cplx z) {
+  if (z.real() < 0.0) return -stable_coth(-z);
+  if (std::abs(z) < 1e-3) {
+    // coth z = 1/z + z/3 - z^3/45 + O(z^5)
+    const cplx z2 = z * z;
+    return 1.0 / z + z * (1.0 / 3.0 - z2 / 45.0);
+  }
+  const cplx e = std::exp(-2.0 * z);  // |e| <= 1 since Re z >= 0
+  return (1.0 + e) / (1.0 - e);
+}
+
+cplx stable_csch2(cplx z) {
+  if (z.real() < 0.0) z = -z;  // csch^2 is even
+  if (std::abs(z) < 1e-3) {
+    // csch^2 z = 1/z^2 - 1/3 + z^2/15 + O(z^4)
+    const cplx z2 = z * z;
+    return 1.0 / z2 - 1.0 / 3.0 + z2 / 15.0;
+  }
+  const cplx e = std::exp(-2.0 * z);
+  const cplx d = 1.0 - e;
+  return 4.0 * e / (d * d);
+}
+
+cplx harmonic_pole_sum(cplx x, double w0, int k) {
+  HTMPLL_REQUIRE(w0 > 0.0, "harmonic_pole_sum needs w0 > 0");
+  HTMPLL_REQUIRE(k >= 1 && k <= 4,
+                 "harmonic_pole_sum supports pole multiplicities 1..4");
+  const double c = std::numbers::pi / w0;
+  const cplx u = c * x;
+  switch (k) {
+    case 1:
+      return c * stable_coth(u);
+    case 2:
+      return c * c * stable_csch2(u);
+    case 3:
+      return c * c * c * stable_csch2(u) * stable_coth(u);
+    default: {
+      // S4 = (c^4/3) (2 csch^2 u coth^2 u + csch^4 u)
+      const cplx cs2 = stable_csch2(u);
+      const cplx ct = stable_coth(u);
+      return (c * c * c * c / 3.0) * (2.0 * cs2 * ct * ct + cs2 * cs2);
+    }
+  }
+}
+
+AliasingSum::AliasingSum(RationalFunction a, double w0)
+    : a_(std::move(a)), w0_(w0), pf_(a_) {
+  HTMPLL_REQUIRE(w0_ > 0.0, "AliasingSum needs w0 > 0");
+  HTMPLL_REQUIRE(a_.is_strictly_proper(),
+                 "aliasing sum diverges for non-strictly-proper A(s)");
+  // Laurent expansion at infinity: A = c_d/s^d + c_{d+1}/s^{d+1} + ...
+  // With a monic denominator, c_d is the numerator's leading coefficient
+  // and c_{d+1} = a_{n-1} - a_n b_{m-1}.
+  rel_degree_ = a_.relative_degree();
+  const Polynomial& num = a_.num();
+  const Polynomial& den = a_.den();
+  laurent_d_ = num.leading();
+  const cplx a_nm1 =
+      num.degree() >= 1 ? num.coefficient(num.degree() - 1) : cplx{0.0};
+  const cplx b_mm1 =
+      den.degree() >= 1 ? den.coefficient(den.degree() - 1) : cplx{0.0};
+  laurent_d1_ = a_nm1 - laurent_d_ * b_mm1;
+}
+
+cplx AliasingSum::truncated(cplx s, int max_harmonic) const {
+  HTMPLL_REQUIRE(max_harmonic >= 0, "negative truncation");
+  cplx acc = a_(s);
+  for (int m = 1; m <= max_harmonic; ++m) {
+    const cplx jm{0.0, static_cast<double>(m) * w0_};
+    acc += a_(s + jm) + a_(s - jm);
+  }
+  return acc;
+}
+
+cplx AliasingSum::adaptive(cplx s, const AliasingSumOptions& opts) const {
+  // Orders whose tails we can sum in closed form (harmonic_pole_sum
+  // supports k <= 4).
+  const int k1 = rel_degree_;
+  const int k2 = rel_degree_ + 1;
+  const bool corr1 = k1 >= 1 && k1 <= 4 && laurent_d_ != cplx{0.0};
+  const bool corr2 = k2 >= 1 && k2 <= 4 && laurent_d1_ != cplx{0.0};
+
+  auto pole_pow = [](cplx x, int k) {
+    cplx p{1.0};
+    for (int i = 0; i < k; ++i) p *= x;
+    return 1.0 / p;
+  };
+
+  cplx acc = a_(s);
+  cplx partial1 = corr1 ? pole_pow(s, k1) : cplx{0.0};
+  cplx partial2 = corr2 ? pole_pow(s, k2) : cplx{0.0};
+  int quiet = 0;
+  for (int m = 1; m <= opts.max_pairs; ++m) {
+    const cplx jm{0.0, static_cast<double>(m) * w0_};
+    const cplx pair = a_(s + jm) + a_(s - jm);
+    acc += pair;
+    // Residual after removing the analytically-summed leading orders
+    // decays like 1/m^(d+2); use it for the stopping rule.
+    cplx residual = pair;
+    if (corr1) {
+      const cplx p1 = pole_pow(s + jm, k1) + pole_pow(s - jm, k1);
+      partial1 += p1;
+      residual -= laurent_d_ * p1;
+    }
+    if (corr2) {
+      const cplx p2 = pole_pow(s + jm, k2) + pole_pow(s - jm, k2);
+      partial2 += p2;
+      residual -= laurent_d1_ * p2;
+    }
+    if (std::abs(residual) <=
+        opts.rel_tol * std::max(1e-300, std::abs(acc))) {
+      if (++quiet >= opts.quiet_pairs) break;
+    } else {
+      quiet = 0;
+    }
+  }
+  if (corr1) acc += laurent_d_ * (harmonic_pole_sum(s, w0_, k1) - partial1);
+  if (corr2) acc += laurent_d1_ * (harmonic_pole_sum(s, w0_, k2) - partial2);
+  return acc;
+}
+
+cplx AliasingSum::exact(cplx s) const {
+  // lambda(s) = sum_i sum_k r_ik S_k(s - p_i); the direct part is zero
+  // because A is strictly proper.
+  cplx acc{0.0};
+  for (const PoleTerm& term : pf_.terms()) {
+    const cplx x = s - term.pole;
+    for (std::size_t j = 0; j < term.residues.size(); ++j) {
+      acc += term.residues[j] *
+             harmonic_pole_sum(x, w0_, static_cast<int>(j) + 1);
+    }
+  }
+  return acc;
+}
+
+}  // namespace htmpll

@@ -1,0 +1,68 @@
+// HTM builders for the PLL building blocks of Section 3.
+//
+//  * lti_htm        -- eq. 12: diagonal H(s + j m w0)
+//  * multiplier_htm -- eq. 13: Toeplitz of Fourier coefficients P_{n-m}
+//  * sampling_pfd_htm -- eq. 19: rank-one (w0/2pi) * ones (impulse-train
+//                        sampling of the phase error; Fig. 4 equivalence)
+//  * vco_htm        -- eq. 25: ISF multiplier followed by an integrator,
+//                      H_{n,m} = v_{n-m} / (s + j n w0)
+#pragma once
+
+#include <functional>
+
+#include "htmpll/core/htm.hpp"
+#include "htmpll/lti/rational.hpp"
+
+namespace htmpll {
+
+/// Fourier coefficient set {c_k, |k| <= J} of a T-periodic waveform,
+/// stored as [c_{-J}, ..., c_0, ..., c_J].
+class HarmonicCoefficients {
+ public:
+  /// DC-only (time-invariant) coefficient set.
+  explicit HarmonicCoefficients(cplx dc);
+
+  /// Full set; size must be odd (2J+1).
+  explicit HarmonicCoefficients(CVector coeffs);
+
+  /// Coefficient set of a real waveform given c_0 and c_k for k > 0
+  /// (c_{-k} = conj(c_k)).
+  static HarmonicCoefficients real_waveform(double dc,
+                                            const CVector& positive);
+
+  int max_harmonic() const { return j_; }
+  /// c_k, zero outside |k| <= J.
+  cplx operator[](int k) const;
+
+  bool is_dc_only(double tol = 0.0) const;
+
+ private:
+  int j_;
+  CVector c_;
+};
+
+/// eq. 12: HTM of an LTI block given its transfer function.
+Htm lti_htm(const RationalFunction& h, int truncation, double w0, cplx s);
+
+/// Same, for non-rational responses (evaluated as a function of complex
+/// frequency).
+Htm lti_htm(const std::function<cplx(cplx)>& h, int truncation, double w0,
+            cplx s);
+
+/// eq. 13: HTM of the memoryless multiplication y(t) = p(t) u(t).
+Htm multiplier_htm(const HarmonicCoefficients& p, int truncation, double w0,
+                   cplx s);
+
+/// eq. 19: HTM of the sampling PFD's impulse-train multiplication,
+/// (w0/2pi) * l l^T.  The charge-pump current lives in the loop filter
+/// model (eq. 21), exactly as in the paper.
+Htm sampling_pfd_htm(int truncation, double w0, cplx s);
+
+/// eq. 25: HTM of the VCO phase response: multiplication by the periodic
+/// impulse sensitivity function v(t) followed by integration.
+/// Requires s not equal to -j n w0 for any |n| <= K (no evaluation on the
+/// integrator poles).
+Htm vco_htm(const HarmonicCoefficients& isf, int truncation, double w0,
+            cplx s);
+
+}  // namespace htmpll

@@ -1,0 +1,179 @@
+#include "htmpll/core/calibration.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "htmpll/linalg/lu.hpp"
+#include "htmpll/util/check.hpp"
+
+namespace htmpll {
+
+cplx fitted_model_response(double w_ug, double gamma, double w0, double w,
+                           bool use_lti_model) {
+  const SamplingPllModel model(make_typical_loop(w_ug, w0, gamma));
+  const cplx s{0.0, w};
+  return use_lti_model ? model.lti_baseband_transfer(s)
+                       : model.baseband_transfer(s);
+}
+
+namespace {
+
+constexpr double kMinGamma = 1.05;
+
+struct Params {
+  double log_wug;
+  double log_gamma;
+};
+
+/// Stacked real/imag residual vector.  Parameters are clamped to a sane
+/// physical box so that wild Gauss-Newton trial steps (before the
+/// halving guard rejects them) cannot construct degenerate loops.
+RVector residual(const Params& p, const std::vector<double>& w,
+                 const CVector& h, double w0, bool lti) {
+  const double w_ug =
+      std::clamp(std::exp(p.log_wug), 1e-6 * w0, 10.0 * w0);
+  const double gamma =
+      std::clamp(std::exp(p.log_gamma), kMinGamma, 1e3);
+  RVector r(2 * w.size());
+  const SamplingPllModel model(make_typical_loop(w_ug, w0, gamma));
+  for (std::size_t i = 0; i < w.size(); ++i) {
+    const cplx s{0.0, w[i]};
+    const cplx m = lti ? model.lti_baseband_transfer(s)
+                       : model.baseband_transfer(s);
+    const cplx d = m - h[i];
+    r[2 * i] = d.real();
+    r[2 * i + 1] = d.imag();
+  }
+  return r;
+}
+
+double cost(const RVector& r) {
+  double c = 0.0;
+  for (double x : r) c += x * x;
+  return c;
+}
+
+}  // namespace
+
+namespace {
+
+LoopFitResult fit_from_start(const std::vector<double>& w, const CVector& h,
+                             double w0, const LoopFitOptions& opts,
+                             double start_w_ug_frac, double start_gamma) {
+  Params p{std::log(start_w_ug_frac * w0), std::log(start_gamma)};
+  RVector r = residual(p, w, h, w0, opts.use_lti_model);
+  double c = cost(r);
+
+  LoopFitResult out;
+  const double fd = 1e-6;  // central-difference step on log-params
+  int it = 0;
+  for (; it < opts.max_iterations; ++it) {
+    // Numeric Jacobian, 2 columns.
+    const std::size_t n = r.size();
+    RMatrix jac(n, 2);
+    for (int col = 0; col < 2; ++col) {
+      Params pp = p, pm = p;
+      (col == 0 ? pp.log_wug : pp.log_gamma) += fd;
+      (col == 0 ? pm.log_wug : pm.log_gamma) -= fd;
+      const RVector rp = residual(pp, w, h, w0, opts.use_lti_model);
+      const RVector rm = residual(pm, w, h, w0, opts.use_lti_model);
+      for (std::size_t i = 0; i < n; ++i) {
+        jac(i, col) = (rp[i] - rm[i]) / (2.0 * fd);
+      }
+    }
+    // Normal equations (2x2).
+    RMatrix jtj(2, 2);
+    RVector jtr(2, 0.0);
+    for (std::size_t i = 0; i < n; ++i) {
+      for (int a = 0; a < 2; ++a) {
+        jtr[a] += jac(i, a) * r[i];
+        for (int b = 0; b < 2; ++b) {
+          jtj(a, b) += jac(i, a) * jac(i, b);
+        }
+      }
+    }
+    // Tiny Levenberg damping keeps the step sane near singularity.
+    const double damp = 1e-12 * (jtj(0, 0) + jtj(1, 1));
+    jtj(0, 0) += damp;
+    jtj(1, 1) += damp;
+    RVector step;
+    try {
+      step = RLu(jtj).solve(jtr);
+    } catch (const std::domain_error&) {
+      break;  // Jacobian collapsed; report the best point so far
+    }
+
+    // Trust-region-style clamp: never move more than one e-fold per
+    // parameter per iteration, so a wild early Jacobian cannot throw
+    // the iterate against the parameter box.
+    const double norm = std::hypot(step[0], step[1]);
+    double scale = norm > 1.0 ? 1.0 / norm : 1.0;
+    bool improved = false;
+    for (int half = 0; half < 24; ++half) {
+      Params cand{p.log_wug - scale * step[0],
+                  p.log_gamma - scale * step[1]};
+      const RVector rc = residual(cand, w, h, w0, opts.use_lti_model);
+      const double cc = cost(rc);
+      if (cc < c) {
+        p = cand;
+        r = rc;
+        c = cc;
+        improved = true;
+        break;
+      }
+      scale *= 0.5;
+    }
+    if (!improved) break;
+    if (scale * std::hypot(step[0], step[1]) < opts.tolerance) {
+      out.converged = true;
+      break;
+    }
+  }
+
+  out.w_ug = std::clamp(std::exp(p.log_wug), 1e-6 * w0, 10.0 * w0);
+  out.gamma = std::clamp(std::exp(p.log_gamma), kMinGamma, 1e3);
+  out.rms_residual = std::sqrt(c / static_cast<double>(w.size()));
+  out.iterations = it;
+  if (!out.converged) {
+    // Declare convergence if the final residual is already tiny.
+    out.converged = out.rms_residual < 1e-10;
+  }
+  return out;
+}
+
+}  // namespace
+
+LoopFitResult fit_typical_loop(const std::vector<double>& w,
+                               const CVector& h, double w0,
+                               const LoopFitOptions& opts) {
+  HTMPLL_REQUIRE(w.size() == h.size(), "frequency/data length mismatch");
+  HTMPLL_REQUIRE(w.size() >= 2, "need at least two measurement points");
+  for (double wi : w) {
+    HTMPLL_REQUIRE(wi > 0.0 && wi < 0.5 * w0,
+                   "measurement frequencies must lie in (0, w0/2)");
+  }
+  HTMPLL_REQUIRE(opts.initial_w_ug_frac > 0.0 &&
+                     opts.initial_gamma > 1.0,
+                 "invalid initial guess");
+
+  // User's starting point first; if it stalls in a poor local minimum
+  // (Gauss-Newton is only locally convergent), restart from a small
+  // grid and keep the best.
+  LoopFitResult best = fit_from_start(w, h, w0, opts,
+                                      opts.initial_w_ug_frac,
+                                      opts.initial_gamma);
+  double data_scale = 0.0;
+  for (const cplx& v : h) data_scale = std::max(data_scale, std::abs(v));
+  if (best.rms_residual > 1e-4 * std::max(1.0, data_scale)) {
+    for (double frac : {0.03, 0.1, 0.22}) {
+      for (double gamma : {2.0, 4.0, 8.0}) {
+        const LoopFitResult r =
+            fit_from_start(w, h, w0, opts, frac, gamma);
+        if (r.rms_residual < best.rms_residual) best = r;
+      }
+    }
+  }
+  return best;
+}
+
+}  // namespace htmpll

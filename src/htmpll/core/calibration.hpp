@@ -1,0 +1,54 @@
+// Loop-parameter identification from measured closed-loop data.
+//
+// Lab workflow: drive the reference with small phase modulation, measure
+// the complex baseband transfer H_00(j w_i) at a handful of
+// frequencies (a vector network / phase-noise analyzer, or our
+// measure_baseband_transfer probe), then fit the time-varying model's
+// (w_UG, gamma) so eq. 38 reproduces the data.  Near w0/2 an LTI-model
+// fit is structurally wrong -- the measured response contains the
+// aliasing terms -- so this is a capability the paper's formalism
+// specifically enables.
+//
+// Implementation: Gauss-Newton on log-parameters (positivity for free)
+// with central-difference Jacobians and a simple step-halving guard;
+// the residual stacks real and imaginary parts of the model-vs-data
+// mismatch.
+#pragma once
+
+#include <vector>
+
+#include "htmpll/core/sampling_pll.hpp"
+
+namespace htmpll {
+
+struct LoopFitOptions {
+  double initial_w_ug_frac = 0.1;  ///< starting w_UG/w0 guess
+  double initial_gamma = 4.0;      ///< starting zero/pole split guess
+  int max_iterations = 80;
+  double tolerance = 1e-10;        ///< relative step-size stop
+  /// Fit the classical LTI model instead of the time-varying one (for
+  /// comparison studies -- shows the LTI fit's structural bias).
+  bool use_lti_model = false;
+};
+
+struct LoopFitResult {
+  double w_ug = 0.0;
+  double gamma = 0.0;
+  double rms_residual = 0.0;  ///< per-point complex-mismatch rms
+  int iterations = 0;
+  bool converged = false;
+};
+
+/// Fits the typical-loop family (make_typical_loop) to measured complex
+/// baseband transfers `h[i] = H_00(j w[i])`.  Requires at least two
+/// measurement frequencies inside (0, w0/2).
+LoopFitResult fit_typical_loop(const std::vector<double>& w,
+                               const CVector& h, double w0,
+                               const LoopFitOptions& opts = {});
+
+/// Model evaluation used by the fit (exposed for testing): H_00 of the
+/// typical loop with the given parameters, TV or LTI flavor.
+cplx fitted_model_response(double w_ug, double gamma, double w0, double w,
+                           bool use_lti_model);
+
+}  // namespace htmpll

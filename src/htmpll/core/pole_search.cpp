@@ -1,0 +1,68 @@
+#include "htmpll/core/pole_search.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <numbers>
+
+#include "htmpll/util/check.hpp"
+#include "htmpll/ztrans/zdomain.hpp"
+
+namespace htmpll {
+
+ClosedLoopPole refine_closed_loop_pole(const LambdaExpression& lambda,
+                                       cplx seed,
+                                       const PoleSearchOptions& opts) {
+  const double w0 = lambda.w0();
+  cplx s = seed;
+  int it = 0;
+  for (; it < opts.max_iterations; ++it) {
+    const cplx f = 1.0 + lambda(s);
+    const cplx df = lambda.derivative(s);
+    HTMPLL_REQUIRE(std::abs(df) > 0.0,
+                   "degenerate Newton step in pole search");
+    const cplx step = f / df;
+    s -= step;
+    if (std::abs(step) <= opts.tolerance * w0) break;
+  }
+  // Fold into the fundamental strip.
+  const double half = 0.5 * w0;
+  double im = s.imag();
+  while (im > half) im -= w0;
+  while (im <= -half) im += w0;
+  s = cplx{s.real(), im};
+
+  ClosedLoopPole p;
+  p.s = s;
+  p.frequency = std::abs(s);
+  p.damping = p.frequency > 0.0 ? -s.real() / p.frequency : 1.0;
+  p.residual = std::abs(1.0 + lambda(s));
+  p.iterations = it;
+  return p;
+}
+
+std::vector<ClosedLoopPole> closed_loop_poles(const SamplingPllModel& model,
+                                              const PoleSearchOptions& opts) {
+  HTMPLL_REQUIRE(model.time_invariant_vco(),
+                 "pole search implemented for time-invariant VCOs");
+  HTMPLL_REQUIRE(model.options().pfd_shape == PfdShape::kImpulse,
+                 "pole search implemented for the impulse PFD shape");
+  const double w0 = model.w0();
+  const double t = 2.0 * std::numbers::pi / w0;
+  const LambdaExpression lambda(model.open_loop_gain(), w0);
+
+  // Seeds: z-domain characteristic roots mapped through s = ln(z)/T.
+  const ImpulseInvariantModel zm(model.open_loop_gain(), w0);
+  std::vector<ClosedLoopPole> out;
+  for (const cplx& z : zm.closed_loop_poles()) {
+    if (std::abs(z) < 1e-12) continue;  // z = 0 maps to Re(s) = -inf
+    const cplx seed = std::log(z) / t;
+    out.push_back(refine_closed_loop_pole(lambda, seed, opts));
+  }
+  std::sort(out.begin(), out.end(),
+            [](const ClosedLoopPole& a, const ClosedLoopPole& b) {
+              return a.frequency < b.frequency;
+            });
+  return out;
+}
+
+}  // namespace htmpll

@@ -1,0 +1,45 @@
+// Closed-loop poles of the time-varying PLL model.
+//
+// The closed loop theta = V~ l^T/(1 + lambda) theta_ref is singular where
+// 1 + lambda(s) = 0.  Because lambda is j w0-periodic, poles come in
+// vertical ladders s* + j m w0; we report the representatives in the
+// fundamental strip Im(s) in (-w0/2, w0/2].
+//
+// Strategy: seed from the z-domain characteristic roots mapped through
+// s = ln(z)/T (exact by the Poisson identity), then polish with Newton
+// on 1 + lambda(s) using the analytic derivative from the symbolic
+// closed form.  The Newton residual doubles as a numerical proof that
+// the two descriptions agree.
+#pragma once
+
+#include <vector>
+
+#include "htmpll/core/sampling_pll.hpp"
+#include "htmpll/core/symbolic.hpp"
+
+namespace htmpll {
+
+struct ClosedLoopPole {
+  cplx s;            ///< pole location, fundamental strip
+  double frequency;  ///< |s| (rad/s)
+  double damping;    ///< zeta = -Re(s)/|s|; negative when unstable
+  double residual;   ///< |1 + lambda(s)| after polishing
+  int iterations;    ///< Newton iterations used
+};
+
+struct PoleSearchOptions {
+  int max_iterations = 60;
+  double tolerance = 1e-12;  ///< on |step| relative to w0
+};
+
+/// Newton polish of a single seed on 1 + lambda(s) = 0.
+ClosedLoopPole refine_closed_loop_pole(const LambdaExpression& lambda,
+                                       cplx seed,
+                                       const PoleSearchOptions& opts = {});
+
+/// All closed-loop poles of the model (time-invariant VCO), sorted by
+/// ascending |s|.
+std::vector<ClosedLoopPole> closed_loop_poles(
+    const SamplingPllModel& model, const PoleSearchOptions& opts = {});
+
+}  // namespace htmpll

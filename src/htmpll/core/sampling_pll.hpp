@@ -1,0 +1,143 @@
+// The paper's PLL input-output model (Section 4).
+//
+// Loop equation (eq. 26):  theta = G (theta_ref - theta) with
+//   G(s) = H_VCO(s) H_LF(s) H_PFD(s)            (eq. 27)
+// Because H_PFD = (w0/2pi) l l^T is rank one, G = V~ l^T with
+//   V~(s) = (w0/2pi) H_VCO(s) H_LF(s) l          (eq. 29)
+// and Sherman-Morrison-Woodbury gives the closed form (eqs. 31-34)
+//   theta~ = V~(s) l^T / (1 + lambda(s)) theta~_ref,
+//   lambda(s) = l^T V~(s).
+//
+// For a time-invariant VCO, V~_n(s) = A(s + j n w0) and lambda is the
+// aliasing sum of eq. 37; the baseband closed-loop transfer is eq. 38:
+//   H_{0,0}(s) = A(s) / (1 + lambda(s)).
+//
+// This class provides both the fast scalar path (time-invariant VCO, the
+// paper's Section 5 setting) and the general LPTV-VCO path with a
+// non-trivial impulse sensitivity function (ISF), where lambda is
+// computed per ISF harmonic through exact aliasing sums -- the "extension
+// to arbitrary ... behavior" the paper mentions.
+#pragma once
+
+#include <vector>
+
+#include "htmpll/core/aliasing_sum.hpp"
+#include "htmpll/core/builders.hpp"
+#include "htmpll/core/htm.hpp"
+#include "htmpll/lti/loop_filter.hpp"
+
+namespace htmpll {
+
+enum class LambdaMethod {
+  kExact,      ///< coth closed form (no truncation error)
+  kAdaptive,   ///< symmetric pairs with tail stopping rule
+  kTruncated,  ///< fixed symmetric truncation (what a finite HTM sees)
+};
+
+/// How the sampled phase error is delivered to the loop filter -- the
+/// paper's "extension to arbitrary PFDs".  Both shapes keep H_PFD rank
+/// one (sampling always aliases), but reshape V~ and lambda:
+///  * kImpulse: the charge pump's narrow pulses act as Dirac impulses of
+///    weight e(mT) (Fig. 4, eq. 16) -- the paper's model.
+///  * kZeroOrderHold: a sample-and-hold detector holds Icp*e(mT)/T for
+///    the full period (same charge per cycle, unity DC gain).  Each
+///    V~ component picks up H_zoh(s + j m w0) =
+///    (1 - e^{-sT}) / ((s + j m w0) T)  -- note e^{-sT} is T-periodic in
+///    the harmonic index, so the exact lambda machinery still applies.
+enum class PfdShape {
+  kImpulse,
+  kZeroOrderHold,
+};
+
+struct SamplingPllOptions {
+  LambdaMethod lambda_method = LambdaMethod::kExact;
+  int truncation = 16;  ///< K for kTruncated lambda and HTM assembly
+  PfdShape pfd_shape = PfdShape::kImpulse;
+};
+
+class SamplingPllModel {
+ public:
+  /// `isf` is the VCO impulse sensitivity function normalized so its DC
+  /// coefficient is real; the effective v(t) Fourier coefficients are
+  /// v_k = kvco * isf_k.  The default (DC-only, coefficient 1) is the
+  /// time-invariant VCO of the paper's Section 5.
+  /// `extra_loop_dynamics` multiplies the loop-filter transfer function
+  /// -- use it for loop delay (lti/delay.hpp), parasitic poles, or any
+  /// additional LTI stage in the PFD->VCO path.
+  explicit SamplingPllModel(
+      PllParameters params,
+      HarmonicCoefficients isf = HarmonicCoefficients(cplx{1.0}),
+      SamplingPllOptions opts = {},
+      RationalFunction extra_loop_dynamics = RationalFunction::constant(1.0));
+
+  const PllParameters& parameters() const { return params_; }
+  const SamplingPllOptions& options() const { return opts_; }
+  const HarmonicCoefficients& isf() const { return isf_; }
+  double w0() const { return params_.w0; }
+  bool time_invariant_vco() const { return isf_.is_dc_only(); }
+
+  /// Continuous-time LTI open-loop gain A(s) (eq. 35), with
+  /// v0 = kvco * isf_0 (includes any extra loop dynamics).
+  const RationalFunction& open_loop_gain() const { return a_; }
+
+  /// H_LF(s) as the model uses it: Icp * Z_LF(s) * extra dynamics.
+  const RationalFunction& loop_filter_tf() const { return hlf_; }
+
+  /// Effective open-loop gain lambda(s) via the configured method.
+  cplx lambda(cplx s) const;
+  cplx lambda(cplx s, LambdaMethod method, int truncation) const;
+
+  /// V~ components for |n| <= truncation (eq. 29):
+  /// result[n + truncation] = V~_n(s).
+  CVector vtilde(cplx s, int truncation) const;
+  cplx vtilde_element(int n, cplx s) const;
+
+  /// Closed-loop HTM element H_{n,m}(s) = V~_n(s)/(1 + lambda(s))
+  /// (eq. 36: all columns of the closed-loop HTM are identical because
+  /// the reference enters through the sampler).
+  cplx closed_loop(int n, cplx s) const;
+
+  /// Baseband-to-baseband transfer H_{0,0}(s) (eq. 38).
+  cplx baseband_transfer(cplx s) const;
+
+  /// Classical LTI approximation A/(1+A) (the paper's comparison case).
+  cplx lti_baseband_transfer(cplx s) const;
+
+  /// Phase-error (input-to-error) baseband transfer
+  /// E(s) = 1 - H_{0,0}(s) = (1 + lambda - A)/(1 + lambda).
+  cplx baseband_error_transfer(cplx s) const;
+
+  // ---- full-HTM assembly (reference path and LPTV verification) ----
+
+  /// G(s) = H_VCO H_LF H_PFD assembled from the block builders.
+  Htm open_loop_htm(cplx s, int truncation) const;
+
+  /// Closed-loop HTM via the rank-one closed form (eq. 34).
+  Htm closed_loop_htm(cplx s, int truncation) const;
+
+  /// Closed-loop HTM via a dense (I+G)^{-1} G solve (reference).
+  Htm closed_loop_htm_dense(cplx s, int truncation) const;
+
+ private:
+  /// Rational, m-shiftable part of the PFD shape (1/(sigma T) for ZOH);
+  /// the T-periodic prefactor (1 - e^{-sT}) is applied separately.
+  cplx shape_factor(cplx s_m) const;
+  /// The T-periodic (harmonic-independent) prefactor of the PFD shape.
+  cplx shape_prefactor(cplx s) const;
+
+  PllParameters params_;
+  HarmonicCoefficients isf_;
+  SamplingPllOptions opts_;
+  RationalFunction hlf_;  ///< Icp * Z_LF(s)
+  RationalFunction a_;    ///< A(s), eq. 35
+  /// Exact lambda machinery: per ISF harmonic k, the aliasing sum of
+  /// B_k(s) = (w0/2pi) v_k H_LF(s) / (s + j k w0); lambda = sum_k sums.
+  struct HarmonicChannel {
+    int k;
+    cplx v_k;
+    AliasingSum sum;
+  };
+  std::vector<HarmonicChannel> channels_;
+};
+
+}  // namespace htmpll

@@ -1,0 +1,81 @@
+#include "htmpll/core/stability.hpp"
+
+#include <cmath>
+
+#include "htmpll/lti/bode.hpp"
+#include "htmpll/util/check.hpp"
+#include "htmpll/util/grid.hpp"
+
+namespace htmpll {
+
+EffectiveMargins effective_margins(const SamplingPllModel& model) {
+  EffectiveMargins out;
+  const double w0 = model.w0();
+  const RationalFunction& a = model.open_loop_gain();
+
+  const FrequencyResponse lti = [&a](double w) { return a(cplx{0.0, w}); };
+  // A has two poles at DC, so |A| -> infinity at low w; scan over a wide
+  // window around w0.
+  if (const auto c = find_gain_crossover(lti, w0 * 1e-5, w0 * 1e3)) {
+    out.lti_found = true;
+    out.lti_crossover = c->frequency;
+    out.lti_phase_margin_deg = c->phase_margin_deg;
+  }
+
+  const FrequencyResponse eff = [&model](double w) {
+    return model.lambda(cplx{0.0, w});
+  };
+  // lambda is w0-periodic on the jw axis: the meaningful crossover lives
+  // in (0, w0/2].
+  if (const auto c = find_gain_crossover(eff, w0 * 1e-5, 0.5 * w0)) {
+    out.eff_found = true;
+    out.eff_crossover = c->frequency;
+    out.eff_phase_margin_deg = c->phase_margin_deg;
+  }
+  return out;
+}
+
+ClosedLoopSummary closed_loop_summary(const SamplingPllModel& model,
+                                      std::size_t grid_points) {
+  HTMPLL_REQUIRE(grid_points >= 8, "closed_loop_summary needs a real grid");
+  const double w0 = model.w0();
+  const std::vector<double> grid =
+      logspace(w0 * 1e-4, 0.5 * w0, grid_points);
+
+  ClosedLoopSummary out;
+  out.ref_level_db = magnitude_db(model.baseband_transfer(cplx{0.0, grid[0]}));
+  out.peak_db = out.ref_level_db;
+  out.peak_freq = grid[0];
+
+  double prev_db = out.ref_level_db;
+  double prev_w = grid[0];
+  const double cutoff = out.ref_level_db - 3.0103;  // half power
+  for (std::size_t i = 1; i < grid.size(); ++i) {
+    const double db = magnitude_db(model.baseband_transfer(cplx{0.0, grid[i]}));
+    if (db > out.peak_db) {
+      out.peak_db = db;
+      out.peak_freq = grid[i];
+    }
+    if (!out.bw_found && prev_db >= cutoff && db < cutoff) {
+      // Log-linear interpolation of the crossing.
+      const double t = (cutoff - prev_db) / (db - prev_db);
+      out.bw_3db = prev_w * std::pow(grid[i] / prev_w, t);
+      out.bw_found = true;
+    }
+    prev_db = db;
+    prev_w = grid[i];
+  }
+  out.peaking_db = out.peak_db - out.ref_level_db;
+  return out;
+}
+
+double half_rate_lambda(const SamplingPllModel& model) {
+  const cplx l = model.lambda(cplx{0.0, 0.5 * model.w0()});
+  return l.real();
+}
+
+bool predicts_half_rate_instability(const SamplingPllModel& model) {
+  return half_rate_lambda(model) <= -1.0;
+}
+
+}  // namespace htmpll

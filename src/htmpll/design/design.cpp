@@ -1,0 +1,191 @@
+#include "htmpll/design/design.hpp"
+
+#include <cmath>
+#include <numbers>
+
+#include "htmpll/util/check.hpp"
+
+namespace htmpll {
+
+double gamma_for_phase_margin(double pm_deg) {
+  HTMPLL_REQUIRE(pm_deg > 0.0 && pm_deg < 90.0,
+                 "phase margin must lie in (0, 90) degrees for this "
+                 "zero/pole topology");
+  // atan(g) - atan(1/g) = 2 atan(g) - pi/2 = pm
+  const double pm = pm_deg * std::numbers::pi / 180.0;
+  return std::tan(0.5 * (pm + 0.5 * std::numbers::pi));
+}
+
+namespace {
+
+PllParameters synthesize(const DesignSpec& spec, double w_ug, double gamma) {
+  PllParameters p = make_typical_loop(w_ug, spec.w0, gamma);
+  // Rescale to the requested physical component budget; A(s) only
+  // depends on Icp*Kvco/Ctot, so scale Icp to compensate.
+  const double cap_scale = spec.ctot / p.filter.total_cap();
+  p.filter.c1 *= cap_scale;
+  p.filter.c2 *= cap_scale;
+  p.filter.r /= cap_scale;
+  p.icp *= cap_scale;
+  // Move the VCO gain to the requested value, compensating with Icp.
+  p.icp *= p.kvco / spec.kvco;
+  p.kvco = spec.kvco;
+  return p;
+}
+
+DesignResult evaluate(const DesignSpec& spec, double w_ug, double gamma) {
+  DesignResult out;
+  out.gamma = gamma;
+  out.params = synthesize(spec, w_ug, gamma);
+  const SamplingPllModel model(out.params);
+  out.margins = effective_margins(model);
+  const ImpulseInvariantModel zmodel(model.open_loop_gain(), spec.w0);
+  out.z_domain_stable = zmodel.is_stable();
+  out.meets_spec_lti =
+      out.margins.lti_found &&
+      out.margins.lti_phase_margin_deg >=
+          spec.target_pm_deg - spec.pm_slack_deg;
+  out.meets_spec_effective =
+      out.margins.eff_found &&
+      out.margins.eff_phase_margin_deg >=
+          spec.target_pm_deg - spec.pm_slack_deg;
+  return out;
+}
+
+}  // namespace
+
+DesignResult design_classical(const DesignSpec& spec) {
+  HTMPLL_REQUIRE(spec.w0 > 0.0 && spec.target_w_ug > 0.0,
+                 "design frequencies must be positive");
+  HTMPLL_REQUIRE(spec.target_w_ug < 0.5 * spec.w0,
+                 "crossover beyond w0/2 cannot be sampled-stable");
+  const double gamma = gamma_for_phase_margin(spec.target_pm_deg);
+  return evaluate(spec, spec.target_w_ug, gamma);
+}
+
+DesignResult design_time_varying_aware(const DesignSpec& spec,
+                                       const AwareDesignOptions& opts) {
+  const double gamma = gamma_for_phase_margin(spec.target_pm_deg);
+  DesignResult at_target = evaluate(spec, spec.target_w_ug, gamma);
+  if (at_target.meets_spec_effective) return at_target;
+
+  // The effective PM decreases monotonically with bandwidth over the
+  // usable range; bisect w_ug downward until the spec holds.
+  double lo = spec.target_w_ug * 1e-3;
+  double hi = spec.target_w_ug;
+  DesignResult best = evaluate(spec, lo, gamma);
+  HTMPLL_REQUIRE(best.meets_spec_effective,
+                 "spec unreachable even at 1000x reduced bandwidth");
+  for (int it = 0; it < opts.max_iterations; ++it) {
+    const double mid = std::sqrt(lo * hi);
+    DesignResult r = evaluate(spec, mid, gamma);
+    if (r.meets_spec_effective) {
+      best = r;
+      lo = mid;
+      if (r.margins.eff_phase_margin_deg - spec.target_pm_deg <=
+          opts.pm_tolerance_deg) {
+        break;
+      }
+    } else {
+      hi = mid;
+    }
+  }
+  return best;
+}
+
+double output_jitter_tv(const JitterOptimizationSpec& spec, double w_ug) {
+  const SamplingPllModel model(
+      make_typical_loop(w_ug, spec.w0, spec.gamma));
+  const NoiseAnalysis na(model, spec.fold_harmonics);
+  return na.integrated_rms(
+      [&](double w) {
+        return na.output_psd_from_reference(w, spec.s_ref) +
+               na.output_psd_from_vco(w, spec.s_vco);
+      },
+      spec.w_lo_frac * spec.w0, spec.w_hi_frac * spec.w0,
+      spec.quadrature_points);
+}
+
+double output_jitter_lti(const JitterOptimizationSpec& spec, double w_ug) {
+  const PllParameters p = make_typical_loop(w_ug, spec.w0, spec.gamma);
+  const RationalFunction a = p.open_loop_gain();
+  // Classical transfers: |A/(1+A)|^2 S_ref + |1/(1+A)|^2 S_vco, no
+  // folding, no sampling effects.
+  const auto psd = [&](double w) {
+    const cplx av = a(cplx{0.0, w});
+    const cplx h = av / (1.0 + av);
+    return std::norm(h) * spec.s_ref(w) +
+           std::norm(1.0 - h) * spec.s_vco(w);
+  };
+  // Same quadrature as the TV path (reuse NoiseAnalysis's integrator).
+  const SamplingPllModel model(p);
+  const NoiseAnalysis na(model, 1);
+  return na.integrated_rms(psd, spec.w_lo_frac * spec.w0,
+                           spec.w_hi_frac * spec.w0,
+                           spec.quadrature_points);
+}
+
+namespace {
+
+/// Golden-section minimization on log(w_ug).
+template <typename F>
+double golden_min(F f, double lo, double hi, int iterations = 60) {
+  const double phi = 0.5 * (std::sqrt(5.0) - 1.0);
+  double a = std::log(lo), b = std::log(hi);
+  double x1 = b - phi * (b - a), x2 = a + phi * (b - a);
+  double f1 = f(std::exp(x1)), f2 = f(std::exp(x2));
+  for (int it = 0; it < iterations; ++it) {
+    if (f1 < f2) {
+      b = x2;
+      x2 = x1;
+      f2 = f1;
+      x1 = b - phi * (b - a);
+      f1 = f(std::exp(x1));
+    } else {
+      a = x1;
+      x1 = x2;
+      f1 = f2;
+      x2 = a + phi * (b - a);
+      f2 = f(std::exp(x2));
+    }
+  }
+  return std::exp(0.5 * (a + b));
+}
+
+}  // namespace
+
+JitterOptimizationResult optimize_bandwidth_for_jitter(
+    const JitterOptimizationSpec& spec) {
+  HTMPLL_REQUIRE(spec.w0 > 0.0, "reference rate must be positive");
+  HTMPLL_REQUIRE(spec.ratio_min > 0.0 && spec.ratio_max > spec.ratio_min,
+                 "bandwidth search range is empty");
+  HTMPLL_REQUIRE(static_cast<bool>(spec.s_ref) &&
+                     static_cast<bool>(spec.s_vco),
+                 "noise PSDs must be provided");
+
+  JitterOptimizationResult out;
+  out.w_ug_tv = golden_min(
+      [&](double w) { return output_jitter_tv(spec, w); },
+      spec.ratio_min * spec.w0, spec.ratio_max * spec.w0);
+  out.rms_tv = output_jitter_tv(spec, out.w_ug_tv);
+
+  out.w_ug_lti = golden_min(
+      [&](double w) { return output_jitter_lti(spec, w); },
+      spec.ratio_min * spec.w0, spec.ratio_max * spec.w0);
+  out.rms_at_lti_pick = output_jitter_tv(spec, out.w_ug_lti);
+  out.penalty = out.rms_at_lti_pick / out.rms_tv;
+  return out;
+}
+
+std::vector<DesignResult> sweep_crossover_ratios(
+    const DesignSpec& base, const std::vector<double>& ratios) {
+  std::vector<DesignResult> out;
+  out.reserve(ratios.size());
+  const double gamma = gamma_for_phase_margin(base.target_pm_deg);
+  for (double r : ratios) {
+    out.push_back(evaluate(base, r * base.w0, gamma));
+  }
+  return out;
+}
+
+}  // namespace htmpll

@@ -1,0 +1,31 @@
+// Fractional-N quantization noise through the time-varying loop.
+//
+// The MASH-dithered divider injects the accumulated quantization phase
+// error at the PFD -- entering the loop exactly like reference phase
+// (sampled once per cycle), so its baseband output transfer is the
+// closed-loop H_00 of eq. 38.  The error PSD rises +20(m-1) dB/dec while
+// H_00 falls off above the loop bandwidth: total output jitter has a
+// bandwidth optimum that the time-varying model (with its extra peaking
+// near w0/2) places lower than LTI analysis would.
+#pragma once
+
+#include <cstddef>
+
+#include "htmpll/core/sampling_pll.hpp"
+
+namespace htmpll {
+
+/// Output phase PSD (two-sided, per rad/s) at baseband frequency w from
+/// MASH-`order` divider quantization; `t_vco` is the VCO period (the
+/// quantization step), the sampling period is the loop's T = 2pi/w0.
+double fracn_output_psd(const SamplingPllModel& model, double w,
+                        double t_vco, int order = 3);
+
+/// rms output phase over [w_lo, w_hi] from the divider quantization,
+/// by log-trapezoid quadrature (same convention as
+/// NoiseAnalysis::integrated_rms).
+double fracn_output_rms(const SamplingPllModel& model, double t_vco,
+                        double w_lo, double w_hi, int order = 3,
+                        std::size_t points = 400);
+
+}  // namespace htmpll

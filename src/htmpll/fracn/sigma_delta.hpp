@@ -1,0 +1,86 @@
+// Sigma-delta modulators for fractional-N division.
+//
+// A fractional-N synthesizer dithers the feedback divider between
+// integer values so its *average* is N + alpha; the dithering pattern's
+// quantization error appears at the PFD as a phase-error sequence.  A
+// MASH modulator shapes that error to high frequencies where the loop's
+// low-pass H_00 (eq. 38) can remove it -- the classic noise-shaping /
+// loop-bandwidth trade-off this library's models quantify.
+//
+// Implemented: the plain first-order accumulator (unshaped, strong
+// idle tones) and the MASH-1-1-1 cascade (third-order shaping of the
+// division sequence, second-order shaping of the accumulated phase).
+// Everything is exact integer arithmetic.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "htmpll/linalg/matrix.hpp"
+
+namespace htmpll {
+
+/// First-order accumulator divider controller: output carry in {0, 1},
+/// mean = word/modulus.
+class AccumulatorModulator {
+ public:
+  AccumulatorModulator(std::uint64_t word, std::uint64_t modulus);
+
+  int next();
+  double mean() const;
+  std::uint64_t modulus() const { return modulus_; }
+
+ private:
+  std::uint64_t word_;
+  std::uint64_t modulus_;
+  std::uint64_t acc_ = 0;
+};
+
+/// MASH-1-1-1: three cascaded accumulators with carry recombination
+/// y_n = c1_n + (c2_n - c2_{n-1}) + (c3_n - 2 c3_{n-1} + c3_{n-2}).
+/// Output range [-3, 4], mean word/modulus, quantization error shaped
+/// (1 - z^-1)^3.
+class Mash111 {
+ public:
+  Mash111(std::uint64_t word, std::uint64_t modulus);
+
+  int next();
+  double mean() const;
+  std::uint64_t modulus() const { return modulus_; }
+
+  /// Convenience: the next `count` outputs.
+  std::vector<int> sequence(std::size_t count);
+
+ private:
+  std::uint64_t word_;
+  std::uint64_t modulus_;
+  std::uint64_t acc1_ = 0, acc2_ = 0, acc3_ = 0;
+  int c2_prev_ = 0;
+  int c3_prev_ = 0, c3_prev2_ = 0;
+};
+
+/// Accumulated divider phase error at the PFD (in seconds, the paper's
+/// phase convention): e_n = t_vco * sum_{k<=n} (y_k - alpha).  This is
+/// the "reference-like" disturbance sequence the loop sees.
+std::vector<double> divider_phase_sequence(Mash111& mod, double t_vco,
+                                           std::size_t count);
+
+/// Two-sided PSD (per rad/s, sample rate 1/t_sample) of the accumulated
+/// MASH-m phase error: the last accumulator's quantization error is
+/// ~uniform white with variance 1/12 VCO-cycles^2, differentiated m
+/// times by the MASH and integrated once by the phase accumulation:
+///   S_e(w) = t_vco^2 / 12 * |2 sin(w t_sample / 2)|^(2(m-1)) * t_sample
+std::vector<double> mash_phase_psd(const std::vector<double>& w,
+                                   double t_vco, double t_sample,
+                                   int order = 3);
+
+/// Windowed periodogram estimate of a real sequence's two-sided PSD at
+/// the given frequencies, averaging `blocks` segments (Welch-style,
+/// Hann window, sample period t_sample).  Exposed for testing the
+/// shaping law against the actual modulator output.
+std::vector<double> averaged_periodogram(const std::vector<double>& x,
+                                         const std::vector<double>& w,
+                                         double t_sample,
+                                         std::size_t blocks);
+
+}  // namespace htmpll

@@ -1,0 +1,39 @@
+// Real matrix exponential and Van Loan phi-function blocks.
+//
+// The behavioral PLL simulator propagates the loop-filter (plus VCO phase)
+// state exactly between charge-pump events, where the driving current is
+// piecewise constant / piecewise linear:
+//
+//   x(h) = e^{Ah} x0 + h*phi1(Ah) B u0 + h^2*phi2(Ah) B (u1-u0)/h
+//
+// The phi blocks are extracted from one exponential of the augmented
+// matrix [[A,B,0],[0,0,I],[0,0,0]] (Van Loan, 1978), so no invertibility
+// of A is required (our filters have poles at s = 0).
+#pragma once
+
+#include "htmpll/linalg/matrix.hpp"
+
+namespace htmpll {
+
+/// Matrix exponential by scaling-and-squaring with a (6,6) Pade
+/// approximant.  Requires a square matrix.
+RMatrix expm(const RMatrix& a);
+
+/// Exact discrete propagator over a step of length h for
+/// x' = A x + B u(t) with u piecewise linear on the step.
+struct StepPropagator {
+  RMatrix phi0;   ///< e^{Ah}                       (n x n)
+  RMatrix gamma1; ///< h*phi1(Ah)*B, weight of u0   (n x m)
+  RMatrix gamma2; ///< h^2*phi2(Ah)*B, weight of du (n x m), du = (u1-u0)/h
+
+  /// x1 = phi0*x0 + gamma1*u0 + gamma2*(u1-u0)/h  -- callers with
+  /// piecewise-constant input pass u1 == u0.
+  RVector advance(const RVector& x0, const RVector& u0, const RVector& u1,
+                  double h) const;
+};
+
+/// Builds the propagator for step length h.  B may be empty (autonomous
+/// system), in which case gamma1/gamma2 are empty too.
+StepPropagator make_propagator(const RMatrix& a, const RMatrix& b, double h);
+
+}  // namespace htmpll

@@ -1,0 +1,54 @@
+// LU decomposition with partial pivoting for complex and real dense
+// matrices.  Used for the dense (I + G)^-1 reference solve that
+// cross-checks the paper's rank-one closed form (eq. 31-34), and for
+// state-space manipulations in the time-domain simulator.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "htmpll/linalg/matrix.hpp"
+
+namespace htmpll {
+
+template <class T>
+class LuDecomposition {
+ public:
+  /// Factors PA = LU.  Throws std::invalid_argument if `a` is not square
+  /// and std::domain_error if it is numerically singular.
+  explicit LuDecomposition(DenseMatrix<T> a);
+
+  std::size_t order() const { return lu_.rows(); }
+
+  /// Solve A x = b for a single right-hand side.
+  std::vector<T> solve(std::vector<T> b) const;
+
+  /// Solve A X = B column-by-column.
+  DenseMatrix<T> solve(const DenseMatrix<T>& b) const;
+
+  DenseMatrix<T> inverse() const;
+
+  T determinant() const;
+
+  /// Number of row swaps performed (parity gives the sign of det P).
+  std::size_t swap_count() const { return swaps_; }
+
+ private:
+  DenseMatrix<T> lu_;
+  std::vector<std::size_t> perm_;
+  std::size_t swaps_ = 0;
+};
+
+using CLu = LuDecomposition<cplx>;
+using RLu = LuDecomposition<double>;
+
+/// Convenience wrappers.
+CMatrix inverse(const CMatrix& a);
+RMatrix inverse(const RMatrix& a);
+CVector solve(const CMatrix& a, const CVector& b);
+RVector solve(const RMatrix& a, const RVector& b);
+
+extern template class LuDecomposition<cplx>;
+extern template class LuDecomposition<double>;
+
+}  // namespace htmpll

@@ -1,0 +1,65 @@
+#include "htmpll/linalg/matrix.hpp"
+
+#include <sstream>
+
+namespace htmpll {
+
+template <class T>
+std::string DenseMatrix<T>::to_string(int precision) const {
+  std::ostringstream os;
+  os.precision(precision);
+  for (std::size_t i = 0; i < rows_; ++i) {
+    os << (i == 0 ? "[[" : " [");
+    for (std::size_t j = 0; j < cols_; ++j) {
+      os << (*this)(i, j);
+      if (j + 1 < cols_) os << ", ";
+    }
+    os << (i + 1 < rows_ ? "],\n" : "]]");
+  }
+  return os.str();
+}
+
+template class DenseMatrix<cplx>;
+template class DenseMatrix<double>;
+
+CMatrix outer(const CVector& u, const CVector& v) {
+  CMatrix m(u.size(), v.size());
+  for (std::size_t i = 0; i < u.size(); ++i) {
+    for (std::size_t j = 0; j < v.size(); ++j) m(i, j) = u[i] * v[j];
+  }
+  return m;
+}
+
+cplx dot_unconjugated(const CVector& u, const CVector& v) {
+  HTMPLL_REQUIRE(u.size() == v.size(), "dot product length mismatch");
+  cplx acc{};
+  for (std::size_t i = 0; i < u.size(); ++i) acc += u[i] * v[i];
+  return acc;
+}
+
+double norm2(const CVector& v) {
+  double s = 0.0;
+  for (const cplx& x : v) s += std::norm(x);
+  return std::sqrt(s);
+}
+
+CVector operator+(const CVector& a, const CVector& b) {
+  HTMPLL_REQUIRE(a.size() == b.size(), "vector sum length mismatch");
+  CVector c(a.size());
+  for (std::size_t i = 0; i < a.size(); ++i) c[i] = a[i] + b[i];
+  return c;
+}
+
+CVector operator-(const CVector& a, const CVector& b) {
+  HTMPLL_REQUIRE(a.size() == b.size(), "vector difference length mismatch");
+  CVector c(a.size());
+  for (std::size_t i = 0; i < a.size(); ++i) c[i] = a[i] - b[i];
+  return c;
+}
+
+CVector operator*(cplx s, CVector v) {
+  for (cplx& x : v) x *= s;
+  return v;
+}
+
+}  // namespace htmpll

@@ -1,0 +1,194 @@
+// Self-contained dense matrix/vector types.
+//
+// The HTM formalism needs complex dense matrices of modest order
+// ((2K+1) x (2K+1), K <= ~32); the time-domain simulator needs small real
+// state-space matrices.  Both are served by DenseMatrix<T> below.  Storage
+// is row-major, value semantics throughout.
+#pragma once
+
+#include <algorithm>
+#include <cmath>
+#include <complex>
+#include <cstddef>
+#include <initializer_list>
+#include <string>
+#include <vector>
+
+#include "htmpll/util/check.hpp"
+
+namespace htmpll {
+
+using cplx = std::complex<double>;
+
+template <class T>
+class DenseMatrix {
+ public:
+  DenseMatrix() = default;
+
+  DenseMatrix(std::size_t rows, std::size_t cols, T fill = T{})
+      : rows_(rows), cols_(cols), data_(rows * cols, fill) {}
+
+  /// Row-major initializer: DenseMatrix({{1,2},{3,4}}).
+  DenseMatrix(std::initializer_list<std::initializer_list<T>> init) {
+    rows_ = init.size();
+    cols_ = rows_ ? init.begin()->size() : 0;
+    data_.reserve(rows_ * cols_);
+    for (const auto& row : init) {
+      HTMPLL_REQUIRE(row.size() == cols_, "ragged matrix initializer");
+      data_.insert(data_.end(), row.begin(), row.end());
+    }
+  }
+
+  static DenseMatrix identity(std::size_t n) {
+    DenseMatrix m(n, n);
+    for (std::size_t i = 0; i < n; ++i) m(i, i) = T{1};
+    return m;
+  }
+
+  std::size_t rows() const { return rows_; }
+  std::size_t cols() const { return cols_; }
+  bool empty() const { return data_.empty(); }
+  bool is_square() const { return rows_ == cols_; }
+
+  T& operator()(std::size_t r, std::size_t c) {
+    HTMPLL_ASSERT(r < rows_ && c < cols_);
+    return data_[r * cols_ + c];
+  }
+  const T& operator()(std::size_t r, std::size_t c) const {
+    HTMPLL_ASSERT(r < rows_ && c < cols_);
+    return data_[r * cols_ + c];
+  }
+
+  const std::vector<T>& data() const { return data_; }
+
+  DenseMatrix& operator+=(const DenseMatrix& o) {
+    require_same_shape(o, "operator+=");
+    for (std::size_t i = 0; i < data_.size(); ++i) data_[i] += o.data_[i];
+    return *this;
+  }
+  DenseMatrix& operator-=(const DenseMatrix& o) {
+    require_same_shape(o, "operator-=");
+    for (std::size_t i = 0; i < data_.size(); ++i) data_[i] -= o.data_[i];
+    return *this;
+  }
+  DenseMatrix& operator*=(T s) {
+    for (auto& x : data_) x *= s;
+    return *this;
+  }
+
+  friend DenseMatrix operator+(DenseMatrix a, const DenseMatrix& b) {
+    a += b;
+    return a;
+  }
+  friend DenseMatrix operator-(DenseMatrix a, const DenseMatrix& b) {
+    a -= b;
+    return a;
+  }
+  friend DenseMatrix operator*(DenseMatrix a, T s) {
+    a *= s;
+    return a;
+  }
+  friend DenseMatrix operator*(T s, DenseMatrix a) {
+    a *= s;
+    return a;
+  }
+  friend DenseMatrix operator-(DenseMatrix a) {
+    for (auto& x : a.data_) x = -x;
+    return a;
+  }
+
+  friend DenseMatrix operator*(const DenseMatrix& a, const DenseMatrix& b) {
+    HTMPLL_REQUIRE(a.cols_ == b.rows_, "matrix product shape mismatch");
+    DenseMatrix c(a.rows_, b.cols_);
+    for (std::size_t i = 0; i < a.rows_; ++i) {
+      for (std::size_t k = 0; k < a.cols_; ++k) {
+        const T aik = a(i, k);
+        if (aik == T{}) continue;
+        for (std::size_t j = 0; j < b.cols_; ++j) c(i, j) += aik * b(k, j);
+      }
+    }
+    return c;
+  }
+
+  /// Matrix-vector product.
+  friend std::vector<T> operator*(const DenseMatrix& a,
+                                  const std::vector<T>& x) {
+    HTMPLL_REQUIRE(a.cols_ == x.size(), "matrix-vector shape mismatch");
+    std::vector<T> y(a.rows_, T{});
+    for (std::size_t i = 0; i < a.rows_; ++i) {
+      T acc{};
+      for (std::size_t j = 0; j < a.cols_; ++j) acc += a(i, j) * x[j];
+      y[i] = acc;
+    }
+    return y;
+  }
+
+  DenseMatrix transpose() const {
+    DenseMatrix t(cols_, rows_);
+    for (std::size_t i = 0; i < rows_; ++i) {
+      for (std::size_t j = 0; j < cols_; ++j) t(j, i) = (*this)(i, j);
+    }
+    return t;
+  }
+
+  /// Largest absolute-value entry.
+  double max_abs() const {
+    double m = 0.0;
+    for (const auto& x : data_) m = std::max(m, std::abs(x));
+    return m;
+  }
+
+  /// Induced infinity norm (max absolute row sum).
+  double norm_inf() const {
+    double m = 0.0;
+    for (std::size_t i = 0; i < rows_; ++i) {
+      double s = 0.0;
+      for (std::size_t j = 0; j < cols_; ++j) s += std::abs((*this)(i, j));
+      m = std::max(m, s);
+    }
+    return m;
+  }
+
+  /// Frobenius norm.
+  double norm_fro() const {
+    double s = 0.0;
+    for (const auto& x : data_) s += std::norm(std::complex<double>(x));
+    return std::sqrt(s);
+  }
+
+  std::string to_string(int precision = 4) const;
+
+ private:
+  void require_same_shape(const DenseMatrix& o, const char* op) const {
+    HTMPLL_REQUIRE(rows_ == o.rows_ && cols_ == o.cols_,
+                   std::string("shape mismatch in ") + op);
+  }
+
+  std::size_t rows_ = 0;
+  std::size_t cols_ = 0;
+  std::vector<T> data_;
+};
+
+using CMatrix = DenseMatrix<cplx>;
+using RMatrix = DenseMatrix<double>;
+using CVector = std::vector<cplx>;
+using RVector = std::vector<double>;
+
+/// Rank-one outer product u * v^T.
+CMatrix outer(const CVector& u, const CVector& v);
+
+/// Dot product without conjugation: sum_i u_i v_i (matches the l^T v usage
+/// in the paper's Sherman-Morrison step).
+cplx dot_unconjugated(const CVector& u, const CVector& v);
+
+/// Euclidean norm of a complex vector.
+double norm2(const CVector& v);
+
+CVector operator+(const CVector& a, const CVector& b);
+CVector operator-(const CVector& a, const CVector& b);
+CVector operator*(cplx s, CVector v);
+
+extern template class DenseMatrix<cplx>;
+extern template class DenseMatrix<double>;
+
+}  // namespace htmpll

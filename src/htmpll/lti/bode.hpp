@@ -1,0 +1,68 @@
+// Frequency-response utilities: dB/phase helpers, phase unwrapping, and
+// crossover / stability-margin searches on arbitrary responses.
+//
+// The searches take a std::function so they work both for rational LTI
+// responses A(jw) and for the time-varying effective open-loop gain
+// lambda(jw) of eq. 37, which is not rational.
+#pragma once
+
+#include <functional>
+#include <optional>
+#include <vector>
+
+#include "htmpll/linalg/matrix.hpp"
+
+namespace htmpll {
+
+/// Response evaluated on the jw axis as a function of w (rad/s).
+using FrequencyResponse = std::function<cplx(double)>;
+
+double magnitude_db(cplx h);
+double phase_deg(cplx h);
+
+/// Unwraps a phase sequence (radians) so consecutive samples never jump
+/// by more than pi.
+std::vector<double> unwrap_phase(const std::vector<double>& radians);
+
+struct CrossoverResult {
+  double frequency;         ///< rad/s of |H| = 1 crossing
+  double phase_margin_deg;  ///< 180 deg + unwrapped arg H at the crossing
+};
+
+struct MarginOptions {
+  std::size_t grid_points = 600;  ///< coarse log-grid scan density
+  double tolerance = 1e-10;       ///< relative bisection tolerance on w
+};
+
+/// Finds the first downward |H(jw)| = 1 crossing in [w_lo, w_hi] by a
+/// log-grid scan plus bisection.  The phase margin is computed with the
+/// phase unwrapped along the scan path from w_lo, so loops whose raw
+/// principal-value phase wraps (e.g. two integrator poles plus sampling
+/// delay) are handled correctly.
+std::optional<CrossoverResult> find_gain_crossover(
+    const FrequencyResponse& h, double w_lo, double w_hi,
+    const MarginOptions& opts = {});
+
+struct GainMarginResult {
+  double frequency;       ///< rad/s where unwrapped phase hits -180 deg
+  double gain_margin_db;  ///< -|H| in dB at that frequency
+};
+
+/// Finds the first -180 deg crossing of the unwrapped phase (relative to
+/// the phase at w_lo having its principal value).
+std::optional<GainMarginResult> find_gain_margin(
+    const FrequencyResponse& h, double w_lo, double w_hi,
+    const MarginOptions& opts = {});
+
+/// One Bode row: w, |H| dB, unwrapped phase deg.
+struct BodePoint {
+  double w;
+  double mag_db;
+  double phase_deg;
+};
+
+/// Samples H over a log grid and unwraps the phase along it.
+std::vector<BodePoint> bode_sweep(const FrequencyResponse& h, double w_lo,
+                                  double w_hi, std::size_t points);
+
+}  // namespace htmpll

@@ -1,0 +1,51 @@
+#include "htmpll/lti/delay.hpp"
+
+#include <cmath>
+
+#include "htmpll/util/check.hpp"
+
+namespace htmpll {
+
+RationalFunction pade_delay(double tau, int order) {
+  HTMPLL_REQUIRE(tau >= 0.0, "delay must be non-negative");
+  HTMPLL_REQUIRE(order >= 1 && order <= 5,
+                 "pade_delay supports orders 1..5");
+  if (tau == 0.0) return RationalFunction::constant(1.0);
+
+  // e^{-x} ~ N(x)/D(x) with
+  //   N(x) = sum_k c_k (-x)^k,  D(x) = sum_k c_k x^k,
+  //   c_k = (2m-k)! m! / ((2m)! k! (m-k)!)
+  // computed via the recurrence c_k = c_{k-1} (m-k+1)/((2m-k+1) k).
+  const int m = order;
+  std::vector<double> c(m + 1);
+  c[0] = 1.0;
+  for (int k = 1; k <= m; ++k) {
+    c[k] = c[k - 1] * static_cast<double>(m - k + 1) /
+           (static_cast<double>(2 * m - k + 1) * k);
+  }
+  CVector num(m + 1), den(m + 1);
+  double tau_pow = 1.0;
+  for (int k = 0; k <= m; ++k) {
+    const double coeff = c[k] * tau_pow;
+    num[k] = (k % 2 == 0) ? coeff : -coeff;
+    den[k] = coeff;
+    tau_pow *= tau;
+  }
+  return RationalFunction(Polynomial(num), Polynomial(den));
+}
+
+double pade_delay_error(double tau, int order, double w_max,
+                        std::size_t points) {
+  HTMPLL_REQUIRE(points >= 2, "need at least two scan points");
+  const RationalFunction p = pade_delay(tau, order);
+  double worst = 0.0;
+  for (std::size_t i = 1; i <= points; ++i) {
+    const double w = w_max * static_cast<double>(i) /
+                     static_cast<double>(points);
+    const cplx exact = std::exp(cplx{0.0, -w * tau});
+    worst = std::max(worst, std::abs(p(cplx{0.0, w}) - exact));
+  }
+  return worst;
+}
+
+}  // namespace htmpll

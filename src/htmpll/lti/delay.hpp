@@ -1,0 +1,26 @@
+// Rational (Pade) approximation of a pure loop delay e^{-s tau}.
+//
+// Real PFD/charge-pump paths carry a dead time (reset delay, buffer
+// chains).  A delay folds into the loop-filter transfer function as a
+// biproper all-pass-like rational factor, which the HTM machinery (and
+// the aliasing-sum closed forms) then handle unchanged.  Delay eats
+// phase margin linearly with frequency, and the *sampled* loop -- whose
+// effective crossover sits higher than the LTI one -- loses more than
+// LTI analysis predicts; see bench/ablation_delay.
+#pragma once
+
+#include "htmpll/lti/rational.hpp"
+
+namespace htmpll {
+
+/// Diagonal (m, m) Pade approximant of e^{-s tau}.  Orders 1..5; higher
+/// orders widen the frequency range over which the phase is accurate
+/// (roughly |w tau| < m).  tau == 0 returns the constant 1.
+RationalFunction pade_delay(double tau, int order = 3);
+
+/// Worst-case relative error |pade(jw) - e^{-jw tau}| over (0, w_max],
+/// scanned on `points` samples; used for order selection and testing.
+double pade_delay_error(double tau, int order, double w_max,
+                        std::size_t points = 200);
+
+}  // namespace htmpll

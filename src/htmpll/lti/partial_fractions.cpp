@@ -1,0 +1,106 @@
+#include "htmpll/lti/partial_fractions.hpp"
+
+#include <cmath>
+
+#include "htmpll/util/check.hpp"
+
+namespace htmpll {
+
+PartialFractions::PartialFractions(const RationalFunction& f,
+                                   double cluster_tol) {
+  // Split off the polynomial (direct) part first.
+  auto [quot, rem] = f.num().divmod(f.den());
+  direct_ = quot;
+  const Polynomial& den = f.den();
+  if (rem.is_zero()) return;
+
+  const CVector raw_poles = find_roots(den);
+  const std::vector<RootCluster> clusters =
+      cluster_roots(raw_poles, cluster_tol);
+
+  for (const RootCluster& cl : clusters) {
+    const cplx p = cl.value;
+    const int m = cl.multiplicity;
+
+    // Deflate: Q(s) = D(s) / (s - p)^m via synthetic division.  Division
+    // by a clustered root leaves a small remainder we drop.
+    Polynomial q = den;
+    const Polynomial factor(CVector{-p, cplx{1.0}});
+    for (int i = 0; i < m; ++i) {
+      q = q.divmod(factor).first;
+    }
+
+    // Taylor expansions about p.
+    const Polynomial n_at_p = rem.shifted_argument(p);
+    const Polynomial q_at_p = q.shifted_argument(p);
+    const cplx q0 = q_at_p.coefficient(0);
+    HTMPLL_ASSERT(std::abs(q0) > 0.0);
+
+    // Power-series division c = N/Q to order m-1.
+    CVector c(m, cplx{0.0});
+    for (int j = 0; j < m; ++j) {
+      cplx acc = n_at_p.coefficient(static_cast<std::size_t>(j));
+      for (int i = 1; i <= j; ++i) {
+        acc -= q_at_p.coefficient(static_cast<std::size_t>(i)) * c[j - i];
+      }
+      c[j] = acc / q0;
+    }
+
+    // N/D = sum_{k=1..m} c_{m-k} / (s-p)^k + regular part.
+    PoleTerm term;
+    term.pole = p;
+    term.residues.resize(m);
+    for (int k = 1; k <= m; ++k) {
+      term.residues[k - 1] = c[m - k];
+    }
+    terms_.push_back(std::move(term));
+  }
+}
+
+cplx PartialFractions::operator()(cplx s) const {
+  cplx acc = direct_(s);
+  for (const PoleTerm& t : terms_) {
+    const cplx d = s - t.pole;
+    cplx power = d;
+    for (const cplx& r : t.residues) {
+      acc += r / power;
+      power *= d;
+    }
+  }
+  return acc;
+}
+
+cplx PartialFractions::impulse_response(double t) const {
+  HTMPLL_REQUIRE(direct_.is_zero(),
+                 "impulse_response requires a strictly proper function");
+  HTMPLL_REQUIRE(t >= 0.0, "impulse response is causal (t >= 0)");
+  cplx acc{0.0};
+  for (const PoleTerm& term : terms_) {
+    const cplx e = std::exp(term.pole * t);
+    double factorial = 1.0;
+    double tpow = 1.0;
+    for (std::size_t j = 0; j < term.residues.size(); ++j) {
+      if (j > 0) {
+        factorial *= static_cast<double>(j);
+        tpow *= t;
+      }
+      acc += term.residues[j] * tpow / factorial * e;
+    }
+  }
+  return acc;
+}
+
+RationalFunction PartialFractions::reassemble() const {
+  RationalFunction out(direct_, Polynomial::constant(1.0));
+  for (const PoleTerm& t : terms_) {
+    const Polynomial factor(CVector{-t.pole, cplx{1.0}});
+    Polynomial den = Polynomial::constant(1.0);
+    for (std::size_t j = 0; j < t.residues.size(); ++j) {
+      den *= factor;
+      out += RationalFunction(Polynomial::constant(t.residues[j]), den);
+    }
+  }
+  return out;
+}
+
+}  // namespace htmpll

@@ -1,0 +1,53 @@
+// Partial-fraction decomposition of rational transfer functions,
+// including repeated poles.
+//
+// This feeds two parts of the reproduction:
+//  * the exact aliasing sum  lambda(s) = sum_m A(s + j m w0)  via the
+//    closed form sum_m 1/(x + j m w0)^k  (see core/aliasing_sum),
+//  * the impulse-invariant z-domain baseline (ztrans/), which needs
+//    a(t) = sum_i sum_k r_ik t^(k-1) e^(p_i t)/(k-1)!.
+#pragma once
+
+#include <vector>
+
+#include "htmpll/lti/rational.hpp"
+
+namespace htmpll {
+
+struct PoleTerm {
+  cplx pole;
+  /// residues[j] multiplies 1/(s - pole)^(j+1); size == multiplicity.
+  CVector residues;
+};
+
+class PartialFractions {
+ public:
+  /// Decomposes f = direct(s) + sum_i sum_k r_ik/(s-p_i)^k.
+  /// `cluster_tol` groups numerically coincident poles into one
+  /// higher-multiplicity pole.  The default accommodates the root
+  /// finder's spread for repeated roots (a multiplicity-m root is only
+  /// resolvable to ~eps^(1/m), i.e. ~1e-4 for m = 4); callers with
+  /// genuinely close-but-distinct poles should pass a tighter value.
+  explicit PartialFractions(const RationalFunction& f,
+                            double cluster_tol = 3e-4);
+
+  const Polynomial& direct() const { return direct_; }
+  const std::vector<PoleTerm>& terms() const { return terms_; }
+
+  /// Evaluates the decomposition (must reproduce f up to rounding).
+  cplx operator()(cplx s) const;
+
+  /// Inverse Laplace transform at time t >= 0 (direct part must be
+  /// constant-or-zero; a constant contributes a Dirac we cannot evaluate,
+  /// so it is required to be zero -- the strictly proper case).
+  cplx impulse_response(double t) const;
+
+  /// Reassembles a RationalFunction (for round-trip testing).
+  RationalFunction reassemble() const;
+
+ private:
+  Polynomial direct_;
+  std::vector<PoleTerm> terms_;
+};
+
+}  // namespace htmpll

@@ -1,0 +1,198 @@
+#include "htmpll/lti/polynomial.hpp"
+
+#include <cmath>
+#include <sstream>
+
+#include "htmpll/util/check.hpp"
+
+namespace htmpll {
+
+namespace {
+// Trailing coefficients below this absolute magnitude are trimmed.  The
+// threshold is deliberately near-denormal: coefficients of a physical
+// polynomial carry different units per power of s and can legitimately
+// span 20+ orders of magnitude, so any *relative* trimming (against the
+// largest coefficient) silently deletes real dynamics -- e.g. the s^3
+// term of a loop evaluated at w0 ~ 1e9 rad/s.
+constexpr double kTrimTol = 1e-250;
+}  // namespace
+
+Polynomial::Polynomial(CVector coeffs) : coeff_(std::move(coeffs)) {
+  HTMPLL_REQUIRE(!coeff_.empty(), "polynomial needs at least one coefficient");
+  trim();
+}
+
+Polynomial Polynomial::from_real(const std::vector<double>& coeffs) {
+  CVector c(coeffs.begin(), coeffs.end());
+  return Polynomial(std::move(c));
+}
+
+Polynomial Polynomial::constant(cplx c) { return Polynomial(CVector{c}); }
+
+Polynomial Polynomial::s() { return Polynomial(CVector{cplx{0.0}, cplx{1.0}}); }
+
+Polynomial Polynomial::from_roots(const CVector& roots, cplx leading) {
+  Polynomial p = constant(leading);
+  for (const cplx& r : roots) {
+    p *= Polynomial(CVector{-r, cplx{1.0}});
+  }
+  return p;
+}
+
+void Polynomial::trim() {
+  while (coeff_.size() > 1 && std::abs(coeff_.back()) <= kTrimTol) {
+    coeff_.pop_back();
+  }
+  if (coeff_.size() == 1 && std::abs(coeff_[0]) <= kTrimTol) {
+    coeff_[0] = cplx{0.0};
+  }
+}
+
+bool Polynomial::is_zero() const {
+  return coeff_.size() == 1 && coeff_[0] == cplx{0.0};
+}
+
+bool Polynomial::is_real(double tol) const {
+  double maxmag = 0.0;
+  for (const cplx& c : coeff_) maxmag = std::max(maxmag, std::abs(c));
+  for (const cplx& c : coeff_) {
+    if (std::abs(c.imag()) > tol * std::max(1.0, maxmag)) return false;
+  }
+  return true;
+}
+
+cplx Polynomial::operator()(cplx s) const {
+  cplx acc{0.0};
+  for (std::size_t i = coeff_.size(); i-- > 0;) acc = acc * s + coeff_[i];
+  return acc;
+}
+
+cplx Polynomial::derivative_at(cplx s, unsigned k) const {
+  Polynomial p = *this;
+  for (unsigned i = 0; i < k; ++i) p = p.derivative();
+  return p(s);
+}
+
+Polynomial Polynomial::derivative() const {
+  if (degree() == 0) return Polynomial();
+  CVector d(coeff_.size() - 1);
+  for (std::size_t i = 1; i < coeff_.size(); ++i) {
+    d[i - 1] = coeff_[i] * static_cast<double>(i);
+  }
+  return Polynomial(std::move(d));
+}
+
+Polynomial& Polynomial::operator+=(const Polynomial& o) {
+  if (coeff_.size() < o.coeff_.size()) coeff_.resize(o.coeff_.size());
+  for (std::size_t i = 0; i < o.coeff_.size(); ++i) coeff_[i] += o.coeff_[i];
+  trim();
+  return *this;
+}
+
+Polynomial& Polynomial::operator-=(const Polynomial& o) {
+  if (coeff_.size() < o.coeff_.size()) coeff_.resize(o.coeff_.size());
+  for (std::size_t i = 0; i < o.coeff_.size(); ++i) coeff_[i] -= o.coeff_[i];
+  trim();
+  return *this;
+}
+
+Polynomial& Polynomial::operator*=(const Polynomial& o) {
+  if (is_zero() || o.is_zero()) {
+    coeff_ = {cplx{0.0}};
+    return *this;
+  }
+  CVector prod(coeff_.size() + o.coeff_.size() - 1, cplx{0.0});
+  for (std::size_t i = 0; i < coeff_.size(); ++i) {
+    if (coeff_[i] == cplx{0.0}) continue;
+    for (std::size_t j = 0; j < o.coeff_.size(); ++j) {
+      prod[i + j] += coeff_[i] * o.coeff_[j];
+    }
+  }
+  coeff_ = std::move(prod);
+  trim();
+  return *this;
+}
+
+Polynomial& Polynomial::operator*=(cplx s) {
+  for (cplx& c : coeff_) c *= s;
+  trim();
+  return *this;
+}
+
+std::pair<Polynomial, Polynomial> Polynomial::divmod(const Polynomial& d) const {
+  HTMPLL_REQUIRE(!d.is_zero(), "polynomial division by zero");
+  if (degree() < d.degree()) return {Polynomial(), *this};
+  CVector rem = coeff_;
+  CVector quot(degree() - d.degree() + 1, cplx{0.0});
+  const cplx lead = d.leading();
+  for (std::size_t k = quot.size(); k-- > 0;) {
+    const cplx q = rem[k + d.degree()] / lead;
+    quot[k] = q;
+    if (q == cplx{0.0}) continue;
+    for (std::size_t j = 0; j < d.coeff_.size(); ++j) {
+      rem[k + j] -= q * d.coeff_[j];
+    }
+  }
+  rem.resize(d.degree() == 0 ? 1 : d.degree());
+  if (rem.empty()) rem.push_back(cplx{0.0});
+  return {Polynomial(std::move(quot)), Polynomial(std::move(rem))};
+}
+
+Polynomial Polynomial::shifted_argument(cplx shift) const {
+  // Horner-style Taylor shift: p(s + a) computed by repeated synthetic
+  // division, numerically stable for the modest degrees used here.
+  CVector c = coeff_;
+  const std::size_t n = c.size();
+  for (std::size_t i = 0; i < n; ++i) {
+    for (std::size_t j = n - 1; j > i; --j) {
+      c[j - 1] += shift * c[j];
+    }
+  }
+  return Polynomial(std::move(c));
+}
+
+Polynomial Polynomial::scaled_argument(cplx alpha) const {
+  CVector c = coeff_;
+  cplx p{1.0};
+  for (std::size_t i = 0; i < c.size(); ++i) {
+    c[i] *= p;
+    p *= alpha;
+  }
+  return Polynomial(std::move(c));
+}
+
+bool Polynomial::approx_equal(const Polynomial& o, double tol) const {
+  const std::size_t n = std::max(coeff_.size(), o.coeff_.size());
+  double scale = 0.0;
+  for (const cplx& c : coeff_) scale = std::max(scale, std::abs(c));
+  for (const cplx& c : o.coeff_) scale = std::max(scale, std::abs(c));
+  if (scale == 0.0) return true;
+  for (std::size_t i = 0; i < n; ++i) {
+    if (std::abs(coefficient(i) - o.coefficient(i)) > tol * scale) return false;
+  }
+  return true;
+}
+
+std::string Polynomial::to_string(const std::string& var) const {
+  std::ostringstream os;
+  os.precision(6);
+  bool first = true;
+  for (std::size_t i = 0; i < coeff_.size(); ++i) {
+    const cplx c = coeff_[i];
+    if (c == cplx{0.0} && coeff_.size() > 1) continue;
+    if (!first) os << " + ";
+    first = false;
+    if (std::abs(c.imag()) < 1e-15 * std::max(1.0, std::abs(c.real()))) {
+      os << c.real();
+    } else {
+      os << '(' << c.real() << (c.imag() < 0 ? "-" : "+")
+         << std::abs(c.imag()) << "j)";
+    }
+    if (i >= 1) os << '*' << var;
+    if (i >= 2) os << '^' << i;
+  }
+  if (first) os << '0';
+  return os.str();
+}
+
+}  // namespace htmpll

@@ -1,0 +1,105 @@
+// Dense univariate polynomials with complex coefficients.
+//
+// Coefficients are stored in ascending power order: c[0] + c[1] s + ...
+// Real transfer functions are represented with complex coefficients whose
+// imaginary parts are zero; `is_real` reports that property.
+#pragma once
+
+#include <complex>
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "htmpll/linalg/matrix.hpp"
+
+namespace htmpll {
+
+class Polynomial {
+ public:
+  /// Zero polynomial (degree reported as 0, value 0 everywhere).
+  Polynomial() : coeff_{cplx{0.0}} {}
+
+  /// Ascending coefficients; trailing (near-)zero coefficients trimmed.
+  explicit Polynomial(CVector coeffs);
+
+  /// Real-coefficient convenience.
+  static Polynomial from_real(const std::vector<double>& coeffs);
+
+  /// Constant polynomial.
+  static Polynomial constant(cplx c);
+
+  /// The monomial s.
+  static Polynomial s();
+
+  /// Builds prod_i (s - roots[i]) scaled by `leading`.
+  static Polynomial from_roots(const CVector& roots, cplx leading = 1.0);
+
+  std::size_t degree() const { return coeff_.size() - 1; }
+  bool is_zero() const;
+  bool is_real(double tol = 1e-12) const;
+
+  const CVector& coefficients() const { return coeff_; }
+  cplx coefficient(std::size_t k) const {
+    return k < coeff_.size() ? coeff_[k] : cplx{0.0};
+  }
+  cplx leading() const { return coeff_.back(); }
+
+  /// Horner evaluation.
+  cplx operator()(cplx s) const;
+
+  /// Evaluate the k-th derivative at s.
+  cplx derivative_at(cplx s, unsigned k = 1) const;
+
+  Polynomial derivative() const;
+
+  Polynomial& operator+=(const Polynomial& o);
+  Polynomial& operator-=(const Polynomial& o);
+  Polynomial& operator*=(const Polynomial& o);
+  Polynomial& operator*=(cplx s);
+
+  friend Polynomial operator+(Polynomial a, const Polynomial& b) {
+    a += b;
+    return a;
+  }
+  friend Polynomial operator-(Polynomial a, const Polynomial& b) {
+    a -= b;
+    return a;
+  }
+  friend Polynomial operator*(Polynomial a, const Polynomial& b) {
+    a *= b;
+    return a;
+  }
+  friend Polynomial operator*(Polynomial a, cplx s) {
+    a *= s;
+    return a;
+  }
+  friend Polynomial operator*(cplx s, Polynomial a) {
+    a *= s;
+    return a;
+  }
+  friend Polynomial operator-(Polynomial a) {
+    a *= cplx{-1.0};
+    return a;
+  }
+
+  /// Polynomial long division: *this = q * d + r with deg r < deg d.
+  /// Throws if d is zero.
+  std::pair<Polynomial, Polynomial> divmod(const Polynomial& d) const;
+
+  /// Substitute s -> s + shift (Taylor shift); used to evaluate aliased
+  /// copies H(s + j m w0) symbolically.
+  Polynomial shifted_argument(cplx shift) const;
+
+  /// Substitute s -> alpha * s (frequency scaling).
+  Polynomial scaled_argument(cplx alpha) const;
+
+  bool approx_equal(const Polynomial& o, double tol = 1e-9) const;
+
+  std::string to_string(const std::string& var = "s") const;
+
+ private:
+  void trim();
+  CVector coeff_;
+};
+
+}  // namespace htmpll

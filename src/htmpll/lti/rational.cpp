@@ -1,0 +1,163 @@
+#include "htmpll/lti/rational.hpp"
+
+#include <cmath>
+#include <sstream>
+
+#include "htmpll/util/check.hpp"
+
+namespace htmpll {
+
+RationalFunction::RationalFunction()
+    : num_(), den_(Polynomial::constant(1.0)) {}
+
+RationalFunction::RationalFunction(Polynomial num, Polynomial den)
+    : num_(std::move(num)), den_(std::move(den)) {
+  HTMPLL_REQUIRE(!den_.is_zero(), "rational function with zero denominator");
+  normalize();
+}
+
+void RationalFunction::normalize() {
+  const cplx lead = den_.leading();
+  if (lead != cplx{1.0}) {
+    const cplx inv = 1.0 / lead;
+    num_ *= inv;
+    den_ *= inv;
+  }
+  if (num_.is_zero()) den_ = Polynomial::constant(1.0);
+}
+
+RationalFunction RationalFunction::constant(cplx c) {
+  return RationalFunction(Polynomial::constant(c), Polynomial::constant(1.0));
+}
+
+RationalFunction RationalFunction::integrator(cplx gain, unsigned order) {
+  HTMPLL_REQUIRE(order >= 1, "integrator order must be >= 1");
+  CVector den(order + 1, cplx{0.0});
+  den.back() = 1.0;
+  return RationalFunction(Polynomial::constant(gain), Polynomial(den));
+}
+
+RationalFunction RationalFunction::from_zpk(const CVector& zeros,
+                                            const CVector& poles, cplx gain) {
+  return RationalFunction(Polynomial::from_roots(zeros, gain),
+                          Polynomial::from_roots(poles));
+}
+
+int RationalFunction::relative_degree() const {
+  return static_cast<int>(den_.degree()) - static_cast<int>(num_.degree());
+}
+
+cplx RationalFunction::operator()(cplx s) const {
+  const cplx d = den_(s);
+  return num_(s) / d;
+}
+
+CVector RationalFunction::zeros(const RootOptions& opts) const {
+  if (num_.is_zero()) return {};
+  return find_roots(num_, opts);
+}
+
+CVector RationalFunction::poles(const RootOptions& opts) const {
+  return find_roots(den_, opts);
+}
+
+RationalFunction& RationalFunction::operator+=(const RationalFunction& o) {
+  num_ = num_ * o.den_ + o.num_ * den_;
+  den_ = den_ * o.den_;
+  normalize();
+  return *this;
+}
+
+RationalFunction& RationalFunction::operator-=(const RationalFunction& o) {
+  num_ = num_ * o.den_ - o.num_ * den_;
+  den_ = den_ * o.den_;
+  normalize();
+  return *this;
+}
+
+RationalFunction& RationalFunction::operator*=(const RationalFunction& o) {
+  num_ *= o.num_;
+  den_ *= o.den_;
+  normalize();
+  return *this;
+}
+
+RationalFunction& RationalFunction::operator/=(const RationalFunction& o) {
+  HTMPLL_REQUIRE(!o.is_zero(), "division by the zero rational function");
+  num_ *= o.den_;
+  den_ *= o.num_;
+  normalize();
+  return *this;
+}
+
+RationalFunction RationalFunction::inverse() const {
+  HTMPLL_REQUIRE(!is_zero(), "inverse of the zero rational function");
+  return RationalFunction(den_, num_);
+}
+
+RationalFunction RationalFunction::closed_loop_unity_feedback() const {
+  // G/(1+G) = N / (D + N)
+  return RationalFunction(num_, den_ + num_);
+}
+
+RationalFunction RationalFunction::shifted_argument(cplx shift) const {
+  return RationalFunction(num_.shifted_argument(shift),
+                          den_.shifted_argument(shift));
+}
+
+RationalFunction RationalFunction::scaled_argument(cplx alpha) const {
+  return RationalFunction(num_.scaled_argument(alpha),
+                          den_.scaled_argument(alpha));
+}
+
+RationalFunction RationalFunction::simplified(double tol) const {
+  if (num_.is_zero()) return *this;
+  CVector zs = zeros();
+  CVector ps = poles();
+  const cplx gain = num_.leading();  // den is monic after normalize()
+  std::vector<bool> zero_used(zs.size(), false);
+  CVector kept_poles;
+  for (const cplx& p : ps) {
+    bool cancelled = false;
+    for (std::size_t i = 0; i < zs.size(); ++i) {
+      if (zero_used[i]) continue;
+      if (std::abs(p - zs[i]) <= tol * std::max(1.0, std::abs(p))) {
+        zero_used[i] = true;
+        cancelled = true;
+        break;
+      }
+    }
+    if (!cancelled) kept_poles.push_back(p);
+  }
+  CVector kept_zeros;
+  for (std::size_t i = 0; i < zs.size(); ++i) {
+    if (!zero_used[i]) kept_zeros.push_back(zs[i]);
+  }
+  RationalFunction out = from_zpk(kept_zeros, kept_poles, gain);
+  // Root-refactoring can perturb real coefficients by tiny imaginary
+  // parts; scrub them when the original was real.
+  if (num_.is_real() && den_.is_real()) {
+    CVector nc = out.num_.coefficients();
+    CVector dc = out.den_.coefficients();
+    for (cplx& c : nc) c = cplx{c.real(), 0.0};
+    for (cplx& c : dc) c = cplx{c.real(), 0.0};
+    out = RationalFunction(Polynomial(nc), Polynomial(dc));
+  }
+  return out;
+}
+
+bool RationalFunction::approx_equal(const RationalFunction& o,
+                                    double tol) const {
+  // Cross-multiplied comparison avoids requiring identical factorization.
+  const Polynomial lhs = num_ * o.den_;
+  const Polynomial rhs = o.num_ * den_;
+  return lhs.approx_equal(rhs, tol);
+}
+
+std::string RationalFunction::to_string(const std::string& var) const {
+  std::ostringstream os;
+  os << '(' << num_.to_string(var) << ") / (" << den_.to_string(var) << ')';
+  return os.str();
+}
+
+}  // namespace htmpll

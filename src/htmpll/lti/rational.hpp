@@ -1,0 +1,111 @@
+// Rational transfer functions H(s) = N(s)/D(s).
+//
+// This is the workhorse LTI representation: loop-filter impedances, the
+// open-loop gain A(s) of eq. 35, aliased copies A(s + j m w0), and the
+// z-domain baseline all live here (the latter with `z` as the variable).
+#pragma once
+
+#include <string>
+
+#include "htmpll/lti/polynomial.hpp"
+#include "htmpll/lti/roots.hpp"
+
+namespace htmpll {
+
+class RationalFunction {
+ public:
+  /// Zero function 0/1.
+  RationalFunction();
+
+  /// N/D; throws if D is the zero polynomial.  The representation is
+  /// normalized so the denominator has leading coefficient 1.
+  RationalFunction(Polynomial num, Polynomial den);
+
+  static RationalFunction constant(cplx c);
+
+  /// k / s^n (n >= 1): ideal integrator chains.
+  static RationalFunction integrator(cplx gain = 1.0, unsigned order = 1);
+
+  /// Builds gain * prod(s - z_i) / prod(s - p_i).
+  static RationalFunction from_zpk(const CVector& zeros, const CVector& poles,
+                                   cplx gain);
+
+  const Polynomial& num() const { return num_; }
+  const Polynomial& den() const { return den_; }
+
+  bool is_zero() const { return num_.is_zero(); }
+
+  /// deg(D) - deg(N); >= 1 means strictly proper (decays at infinity).
+  int relative_degree() const;
+  bool is_proper() const { return relative_degree() >= 0; }
+  bool is_strictly_proper() const { return relative_degree() >= 1; }
+
+  cplx operator()(cplx s) const;
+
+  CVector zeros(const RootOptions& opts = {}) const;
+  CVector poles(const RootOptions& opts = {}) const;
+
+  RationalFunction& operator+=(const RationalFunction& o);
+  RationalFunction& operator-=(const RationalFunction& o);
+  RationalFunction& operator*=(const RationalFunction& o);
+  RationalFunction& operator/=(const RationalFunction& o);
+
+  friend RationalFunction operator+(RationalFunction a,
+                                    const RationalFunction& b) {
+    a += b;
+    return a;
+  }
+  friend RationalFunction operator-(RationalFunction a,
+                                    const RationalFunction& b) {
+    a -= b;
+    return a;
+  }
+  friend RationalFunction operator*(RationalFunction a,
+                                    const RationalFunction& b) {
+    a *= b;
+    return a;
+  }
+  friend RationalFunction operator/(RationalFunction a,
+                                    const RationalFunction& b) {
+    a /= b;
+    return a;
+  }
+  friend RationalFunction operator*(RationalFunction a, cplx s) {
+    a *= RationalFunction::constant(s);
+    return a;
+  }
+  friend RationalFunction operator*(cplx s, RationalFunction a) {
+    a *= RationalFunction::constant(s);
+    return a;
+  }
+  friend RationalFunction operator-(RationalFunction a) {
+    a *= RationalFunction::constant(-1.0);
+    return a;
+  }
+
+  RationalFunction inverse() const;
+
+  /// Unity negative feedback: this / (1 + this).
+  RationalFunction closed_loop_unity_feedback() const;
+
+  /// H(s + shift).
+  RationalFunction shifted_argument(cplx shift) const;
+
+  /// H(alpha * s).
+  RationalFunction scaled_argument(cplx alpha) const;
+
+  /// Cancels numerically coincident pole/zero pairs (within tol).  Useful
+  /// after long arithmetic chains; never called implicitly.
+  RationalFunction simplified(double tol = 1e-8) const;
+
+  bool approx_equal(const RationalFunction& o, double tol = 1e-9) const;
+
+  std::string to_string(const std::string& var = "s") const;
+
+ private:
+  void normalize();
+  Polynomial num_;
+  Polynomial den_;
+};
+
+}  // namespace htmpll

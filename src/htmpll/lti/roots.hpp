@@ -1,0 +1,35 @@
+// Polynomial root finding via the Aberth-Ehrlich simultaneous iteration.
+//
+// Used for pole/zero extraction of transfer functions, closed-loop pole
+// searches, and the Jury/characteristic-polynomial stability tests.  The
+// degrees involved are small (< 40), where Aberth converges in a handful
+// of sweeps from Cauchy-bound initial guesses.
+#pragma once
+
+#include "htmpll/lti/polynomial.hpp"
+
+namespace htmpll {
+
+struct RootOptions {
+  int max_iterations = 200;
+  double tolerance = 1e-13;  ///< relative step-size stopping criterion
+};
+
+/// All complex roots of `p` (with multiplicity, as clustered numerical
+/// copies).  Throws std::invalid_argument for the zero polynomial;
+/// returns an empty vector for (non-zero) constants.
+CVector find_roots(const Polynomial& p, const RootOptions& opts = {});
+
+/// Groups numerically coincident roots.  `tol` is an absolute distance
+/// scaled internally by the root-cluster magnitude.
+struct RootCluster {
+  cplx value;          ///< centroid of the cluster
+  int multiplicity;    ///< number of roots merged
+};
+std::vector<RootCluster> cluster_roots(const CVector& roots,
+                                       double tol = 1e-6);
+
+/// Upper bound on |root| (Cauchy bound).
+double cauchy_root_bound(const Polynomial& p);
+
+}  // namespace htmpll

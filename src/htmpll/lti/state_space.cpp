@@ -1,0 +1,70 @@
+#include "htmpll/lti/state_space.hpp"
+
+#include "htmpll/linalg/lu.hpp"
+#include "htmpll/util/check.hpp"
+
+namespace htmpll {
+
+cplx StateSpace::frequency_response(cplx s) const {
+  const std::size_t n = order();
+  if (n == 0) return cplx{d};
+  CMatrix m(n, n);
+  for (std::size_t i = 0; i < n; ++i) {
+    for (std::size_t j = 0; j < n; ++j) m(i, j) = -a(i, j);
+    m(i, i) += s;
+  }
+  CVector rhs(n);
+  for (std::size_t i = 0; i < n; ++i) rhs[i] = b(i, 0);
+  const CVector x = CLu(std::move(m)).solve(rhs);
+  cplx y{d};
+  for (std::size_t i = 0; i < n; ++i) y += c(0, i) * x[i];
+  return y;
+}
+
+double StateSpace::output(const RVector& x, double u) const {
+  HTMPLL_REQUIRE(x.size() == order(), "state dimension mismatch");
+  double y = d * u;
+  for (std::size_t i = 0; i < order(); ++i) y += c(0, i) * x[i];
+  return y;
+}
+
+StateSpace to_state_space(const RationalFunction& h) {
+  HTMPLL_REQUIRE(h.is_proper(), "state space requires a proper function");
+  HTMPLL_REQUIRE(h.num().is_real(1e-9) && h.den().is_real(1e-9),
+                 "state space requires real coefficients");
+
+  const std::size_t n = h.den().degree();
+  // Denominator is monic after RationalFunction normalization.
+  std::vector<double> aden(n + 1), bnum(n + 1, 0.0);
+  for (std::size_t i = 0; i <= n; ++i) {
+    aden[i] = h.den().coefficient(i).real();
+  }
+  for (std::size_t i = 0; i <= h.num().degree(); ++i) {
+    bnum[i] = h.num().coefficient(i).real();
+  }
+
+  StateSpace ss;
+  // Direct term: coefficient of s^n in the numerator (monic denominator).
+  ss.d = bnum[n];
+
+  if (n == 0) {
+    ss.a = RMatrix(0, 0);
+    ss.b = RMatrix(0, 1);
+    ss.c = RMatrix(1, 0);
+    return ss;
+  }
+
+  ss.a = RMatrix(n, n);
+  for (std::size_t i = 0; i + 1 < n; ++i) ss.a(i, i + 1) = 1.0;
+  for (std::size_t j = 0; j < n; ++j) ss.a(n - 1, j) = -aden[j];
+
+  ss.b = RMatrix(n, 1);
+  ss.b(n - 1, 0) = 1.0;
+
+  // y = sum (b_i - d*a_i) x_i + d u  in controllable canonical form.
+  ss.c = RMatrix(1, n);
+  for (std::size_t j = 0; j < n; ++j) ss.c(0, j) = bnum[j] - ss.d * aden[j];
+  return ss;
+}
+
+}  // namespace htmpll

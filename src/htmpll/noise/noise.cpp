@@ -1,0 +1,116 @@
+#include "htmpll/noise/noise.hpp"
+
+#include <cmath>
+#include <numbers>
+
+#include "htmpll/util/check.hpp"
+#include "htmpll/util/grid.hpp"
+
+namespace htmpll {
+
+double PowerLawPsd::operator()(double w) const {
+  const double aw = std::abs(w);
+  HTMPLL_REQUIRE(aw > 0.0, "power-law PSD evaluated at DC");
+  return white + flicker / aw + walk / (aw * aw);
+}
+
+NoiseAnalysis::NoiseAnalysis(const SamplingPllModel& model,
+                             int fold_harmonics)
+    : model_(model), fold_(fold_harmonics) {
+  HTMPLL_REQUIRE(fold_harmonics >= 1, "need at least one folding harmonic");
+}
+
+cplx NoiseAnalysis::reference_transfer(double w) const {
+  return model_.baseband_transfer(cplx{0.0, w});
+}
+
+cplx NoiseAnalysis::vco_transfer(int m, double w) const {
+  const cplx h00 = model_.baseband_transfer(cplx{0.0, w});
+  return (m == 0 ? cplx{1.0} : cplx{0.0}) - h00;
+}
+
+cplx NoiseAnalysis::charge_pump_transfer(int m, double w) const {
+  const cplx s{0.0, w};
+  const double w0 = model_.w0();
+  const cplx sm = s + cplx{0.0, static_cast<double>(m) * w0};
+  const PllParameters& p = model_.parameters();
+  // Current noise is injected at the filter INPUT: it sees the
+  // impedance Z (and any extra loop dynamics), not Icp*Z -- the pump
+  // current belongs to the PFD pulses only.  loop_filter_tf() is
+  // Icp * Z * extras, so divide Icp back out.
+  const cplx z_m = model_.loop_filter_tf()(sm) / p.icp;
+  // General LPTV form with E = H_VCO Z_diag:
+  //   T_{0,m} = Z(s_m) [ v_{-m}/s
+  //                      - (V~_0/(1+lambda)) sum_k v_k/(s + j(m+k) w0) ]
+  // (reduces to D_m (delta - H_00) for a DC-only ISF).
+  const HarmonicCoefficients& isf = model_.isf();
+  const cplx v_minus_m = p.kvco * isf[-m];
+  cplx row_sum{0.0};
+  for (int k = -isf.max_harmonic(); k <= isf.max_harmonic(); ++k) {
+    const cplx v_k = p.kvco * isf[k];
+    if (v_k == cplx{0.0}) continue;
+    const cplx sn =
+        s + cplx{0.0, static_cast<double>(m + k) * w0};
+    row_sum += v_k / sn;
+  }
+  const cplx tracking = model_.closed_loop(0, s);  // V~_0/(1+lambda)
+  return z_m * (v_minus_m / s - tracking * row_sum);
+}
+
+double NoiseAnalysis::output_psd_from_reference(
+    double w, const PsdFunction& s_ref) const {
+  // Reference noise is a baseband quantity in the paper's convention;
+  // only H_{0,0} applies.
+  return std::norm(reference_transfer(w)) * s_ref(std::abs(w));
+}
+
+double NoiseAnalysis::output_psd_from_vco(double w,
+                                          const PsdFunction& s_vco) const {
+  const double w0 = model_.w0();
+  double acc = 0.0;
+  for (int m = -fold_; m <= fold_; ++m) {
+    const double wm = std::abs(w + static_cast<double>(m) * w0);
+    if (wm == 0.0) continue;
+    acc += std::norm(vco_transfer(m, w)) * s_vco(wm);
+  }
+  return acc;
+}
+
+double NoiseAnalysis::output_psd_from_charge_pump(
+    double w, const PsdFunction& s_icp) const {
+  const double w0 = model_.w0();
+  double acc = 0.0;
+  for (int m = -fold_; m <= fold_; ++m) {
+    const double wm = std::abs(w + static_cast<double>(m) * w0);
+    if (wm == 0.0) continue;
+    acc += std::norm(charge_pump_transfer(m, w)) * s_icp(wm);
+  }
+  return acc;
+}
+
+double NoiseAnalysis::output_psd_total(double w, const PsdFunction& s_ref,
+                                       const PsdFunction& s_vco,
+                                       const PsdFunction& s_icp) const {
+  return output_psd_from_reference(w, s_ref) +
+         output_psd_from_vco(w, s_vco) +
+         output_psd_from_charge_pump(w, s_icp);
+}
+
+double NoiseAnalysis::integrated_rms(
+    const std::function<double(double)>& s_out, double w_lo, double w_hi,
+    std::size_t points) const {
+  HTMPLL_REQUIRE(points >= 2, "quadrature needs at least two points");
+  const std::vector<double> grid = logspace(w_lo, w_hi, points);
+  double integral = 0.0;
+  double prev_w = grid[0];
+  double prev_s = s_out(prev_w);
+  for (std::size_t i = 1; i < grid.size(); ++i) {
+    const double s = s_out(grid[i]);
+    integral += 0.5 * (s + prev_s) * (grid[i] - prev_w);
+    prev_w = grid[i];
+    prev_s = s;
+  }
+  return std::sqrt(integral / std::numbers::pi);
+}
+
+}  // namespace htmpll

@@ -1,0 +1,63 @@
+#include "htmpll/noise/spurs.hpp"
+
+#include <cmath>
+#include <numbers>
+
+#include "htmpll/util/check.hpp"
+
+namespace htmpll {
+
+cplx ChargePumpLeakage::harmonic(int k, double w0) const {
+  HTMPLL_REQUIRE(w0 > 0.0, "leakage harmonic needs w0 > 0");
+  const double t_period = 2.0 * std::numbers::pi / w0;
+  HTMPLL_REQUIRE(window >= 0.0 && window < t_period,
+                 "leakage window must lie within one period");
+  if (k == 0) return mismatch_current * window / t_period;
+  const cplx jkw{0.0, static_cast<double>(k) * w0};
+  // (1/T) integral_0^window I e^{-j k w0 t} dt
+  return mismatch_current * (1.0 - std::exp(-jkw * window)) /
+         (jkw * t_period);
+}
+
+std::vector<SpurLevel> reference_spurs(const SamplingPllModel& model,
+                                       const ChargePumpLeakage& leakage,
+                                       int max_harmonic) {
+  HTMPLL_REQUIRE(model.time_invariant_vco(),
+                 "spur analysis implemented for time-invariant VCOs");
+  HTMPLL_REQUIRE(max_harmonic >= 1, "need at least the first harmonic");
+  const double w0 = model.w0();
+  const PllParameters& p = model.parameters();
+  const double v0 = p.kvco * model.isf()[0].real();
+
+  const RationalFunction z_lf = p.filter.impedance();
+  const cplx i_0 = leakage.harmonic(0, w0);
+  std::vector<SpurLevel> out;
+  out.reserve(max_harmonic);
+  for (int k = 1; k <= max_harmonic; ++k) {
+    const cplx jkw{0.0, static_cast<double>(k) * w0};
+    const cplx i_k = leakage.harmonic(k, w0);
+    // Leakage harmonic minus its Dirac compensation by the retimed pump
+    // pulses, FM'd through the filter impedance.
+    const cplx theta = (i_k - i_0) * v0 * z_lf(jkw) / jkw;
+    SpurLevel s;
+    s.harmonic = k;
+    s.theta = theta;
+    s.phase_rad = w0 * std::abs(theta);
+    s.dbc = 20.0 * std::log10(0.5 * s.phase_rad);
+    out.push_back(s);
+  }
+  return out;
+}
+
+double static_phase_offset(const SamplingPllModel& model,
+                           const ChargePumpLeakage& leakage) {
+  const double w0 = model.w0();
+  const double t_period = 2.0 * std::numbers::pi / w0;
+  const double i0 = leakage.harmonic(0, w0).real();
+  // In lock the sampled loop nulls the average filter current: the
+  // pulse-width charge Icp * e per period balances the leakage charge
+  // i0 * T, so e = -i0 T / Icp.
+  return -i0 * t_period / model.parameters().icp;
+}
+
+}  // namespace htmpll

@@ -1,0 +1,64 @@
+// Deterministic reference spurs from charge-pump imperfections.
+//
+// A real charge pump leaks a T-periodic disturbance current (UP/DOWN
+// mismatch during the PFD reset window, switch charge injection): a
+// Fourier series i_k at the reference harmonics k w0.  Taking the
+// periodic steady state of the rank-one closed loop (the s -> 0 limit
+// of theta = (I+G)^{-1} E i with E_m = v0 Z(s+jmw0)/(s+jmw0)):
+//
+//  * the m = 0 feedback channel does NOT vanish -- the integrator nulls
+//    the *average* current by retiming the pump pulses (static phase
+//    offset -i_0 T/Icp), and that compensating Dirac train carries the
+//    flat spectrum -i_0 into every harmonic;
+//  * at band k the surviving spur is the *difference* between the
+//    leakage spectrum and its impulse compensation:
+//
+//      theta_k = (i_k - i_0) * v0 * Z(j k w0) / (j k w0).
+//
+// For an impulse-like leakage (window -> 0) i_k -> i_0 and the spurs
+// cancel to first order: what remains measures the leakage pulse SHAPE,
+// growing like k w0 window / 2.  In radians: phi_k = w0 theta_k; for
+// small angles the single-sideband spur level is |phi_k|/2 (narrowband
+// FM).  The transient simulator (with set_leakage) confirms the
+// formula, including the near-cancellation.
+#pragma once
+
+#include <vector>
+
+#include "htmpll/core/sampling_pll.hpp"
+
+namespace htmpll {
+
+/// Rectangular leakage model: every reference cycle the pump sources
+/// `mismatch_current` amperes for `window` seconds (the PFD reset
+/// overlap).  window << T.
+struct ChargePumpLeakage {
+  double mismatch_current;  ///< amperes (signed)
+  double window;            ///< seconds
+
+  /// Fourier coefficient i_k of the periodic leakage current,
+  /// i(t) = sum_k i_k e^{j k w0 t}.
+  cplx harmonic(int k, double w0) const;
+};
+
+struct SpurLevel {
+  int harmonic;       ///< k (spur offset k*w0 from the carrier)
+  cplx theta;         ///< output phase component (paper's time units)
+  double phase_rad;   ///< |phi_k| = w0 |theta_k|
+  double dbc;         ///< 20 log10(|phi_k| / 2), narrowband FM sideband
+};
+
+/// Spur levels at harmonics 1..max_harmonic for the given loop and
+/// leakage.  Requires a time-invariant VCO.
+std::vector<SpurLevel> reference_spurs(const SamplingPllModel& model,
+                                       const ChargePumpLeakage& leakage,
+                                       int max_harmonic = 5);
+
+/// The DC component of the leakage shifts the static phase offset: the
+/// loop's integrator nulls the *average* current, so the locked loop
+/// sits at the phase error that cancels i_0 through the pump:
+/// offset = -i_0 T / Icp (seconds).
+double static_phase_offset(const SamplingPllModel& model,
+                           const ChargePumpLeakage& leakage);
+
+}  // namespace htmpll

@@ -1,0 +1,57 @@
+#include "htmpll/timedomain/loop_filter_sim.hpp"
+
+#include "htmpll/util/check.hpp"
+
+namespace htmpll {
+
+StateSpace augment_with_phase(const StateSpace& filter, double kvco) {
+  const std::size_t n = filter.order();
+  StateSpace aug;
+  aug.a = RMatrix(n + 1, n + 1);
+  for (std::size_t i = 0; i < n; ++i) {
+    for (std::size_t j = 0; j < n; ++j) aug.a(i, j) = filter.a(i, j);
+  }
+  for (std::size_t j = 0; j < n; ++j) aug.a(n, j) = kvco * filter.c(0, j);
+
+  aug.b = RMatrix(n + 1, 1);
+  for (std::size_t i = 0; i < n; ++i) aug.b(i, 0) = filter.b(i, 0);
+  aug.b(n, 0) = kvco * filter.d;
+
+  aug.c = RMatrix(1, n + 1);
+  for (std::size_t j = 0; j < n; ++j) aug.c(0, j) = filter.c(0, j);
+  aug.d = filter.d;
+  return aug;
+}
+
+PiecewiseExactIntegrator::PiecewiseExactIntegrator(StateSpace ss)
+    : ss_(std::move(ss)), x_(ss_.order(), 0.0) {}
+
+void PiecewiseExactIntegrator::set_state(RVector x) {
+  HTMPLL_REQUIRE(x.size() == ss_.order(), "state dimension mismatch");
+  x_ = std::move(x);
+}
+
+const StepPropagator& PiecewiseExactIntegrator::propagator(double h) const {
+  if (h != cached_h_) {
+    cached_ = make_propagator(ss_.a, ss_.b, h);
+    cached_h_ = h;
+  }
+  return cached_;
+}
+
+RVector PiecewiseExactIntegrator::peek(double h, double u) const {
+  HTMPLL_REQUIRE(h >= 0.0, "cannot propagate backwards");
+  if (h == 0.0) return x_;
+  const RVector uu{u};
+  return propagator(h).advance(x_, uu, uu, h);
+}
+
+double PiecewiseExactIntegrator::peek_output(double h, double u) const {
+  return ss_.output(peek(h, u), u);
+}
+
+void PiecewiseExactIntegrator::advance(double h, double u) {
+  x_ = peek(h, u);
+}
+
+}  // namespace htmpll

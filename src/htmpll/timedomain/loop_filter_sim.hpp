@@ -1,0 +1,53 @@
+// Exact piecewise propagation of a linear state-space system driven by a
+// piecewise-constant input (the charge-pump current between PFD events).
+//
+// There is no ODE-solver step error anywhere in the transient simulator:
+// each segment is advanced with the matrix exponential of the augmented
+// Van Loan system, so the comparison against the HTM model (the paper's
+// "within 2%" claim) measures modeling error, not integration error.
+#pragma once
+
+#include "htmpll/linalg/expm.hpp"
+#include "htmpll/lti/state_space.hpp"
+
+namespace htmpll {
+
+/// Builds the augmented system [filter states; theta] with
+/// theta' = kvco * (C_f x + D_f i); the output row reports the filter
+/// output y (the VCO control).  Shared by the transient simulators.
+StateSpace augment_with_phase(const StateSpace& filter, double kvco);
+
+class PiecewiseExactIntegrator {
+ public:
+  explicit PiecewiseExactIntegrator(StateSpace ss);
+
+  std::size_t order() const { return ss_.order(); }
+  const StateSpace& system() const { return ss_; }
+
+  const RVector& state() const { return x_; }
+  void set_state(RVector x);
+
+  /// y = C x + D u at the current state.
+  double output(double u) const { return ss_.output(x_, u); }
+
+  /// State after holding input `u` for `h` seconds, without committing.
+  RVector peek(double h, double u) const;
+
+  /// Output at the peeked state.
+  double peek_output(double h, double u) const;
+
+  /// Commit: advance the state by `h` under constant input `u`.
+  void advance(double h, double u);
+
+ private:
+  const StepPropagator& propagator(double h) const;
+
+  StateSpace ss_;
+  RVector x_;
+  // Single-entry propagator cache: edge searches evaluate several trial
+  // steps of identical length (and the final commit reuses the last one).
+  mutable double cached_h_ = -1.0;
+  mutable StepPropagator cached_;
+};
+
+}  // namespace htmpll

@@ -1,0 +1,38 @@
+#include "htmpll/timedomain/pfd.hpp"
+
+namespace htmpll {
+
+void TriStatePfd::on_reference_edge() {
+  up_ = true;
+  if (up_ && down_) {
+    up_ = false;
+    down_ = false;
+  }
+}
+
+void TriStatePfd::on_vco_edge() {
+  down_ = true;
+  if (up_ && down_) {
+    up_ = false;
+    down_ = false;
+  }
+}
+
+TriStatePfd::State TriStatePfd::state() const {
+  if (up_) return State::kUp;
+  if (down_) return State::kDown;
+  return State::kIdle;
+}
+
+double TriStatePfd::pump_current(double icp) const {
+  if (up_) return icp;
+  if (down_) return -icp;
+  return 0.0;
+}
+
+void TriStatePfd::reset() {
+  up_ = false;
+  down_ = false;
+}
+
+}  // namespace htmpll

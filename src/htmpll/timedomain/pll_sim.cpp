@@ -1,0 +1,270 @@
+#include "htmpll/timedomain/pll_sim.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <numbers>
+
+#include "htmpll/util/check.hpp"
+
+namespace htmpll {
+
+double ReferenceModulation::value(double t) const {
+  if (amplitude == 0.0) return 0.0;
+  return amplitude * std::sin(omega * t + phase);
+}
+
+double ReferenceModulation::slope(double t) const {
+  if (amplitude == 0.0) return 0.0;
+  return amplitude * omega * std::cos(omega * t + phase);
+}
+
+namespace {
+
+constexpr std::size_t kPulseHistory = 8;
+
+}  // namespace
+
+PllTransientSim::PllTransientSim(const PllParameters& params,
+                                 ReferenceModulation mod, TransientConfig cfg)
+    : params_(params),
+      mod_(mod),
+      cfg_(cfg),
+      t_period_(params.period()),
+      icp_(params.icp),
+      kvco_(params.kvco),
+      // The state space realizes the impedance Z_LF(s) alone; the
+      // charge-pump current (+-Icp) is the input, so Icp must not be
+      // folded into the system too.
+      aug_(augment_with_phase(to_state_space(params.filter.impedance()),
+                              params.kvco)),
+      theta_index_(aug_.order() - 1) {
+  HTMPLL_REQUIRE(std::abs(mod_.amplitude) < 0.25 * t_period_,
+                 "reference modulation must stay small-signal (< T/4)");
+  if (cfg_.sample_interval <= 0.0) cfg_.sample_interval = t_period_ / 8.0;
+}
+
+double PllTransientSim::theta() const { return aug_.state()[theta_index_]; }
+
+double PllTransientSim::control_output() const {
+  return aug_.output(pfd_.pump_current(icp_) +
+                     (leak_on_ ? leak_current_ : 0.0));
+}
+
+void PllTransientSim::set_noise_current(double sigma, unsigned seed) {
+  HTMPLL_REQUIRE(!started_, "noise must be configured before run_until");
+  HTMPLL_REQUIRE(sigma >= 0.0, "noise sigma must be non-negative");
+  noise_sigma_ = sigma;
+  noise_rng_.seed(seed);
+  noise_current_ = sigma > 0.0 ? sigma * noise_dist_(noise_rng_) : 0.0;
+}
+
+void PllTransientSim::set_leakage(double current, double window) {
+  HTMPLL_REQUIRE(!started_, "leakage must be configured before run_until");
+  HTMPLL_REQUIRE(window >= 0.0 && window < t_period_,
+                 "leakage window must lie within one period");
+  leak_current_ = current;
+  leak_window_ = window;
+}
+
+void PllTransientSim::clear_samples() {
+  sample_t_.clear();
+  sample_theta_.clear();
+  sample_theta_ref_.clear();
+}
+
+void PllTransientSim::set_initial_theta(double theta0) {
+  HTMPLL_REQUIRE(!started_, "initial conditions must precede run_until");
+  RVector x = aug_.state();
+  x[theta_index_] = theta0;
+  aug_.set_state(std::move(x));
+}
+
+void PllTransientSim::set_initial_frequency_offset(double relative_offset) {
+  HTMPLL_REQUIRE(!started_, "initial conditions must precede run_until");
+  // Choose a filter state x with C x = relative_offset / kvco along the
+  // minimum-norm direction, so theta' = kvco * y = relative_offset at t=0.
+  const StateSpace& ss = aug_.system();
+  const std::size_t n = ss.order();
+  double cc = 0.0;
+  for (std::size_t j = 0; j < n; ++j) cc += ss.c(0, j) * ss.c(0, j);
+  HTMPLL_REQUIRE(cc > 0.0, "filter has no controllable output direction");
+  const double target_y = relative_offset / kvco_;
+  RVector x = aug_.state();
+  for (std::size_t j = 0; j < n; ++j) x[j] = ss.c(0, j) * target_y / cc;
+  aug_.set_state(std::move(x));
+}
+
+double PllTransientSim::next_reference_edge(double target) const {
+  // Solve t + theta_ref(t) = target; |theta_ref| << T makes this a
+  // contraction around t = target.
+  double t = target - mod_.value(target);
+  for (int it = 0; it < 50; ++it) {
+    const double g = t + mod_.value(t) - target;
+    const double gp = 1.0 + mod_.slope(t);
+    const double dt = -g / gp;
+    t += dt;
+    if (std::abs(dt) <= cfg_.edge_tolerance * t_period_) break;
+  }
+  return std::max(t, t_);
+}
+
+double PllTransientSim::next_vco_edge(double target, double current) const {
+  // Solve t + theta(t) = target with theta propagated exactly from the
+  // segment start under the held charge-pump current.
+  const double theta_now = theta();
+  double t = std::max(t_, target - theta_now);
+  bool converged = false;
+  for (int it = 0; it < 60; ++it) {
+    const double h = std::max(0.0, t - t_);
+    const RVector x = aug_.peek(h, current);
+    const double g = t + x[theta_index_] - target;
+    const double y = aug_.system().output(x, current);
+    double gp = 1.0 + kvco_ * y;
+    // theta' <= -1 would mean non-positive instantaneous VCO frequency;
+    // treat as a degenerate large transient and damp the step.
+    if (gp < 0.1) gp = 1.0;
+    const double dt = -g / gp;
+    t += dt;
+    if (t < t_) t = t_;
+    if (std::abs(dt) <= cfg_.edge_tolerance * t_period_) {
+      converged = true;
+      break;
+    }
+  }
+  if (!converged) {
+    // Bisection fallback on g(t) = t + theta(t) - target over an
+    // expanding bracket; g is continuous and eventually positive.
+    double lo = t_;
+    double g_lo = lo + aug_.peek(0.0, current)[theta_index_] - target;
+    if (g_lo >= 0.0) return t_;  // edge is (numerically) overdue
+    double hi = t_ + t_period_;
+    for (int grow = 0; grow < 64; ++grow) {
+      const double g_hi =
+          hi + aug_.peek(hi - t_, current)[theta_index_] - target;
+      if (g_hi >= 0.0) break;
+      hi = t_ + 2.0 * (hi - t_);
+    }
+    for (int it = 0; it < 200; ++it) {
+      const double mid = 0.5 * (lo + hi);
+      const double g_mid =
+          mid + aug_.peek(mid - t_, current)[theta_index_] - target;
+      if (g_mid < 0.0) {
+        lo = mid;
+      } else {
+        hi = mid;
+      }
+      if (hi - lo <= cfg_.edge_tolerance * t_period_) break;
+    }
+    t = 0.5 * (lo + hi);
+  }
+  return std::max(t, t_);
+}
+
+void PllTransientSim::record_range(double t_begin, double t_end,
+                                   double current) {
+  if (!cfg_.record) {
+    next_sample_ = static_cast<std::int64_t>(
+                       std::floor(t_end / cfg_.sample_interval)) + 1;
+    return;
+  }
+  while (true) {
+    const double ts = static_cast<double>(next_sample_) * cfg_.sample_interval;
+    if (ts > t_end) break;
+    if (ts >= t_begin) {
+      const RVector x = aug_.peek(ts - t_begin, current);
+      sample_t_.push_back(ts);
+      sample_theta_.push_back(x[theta_index_]);
+      sample_theta_ref_.push_back(mod_.value(ts));
+    }
+    ++next_sample_;
+  }
+}
+
+void PllTransientSim::process_edges(double t_evt, double t_ref, double t_vco) {
+  const double eps = 1e-9 * t_period_;
+  const TriStatePfd::State before = pfd_.state();
+  if (t_ref <= t_evt + eps) {
+    pfd_.on_reference_edge();
+    ++n_ref_;
+    ++events_;
+    if (noise_sigma_ > 0.0) {
+      noise_current_ = noise_sigma_ * noise_dist_(noise_rng_);
+    }
+  }
+  if (t_vco <= t_evt + eps) {
+    pfd_.on_vco_edge();
+    ++n_vco_;
+    ++events_;
+  }
+  const TriStatePfd::State after = pfd_.state();
+  // Track charge-pump pulse widths for lock detection.
+  if (before == TriStatePfd::State::kIdle &&
+      after != TriStatePfd::State::kIdle) {
+    pulse_active_ = true;
+    pulse_start_ = t_evt;
+  } else if (pulse_active_ && after == TriStatePfd::State::kIdle) {
+    pulse_active_ = false;
+    recent_pulse_widths_.push_back(t_evt - pulse_start_);
+    if (recent_pulse_widths_.size() > kPulseHistory) {
+      recent_pulse_widths_.pop_front();
+    }
+  }
+}
+
+void PllTransientSim::run_until(double t_end) {
+  started_ = true;
+  const bool leaking = leak_current_ != 0.0 && leak_window_ > 0.0;
+  const double eps = 1e-9 * t_period_;
+  while (t_ < t_end) {
+    const double current = pfd_.pump_current(icp_) +
+                           (leak_on_ ? leak_current_ : 0.0) +
+                           noise_current_;
+    const double t_ref =
+        next_reference_edge(static_cast<double>(n_ref_) * t_period_);
+    const double t_vco =
+        next_vco_edge(static_cast<double>(n_vco_) * t_period_, current);
+    const double t_leak =
+        leaking ? (static_cast<double>(n_leak_) * t_period_ +
+                   (leak_on_ ? leak_window_ : 0.0))
+                : std::numeric_limits<double>::infinity();
+    const double t_evt = std::min({t_ref, t_vco, t_leak, t_end});
+
+    record_range(t_, t_evt, current);
+    aug_.advance(t_evt - t_, current);
+    t_ = t_evt;
+
+    bool fired = false;
+    if (leaking && t_leak <= t_evt + eps) {
+      if (leak_on_) {
+        leak_on_ = false;
+        ++n_leak_;
+      } else {
+        leak_on_ = true;
+      }
+      fired = true;
+    }
+    if (t_ref <= t_evt + eps || t_vco <= t_evt + eps) {
+      process_edges(t_evt, t_ref, t_vco);
+      fired = true;
+    }
+    if (!fired) break;  // reached t_end first
+  }
+}
+
+void PllTransientSim::run_periods(double n) {
+  run_until(t_ + n * t_period_);
+}
+
+double PllTransientSim::max_recent_pulse_width() const {
+  double m = 0.0;
+  for (double w : recent_pulse_widths_) m = std::max(m, std::abs(w));
+  return m;
+}
+
+bool PllTransientSim::is_locked(double tol) const {
+  if (recent_pulse_widths_.size() < kPulseHistory) return false;
+  return max_recent_pulse_width() < tol;
+}
+
+}  // namespace htmpll

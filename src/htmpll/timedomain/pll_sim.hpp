@@ -1,0 +1,148 @@
+// Event-driven behavioral transient simulator of the charge-pump PLL of
+// Fig. 1/Fig. 3 -- the C++ replacement for the paper's Matlab/Simulink
+// time-marching verification.
+//
+// Signal model (eqs. 14-15): rising edges of the reference occur where
+// t + theta_ref(t) = n T and rising edges of the (prescaled) VCO where
+// t + theta(t) = n T, with theta' = kvco * y(t) driven by the loop-filter
+// output y.  Between PFD events the charge-pump current is constant, so
+// the filter+phase state is propagated *exactly* (matrix exponential) and
+// edge instants are located by Newton iteration with exact propagation
+// inside the bracket -- no time-step discretization error at all.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <random>
+#include <vector>
+
+#include "htmpll/lti/loop_filter.hpp"
+#include "htmpll/timedomain/loop_filter_sim.hpp"
+#include "htmpll/timedomain/pfd.hpp"
+
+namespace htmpll {
+
+/// Small-signal phase modulation applied to the reference:
+/// theta_ref(t) = amplitude * sin(omega t + phase) (in seconds, like the
+/// paper's time-normalized phase).
+struct ReferenceModulation {
+  double amplitude = 0.0;
+  double omega = 0.0;
+  double phase = 0.0;
+
+  double value(double t) const;
+  double slope(double t) const;
+};
+
+struct TransientConfig {
+  /// Uniform recording period for theta samples; 0 selects T/8.
+  double sample_interval = 0.0;
+  /// Record (t, theta, theta_ref) streams while running.
+  bool record = true;
+  /// Newton convergence tolerance for edge times, relative to T.
+  double edge_tolerance = 1e-13;
+};
+
+class PllTransientSim {
+ public:
+  explicit PllTransientSim(const PllParameters& params,
+                           ReferenceModulation mod = {},
+                           TransientConfig cfg = {});
+
+  const PllParameters& parameters() const { return params_; }
+  double period() const { return t_period_; }
+
+  /// Advances the simulation to absolute time t_end.
+  void run_until(double t_end);
+  /// Advances by n reference periods.
+  void run_periods(double n);
+
+  double time() const { return t_; }
+  /// Current VCO phase excursion theta(t) in seconds.
+  double theta() const;
+  /// Reference phase excursion at time t.
+  double theta_ref(double t) const { return mod_.value(t); }
+  /// Loop-filter output (VCO control) at the current time.
+  double control_output() const;
+
+  // --- recorded uniform samples ---
+  const std::vector<double>& sample_times() const { return sample_t_; }
+  const std::vector<double>& theta_samples() const { return sample_theta_; }
+  const std::vector<double>& theta_ref_samples() const {
+    return sample_theta_ref_;
+  }
+  void clear_samples();
+  void set_recording(bool on) { cfg_.record = on; }
+
+  // --- initial conditions (lock-acquisition studies) ---
+  /// Sets theta(0); only valid before the first run_until call.
+  void set_initial_theta(double theta0);
+  /// Pre-charges the loop filter so the VCO starts with the given
+  /// relative frequency offset df/f.
+  void set_initial_frequency_offset(double relative_offset);
+
+  // --- charge-pump imperfection (reference-spur studies) ---
+  /// Injects a periodic leakage current: `current` amperes during
+  /// [n T, n T + window) every reference cycle (see noise/spurs.hpp).
+  /// Only valid before the first run_until call.
+  void set_leakage(double current, double window);
+
+  /// Injects held white noise current: at every reference edge a fresh
+  /// sample ~ N(0, sigma^2) is drawn and held until the next edge --
+  /// the discrete-time stand-in for charge-pump output noise (its
+  /// equivalent continuous two-sided PSD is
+  /// sigma^2 T |sinc(w T/2)|^2).  Only valid before run_until.
+  void set_noise_current(double sigma, unsigned seed);
+
+  // --- diagnostics ---
+  std::size_t event_count() const { return events_; }
+  /// Largest |charge-pump pulse width| among the last few pulses, in
+  /// seconds; ~0 when phase-locked with no modulation.
+  double max_recent_pulse_width() const;
+  /// True once recent pulse widths are below `tol` seconds.
+  bool is_locked(double tol) const;
+
+ private:
+  double next_reference_edge(double target) const;
+  double next_vco_edge(double target, double current) const;
+  void record_range(double t_begin, double t_end, double current);
+  void process_edges(double t_evt, double t_ref, double t_vco);
+
+  PllParameters params_;
+  ReferenceModulation mod_;
+  TransientConfig cfg_;
+  double t_period_;
+  double icp_;
+  double kvco_;
+
+  PiecewiseExactIntegrator aug_;  ///< filter states + theta (last state)
+  std::size_t theta_index_;
+
+  TriStatePfd pfd_;
+  std::int64_t n_ref_ = 1;
+  std::int64_t n_vco_ = 1;
+  double t_ = 0.0;
+  std::size_t events_ = 0;
+
+  double pulse_start_ = 0.0;
+  bool pulse_active_ = false;
+  std::deque<double> recent_pulse_widths_;
+
+  double leak_current_ = 0.0;
+  double leak_window_ = 0.0;
+  bool leak_on_ = false;
+  std::int64_t n_leak_ = 0;
+
+  double noise_sigma_ = 0.0;
+  double noise_current_ = 0.0;
+  std::mt19937 noise_rng_;
+  std::normal_distribution<double> noise_dist_{0.0, 1.0};
+
+  std::int64_t next_sample_ = 1;
+  std::vector<double> sample_t_;
+  std::vector<double> sample_theta_;
+  std::vector<double> sample_theta_ref_;
+  bool started_ = false;
+};
+
+}  // namespace htmpll

@@ -1,0 +1,115 @@
+#include "htmpll/timedomain/probe.hpp"
+
+#include <cmath>
+#include <numbers>
+
+#include "htmpll/util/check.hpp"
+
+namespace htmpll {
+
+cplx single_bin_ratio(const std::vector<double>& t,
+                      const std::vector<double>& y, double omega_y,
+                      const std::vector<double>& x, double omega_x) {
+  HTMPLL_REQUIRE(t.size() == y.size() && t.size() == x.size(),
+                 "record length mismatch");
+  HTMPLL_REQUIRE(t.size() >= 8, "record too short for a bin estimate");
+  const std::size_t n = t.size();
+  cplx ybin{0.0}, xbin{0.0};
+  for (std::size_t k = 0; k < n; ++k) {
+    const double hann =
+        0.5 * (1.0 - std::cos(2.0 * std::numbers::pi *
+                              static_cast<double>(k) /
+                              static_cast<double>(n - 1)));
+    ybin += hann * y[k] * std::exp(cplx{0.0, -omega_y * t[k]});
+    xbin += hann * x[k] * std::exp(cplx{0.0, -omega_x * t[k]});
+  }
+  HTMPLL_REQUIRE(std::abs(xbin) > 0.0, "stimulus bin is empty");
+  return ybin / xbin;
+}
+
+cplx single_bin_transfer(const std::vector<double>& t,
+                         const std::vector<double>& y,
+                         const std::vector<double>& x, double omega) {
+  return single_bin_ratio(t, y, omega, x, omega);
+}
+
+namespace {
+
+/// Shared probe core: runs the modulated simulation to steady state and
+/// returns the bin ratio between the theta record at omega_out and the
+/// theta_ref record at omega_m.
+TransferMeasurement run_probe(const PllParameters& params, double omega_m,
+                              double omega_out, double min_sample_rate,
+                              const ProbeOptions& opts) {
+  HTMPLL_REQUIRE(omega_m > 0.0, "modulation frequency must be positive");
+  HTMPLL_REQUIRE(opts.samples_per_period >= 8,
+                 "need >= 8 samples per modulation period");
+  HTMPLL_REQUIRE(opts.measure_periods >= 1, "need >= 1 measurement period");
+
+  const double t_period = params.period();
+  const double tm = 2.0 * std::numbers::pi / omega_m;
+
+  ReferenceModulation mod;
+  mod.amplitude = opts.amplitude_fraction * t_period;
+  mod.omega = omega_m;
+  mod.phase = 0.0;
+
+  TransientConfig cfg;
+  // Never sample slower than T/8 (ripple and sidebands near multiples
+  // of w0 must not alias near the measurement bins), and honor any
+  // higher rate required to resolve omega_out.
+  cfg.sample_interval =
+      std::min({tm / static_cast<double>(opts.samples_per_period),
+                t_period / 8.0,
+                2.0 * std::numbers::pi / min_sample_rate});
+  cfg.record = false;
+
+  PllTransientSim sim(params, mod, cfg);
+  const double settle = std::max(opts.settle_periods * t_period, 4.0 * tm);
+  sim.run_until(settle);
+
+  sim.set_recording(true);
+  sim.clear_samples();
+  sim.run_until(settle + static_cast<double>(opts.measure_periods) * tm);
+
+  TransferMeasurement out;
+  out.value = single_bin_ratio(sim.sample_times(), sim.theta_samples(),
+                               omega_out, sim.theta_ref_samples(), omega_m);
+  out.simulated_time = sim.time();
+  out.events = sim.event_count();
+  return out;
+}
+
+}  // namespace
+
+TransferMeasurement measure_baseband_transfer(const PllParameters& params,
+                                              double omega_m,
+                                              const ProbeOptions& opts) {
+  return run_probe(params, omega_m, omega_m, 16.0 * omega_m, opts);
+}
+
+TransferMeasurement measure_band_transfer(const PllParameters& params,
+                                          int band, double omega_m,
+                                          const ProbeOptions& opts) {
+  HTMPLL_REQUIRE(band >= -8 && band <= 8,
+                 "band transfer probe supports |n| <= 8");
+  const double w0 = params.w0;
+  const double omega_out =
+      static_cast<double>(band) * w0 + omega_m;
+  // The output component may sit at a negative frequency (n < 0); a real
+  // record's bin there is the conjugate of the bin at |omega|.  We
+  // measure at |omega| and conjugate back -- the magnitude matches
+  // |H_{n,0}| exactly; the phase is only meaningful for n >= 0 (the
+  // stimulus bin is not conjugated).
+  const double omega_abs = std::abs(omega_out);
+  HTMPLL_REQUIRE(omega_abs > 1e-12 * w0,
+                 "output component sits at DC; choose another w_m");
+  // Sample fast enough that omega_abs is well below Nyquist.
+  const double min_rate = 4.0 * (omega_abs + w0);
+  TransferMeasurement m = run_probe(params, omega_m, omega_abs, min_rate,
+                                    opts);
+  if (omega_out < 0.0) m.value = std::conj(m.value);
+  return m;
+}
+
+}  // namespace htmpll

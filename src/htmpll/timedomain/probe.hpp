@@ -1,0 +1,66 @@
+// Small-signal transfer-function measurement on the transient simulator.
+//
+// Applies a sinusoidal phase modulation to the reference (eq. 14), lets
+// the loop settle, then extracts the VCO phase response at the
+// modulation frequency with a windowed single-bin DFT.  The ratio of the
+// theta and theta_ref bins is the measured closed-loop baseband transfer
+// H_{0,0}(j w_m) -- the marks on the paper's Fig. 6.
+//
+// A Hann window suppresses the image component at w0 - w_m (the
+// H_{-1,0} sideband folded by sampling theta(t) on a uniform grid),
+// which otherwise contaminates measurements near w0/2.
+#pragma once
+
+#include <cstddef>
+
+#include "htmpll/linalg/matrix.hpp"
+#include "htmpll/timedomain/pll_sim.hpp"
+
+namespace htmpll {
+
+struct ProbeOptions {
+  /// theta_ref modulation amplitude as a fraction of T (small-signal).
+  double amplitude_fraction = 1e-3;
+  /// Reference periods simulated (recording off) before measuring.
+  double settle_periods = 300.0;
+  /// Integer number of modulation periods in the measurement window.
+  int measure_periods = 24;
+  /// Samples per modulation period (>= 8).
+  int samples_per_period = 16;
+};
+
+struct TransferMeasurement {
+  cplx value;              ///< measured H_{0,0}(j w_m)
+  double simulated_time;   ///< total simulated seconds
+  std::size_t events;      ///< PFD edge events processed
+};
+
+/// Measures the closed-loop baseband phase transfer at modulation
+/// frequency `omega_m` (rad/s, 0 < omega_m < w0/2 recommended).
+TransferMeasurement measure_baseband_transfer(const PllParameters& params,
+                                              double omega_m,
+                                              const ProbeOptions& opts = {});
+
+/// Measures |H_{n,0}(j w_m)| for band index n: the output component at
+/// n w0 + w_m (a reference "spur" for n != 0) produced by baseband
+/// reference modulation at w_m.  This exercises the off-diagonal HTM
+/// elements of Fig. 2 -- "signal transfers to other frequency bands can
+/// be studied as well by considering the other elements of H(s)".
+/// Requires |band| <= 8 (sampling-rate limit of the probe).
+TransferMeasurement measure_band_transfer(const PllParameters& params,
+                                          int band, double omega_m,
+                                          const ProbeOptions& opts = {});
+
+/// Windowed single-bin DFT ratio of two equally-sampled records; exposed
+/// for unit testing.  Returns sum(w_k y_k e^{-j wy t_k}) /
+/// sum(w_k x_k e^{-j wx t_k}) with a Hann window.
+cplx single_bin_ratio(const std::vector<double>& t,
+                      const std::vector<double>& y, double omega_y,
+                      const std::vector<double>& x, double omega_x);
+
+/// Convenience overload with omega_y == omega_x.
+cplx single_bin_transfer(const std::vector<double>& t,
+                         const std::vector<double>& y,
+                         const std::vector<double>& x, double omega);
+
+}  // namespace htmpll

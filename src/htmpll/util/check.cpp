@@ -1,0 +1,22 @@
+#include "htmpll/util/check.hpp"
+
+#include <sstream>
+
+namespace htmpll {
+
+void throw_requirement_failure(const char* expr, const char* file, int line,
+                               const std::string& msg) {
+  std::ostringstream os;
+  os << "htmpll: requirement violated: " << msg << " [" << expr << " at "
+     << file << ':' << line << ']';
+  throw std::invalid_argument(os.str());
+}
+
+void throw_assertion_failure(const char* expr, const char* file, int line) {
+  std::ostringstream os;
+  os << "htmpll: internal invariant failed (library bug): " << expr << " at "
+     << file << ':' << line;
+  throw std::logic_error(os.str());
+}
+
+}  // namespace htmpll

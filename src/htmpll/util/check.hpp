@@ -1,0 +1,33 @@
+// Error-handling policy for the htmpll library.
+//
+// Preconditions on public API entry points are enforced with
+// HTMPLL_REQUIRE, which throws std::invalid_argument so callers can
+// recover.  Internal invariants use HTMPLL_ASSERT, which throws
+// std::logic_error; a failure there is a library bug.
+#pragma once
+
+#include <stdexcept>
+#include <string>
+
+namespace htmpll {
+
+[[noreturn]] void throw_requirement_failure(const char* expr, const char* file,
+                                            int line, const std::string& msg);
+[[noreturn]] void throw_assertion_failure(const char* expr, const char* file,
+                                          int line);
+
+}  // namespace htmpll
+
+#define HTMPLL_REQUIRE(cond, msg)                                          \
+  do {                                                                     \
+    if (!(cond)) {                                                         \
+      ::htmpll::throw_requirement_failure(#cond, __FILE__, __LINE__, msg); \
+    }                                                                      \
+  } while (false)
+
+#define HTMPLL_ASSERT(cond)                                            \
+  do {                                                                 \
+    if (!(cond)) {                                                     \
+      ::htmpll::throw_assertion_failure(#cond, __FILE__, __LINE__);    \
+    }                                                                  \
+  } while (false)

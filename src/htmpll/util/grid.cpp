@@ -1,0 +1,39 @@
+#include "htmpll/util/grid.hpp"
+
+#include <cmath>
+
+#include "htmpll/util/check.hpp"
+
+namespace htmpll {
+
+std::vector<double> linspace(double lo, double hi, std::size_t n) {
+  HTMPLL_REQUIRE(n >= 1, "linspace needs at least one point");
+  if (n == 1) return {lo};
+  std::vector<double> out(n);
+  const double step = (hi - lo) / static_cast<double>(n - 1);
+  for (std::size_t i = 0; i < n; ++i) {
+    out[i] = lo + step * static_cast<double>(i);
+  }
+  out.back() = hi;  // avoid accumulated rounding at the endpoint
+  return out;
+}
+
+std::vector<double> logspace(double lo, double hi, std::size_t n) {
+  HTMPLL_REQUIRE(lo > 0.0 && hi > lo, "logspace needs 0 < lo < hi");
+  std::vector<double> out = linspace(std::log10(lo), std::log10(hi), n);
+  for (double& x : out) x = std::pow(10.0, x);
+  out.front() = lo;
+  out.back() = hi;
+  return out;
+}
+
+std::vector<double> log_grid_per_decade(double lo, double hi,
+                                        std::size_t points_per_decade) {
+  HTMPLL_REQUIRE(points_per_decade >= 1, "need at least one point per decade");
+  const double decades = std::log10(hi / lo);
+  const auto n = static_cast<std::size_t>(
+      std::ceil(decades * static_cast<double>(points_per_decade))) + 1;
+  return logspace(lo, hi, n < 2 ? 2 : n);
+}
+
+}  // namespace htmpll

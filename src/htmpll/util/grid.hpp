@@ -1,0 +1,22 @@
+// Frequency-grid helpers used by sweeps, benches and plots.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+namespace htmpll {
+
+/// `n` points linearly spaced over [lo, hi] inclusive.  n >= 2, or n == 1
+/// (returns {lo}).
+std::vector<double> linspace(double lo, double hi, std::size_t n);
+
+/// `n` points logarithmically spaced over [lo, hi] inclusive.
+/// Requires lo > 0, hi > lo.
+std::vector<double> logspace(double lo, double hi, std::size_t n);
+
+/// Points per decade over [lo, hi]; convenience wrapper around logspace
+/// that picks the count from the span.
+std::vector<double> log_grid_per_decade(double lo, double hi,
+                                        std::size_t points_per_decade);
+
+}  // namespace htmpll

@@ -1,0 +1,84 @@
+#include "htmpll/ztrans/discrete_response.hpp"
+
+#include <cmath>
+
+#include "htmpll/util/check.hpp"
+
+namespace htmpll {
+
+CVector impulse_response_z(const RationalFunction& h, std::size_t count) {
+  HTMPLL_REQUIRE(h.is_proper(), "causal expansion requires proper H(z)");
+  const Polynomial& num = h.num();
+  const Polynomial& den = h.den();  // monic by construction
+  const std::size_t m = den.degree();
+
+  // In descending powers: H = (b_0 z^m + ... + b_m) / (z^m + a_1 z^{m-1}
+  // + ... + a_m); the division recursion is
+  //   h_k = b_k - sum_{j=1..min(k,m)} a_j h_{k-j},   b_k = 0 for k > m.
+  auto b = [&](std::size_t k) -> cplx {
+    if (k > m) return cplx{0.0};
+    return num.coefficient(m - k);  // may be zero-padded high terms
+  };
+  auto a = [&](std::size_t j) -> cplx { return den.coefficient(m - j); };
+
+  CVector out(count, cplx{0.0});
+  for (std::size_t k = 0; k < count; ++k) {
+    cplx acc = b(k);
+    const std::size_t jmax = std::min(k, m);
+    for (std::size_t j2 = 1; j2 <= jmax; ++j2) {
+      acc -= a(j2) * out[k - j2];
+    }
+    out[k] = acc;
+  }
+  return out;
+}
+
+CVector step_response_z(const RationalFunction& h, std::size_t count) {
+  CVector imp = impulse_response_z(h, count);
+  cplx acc{0.0};
+  for (cplx& v : imp) {
+    acc += v;
+    v = acc;
+  }
+  return imp;
+}
+
+StepMetrics step_metrics(const std::vector<double>& samples,
+                         double final_value, double band) {
+  HTMPLL_REQUIRE(!samples.empty(), "metrics need at least one sample");
+  HTMPLL_REQUIRE(final_value != 0.0, "final value must be non-zero");
+  HTMPLL_REQUIRE(band > 0.0, "settling band must be positive");
+
+  StepMetrics m;
+  m.overshoot = 0.0;
+  m.peak_index = 0;
+  for (std::size_t i = 0; i < samples.size(); ++i) {
+    const double rel = samples[i] / final_value - 1.0;
+    if (rel > m.overshoot) {
+      m.overshoot = rel;
+      m.peak_index = i;
+    }
+  }
+  // Last sample outside the band determines settling.
+  std::size_t last_outside = 0;
+  bool any_outside = false;
+  for (std::size_t i = 0; i < samples.size(); ++i) {
+    if (std::abs(samples[i] / final_value - 1.0) > band) {
+      last_outside = i;
+      any_outside = true;
+    }
+  }
+  if (!any_outside) {
+    m.settle_index = 0;
+    m.settled = true;
+  } else if (last_outside + 1 < samples.size()) {
+    m.settle_index = last_outside + 1;
+    m.settled = true;
+  } else {
+    m.settle_index = samples.size();
+    m.settled = false;
+  }
+  return m;
+}
+
+}  // namespace htmpll

@@ -1,0 +1,40 @@
+// Inverse z-transform by long division: sample-domain responses of the
+// discrete-time loop.
+//
+// The impulse-invariant closed loop G_eff/(1+G_eff) describes the VCO
+// phase *at the sampling instants*; expanding it in powers of z^{-1}
+// yields the exact discrete impulse/step responses -- the time-domain
+// face of the time-varying model.  tests/ cross-check the step response
+// against the behavioral simulator recovering from a phase offset, and
+// bench/transient_settling compares its overshoot/settling against the
+// classical continuous-time prediction.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "htmpll/lti/rational.hpp"
+
+namespace htmpll {
+
+/// First `count` samples h_0..h_{count-1} of the impulse response of a
+/// proper rational H(z) (causal expansion in z^{-1}).
+CVector impulse_response_z(const RationalFunction& h, std::size_t count);
+
+/// Running sum of the impulse response: response to the unit step.
+CVector step_response_z(const RationalFunction& h, std::size_t count);
+
+/// Classical step-response metrics of a real-valued sampled response
+/// that settles to `final_value`.
+struct StepMetrics {
+  double overshoot;        ///< max(y) / final - 1 (0 if none)
+  std::size_t peak_index;  ///< sample of the maximum
+  std::size_t settle_index;  ///< first sample staying within the band
+  bool settled;            ///< response entered and stayed in the band
+};
+
+/// Metrics with a +-band (fraction of final value, e.g. 0.02).
+StepMetrics step_metrics(const std::vector<double>& samples,
+                         double final_value, double band);
+
+}  // namespace htmpll

@@ -1,0 +1,45 @@
+#include "htmpll/ztrans/jury.hpp"
+
+#include <cmath>
+
+#include "htmpll/util/check.hpp"
+
+namespace htmpll {
+
+SchurCohnResult schur_cohn(const Polynomial& p, double tol) {
+  HTMPLL_REQUIRE(!p.is_zero(), "stability test of the zero polynomial");
+  SchurCohnResult out;
+  out.stable = true;
+
+  CVector c = p.coefficients();
+  while (c.size() > 1) {
+    const std::size_t n = c.size() - 1;  // current degree
+    const cplx lead = c[n];
+    if (std::abs(lead) == 0.0) {
+      // Defensive: a vanished leading coefficient means the degree
+      // already dropped; trim and continue.
+      c.pop_back();
+      continue;
+    }
+    const cplx k = c[0] / std::conj(lead);
+    const double mk = std::abs(k);
+    out.reflection_magnitudes.push_back(mk);
+    if (mk >= 1.0 - tol) {
+      out.stable = false;
+      return out;
+    }
+    // q_j = c_{j+1} - k * conj(c_{n-1-j}), degree n-1.
+    CVector q(n);
+    for (std::size_t j = 0; j < n; ++j) {
+      q[j] = c[j + 1] - k * std::conj(c[n - 1 - j]);
+    }
+    c = std::move(q);
+  }
+  return out;
+}
+
+bool jury_stable(const Polynomial& p, double tol) {
+  return schur_cohn(p, tol).stable;
+}
+
+}  // namespace htmpll

@@ -1,0 +1,30 @@
+// Schur-Cohn / Jury stability test for z-domain polynomials.
+//
+// Decides whether all roots lie strictly inside the unit circle without
+// computing them, via the reflection-coefficient recursion
+//   k = c_0 / c_n,   q_j = c_{j+1} - k c_{n-1-j},
+// which preserves stability iff |k| < 1 at every stage.  Used to locate
+// the stability boundary of the sampled loop as w_UG/w0 grows and to
+// cross-check the root-based test in ImpulseInvariantModel.
+#pragma once
+
+#include <vector>
+
+#include "htmpll/lti/polynomial.hpp"
+
+namespace htmpll {
+
+struct SchurCohnResult {
+  bool stable;
+  /// Reflection coefficient magnitudes, one per reduction stage; the
+  /// largest is a rough distance-to-instability indicator (1 = boundary).
+  std::vector<double> reflection_magnitudes;
+};
+
+/// Full recursion; works for complex-coefficient polynomials.
+SchurCohnResult schur_cohn(const Polynomial& p, double tol = 1e-12);
+
+/// Convenience wrapper.
+bool jury_stable(const Polynomial& p, double tol = 1e-12);
+
+}  // namespace htmpll

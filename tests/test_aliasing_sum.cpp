@@ -1,0 +1,155 @@
+#include <numbers>
+
+#include <gtest/gtest.h>
+
+#include "htmpll/core/aliasing_sum.hpp"
+#include "htmpll/lti/loop_filter.hpp"
+
+namespace htmpll {
+namespace {
+
+const cplx j{0.0, 1.0};
+
+TEST(StableCoth, MatchesNaiveFormulaAwayFromPoles) {
+  for (const cplx z : {cplx{1.0, 0.5}, cplx{-2.0, 1.0}, cplx{0.3, -0.4}}) {
+    const cplx naive = std::cosh(z) / std::sinh(z);
+    EXPECT_NEAR(std::abs(stable_coth(z) - naive), 0.0, 1e-12);
+    const cplx sh = std::sinh(z);
+    EXPECT_NEAR(std::abs(stable_csch2(z) - 1.0 / (sh * sh)), 0.0, 1e-12);
+  }
+}
+
+TEST(StableCoth, LargeArgumentDoesNotOverflow) {
+  EXPECT_NEAR(std::abs(stable_coth(cplx{500.0, 3.0}) - cplx{1.0}), 0.0,
+              1e-12);
+  EXPECT_NEAR(std::abs(stable_coth(cplx{-500.0, 3.0}) + cplx{1.0}), 0.0,
+              1e-12);
+  EXPECT_NEAR(std::abs(stable_csch2(cplx{700.0, 0.0})), 0.0, 1e-12);
+}
+
+TEST(StableCoth, SmallArgumentSeries) {
+  const cplx z{1e-6, 1e-6};
+  // coth z ~ 1/z + z/3.
+  EXPECT_NEAR(std::abs(stable_coth(z) - (1.0 / z + z / 3.0)), 0.0, 1e-9);
+  EXPECT_NEAR(std::abs(stable_csch2(z) - (1.0 / (z * z) - 1.0 / 3.0)), 0.0,
+              1e-6);
+}
+
+TEST(HarmonicPoleSum, MatchesBruteForceSimplePole) {
+  const double w0 = 7.0;
+  const cplx x{1.3, 0.4};
+  cplx brute = 1.0 / x;
+  for (int m = 1; m <= 200000; ++m) {
+    const cplx jm{0.0, m * w0};
+    brute += 1.0 / (x + jm) + 1.0 / (x - jm);
+  }
+  // The brute-force reference itself truncates with a ~1/M tail
+  // (~3e-7 here); the closed form is exact.
+  EXPECT_NEAR(std::abs(harmonic_pole_sum(x, w0, 1) - brute), 0.0, 1e-6);
+}
+
+TEST(HarmonicPoleSum, MatchesBruteForceHigherOrders) {
+  const double w0 = 5.0;
+  const cplx x{0.8, -1.1};
+  for (int k = 2; k <= 4; ++k) {
+    cplx brute = std::pow(x, -k);
+    for (int m = 1; m <= 20000; ++m) {
+      const cplx jm{0.0, m * w0};
+      brute += std::pow(x + jm, -static_cast<double>(k)) +
+               std::pow(x - jm, -static_cast<double>(k));
+    }
+    // Tolerance bounded by the brute-force reference's own tail.
+    EXPECT_NEAR(std::abs(harmonic_pole_sum(x, w0, k) - brute) /
+                    std::abs(brute),
+                0.0, 3e-5)
+        << "order " << k;
+  }
+}
+
+TEST(HarmonicPoleSum, DerivativeConsistency) {
+  // S_{k+1}(x) = -(1/k) d/dx S_k(x); check with central differences.
+  const double w0 = 3.0;
+  const cplx x{0.9, 0.7};
+  const double h = 1e-6;
+  for (int k = 1; k <= 3; ++k) {
+    const cplx dk = (harmonic_pole_sum(x + h, w0, k) -
+                     harmonic_pole_sum(x - h, w0, k)) /
+                    (2.0 * h);
+    const cplx expected = -dk / static_cast<double>(k);
+    EXPECT_NEAR(std::abs(harmonic_pole_sum(x, w0, k + 1) - expected) /
+                    std::abs(expected),
+                0.0, 1e-7)
+        << "order " << k;
+  }
+}
+
+TEST(HarmonicPoleSum, RejectsUnsupportedOrder) {
+  EXPECT_THROW(harmonic_pole_sum(cplx{1.0}, 1.0, 0), std::invalid_argument);
+  EXPECT_THROW(harmonic_pole_sum(cplx{1.0}, 1.0, 5), std::invalid_argument);
+}
+
+class AliasingSumFixture : public ::testing::Test {
+ protected:
+  static constexpr double kW0 = 2.0 * std::numbers::pi;  // T = 1
+  AliasingSum make_sum(double ratio) const {
+    const PllParameters p = make_typical_loop(ratio * kW0, kW0);
+    return AliasingSum(p.open_loop_gain(), kW0);
+  }
+};
+
+TEST_F(AliasingSumFixture, RequiresStrictlyProper) {
+  const RationalFunction biproper(Polynomial::from_real({1.0, 1.0}),
+                                  Polynomial::from_real({2.0, 1.0}));
+  EXPECT_THROW(AliasingSum(biproper, 1.0), std::invalid_argument);
+}
+
+TEST_F(AliasingSumFixture, TruncatedConvergesToExact) {
+  const AliasingSum sum = make_sum(0.3);
+  const cplx s = j * (0.2 * kW0);
+  const cplx exact = sum.exact(s);
+  double prev_err = 1e300;
+  for (int m : {1, 4, 16, 64, 256}) {
+    const double err = std::abs(sum.truncated(s, m) - exact);
+    EXPECT_LT(err, prev_err * 1.01);
+    prev_err = err;
+  }
+  // Raw symmetric truncation converges like 1/M (A ~ c/s^2 tails).
+  EXPECT_LT(prev_err / std::abs(exact), 2e-2);
+}
+
+TEST_F(AliasingSumFixture, AdaptiveMatchesExact) {
+  const AliasingSum sum = make_sum(0.4);
+  for (double f : {0.05, 0.17, 0.31, 0.49}) {
+    const cplx s = j * (f * kW0);
+    const cplx exact = sum.exact(s);
+    const cplx adaptive = sum.adaptive(s);
+    EXPECT_NEAR(std::abs(adaptive - exact) / std::abs(exact), 0.0, 1e-6)
+        << "f = " << f;
+  }
+}
+
+TEST_F(AliasingSumFixture, ExactIsPeriodicInJw0) {
+  const AliasingSum sum = make_sum(0.25);
+  const cplx s = j * (0.13 * kW0);
+  const cplx shifted = sum.exact(s + j * kW0);
+  EXPECT_NEAR(std::abs(sum.exact(s) - shifted) / std::abs(shifted), 0.0,
+              1e-10);
+}
+
+TEST_F(AliasingSumFixture, HalfRateValueIsReal) {
+  // Symmetric pairing makes lambda(j w0/2) real for real loops.
+  const AliasingSum sum = make_sum(0.35);
+  const cplx v = sum.exact(j * (0.5 * kW0));
+  EXPECT_LT(std::abs(v.imag()), 1e-9 * std::abs(v));
+}
+
+TEST_F(AliasingSumFixture, ReducesToAAtLowBandwidthRatio) {
+  // When w_UG << w0 the m != 0 terms are negligible near crossover.
+  const AliasingSum sum = make_sum(0.001);
+  const cplx s = j * (0.001 * kW0);
+  const cplx a = sum.transfer()(s);
+  EXPECT_NEAR(std::abs(sum.exact(s) - a) / std::abs(a), 0.0, 2e-3);
+}
+
+}  // namespace
+}  // namespace htmpll

@@ -1,0 +1,114 @@
+#include <cmath>
+#include <numbers>
+
+#include <gtest/gtest.h>
+
+#include "htmpll/core/stability.hpp"
+#include "htmpll/lti/delay.hpp"
+
+namespace htmpll {
+namespace {
+
+const cplx j{0.0, 1.0};
+constexpr double kW0 = 2.0 * std::numbers::pi;
+
+TEST(PadeDelay, ZeroDelayIsUnity) {
+  const RationalFunction d = pade_delay(0.0);
+  EXPECT_NEAR(std::abs(d(j * 123.0) - cplx{1.0}), 0.0, 1e-15);
+}
+
+TEST(PadeDelay, IsAllPass) {
+  const RationalFunction d = pade_delay(0.3, 3);
+  for (double w : {0.1, 1.0, 5.0, 20.0}) {
+    EXPECT_NEAR(std::abs(d(j * w)), 1.0, 1e-12) << "w = " << w;
+  }
+}
+
+TEST(PadeDelay, MatchesExactPhaseInBand) {
+  const double tau = 0.2;
+  const RationalFunction d = pade_delay(tau, 3);
+  for (double w : {0.5, 2.0, 5.0}) {  // |w tau| up to 1
+    const cplx exact = std::exp(-j * w * tau);
+    EXPECT_NEAR(std::abs(d(j * w) - exact), 0.0, 2e-5) << "w = " << w;
+  }
+}
+
+TEST(PadeDelay, ErrorFallsWithOrder) {
+  const double tau = 0.5, w_max = 6.0;  // w tau up to 3
+  double prev = 1e300;
+  for (int order : {1, 2, 3, 4, 5}) {
+    const double err = pade_delay_error(tau, order, w_max);
+    EXPECT_LT(err, prev);
+    prev = err;
+  }
+  EXPECT_LT(prev, 1e-4);
+}
+
+TEST(PadeDelay, RejectsBadArguments) {
+  EXPECT_THROW(pade_delay(-1.0), std::invalid_argument);
+  EXPECT_THROW(pade_delay(1.0, 0), std::invalid_argument);
+  EXPECT_THROW(pade_delay(1.0, 6), std::invalid_argument);
+}
+
+TEST(DelayedLoop, ExtraDynamicsEnterTheModel) {
+  const PllParameters p = make_typical_loop(0.1 * kW0, kW0);
+  const double tau = 0.05;  // 5% of a period
+  const SamplingPllModel plain(p);
+  const SamplingPllModel delayed(p, HarmonicCoefficients(cplx{1.0}), {},
+                                 pade_delay(tau, 3));
+  const cplx s = j * (0.1 * kW0);
+  const cplx ratio = delayed.open_loop_gain()(s) / plain.open_loop_gain()(s);
+  // The delayed loop's A picks up e^{-s tau}: unit magnitude, w tau lag.
+  EXPECT_NEAR(std::abs(ratio), 1.0, 1e-9);
+  EXPECT_NEAR(std::arg(ratio), -0.1 * kW0 * tau, 1e-6);
+}
+
+TEST(DelayedLoop, DelayErodesEffectiveMargin) {
+  const PllParameters p = make_typical_loop(0.15 * kW0, kW0);
+  const SamplingPllModel plain(p);
+  const EffectiveMargins m0 = effective_margins(plain);
+  ASSERT_TRUE(m0.eff_found);
+  double prev = m0.eff_phase_margin_deg;
+  for (double tau_frac : {0.02, 0.05, 0.1}) {
+    const SamplingPllModel delayed(
+        p, HarmonicCoefficients(cplx{1.0}), {},
+        pade_delay(tau_frac * p.period(), 3));
+    const EffectiveMargins m = effective_margins(delayed);
+    ASSERT_TRUE(m.eff_found) << "tau " << tau_frac;
+    EXPECT_LT(m.eff_phase_margin_deg, prev);
+    prev = m.eff_phase_margin_deg;
+  }
+}
+
+TEST(DelayedLoop, DelayPenaltyDiffersFromLtiPrediction) {
+  // A dead time does NOT act on the sampled loop the way LTI analysis
+  // books it: the aliased terms A(s + j m w0) e^{-(s + j m w0) tau}
+  // each pick up an extra rotation e^{-j m w0 tau}, so the effective
+  // margin can move very differently from (even opposite to) the LTI
+  // margin.  The honest claim: LTI analysis mispredicts the delay
+  // penalty of a fast sampled loop by whole degrees.
+  const PllParameters p = make_typical_loop(0.2 * kW0, kW0);
+  const double tau = 0.05 * p.period();
+  const SamplingPllModel plain(p);
+  const SamplingPllModel delayed(p, HarmonicCoefficients(cplx{1.0}), {},
+                                 pade_delay(tau, 3));
+  const EffectiveMargins a = effective_margins(plain);
+  const EffectiveMargins b = effective_margins(delayed);
+  ASSERT_TRUE(a.eff_found && b.eff_found);
+  const double lti_loss = a.lti_phase_margin_deg - b.lti_phase_margin_deg;
+  const double eff_loss = a.eff_phase_margin_deg - b.eff_phase_margin_deg;
+  EXPECT_GT(lti_loss, 1.0);  // LTI books a real penalty...
+  EXPECT_GT(std::abs(eff_loss - lti_loss), 1.0);  // ...and gets it wrong
+}
+
+TEST(DelayedLoop, RejectsImproperExtraDynamics) {
+  const PllParameters p = make_typical_loop(0.1 * kW0, kW0);
+  const RationalFunction differentiator(
+      Polynomial::from_real({0.0, 1.0}), Polynomial::constant(1.0));
+  EXPECT_THROW(SamplingPllModel(p, HarmonicCoefficients(cplx{1.0}), {},
+                                differentiator),
+               std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace htmpll

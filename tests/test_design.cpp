@@ -1,0 +1,171 @@
+#include <numbers>
+
+#include <gtest/gtest.h>
+
+#include "htmpll/design/design.hpp"
+
+namespace htmpll {
+namespace {
+
+constexpr double kW0 = 2.0 * std::numbers::pi * 1e6;
+
+TEST(Design, GammaFromPhaseMarginInvertsAnalyticFormula) {
+  for (double pm : {20.0, 45.0, 61.9275, 75.0}) {
+    const double g = gamma_for_phase_margin(pm);
+    EXPECT_NEAR(typical_loop_lti_phase_margin_deg(g), pm, 1e-9)
+        << "pm " << pm;
+  }
+  EXPECT_THROW(gamma_for_phase_margin(0.0), std::invalid_argument);
+  EXPECT_THROW(gamma_for_phase_margin(90.0), std::invalid_argument);
+}
+
+TEST(Design, ClassicalMeetsLtiSpec) {
+  DesignSpec spec;
+  spec.w0 = kW0;
+  spec.target_w_ug = 0.05 * kW0;
+  spec.target_pm_deg = 60.0;
+  spec.kvco = 2.0;
+  spec.ctot = 4.7e-10;
+  const DesignResult r = design_classical(spec);
+  EXPECT_TRUE(r.meets_spec_lti);
+  EXPECT_NEAR(r.margins.lti_crossover / spec.target_w_ug, 1.0, 1e-5);
+  EXPECT_NEAR(r.margins.lti_phase_margin_deg, 60.0, 0.01);
+  // Physical budget respected.
+  EXPECT_NEAR(r.params.filter.total_cap() / spec.ctot, 1.0, 1e-9);
+  EXPECT_NEAR(r.params.kvco, 2.0, 1e-12);
+  EXPECT_TRUE(r.z_domain_stable);
+}
+
+TEST(Design, ClassicalSlowLoopAlsoMeetsEffectiveSpec) {
+  DesignSpec spec;
+  spec.w0 = kW0;
+  spec.target_w_ug = 0.01 * kW0;
+  spec.target_pm_deg = 55.0;
+  const DesignResult r = design_classical(spec);
+  EXPECT_TRUE(r.meets_spec_effective);
+}
+
+TEST(Design, ClassicalFastLoopMissesEffectiveSpec) {
+  // This is the paper's warning case: LTI says fine, lambda says no.
+  DesignSpec spec;
+  spec.w0 = kW0;
+  spec.target_w_ug = 0.3 * kW0;
+  spec.target_pm_deg = 60.0;
+  const DesignResult r = design_classical(spec);
+  EXPECT_TRUE(r.meets_spec_lti);
+  EXPECT_FALSE(r.meets_spec_effective);
+}
+
+TEST(Design, AwareDesignBacksOffBandwidth) {
+  DesignSpec spec;
+  spec.w0 = kW0;
+  spec.target_w_ug = 0.3 * kW0;
+  spec.target_pm_deg = 60.0;
+  const DesignResult r = design_time_varying_aware(spec);
+  EXPECT_TRUE(r.meets_spec_effective);
+  ASSERT_TRUE(r.margins.lti_found);
+  EXPECT_LT(r.margins.lti_crossover, spec.target_w_ug);
+  // Should not back off absurdly far (1 deg of PM slack is reached
+  // around w_UG/w0 ~ 0.01 for this loop family).
+  EXPECT_GT(r.margins.lti_crossover, 0.005 * kW0);
+}
+
+TEST(Design, AwareDesignKeepsBandwidthWhenSpecAlreadyMet) {
+  DesignSpec spec;
+  spec.w0 = kW0;
+  spec.target_w_ug = 0.01 * kW0;
+  spec.target_pm_deg = 55.0;
+  const DesignResult r = design_time_varying_aware(spec);
+  EXPECT_NEAR(r.margins.lti_crossover / spec.target_w_ug, 1.0, 1e-5);
+}
+
+TEST(Design, SweepProducesMonotoneEffectiveMargins) {
+  DesignSpec spec;
+  spec.w0 = kW0;
+  spec.target_w_ug = 0.1 * kW0;  // overwritten by the sweep ratios
+  spec.target_pm_deg = 60.0;
+  const std::vector<double> ratios{0.03, 0.06, 0.1, 0.15, 0.2};
+  const auto results = sweep_crossover_ratios(spec, ratios);
+  ASSERT_EQ(results.size(), ratios.size());
+  for (std::size_t i = 1; i < results.size(); ++i) {
+    ASSERT_TRUE(results[i].margins.eff_found);
+    EXPECT_LT(results[i].margins.eff_phase_margin_deg,
+              results[i - 1].margins.eff_phase_margin_deg);
+  }
+}
+
+TEST(Design, JitterModelsAgreeForSlowLoops) {
+  // Deep inside the stable range both models compute almost the same
+  // integrated jitter (sampling effects vanish as w_UG/w0 -> 0).
+  JitterOptimizationSpec spec;
+  spec.w0 = kW0;
+  spec.s_ref = PowerLawPsd{1e-20, 0.0, 0.0};
+  spec.s_vco = PowerLawPsd{0.0, 0.0, 1e-10};
+  const double w_ug = 0.005 * kW0;
+  const double tv = output_jitter_tv(spec, w_ug);
+  const double lti = output_jitter_lti(spec, w_ug);
+  EXPECT_NEAR(tv / lti, 1.0, 0.05);
+}
+
+TEST(Design, JitterHasInteriorOptimum) {
+  // White reference noise vs 1/w^2 VCO noise: too narrow copies VCO
+  // noise, too wide copies reference noise (and peaks) -- an interior
+  // minimum must exist and the TV model must find it.
+  JitterOptimizationSpec spec;
+  spec.w0 = kW0;
+  const double ref_white = 1e-18;
+  // VCO random-walk noise crossing the reference floor at 0.05 w0, so
+  // the optimal loop bandwidth sits near there.
+  spec.s_ref = PowerLawPsd{ref_white, 0.0, 0.0};
+  spec.s_vco = PowerLawPsd{
+      0.0, 0.0, ref_white * (0.05 * kW0) * (0.05 * kW0)};
+  const JitterOptimizationResult r = optimize_bandwidth_for_jitter(spec);
+  EXPECT_GT(r.w_ug_tv, spec.ratio_min * kW0 * 1.5);
+  EXPECT_LT(r.w_ug_tv, spec.ratio_max * kW0 / 1.05);
+  // The optimum beats its neighbours.
+  EXPECT_LT(r.rms_tv, output_jitter_tv(spec, r.w_ug_tv * 1.5));
+  EXPECT_LT(r.rms_tv, output_jitter_tv(spec, r.w_ug_tv / 1.5));
+  EXPECT_GE(r.penalty, 1.0);
+}
+
+TEST(Design, LtiPickCarriesJitterPenaltyForAggressiveNoise) {
+  // Noisy VCO pushes the optimum bandwidth up, into the region where
+  // LTI analysis underestimates peaking and folding: its pick must be
+  // measurably worse than the TV optimum.
+  JitterOptimizationSpec spec;
+  spec.w0 = kW0;
+  const double ref_white = 1e-22;
+  // VCO noise crossing the reference floor at 0.5 w0: the LTI model
+  // keeps rewarding more bandwidth, the TV model's peaking/folding says
+  // stop earlier.
+  spec.s_ref = PowerLawPsd{ref_white, 0.0, 0.0};
+  spec.s_vco = PowerLawPsd{
+      0.0, 0.0, ref_white * (0.5 * kW0) * (0.5 * kW0)};
+  const JitterOptimizationResult r = optimize_bandwidth_for_jitter(spec);
+  EXPECT_GE(r.penalty, 1.0);
+  EXPECT_NE(r.w_ug_lti, r.w_ug_tv);
+}
+
+TEST(Design, JitterOptimizerValidatesInput) {
+  JitterOptimizationSpec spec;
+  spec.w0 = kW0;
+  EXPECT_THROW(optimize_bandwidth_for_jitter(spec),
+               std::invalid_argument);  // missing PSDs
+  spec.s_ref = PowerLawPsd{1e-20, 0.0, 0.0};
+  spec.s_vco = PowerLawPsd{0.0, 0.0, 1e-10};
+  spec.ratio_min = 0.3;
+  spec.ratio_max = 0.2;
+  EXPECT_THROW(optimize_bandwidth_for_jitter(spec),
+               std::invalid_argument);
+}
+
+TEST(Design, RejectsCrossoverBeyondNyquist) {
+  DesignSpec spec;
+  spec.w0 = kW0;
+  spec.target_w_ug = 0.6 * kW0;
+  spec.target_pm_deg = 60.0;
+  EXPECT_THROW(design_classical(spec), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace htmpll

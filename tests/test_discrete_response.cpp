@@ -1,0 +1,140 @@
+#include <cmath>
+#include <numbers>
+
+#include <gtest/gtest.h>
+
+#include "htmpll/timedomain/pll_sim.hpp"
+#include "htmpll/ztrans/discrete_response.hpp"
+#include "htmpll/ztrans/zdomain.hpp"
+
+namespace htmpll {
+namespace {
+
+constexpr double kW0 = 2.0 * std::numbers::pi;  // T = 1
+
+TEST(DiscreteResponse, GeometricImpulseResponses) {
+  const cplx q{0.6, 0.0};
+  // z/(z-q): h_n = q^n.
+  const RationalFunction h1(Polynomial::s(),
+                            Polynomial(CVector{-q, cplx{1.0}}));
+  const CVector r1 = impulse_response_z(h1, 6);
+  for (std::size_t n = 0; n < r1.size(); ++n) {
+    EXPECT_NEAR(std::abs(r1[n] - std::pow(q, static_cast<double>(n))),
+                0.0, 1e-13);
+  }
+  // 1/(z-q): h_0 = 0, h_n = q^{n-1}.
+  const RationalFunction h2(Polynomial::constant(1.0),
+                            Polynomial(CVector{-q, cplx{1.0}}));
+  const CVector r2 = impulse_response_z(h2, 6);
+  EXPECT_EQ(r2[0], cplx(0.0));
+  for (std::size_t n = 1; n < r2.size(); ++n) {
+    EXPECT_NEAR(
+        std::abs(r2[n] - std::pow(q, static_cast<double>(n - 1))), 0.0,
+        1e-13);
+  }
+}
+
+TEST(DiscreteResponse, DoublePoleRamp) {
+  // z/(z-1)^2: h_n = n.
+  const RationalFunction h(
+      Polynomial::s(),
+      Polynomial::from_roots({cplx{1.0}, cplx{1.0}}));
+  const CVector r = impulse_response_z(h, 8);
+  for (std::size_t n = 0; n < r.size(); ++n) {
+    EXPECT_NEAR(std::abs(r[n] - cplx{static_cast<double>(n)}), 0.0,
+                1e-12);
+  }
+}
+
+TEST(DiscreteResponse, StepIsRunningSum) {
+  const RationalFunction h(Polynomial::s(),
+                           Polynomial(CVector{cplx{-0.5}, cplx{1.0}}));
+  const CVector imp = impulse_response_z(h, 10);
+  const CVector step = step_response_z(h, 10);
+  cplx acc{0.0};
+  for (std::size_t n = 0; n < 10; ++n) {
+    acc += imp[n];
+    EXPECT_NEAR(std::abs(step[n] - acc), 0.0, 1e-14);
+  }
+}
+
+TEST(DiscreteResponse, ImproperRejected) {
+  const RationalFunction improper(Polynomial::from_real({0.0, 0.0, 1.0}),
+                                  Polynomial::from_real({1.0, 1.0}));
+  EXPECT_THROW(impulse_response_z(improper, 4), std::invalid_argument);
+}
+
+TEST(DiscreteResponse, ClosedLoopStepSettlesToUnity) {
+  // Type-2 loop: the discrete closed loop has unity DC gain.
+  const PllParameters p = make_typical_loop(0.15 * kW0, kW0);
+  const ImpulseInvariantModel zm(p.open_loop_gain(), kW0);
+  const CVector step = step_response_z(zm.closed_loop_z(), 200);
+  EXPECT_NEAR(std::abs(step.back() - cplx{1.0}), 0.0, 1e-6);
+}
+
+TEST(DiscreteResponse, MatchesTransientSimulatorPhaseRecovery) {
+  // A VCO phase offset -delta is (by linearity) the mirrored response
+  // to a reference phase step delta: theta(nT) = delta * (s_n - 1) with
+  // s_n the discrete closed-loop step response.
+  const double delta = 1e-3;
+  const PllParameters p = make_typical_loop(0.15 * kW0, kW0);
+  const ImpulseInvariantModel zm(p.open_loop_gain(), kW0);
+  const CVector s = step_response_z(zm.closed_loop_z(), 40);
+
+  TransientConfig cfg;
+  cfg.sample_interval = 1.0;  // sample exactly at nT
+  PllTransientSim sim(p, {}, cfg);
+  sim.set_initial_theta(-delta);
+  sim.run_periods(40.0);
+  const auto& t = sim.sample_times();
+  const auto& th = sim.theta_samples();
+  ASSERT_GE(t.size(), 30u);
+
+  double worst = 0.0;
+  for (std::size_t i = 5; i < 30; ++i) {
+    // Sample i corresponds to t = (i+1) T.
+    const std::size_t n = static_cast<std::size_t>(
+        std::llround(t[i]));
+    ASSERT_LT(n, s.size());
+    const double predicted = delta * (s[n].real() - 1.0);
+    worst = std::max(worst, std::abs(th[i] - predicted));
+  }
+  EXPECT_LT(worst / delta, 0.03);
+}
+
+TEST(DiscreteResponse, StepMetricsBasics) {
+  const std::vector<double> y{0.0, 0.6, 1.2, 1.05, 0.99, 1.005, 1.001};
+  const StepMetrics m = step_metrics(y, 1.0, 0.02);
+  EXPECT_NEAR(m.overshoot, 0.2, 1e-12);
+  EXPECT_EQ(m.peak_index, 2u);
+  EXPECT_TRUE(m.settled);
+  EXPECT_EQ(m.settle_index, 4u);
+
+  const std::vector<double> never{0.0, 2.0, 0.0, 2.0};
+  EXPECT_FALSE(step_metrics(never, 1.0, 0.02).settled);
+
+  EXPECT_THROW(step_metrics({}, 1.0, 0.02), std::invalid_argument);
+  EXPECT_THROW(step_metrics(y, 0.0, 0.02), std::invalid_argument);
+  EXPECT_THROW(step_metrics(y, 1.0, 0.0), std::invalid_argument);
+}
+
+TEST(DiscreteResponse, OvershootGrowsWithBandwidthRatio) {
+  // The sample-domain face of the Fig. 6/7 story: the discrete step
+  // response of the sampled loop rings harder as w_UG/w0 grows.
+  double prev = 0.0;
+  for (double ratio : {0.05, 0.15, 0.25}) {
+    const PllParameters p = make_typical_loop(ratio * kW0, kW0);
+    const ImpulseInvariantModel zm(p.open_loop_gain(), kW0);
+    const CVector s = step_response_z(zm.closed_loop_z(), 400);
+    std::vector<double> real_samples;
+    real_samples.reserve(s.size());
+    for (const cplx& v : s) real_samples.push_back(v.real());
+    const StepMetrics m = step_metrics(real_samples, 1.0, 0.02);
+    EXPECT_GT(m.overshoot, prev) << "ratio " << ratio;
+    prev = m.overshoot;
+  }
+  EXPECT_GT(prev, 0.4);  // near the boundary: violent ringing
+}
+
+}  // namespace
+}  // namespace htmpll

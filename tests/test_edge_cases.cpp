@@ -1,0 +1,128 @@
+// Edge-of-domain and convergence behavior: DC and Nyquist limits,
+// off-axis evaluation, folding depth, truncation sweeps across PFD
+// shapes and ISFs.
+#include <cmath>
+#include <numbers>
+
+#include <gtest/gtest.h>
+
+#include "htmpll/core/stability.hpp"
+#include "htmpll/noise/noise.hpp"
+
+namespace htmpll {
+namespace {
+
+const cplx j{0.0, 1.0};
+constexpr double kW0 = 2.0 * std::numbers::pi;
+
+TEST(EdgeCases, TrackingIsPerfectAtDcLimit) {
+  // Type-2 loop: H_00 -> 1 and the error transfer -> 0 as w -> 0,
+  // quadratically (two integrators).
+  const SamplingPllModel m(make_typical_loop(0.1 * kW0, kW0));
+  const double e3 = std::abs(m.baseband_error_transfer(j * (1e-3 * kW0)));
+  const double e4 = std::abs(m.baseband_error_transfer(j * (1e-4 * kW0)));
+  EXPECT_LT(e3, 1e-3);  // |E| ~ w^2/K' ~ 4e-4 at w = 0.01 w_UG
+  EXPECT_NEAR(e3 / e4, 100.0, 5.0);  // ~w^2 scaling
+}
+
+TEST(EdgeCases, LambdaFiniteAndRealAtExactNyquist) {
+  const SamplingPllModel m(make_typical_loop(0.2 * kW0, kW0));
+  const cplx l = m.lambda(j * (0.5 * kW0));
+  EXPECT_TRUE(std::isfinite(l.real()));
+  EXPECT_NEAR(l.imag(), 0.0, 1e-9 * std::abs(l));
+}
+
+TEST(EdgeCases, OffAxisLambdaMatchesAdaptive) {
+  // The pole search evaluates lambda off the jw axis; the coth closed
+  // form and the tail-corrected sum must agree there too.
+  const SamplingPllModel m(make_typical_loop(0.15 * kW0, kW0));
+  for (const cplx s : {cplx{-0.1 * kW0, 0.3 * kW0},
+                       cplx{0.05 * kW0, 0.45 * kW0},
+                       cplx{-0.3 * kW0, 0.1 * kW0}}) {
+    const cplx exact = m.lambda(s, LambdaMethod::kExact, 0);
+    const cplx adaptive = m.lambda(s, LambdaMethod::kAdaptive, 0);
+    EXPECT_NEAR(std::abs(exact - adaptive) / std::abs(exact), 0.0, 1e-7);
+  }
+}
+
+struct TruncCase {
+  PfdShape shape;
+  bool lptv;
+};
+
+class TruncationSweep : public ::testing::TestWithParam<TruncCase> {};
+
+TEST_P(TruncationSweep, ClosedLoopHtmConvergesMonotonically) {
+  const TruncCase c = GetParam();
+  SamplingPllOptions opts;
+  opts.pfd_shape = c.shape;
+  const HarmonicCoefficients isf =
+      c.lptv ? HarmonicCoefficients::real_waveform(1.0, {cplx{0.2}})
+             : HarmonicCoefficients(cplx{1.0});
+  const SamplingPllModel m(make_typical_loop(0.15 * kW0, kW0), isf, opts);
+  const cplx s = j * (0.19 * kW0);
+
+  // Reference: a much larger truncation.
+  const cplx ref = m.closed_loop_htm(s, 512).at(0, 0);
+  double prev = 1e300;
+  for (int k : {4, 16, 64, 256}) {
+    const double err = std::abs(m.closed_loop_htm(s, k).at(0, 0) - ref);
+    EXPECT_LT(err, prev * 1.1) << "K = " << k;
+    prev = err;
+  }
+  EXPECT_LT(prev / std::abs(ref), 5e-3);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    ShapesAndIsfs, TruncationSweep,
+    ::testing::Values(TruncCase{PfdShape::kImpulse, false},
+                      TruncCase{PfdShape::kImpulse, true},
+                      TruncCase{PfdShape::kZeroOrderHold, false},
+                      TruncCase{PfdShape::kZeroOrderHold, true}));
+
+TEST(EdgeCases, NoiseFoldingConvergesWithHarmonicDepth) {
+  const SamplingPllModel m(make_typical_loop(0.15 * kW0, kW0));
+  const PowerLawPsd s_vco{0.0, 0.0, 1e-8};
+  const double w = 0.1 * kW0;
+  const double deep =
+      NoiseAnalysis(m, 64).output_psd_from_vco(w, s_vco);
+  double prev_err = 1e300;
+  for (int fold : {2, 8, 32}) {
+    const double v = NoiseAnalysis(m, fold).output_psd_from_vco(w, s_vco);
+    const double err = std::abs(v - deep) / deep;
+    EXPECT_LT(err, prev_err * 1.01);
+    prev_err = err;
+  }
+  EXPECT_LT(prev_err, 1e-2);
+}
+
+TEST(EdgeCases, EffectiveMarginsWorkAtVeryLowRatio) {
+  const SamplingPllModel m(make_typical_loop(5e-4 * kW0, kW0));
+  const EffectiveMargins em = effective_margins(m);
+  ASSERT_TRUE(em.lti_found && em.eff_found);
+  EXPECT_NEAR(em.eff_crossover / em.lti_crossover, 1.0, 1e-3);
+  EXPECT_NEAR(em.eff_phase_margin_deg, em.lti_phase_margin_deg, 0.1);
+}
+
+TEST(EdgeCases, ClosedLoopElementsConjugateSymmetric) {
+  // Real loops: H_{n,0}(-jw) = conj(H_{-n,0}(jw)).
+  const SamplingPllModel m(make_typical_loop(0.2 * kW0, kW0));
+  const double w = 0.17 * kW0;
+  for (int n : {0, 1, 3}) {
+    const cplx a = m.closed_loop(n, -j * w);
+    const cplx b = std::conj(m.closed_loop(-n, j * w));
+    EXPECT_NEAR(std::abs(a - b), 0.0, 1e-10 * std::max(1.0, std::abs(b)))
+        << "n = " << n;
+  }
+}
+
+TEST(EdgeCases, HugeTruncationStaysNumericallySane) {
+  const SamplingPllModel m(make_typical_loop(0.1 * kW0, kW0));
+  const cplx s = j * (0.08 * kW0);
+  const cplx lam = m.lambda(s, LambdaMethod::kTruncated, 20000);
+  const cplx exact = m.lambda(s, LambdaMethod::kExact, 0);
+  EXPECT_NEAR(std::abs(lam - exact) / std::abs(exact), 0.0, 5e-4);
+}
+
+}  // namespace
+}  // namespace htmpll

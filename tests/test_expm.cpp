@@ -1,0 +1,120 @@
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "htmpll/linalg/expm.hpp"
+
+namespace htmpll {
+namespace {
+
+TEST(Expm, DiagonalMatrix) {
+  const RMatrix a{{1.0, 0.0}, {0.0, -2.0}};
+  const RMatrix e = expm(a);
+  EXPECT_NEAR(e(0, 0), std::exp(1.0), 1e-12);
+  EXPECT_NEAR(e(1, 1), std::exp(-2.0), 1e-12);
+  EXPECT_NEAR(e(0, 1), 0.0, 1e-13);
+  EXPECT_NEAR(e(1, 0), 0.0, 1e-13);
+}
+
+TEST(Expm, NilpotentMatrixIsExactPolynomial) {
+  // exp([[0,1],[0,0]]) = [[1,1],[0,1]]
+  const RMatrix a{{0.0, 1.0}, {0.0, 0.0}};
+  const RMatrix e = expm(a);
+  EXPECT_NEAR(e(0, 0), 1.0, 1e-14);
+  EXPECT_NEAR(e(0, 1), 1.0, 1e-14);
+  EXPECT_NEAR(e(1, 0), 0.0, 1e-14);
+  EXPECT_NEAR(e(1, 1), 1.0, 1e-14);
+}
+
+TEST(Expm, RotationMatrix) {
+  // exp([[0,-w],[w,0]] t) = rotation by w t.
+  const double w = 3.0;
+  const RMatrix a{{0.0, -w}, {w, 0.0}};
+  const RMatrix e = expm(a);
+  EXPECT_NEAR(e(0, 0), std::cos(w), 1e-11);
+  EXPECT_NEAR(e(0, 1), -std::sin(w), 1e-11);
+  EXPECT_NEAR(e(1, 0), std::sin(w), 1e-11);
+  EXPECT_NEAR(e(1, 1), std::cos(w), 1e-11);
+}
+
+TEST(Expm, LargeNormTriggersScalingAndStaysAccurate) {
+  const RMatrix a{{-50.0, 30.0}, {0.0, -80.0}};
+  const RMatrix e = expm(a);
+  // Upper-triangular: e11 = exp(-50), e22 = exp(-80),
+  // e12 = 30 (exp(-50) - exp(-80)) / 30 = exp(-50)-exp(-80).
+  EXPECT_NEAR(e(0, 0) / std::exp(-50.0), 1.0, 1e-9);
+  EXPECT_NEAR(e(1, 1) / std::exp(-80.0), 1.0, 1e-6);
+  EXPECT_NEAR(e(0, 1) / (std::exp(-50.0) - std::exp(-80.0)), 1.0, 1e-9);
+}
+
+TEST(Expm, SemigroupProperty) {
+  const RMatrix a{{0.1, 0.7}, {-0.3, 0.2}};
+  const RMatrix e1 = expm(a);
+  const RMatrix e2 = expm(a * 2.0);
+  const RMatrix e1sq = e1 * e1;
+  for (std::size_t i = 0; i < 2; ++i) {
+    for (std::size_t j = 0; j < 2; ++j) {
+      EXPECT_NEAR(e1sq(i, j), e2(i, j), 1e-12);
+    }
+  }
+}
+
+TEST(Propagator, ScalarDecayWithConstantInput) {
+  // x' = -a x + u, exact x(h) = e^{-ah} x0 + (1 - e^{-ah}) u / a.
+  const double a = 2.0, h = 0.3, x0 = 1.5, u = 4.0;
+  const RMatrix am{{-a}};
+  const RMatrix bm{{1.0}};
+  const StepPropagator p = make_propagator(am, bm, h);
+  const RVector x = p.advance({x0}, {u}, {u}, h);
+  const double expected = std::exp(-a * h) * x0 +
+                          (1.0 - std::exp(-a * h)) * u / a;
+  EXPECT_NEAR(x[0], expected, 1e-13);
+}
+
+TEST(Propagator, PureIntegratorWithConstantInput) {
+  // x' = u: singular A must still work (phi functions, not A^{-1}).
+  const RMatrix am{{0.0}};
+  const RMatrix bm{{1.0}};
+  const double h = 0.7;
+  const StepPropagator p = make_propagator(am, bm, h);
+  const RVector x = p.advance({2.0}, {3.0}, {3.0}, h);
+  EXPECT_NEAR(x[0], 2.0 + 3.0 * h, 1e-13);
+}
+
+TEST(Propagator, PureIntegratorWithRampInput) {
+  // x' = u(t), u ramps u0 -> u1: x(h) = x0 + h (u0+u1)/2.
+  const RMatrix am{{0.0}};
+  const RMatrix bm{{1.0}};
+  const double h = 0.5;
+  const StepPropagator p = make_propagator(am, bm, h);
+  const RVector x = p.advance({0.0}, {1.0}, {3.0}, h);
+  EXPECT_NEAR(x[0], 0.5 * (1.0 + 3.0) * h, 1e-13);
+}
+
+TEST(Propagator, DoubleIntegratorChain) {
+  // x1' = u, x2' = x1 (Jordan block at 0, like filter cap + VCO phase).
+  const RMatrix am{{0.0, 0.0}, {1.0, 0.0}};
+  const RMatrix bm{{1.0}, {0.0}};
+  const double h = 2.0, u = 1.0;
+  const StepPropagator p = make_propagator(am, bm, h);
+  const RVector x = p.advance({0.0, 0.0}, {u}, {u}, h);
+  EXPECT_NEAR(x[0], u * h, 1e-12);
+  EXPECT_NEAR(x[1], 0.5 * u * h * h, 1e-12);
+}
+
+TEST(Propagator, AutonomousSystemAllowed) {
+  const RMatrix am{{-1.0}};
+  const StepPropagator p = make_propagator(am, RMatrix(), 1.0);
+  const RVector x = p.advance({1.0}, {}, {}, 1.0);
+  EXPECT_NEAR(x[0], std::exp(-1.0), 1e-12);
+}
+
+TEST(Propagator, RejectsNonPositiveStep) {
+  EXPECT_THROW(make_propagator(RMatrix{{0.0}}, RMatrix{{1.0}}, 0.0),
+               std::invalid_argument);
+  EXPECT_THROW(make_propagator(RMatrix{{0.0}}, RMatrix{{1.0}}, -1.0),
+               std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace htmpll

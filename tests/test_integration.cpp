@@ -1,0 +1,75 @@
+// End-to-end validation: the HTM frequency-domain model (eq. 38) against
+// the behavioral time-marching simulator -- the reproduction of the
+// paper's Section 5 verification ("both are within 2%").  We allow a
+// slightly looser envelope at the band edge, where the measurement
+// itself carries windowing error.
+#include <numbers>
+
+#include <gtest/gtest.h>
+
+#include "htmpll/core/sampling_pll.hpp"
+#include "htmpll/timedomain/probe.hpp"
+
+namespace htmpll {
+namespace {
+
+constexpr double kW0 = 2.0 * std::numbers::pi;  // T = 1 s
+const cplx j{0.0, 1.0};
+
+struct Case {
+  double ratio;     // w_UG / w0
+  double f;         // w_m / w0
+  double tol;       // relative tolerance on H00
+};
+
+class HtmVsSim : public ::testing::TestWithParam<Case> {};
+
+TEST_P(HtmVsSim, BasebandTransferMatches) {
+  const Case c = GetParam();
+  const PllParameters params = make_typical_loop(c.ratio * kW0, kW0);
+  const SamplingPllModel model(params);
+
+  ProbeOptions opts;
+  opts.settle_periods = 400.0;
+  opts.measure_periods = 24;
+  const TransferMeasurement meas =
+      measure_baseband_transfer(params, c.f * kW0, opts);
+
+  const cplx predicted = model.baseband_transfer(j * (c.f * kW0));
+  const double rel_err =
+      std::abs(meas.value - predicted) / std::abs(predicted);
+  EXPECT_LT(rel_err, c.tol)
+      << "ratio " << c.ratio << " f " << c.f << " measured |H|="
+      << std::abs(meas.value) << " predicted |H|=" << std::abs(predicted);
+}
+
+// Ratios follow the paper's Fig. 6 family (w_UG/w0 up to 1/5); the
+// sampled loop is unstable beyond ~0.28 for this gamma = 4 design, so
+// larger ratios have no steady state to measure.
+INSTANTIATE_TEST_SUITE_P(
+    Fig6Points, HtmVsSim,
+    ::testing::Values(Case{0.1, 0.03, 0.02}, Case{0.1, 0.1, 0.02},
+                      Case{0.2, 0.1, 0.02}, Case{0.2, 0.25, 0.03},
+                      Case{0.25, 0.2, 0.03}, Case{0.25, 0.35, 0.05}));
+
+TEST(HtmVsSimExtra, LtiModelIsWorsePredictorForFastLoop) {
+  // The whole point of the paper: for a fast loop the classical LTI
+  // model misses what the simulator does; the HTM model does not.
+  const double ratio = 0.25, f = 0.3;
+  const PllParameters params = make_typical_loop(ratio * kW0, kW0);
+  const SamplingPllModel model(params);
+  ProbeOptions opts;
+  opts.settle_periods = 400.0;
+  opts.measure_periods = 24;
+  const TransferMeasurement meas =
+      measure_baseband_transfer(params, f * kW0, opts);
+  const cplx s = j * (f * kW0);
+  const double err_htm =
+      std::abs(meas.value - model.baseband_transfer(s));
+  const double err_lti =
+      std::abs(meas.value - model.lti_baseband_transfer(s));
+  EXPECT_LT(err_htm, 0.3 * err_lti);
+}
+
+}  // namespace
+}  // namespace htmpll

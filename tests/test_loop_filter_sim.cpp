@@ -1,0 +1,89 @@
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "htmpll/timedomain/loop_filter_sim.hpp"
+
+namespace htmpll {
+namespace {
+
+StateSpace lowpass(double a) {
+  // H = a/(s+a): x' = -a x + a u, y = x.
+  StateSpace ss;
+  ss.a = RMatrix{{-a}};
+  ss.b = RMatrix{{a}};
+  ss.c = RMatrix{{1.0}};
+  ss.d = 0.0;
+  return ss;
+}
+
+TEST(Integrator, StepResponseMatchesAnalytic) {
+  PiecewiseExactIntegrator sim(lowpass(2.0));
+  const double u = 1.0;
+  double t = 0.0;
+  for (int k = 0; k < 20; ++k) {
+    const double h = 0.05 + 0.013 * k;  // deliberately irregular steps
+    sim.advance(h, u);
+    t += h;
+    EXPECT_NEAR(sim.output(u), 1.0 - std::exp(-2.0 * t), 1e-12)
+        << "t = " << t;
+  }
+}
+
+TEST(Integrator, PeekDoesNotCommit) {
+  PiecewiseExactIntegrator sim(lowpass(1.0));
+  const RVector before = sim.state();
+  const RVector peeked = sim.peek(0.5, 1.0);
+  EXPECT_NE(peeked[0], before[0]);
+  EXPECT_EQ(sim.state()[0], before[0]);
+  EXPECT_NEAR(sim.peek_output(0.5, 1.0), peeked[0], 1e-15);
+}
+
+TEST(Integrator, ZeroStepIsIdentity) {
+  PiecewiseExactIntegrator sim(lowpass(1.0));
+  sim.advance(0.3, 2.0);
+  const RVector x = sim.state();
+  const RVector y = sim.peek(0.0, 5.0);
+  EXPECT_EQ(x[0], y[0]);
+}
+
+TEST(Integrator, NegativeStepThrows) {
+  PiecewiseExactIntegrator sim(lowpass(1.0));
+  EXPECT_THROW(sim.peek(-0.1, 0.0), std::invalid_argument);
+}
+
+TEST(Integrator, SetStateValidatesDimension) {
+  PiecewiseExactIntegrator sim(lowpass(1.0));
+  EXPECT_THROW(sim.set_state({1.0, 2.0}), std::invalid_argument);
+  sim.set_state({3.0});
+  EXPECT_DOUBLE_EQ(sim.state()[0], 3.0);
+}
+
+TEST(Integrator, SegmentedEqualsSingleStep) {
+  // Propagating 10 sub-steps must equal one big step exactly (group
+  // property of the exact propagator).
+  PiecewiseExactIntegrator a(lowpass(3.0));
+  PiecewiseExactIntegrator b(lowpass(3.0));
+  const double u = 0.7;
+  for (int k = 0; k < 10; ++k) a.advance(0.1, u);
+  b.advance(1.0, u);
+  EXPECT_NEAR(a.state()[0], b.state()[0], 1e-13);
+}
+
+TEST(Integrator, IntegratorPlusPhaseChain) {
+  // x1' = u (cap), x2' = k x1 (phase): after holding u = 1 for t,
+  // x1 = t, x2 = k t^2 / 2.  A is singular and defective -- the exact
+  // propagator must still be exact.
+  StateSpace ss;
+  ss.a = RMatrix{{0.0, 0.0}, {2.0, 0.0}};
+  ss.b = RMatrix{{1.0}, {0.0}};
+  ss.c = RMatrix{{0.0, 1.0}};
+  ss.d = 0.0;
+  PiecewiseExactIntegrator sim(ss);
+  sim.advance(3.0, 1.0);
+  EXPECT_NEAR(sim.state()[0], 3.0, 1e-12);
+  EXPECT_NEAR(sim.state()[1], 2.0 * 9.0 / 2.0, 1e-11);
+}
+
+}  // namespace
+}  // namespace htmpll

@@ -1,0 +1,98 @@
+#include <random>
+
+#include <gtest/gtest.h>
+
+#include "htmpll/linalg/lu.hpp"
+
+namespace htmpll {
+namespace {
+
+TEST(Lu, SolvesKnownRealSystem) {
+  const RMatrix a{{2.0, 1.0}, {1.0, 3.0}};
+  const RVector b{5.0, 10.0};
+  const RVector x = solve(a, b);
+  EXPECT_NEAR(x[0], 1.0, 1e-12);
+  EXPECT_NEAR(x[1], 3.0, 1e-12);
+}
+
+TEST(Lu, InverseTimesOriginalIsIdentity) {
+  const RMatrix a{{4.0, 7.0}, {2.0, 6.0}};
+  const RMatrix inv = inverse(a);
+  const RMatrix prod = a * inv;
+  EXPECT_NEAR(prod(0, 0), 1.0, 1e-12);
+  EXPECT_NEAR(prod(0, 1), 0.0, 1e-12);
+  EXPECT_NEAR(prod(1, 0), 0.0, 1e-12);
+  EXPECT_NEAR(prod(1, 1), 1.0, 1e-12);
+}
+
+TEST(Lu, DeterminantWithPivoting) {
+  // Requires a row swap: leading zero.
+  const RMatrix a{{0.0, 1.0}, {1.0, 0.0}};
+  EXPECT_NEAR(RLu(a).determinant(), -1.0, 1e-15);
+  const RMatrix b{{2.0, 0.0}, {0.0, 3.0}};
+  EXPECT_NEAR(RLu(b).determinant(), 6.0, 1e-15);
+}
+
+TEST(Lu, SingularMatrixThrowsDomainError) {
+  const RMatrix a{{1.0, 2.0}, {2.0, 4.0}};
+  EXPECT_THROW(RLu{a}, std::domain_error);
+}
+
+TEST(Lu, NonSquareThrows) {
+  const RMatrix a(2, 3);
+  EXPECT_THROW(RLu{a}, std::invalid_argument);
+}
+
+TEST(Lu, ComplexSolveKnownSystem) {
+  const cplx j{0.0, 1.0};
+  const CMatrix a{{1.0 + j, 0.0}, {0.0, 2.0}};
+  const CVector b{2.0 * j, 4.0};
+  const CVector x = solve(a, b);
+  // (1+j) x = 2j -> x = 2j/(1+j) = 1 + j
+  EXPECT_NEAR(std::abs(x[0] - (1.0 + j)), 0.0, 1e-12);
+  EXPECT_NEAR(std::abs(x[1] - cplx{2.0}), 0.0, 1e-12);
+}
+
+class LuRandomRoundTrip : public ::testing::TestWithParam<int> {};
+
+TEST_P(LuRandomRoundTrip, RealSolveResidualSmall) {
+  std::mt19937 rng(42u + static_cast<unsigned>(GetParam()));
+  std::uniform_real_distribution<double> dist(-1.0, 1.0);
+  const std::size_t n = static_cast<std::size_t>(GetParam());
+  RMatrix a(n, n);
+  for (std::size_t i = 0; i < n; ++i) {
+    for (std::size_t j2 = 0; j2 < n; ++j2) a(i, j2) = dist(rng);
+    a(i, i) += 2.0;  // keep well conditioned
+  }
+  RVector x_true(n);
+  for (auto& v : x_true) v = dist(rng);
+  const RVector b = a * x_true;
+  const RVector x = solve(a, b);
+  for (std::size_t i = 0; i < n; ++i) EXPECT_NEAR(x[i], x_true[i], 1e-9);
+}
+
+TEST_P(LuRandomRoundTrip, ComplexInverseRoundTrip) {
+  std::mt19937 rng(1729u + static_cast<unsigned>(GetParam()));
+  std::uniform_real_distribution<double> dist(-1.0, 1.0);
+  const std::size_t n = static_cast<std::size_t>(GetParam());
+  CMatrix a(n, n);
+  for (std::size_t i = 0; i < n; ++i) {
+    for (std::size_t j2 = 0; j2 < n; ++j2) {
+      a(i, j2) = cplx{dist(rng), dist(rng)};
+    }
+    a(i, i) += cplx{3.0, 0.0};
+  }
+  const CMatrix prod = a * CLu(a).inverse();
+  for (std::size_t i = 0; i < n; ++i) {
+    for (std::size_t j2 = 0; j2 < n; ++j2) {
+      const cplx expected = (i == j2) ? cplx{1.0} : cplx{0.0};
+      EXPECT_NEAR(std::abs(prod(i, j2) - expected), 0.0, 1e-9);
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Orders, LuRandomRoundTrip,
+                         ::testing::Values(1, 2, 3, 5, 8, 13, 21, 33));
+
+}  // namespace
+}  // namespace htmpll

@@ -1,0 +1,117 @@
+#include <gtest/gtest.h>
+
+#include "htmpll/linalg/matrix.hpp"
+
+namespace htmpll {
+namespace {
+
+TEST(Matrix, InitializerListAndAccess) {
+  const RMatrix m{{1.0, 2.0}, {3.0, 4.0}};
+  EXPECT_EQ(m.rows(), 2u);
+  EXPECT_EQ(m.cols(), 2u);
+  EXPECT_DOUBLE_EQ(m(0, 1), 2.0);
+  EXPECT_DOUBLE_EQ(m(1, 0), 3.0);
+}
+
+TEST(Matrix, RaggedInitializerThrows) {
+  EXPECT_THROW((RMatrix{{1.0, 2.0}, {3.0}}), std::invalid_argument);
+}
+
+TEST(Matrix, IdentityActsAsNeutral) {
+  const RMatrix a{{1.0, 2.0}, {3.0, 4.0}};
+  const RMatrix i = RMatrix::identity(2);
+  const RMatrix left = i * a;
+  const RMatrix right = a * i;
+  for (std::size_t r = 0; r < 2; ++r) {
+    for (std::size_t c = 0; c < 2; ++c) {
+      EXPECT_DOUBLE_EQ(left(r, c), a(r, c));
+      EXPECT_DOUBLE_EQ(right(r, c), a(r, c));
+    }
+  }
+}
+
+TEST(Matrix, ProductMatchesHandComputation) {
+  const RMatrix a{{1.0, 2.0}, {3.0, 4.0}};
+  const RMatrix b{{5.0, 6.0}, {7.0, 8.0}};
+  const RMatrix c = a * b;
+  EXPECT_DOUBLE_EQ(c(0, 0), 19.0);
+  EXPECT_DOUBLE_EQ(c(0, 1), 22.0);
+  EXPECT_DOUBLE_EQ(c(1, 0), 43.0);
+  EXPECT_DOUBLE_EQ(c(1, 1), 50.0);
+}
+
+TEST(Matrix, ShapeMismatchThrows) {
+  const RMatrix a(2, 3);
+  const RMatrix b(2, 3);
+  EXPECT_THROW(a * b, std::invalid_argument);
+  RMatrix c(3, 3);
+  EXPECT_THROW(c += a, std::invalid_argument);
+}
+
+TEST(Matrix, ComplexArithmetic) {
+  const cplx j{0.0, 1.0};
+  const CMatrix a{{j, 0.0}, {0.0, -j}};
+  const CMatrix sq = a * a;
+  EXPECT_NEAR(std::abs(sq(0, 0) - cplx{-1.0}), 0.0, 1e-15);
+  EXPECT_NEAR(std::abs(sq(1, 1) - cplx{-1.0}), 0.0, 1e-15);
+}
+
+TEST(Matrix, MatrixVectorProduct) {
+  const RMatrix a{{1.0, 2.0}, {3.0, 4.0}};
+  const std::vector<double> x{1.0, 1.0};
+  const std::vector<double> y = a * x;
+  ASSERT_EQ(y.size(), 2u);
+  EXPECT_DOUBLE_EQ(y[0], 3.0);
+  EXPECT_DOUBLE_EQ(y[1], 7.0);
+}
+
+TEST(Matrix, TransposeRoundTrip) {
+  const RMatrix a{{1.0, 2.0, 3.0}, {4.0, 5.0, 6.0}};
+  const RMatrix t = a.transpose();
+  EXPECT_EQ(t.rows(), 3u);
+  EXPECT_EQ(t.cols(), 2u);
+  EXPECT_DOUBLE_EQ(t(2, 1), 6.0);
+  const RMatrix tt = t.transpose();
+  for (std::size_t r = 0; r < 2; ++r) {
+    for (std::size_t c = 0; c < 3; ++c) EXPECT_DOUBLE_EQ(tt(r, c), a(r, c));
+  }
+}
+
+TEST(Matrix, Norms) {
+  const RMatrix a{{3.0, -4.0}, {0.0, 0.0}};
+  EXPECT_DOUBLE_EQ(a.max_abs(), 4.0);
+  EXPECT_DOUBLE_EQ(a.norm_inf(), 7.0);
+  EXPECT_DOUBLE_EQ(a.norm_fro(), 5.0);
+}
+
+TEST(Matrix, OuterProductIsRankOnePattern) {
+  const CVector u{cplx{1.0}, cplx{2.0}};
+  const CVector v{cplx{3.0}, cplx{0.0, 1.0}};
+  const CMatrix m = outer(u, v);
+  EXPECT_EQ(m(0, 0), cplx(3.0));
+  EXPECT_EQ(m(1, 0), cplx(6.0));
+  EXPECT_EQ(m(0, 1), cplx(0.0, 1.0));
+  EXPECT_EQ(m(1, 1), cplx(0.0, 2.0));
+}
+
+TEST(Matrix, DotUnconjugatedMatchesPaperConvention) {
+  const cplx j{0.0, 1.0};
+  const CVector u{j, j};
+  // l^T u (no conjugation): j + j = 2j, not the inner product 2.
+  EXPECT_EQ(dot_unconjugated(CVector{1.0, 1.0}, u), 2.0 * j);
+}
+
+TEST(Matrix, VectorHelpers) {
+  const CVector a{1.0, 2.0};
+  const CVector b{cplx{0.0, 1.0}, cplx{1.0, 0.0}};
+  const CVector sum = a + b;
+  const CVector dif = a - b;
+  EXPECT_EQ(sum[0], cplx(1.0, 1.0));
+  EXPECT_EQ(dif[1], cplx(1.0, 0.0));
+  EXPECT_NEAR(norm2(CVector{cplx{3.0}, cplx{0.0, 4.0}}), 5.0, 1e-15);
+  const CVector scaled = cplx{2.0} * a;
+  EXPECT_EQ(scaled[1], cplx(4.0));
+}
+
+}  // namespace
+}  // namespace htmpll

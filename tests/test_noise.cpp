@@ -1,0 +1,147 @@
+#include <numbers>
+
+#include <gtest/gtest.h>
+
+#include "htmpll/noise/noise.hpp"
+
+namespace htmpll {
+namespace {
+
+constexpr double kW0 = 2.0 * std::numbers::pi;
+const cplx j{0.0, 1.0};
+
+SamplingPllModel make_model(double ratio) {
+  return SamplingPllModel(make_typical_loop(ratio * kW0, kW0));
+}
+
+TEST(PowerLawPsd, Shapes) {
+  const PowerLawPsd psd{1e-12, 1e-9, 1e-6};
+  EXPECT_NEAR(psd(1.0), 1e-12 + 1e-9 + 1e-6, 1e-18);
+  EXPECT_NEAR(psd(1e3), 1e-12 + 1e-12 + 1e-12, 1e-20);
+  EXPECT_NEAR(psd(-1e3), psd(1e3), 0.0);  // even in w
+  EXPECT_THROW(psd(0.0), std::invalid_argument);
+}
+
+TEST(Noise, ReferenceTransferIsLowpass) {
+  const SamplingPllModel m = make_model(0.1);
+  const NoiseAnalysis na(m);
+  // In-band: reference noise passes (|H00| ~ 1).
+  EXPECT_NEAR(std::abs(na.reference_transfer(0.001 * kW0)), 1.0, 0.02);
+  // Far out of band (near w0/2): strongly attenuated relative to DC.
+  EXPECT_LT(std::abs(na.reference_transfer(0.49 * kW0)), 0.5);
+}
+
+TEST(Noise, VcoTransferIsHighpass) {
+  const SamplingPllModel m = make_model(0.1);
+  const NoiseAnalysis na(m);
+  // In-band: VCO noise suppressed by the loop.
+  EXPECT_LT(std::abs(na.vco_transfer(0, 0.001 * kW0)), 0.05);
+  // Out of band: VCO noise passes.
+  EXPECT_NEAR(std::abs(na.vco_transfer(0, 0.49 * kW0)), 1.0, 0.5);
+}
+
+TEST(Noise, TransfersComplementAtBaseband) {
+  // T_ref + T_vco(m=0) = 1 by construction.
+  const SamplingPllModel m = make_model(0.25);
+  const NoiseAnalysis na(m);
+  const double w = 0.123 * kW0;
+  EXPECT_NEAR(std::abs(na.reference_transfer(w) + na.vco_transfer(0, w) -
+                       cplx{1.0}),
+              0.0, 1e-12);
+}
+
+TEST(Noise, SidebandVcoTransfersShareMagnitude) {
+  // For m != 0 the rank-one structure gives identical transfer -H00.
+  const SamplingPllModel m = make_model(0.2);
+  const NoiseAnalysis na(m);
+  const double w = 0.2 * kW0;
+  const cplx t1 = na.vco_transfer(1, w);
+  const cplx t5 = na.vco_transfer(-5, w);
+  EXPECT_NEAR(std::abs(t1 - t5), 0.0, 1e-14);
+  EXPECT_NEAR(std::abs(t1 + m.baseband_transfer(j * w)), 0.0, 1e-14);
+}
+
+TEST(Noise, FoldedVcoPsdExceedsUnfoldedTerm) {
+  const SamplingPllModel m = make_model(0.25);
+  const NoiseAnalysis na(m, 12);
+  const PowerLawPsd psd{0.0, 0.0, 1e-6};  // 1/w^2 (white FM)
+  const double w = 0.1 * kW0;
+  const double folded = na.output_psd_from_vco(w, psd);
+  const double direct = std::norm(na.vco_transfer(0, w)) * psd(w);
+  EXPECT_GT(folded, direct);
+}
+
+TEST(Noise, ChargePumpTransferScalesWithFilterGain) {
+  const SamplingPllModel m = make_model(0.2);
+  const NoiseAnalysis na(m);
+  const double w = 0.05 * kW0;
+  const cplx t0 = na.charge_pump_transfer(0, w);
+  // Baseband CP transfer = D_0 (1 - H00); for an in-band frequency
+  // 1 - H00 is small, so |t0| << |D_0|.  Current noise sees the
+  // impedance Z = H_LF/Icp, not Icp*Z.
+  const PllParameters& p = m.parameters();
+  const cplx d0 = p.kvco * p.loop_filter_tf()(j * w) / (p.icp * j * w);
+  EXPECT_LT(std::abs(t0), 0.2 * std::abs(d0));
+}
+
+TEST(Noise, LptvChargePumpTransferReducesToTi) {
+  // A padded DC-only ISF must give the TI answer exactly.
+  const PllParameters p = make_typical_loop(0.15 * kW0, kW0);
+  const SamplingPllModel ti(p);
+  const SamplingPllModel padded(
+      p, HarmonicCoefficients(CVector{cplx{0.0}, cplx{1.0}, cplx{0.0}}));
+  const NoiseAnalysis na_ti(ti);
+  const NoiseAnalysis na_pad(padded);
+  for (int m : {-2, 0, 1}) {
+    const cplx a = na_ti.charge_pump_transfer(m, 0.07 * kW0);
+    const cplx b = na_pad.charge_pump_transfer(m, 0.07 * kW0);
+    EXPECT_NEAR(std::abs(a - b), 0.0, 1e-12 * std::max(1.0, std::abs(a)))
+        << "m = " << m;
+  }
+}
+
+TEST(Noise, LptvChargePumpTransferSeesIsfRipple) {
+  // With a real ISF harmonic, band m = -1 couples through v_{+1}: the
+  // transfer must differ from the TI value.
+  const PllParameters p = make_typical_loop(0.15 * kW0, kW0);
+  const SamplingPllModel ti(p);
+  const SamplingPllModel lptv(
+      p, HarmonicCoefficients::real_waveform(1.0, {cplx{0.3}}));
+  const NoiseAnalysis na_ti(ti);
+  const NoiseAnalysis na_lptv(lptv);
+  const cplx a = na_ti.charge_pump_transfer(-1, 0.1 * kW0);
+  const cplx b = na_lptv.charge_pump_transfer(-1, 0.1 * kW0);
+  EXPECT_GT(std::abs(a - b), 0.05 * std::abs(a));
+}
+
+TEST(Noise, TotalIsSumOfParts) {
+  const SamplingPllModel m = make_model(0.2);
+  const NoiseAnalysis na(m, 6);
+  const PowerLawPsd ref{1e-14, 0.0, 0.0};
+  const PowerLawPsd vco{0.0, 0.0, 1e-8};
+  const PowerLawPsd icp{1e-20, 0.0, 0.0};
+  const double w = 0.07 * kW0;
+  const double total = na.output_psd_total(w, ref, vco, icp);
+  const double parts = na.output_psd_from_reference(w, ref) +
+                       na.output_psd_from_vco(w, vco) +
+                       na.output_psd_from_charge_pump(w, icp);
+  EXPECT_NEAR(total, parts, 1e-15 * parts + 1e-30);
+}
+
+TEST(Noise, IntegratedRmsOfFlatPsd) {
+  const SamplingPllModel m = make_model(0.2);
+  const NoiseAnalysis na(m);
+  // Integral of a constant S over [a, b]: rms = sqrt(S (b-a)/pi).
+  const double s0 = 4.0;
+  const double rms = na.integrated_rms([s0](double) { return s0; }, 1.0,
+                                       11.0, 2000);
+  EXPECT_NEAR(rms, std::sqrt(s0 * 10.0 / std::numbers::pi), 1e-3);
+}
+
+TEST(Noise, ValidatesConstruction) {
+  const SamplingPllModel m = make_model(0.2);
+  EXPECT_THROW(NoiseAnalysis(m, 0), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace htmpll

@@ -1,0 +1,137 @@
+#include <random>
+
+#include <gtest/gtest.h>
+
+#include "htmpll/lti/partial_fractions.hpp"
+
+namespace htmpll {
+namespace {
+
+const cplx j{0.0, 1.0};
+
+TEST(PartialFractions, SimplePolesKnownResidues) {
+  // 1/((s+1)(s+2)) = 1/(s+1) - 1/(s+2)
+  const RationalFunction h(
+      Polynomial::constant(1.0),
+      Polynomial::from_roots({cplx{-1.0}, cplx{-2.0}}));
+  const PartialFractions pf(h);
+  ASSERT_EQ(pf.terms().size(), 2u);
+  for (const PoleTerm& t : pf.terms()) {
+    ASSERT_EQ(t.residues.size(), 1u);
+    if (std::abs(t.pole + 1.0) < 1e-6) {
+      EXPECT_NEAR(std::abs(t.residues[0] - cplx{1.0}), 0.0, 1e-10);
+    } else {
+      EXPECT_NEAR(std::abs(t.pole + 2.0), 0.0, 1e-8);
+      EXPECT_NEAR(std::abs(t.residues[0] + 1.0), 0.0, 1e-10);
+    }
+  }
+}
+
+TEST(PartialFractions, DoublePoleAtOrigin) {
+  // (1 + s) / s^2 = 1/s^2 + 1/s
+  const RationalFunction h(Polynomial::from_real({1.0, 1.0}),
+                           Polynomial::from_real({0.0, 0.0, 1.0}));
+  const PartialFractions pf(h);
+  ASSERT_EQ(pf.terms().size(), 1u);
+  const PoleTerm& t = pf.terms()[0];
+  EXPECT_NEAR(std::abs(t.pole), 0.0, 1e-10);
+  ASSERT_EQ(t.residues.size(), 2u);
+  EXPECT_NEAR(std::abs(t.residues[0] - cplx{1.0}), 0.0, 1e-10);  // 1/(s-0)
+  EXPECT_NEAR(std::abs(t.residues[1] - cplx{1.0}), 0.0, 1e-10);  // 1/s^2
+}
+
+TEST(PartialFractions, EvaluationMatchesOriginal) {
+  const RationalFunction h(
+      Polynomial::from_real({3.0, 2.0, 1.0}),
+      Polynomial::from_roots({cplx{-1.0}, cplx{-1.0}, cplx{-4.0},
+                              cplx{0.0, 2.0}, cplx{0.0, -2.0}}));
+  const PartialFractions pf(h);
+  for (const cplx s : {cplx{1.0, 0.5}, cplx{-0.3, 3.0}, cplx{5.0, -1.0}}) {
+    EXPECT_NEAR(std::abs(pf(s) - h(s)) / std::abs(h(s)), 0.0, 1e-7);
+  }
+}
+
+TEST(PartialFractions, ImproperSplitsDirectPart) {
+  // (s^2 + 1)/(s + 1) = (s - 1) + 2/(s+1)
+  const RationalFunction h(Polynomial::from_real({1.0, 0.0, 1.0}),
+                           Polynomial::from_real({1.0, 1.0}));
+  const PartialFractions pf(h);
+  EXPECT_EQ(pf.direct().degree(), 1u);
+  EXPECT_NEAR(std::abs(pf.direct()(cplx{0.0}) + 1.0), 0.0, 1e-10);
+  ASSERT_EQ(pf.terms().size(), 1u);
+  EXPECT_NEAR(std::abs(pf.terms()[0].residues[0] - cplx{2.0}), 0.0, 1e-10);
+}
+
+TEST(PartialFractions, ImpulseResponseSimplePole) {
+  // L^{-1}{ 1/(s+2) } = e^{-2t}
+  const RationalFunction h(Polynomial::constant(1.0),
+                           Polynomial::from_real({2.0, 1.0}));
+  const PartialFractions pf(h);
+  for (double t : {0.0, 0.5, 1.0, 2.0}) {
+    EXPECT_NEAR(std::abs(pf.impulse_response(t) - std::exp(-2.0 * t)), 0.0,
+                1e-10);
+  }
+}
+
+TEST(PartialFractions, ImpulseResponseDoublePole) {
+  // L^{-1}{ 1/(s+1)^2 } = t e^{-t}
+  const RationalFunction h(Polynomial::constant(1.0),
+                           Polynomial::from_roots({cplx{-1.0}, cplx{-1.0}}));
+  const PartialFractions pf(h);
+  for (double t : {0.1, 1.0, 3.0}) {
+    EXPECT_NEAR(std::abs(pf.impulse_response(t) - t * std::exp(-t)), 0.0,
+                1e-8);
+  }
+}
+
+TEST(PartialFractions, ImpulseResponseRejectsImproperAndNegativeTime) {
+  const RationalFunction improper(Polynomial::from_real({1.0, 0.0, 1.0}),
+                                  Polynomial::from_real({1.0, 1.0}));
+  EXPECT_THROW(PartialFractions(improper).impulse_response(1.0),
+               std::invalid_argument);
+  const RationalFunction ok(Polynomial::constant(1.0),
+                            Polynomial::from_real({1.0, 1.0}));
+  EXPECT_THROW(PartialFractions(ok).impulse_response(-1.0),
+               std::invalid_argument);
+}
+
+TEST(PartialFractions, ReassembleRoundTrip) {
+  const RationalFunction h(
+      Polynomial::from_real({1.0, 2.0}),
+      Polynomial::from_roots({cplx{-1.0}, cplx{-3.0}, cplx{-3.0}}));
+  const RationalFunction back = PartialFractions(h).reassemble();
+  const cplx s{0.7, 1.1};
+  // The double pole at -3 limits residue accuracy to ~sqrt(eps).
+  EXPECT_NEAR(std::abs(back(s) - h(s)) / std::abs(h(s)), 0.0, 1e-6);
+}
+
+class PfRandomRoundTrip : public ::testing::TestWithParam<int> {};
+
+TEST_P(PfRandomRoundTrip, RandomSimplePoleFunctions) {
+  std::mt19937 rng(100u + static_cast<unsigned>(GetParam()));
+  std::uniform_real_distribution<double> d(-4.0, -0.5);
+  std::uniform_real_distribution<double> im(-3.0, 3.0);
+  const int n = GetParam();
+  CVector poles;
+  for (int i = 0; i < n; ++i) poles.push_back(cplx{d(rng), im(rng)});
+  bool clustered = false;
+  for (int a = 0; a < n; ++a) {
+    for (int b = a + 1; b < n; ++b) {
+      if (std::abs(poles[a] - poles[b]) < 0.3) clustered = true;
+    }
+  }
+  if (clustered) GTEST_SKIP();
+  const RationalFunction h(Polynomial::from_real({1.0, 0.5}),
+                           Polynomial::from_roots(poles));
+  const PartialFractions pf(h);
+  for (const cplx s : {cplx{1.0, 1.0}, cplx{0.0, 5.0}, cplx{2.0, -0.7}}) {
+    EXPECT_NEAR(std::abs(pf(s) - h(s)) / std::max(1e-12, std::abs(h(s))),
+                0.0, 1e-6);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(PoleCounts, PfRandomRoundTrip,
+                         ::testing::Values(2, 3, 4, 5, 6, 8));
+
+}  // namespace
+}  // namespace htmpll

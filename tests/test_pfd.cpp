@@ -1,0 +1,69 @@
+#include <gtest/gtest.h>
+
+#include "htmpll/timedomain/pfd.hpp"
+
+namespace htmpll {
+namespace {
+
+TEST(Pfd, StartsIdle) {
+  const TriStatePfd pfd;
+  EXPECT_EQ(pfd.state(), TriStatePfd::State::kIdle);
+  EXPECT_DOUBLE_EQ(pfd.pump_current(1e-3), 0.0);
+}
+
+TEST(Pfd, ReferenceLeadsGivesUpPulse) {
+  TriStatePfd pfd;
+  pfd.on_reference_edge();
+  EXPECT_EQ(pfd.state(), TriStatePfd::State::kUp);
+  EXPECT_DOUBLE_EQ(pfd.pump_current(2.0), 2.0);
+  pfd.on_vco_edge();  // closes the pulse
+  EXPECT_EQ(pfd.state(), TriStatePfd::State::kIdle);
+  EXPECT_DOUBLE_EQ(pfd.pump_current(2.0), 0.0);
+}
+
+TEST(Pfd, VcoLeadsGivesDownPulse) {
+  TriStatePfd pfd;
+  pfd.on_vco_edge();
+  EXPECT_EQ(pfd.state(), TriStatePfd::State::kDown);
+  EXPECT_DOUBLE_EQ(pfd.pump_current(2.0), -2.0);
+  pfd.on_reference_edge();
+  EXPECT_EQ(pfd.state(), TriStatePfd::State::kIdle);
+}
+
+TEST(Pfd, RepeatedReferenceEdgesHoldUpThroughCycleSlip) {
+  // Frequency detection: multiple reference edges without a VCO edge
+  // keep UP asserted (this is what makes acquisition converge).
+  TriStatePfd pfd;
+  pfd.on_reference_edge();
+  pfd.on_reference_edge();
+  pfd.on_reference_edge();
+  EXPECT_EQ(pfd.state(), TriStatePfd::State::kUp);
+  pfd.on_vco_edge();
+  EXPECT_EQ(pfd.state(), TriStatePfd::State::kIdle);
+}
+
+TEST(Pfd, AlternatingSequencesStayConsistent) {
+  TriStatePfd pfd;
+  for (int cycle = 0; cycle < 5; ++cycle) {
+    pfd.on_reference_edge();
+    EXPECT_EQ(pfd.state(), TriStatePfd::State::kUp);
+    pfd.on_vco_edge();
+    EXPECT_EQ(pfd.state(), TriStatePfd::State::kIdle);
+    pfd.on_vco_edge();
+    EXPECT_EQ(pfd.state(), TriStatePfd::State::kDown);
+    pfd.on_reference_edge();
+    EXPECT_EQ(pfd.state(), TriStatePfd::State::kIdle);
+  }
+}
+
+TEST(Pfd, ResetClearsState) {
+  TriStatePfd pfd;
+  pfd.on_vco_edge();
+  pfd.reset();
+  EXPECT_EQ(pfd.state(), TriStatePfd::State::kIdle);
+  EXPECT_FALSE(pfd.up());
+  EXPECT_FALSE(pfd.down());
+}
+
+}  // namespace
+}  // namespace htmpll

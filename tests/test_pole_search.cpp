@@ -1,0 +1,103 @@
+#include <cmath>
+#include <numbers>
+
+#include <gtest/gtest.h>
+
+#include "htmpll/core/pole_search.hpp"
+#include "htmpll/ztrans/zdomain.hpp"
+
+namespace htmpll {
+namespace {
+
+constexpr double kW0 = 2.0 * std::numbers::pi;
+
+SamplingPllModel make_model(double ratio) {
+  return SamplingPllModel(make_typical_loop(ratio * kW0, kW0));
+}
+
+TEST(PoleSearch, ResidualsVanishOnOnePlusLambda) {
+  const SamplingPllModel m = make_model(0.15);
+  const auto poles = closed_loop_poles(m);
+  ASSERT_GE(poles.size(), 2u);
+  for (const ClosedLoopPole& p : poles) {
+    EXPECT_LT(p.residual, 1e-9) << "pole at " << p.s.real();
+  }
+}
+
+TEST(PoleSearch, PolesLieInFundamentalStrip) {
+  const auto poles = closed_loop_poles(make_model(0.2));
+  for (const ClosedLoopPole& p : poles) {
+    EXPECT_LE(p.s.imag(), 0.5 * kW0 + 1e-9);
+    EXPECT_GT(p.s.imag(), -0.5 * kW0 - 1e-9);
+  }
+}
+
+TEST(PoleSearch, StableLoopHasAllLeftHalfPlanePoles) {
+  for (double ratio : {0.05, 0.15, 0.25}) {
+    for (const ClosedLoopPole& p : closed_loop_poles(make_model(ratio))) {
+      EXPECT_LT(p.s.real(), 0.0) << "ratio " << ratio;
+      EXPECT_GT(p.damping, 0.0);
+    }
+  }
+}
+
+TEST(PoleSearch, UnstableLoopHasRightHalfPlanePole) {
+  const auto poles = closed_loop_poles(make_model(0.32));
+  bool rhp = false;
+  for (const ClosedLoopPole& p : poles) rhp = rhp || p.s.real() > 0.0;
+  EXPECT_TRUE(rhp);
+}
+
+TEST(PoleSearch, AgreesWithZDomainPolesMappedBack) {
+  const SamplingPllModel m = make_model(0.2);
+  const ImpulseInvariantModel zm(m.open_loop_gain(), kW0);
+  const auto s_poles = closed_loop_poles(m);
+  const double t = 2.0 * std::numbers::pi / kW0;
+  // Every refined s-pole must map onto some z-characteristic root.
+  for (const ClosedLoopPole& p : s_poles) {
+    const cplx z = std::exp(p.s * t);
+    double best = 1e300;
+    for (const cplx& zr : zm.closed_loop_poles()) {
+      best = std::min(best, std::abs(z - zr));
+    }
+    EXPECT_LT(best, 1e-7) << "pole " << p.s.real() << "+" << p.s.imag()
+                          << "j";
+  }
+}
+
+TEST(PoleSearch, DampingCollapsesTowardInstability) {
+  // The dominant (lowest-|s|) complex pole's damping must fall as the
+  // loop speeds up -- the pole-domain view of Fig. 7's PM collapse.
+  double prev = 1.0;
+  for (double ratio : {0.05, 0.1, 0.2, 0.25}) {
+    const auto poles = closed_loop_poles(make_model(ratio));
+    ASSERT_FALSE(poles.empty());
+    // Find the least-damped pole.
+    double zeta = 1.0;
+    for (const ClosedLoopPole& p : poles) zeta = std::min(zeta, p.damping);
+    EXPECT_LT(zeta, prev + 1e-12) << "ratio " << ratio;
+    prev = zeta;
+  }
+  EXPECT_LT(prev, 0.2);  // near the boundary the loop is barely damped
+}
+
+TEST(PoleSearch, RefineFromPerturbedSeedConverges) {
+  const SamplingPllModel m = make_model(0.15);
+  const LambdaExpression lam(m.open_loop_gain(), kW0);
+  const auto poles = closed_loop_poles(m);
+  ASSERT_FALSE(poles.empty());
+  const cplx truth = poles.back().s;
+  const ClosedLoopPole refined = refine_closed_loop_pole(
+      lam, truth * cplx{1.02, 0.01});
+  EXPECT_NEAR(std::abs(refined.s - truth) / std::abs(truth), 0.0, 1e-8);
+}
+
+TEST(PoleSearch, RequiresTimeInvariantVco) {
+  const PllParameters p = make_typical_loop(0.1 * kW0, kW0);
+  const SamplingPllModel m(
+      p, HarmonicCoefficients::real_waveform(1.0, {cplx{0.2}}));
+  EXPECT_THROW(closed_loop_poles(m), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace htmpll

@@ -1,0 +1,118 @@
+#include <gtest/gtest.h>
+
+#include "htmpll/lti/polynomial.hpp"
+
+namespace htmpll {
+namespace {
+
+const cplx j{0.0, 1.0};
+
+TEST(Polynomial, EvaluationHorner) {
+  // p(s) = 1 + 2s + 3s^2
+  const Polynomial p = Polynomial::from_real({1.0, 2.0, 3.0});
+  EXPECT_EQ(p.degree(), 2u);
+  EXPECT_NEAR(std::abs(p(2.0) - cplx{17.0}), 0.0, 1e-14);
+  // p(j) = 1 + 2j - 3 = -2 + 2j
+  EXPECT_NEAR(std::abs(p(j) - cplx(-2.0, 2.0)), 0.0, 1e-14);
+}
+
+TEST(Polynomial, ZeroAndConstant) {
+  const Polynomial z;
+  EXPECT_TRUE(z.is_zero());
+  EXPECT_EQ(z.degree(), 0u);
+  const Polynomial c = Polynomial::constant(5.0);
+  EXPECT_FALSE(c.is_zero());
+  EXPECT_EQ(c(123.0), cplx(5.0));
+}
+
+TEST(Polynomial, TrimRemovesTrailingNoise) {
+  const Polynomial p(CVector{1.0, 1.0, cplx{1e-300}});
+  EXPECT_EQ(p.degree(), 1u);
+}
+
+TEST(Polynomial, ArithmeticIdentities) {
+  const Polynomial p = Polynomial::from_real({1.0, 2.0});
+  const Polynomial q = Polynomial::from_real({0.0, -2.0, 1.0});
+  const Polynomial sum = p + q;
+  EXPECT_NEAR(std::abs(sum(3.0) - (p(3.0) + q(3.0))), 0.0, 1e-12);
+  const Polynomial prod = p * q;
+  EXPECT_NEAR(std::abs(prod(1.5) - p(1.5) * q(1.5)), 0.0, 1e-12);
+  const Polynomial dif = prod - p * q;
+  EXPECT_TRUE(dif.is_zero());
+}
+
+TEST(Polynomial, MultiplicationByZeroGivesZero) {
+  const Polynomial p = Polynomial::from_real({1.0, 2.0, 3.0});
+  EXPECT_TRUE((p * Polynomial()).is_zero());
+}
+
+TEST(Polynomial, Derivative) {
+  // d/ds (1 + 2s + 3s^2 + 4s^3) = 2 + 6s + 12s^2
+  const Polynomial p = Polynomial::from_real({1.0, 2.0, 3.0, 4.0});
+  const Polynomial d = p.derivative();
+  EXPECT_EQ(d.degree(), 2u);
+  EXPECT_EQ(d.coefficient(0), cplx(2.0));
+  EXPECT_EQ(d.coefficient(1), cplx(6.0));
+  EXPECT_EQ(d.coefficient(2), cplx(12.0));
+  EXPECT_NEAR(std::abs(p.derivative_at(2.0, 2) - cplx{6.0 + 48.0}), 0.0,
+              1e-12);
+}
+
+TEST(Polynomial, FromRootsExpandsCorrectly) {
+  // (s-1)(s+2) = s^2 + s - 2
+  const Polynomial p = Polynomial::from_roots({cplx{1.0}, cplx{-2.0}});
+  EXPECT_TRUE(p.approx_equal(Polynomial::from_real({-2.0, 1.0, 1.0})));
+}
+
+TEST(Polynomial, DivmodRoundTrip) {
+  const Polynomial n = Polynomial::from_real({1.0, 0.0, 2.0, 1.0});
+  const Polynomial d = Polynomial::from_real({1.0, 1.0});
+  const auto [q, r] = n.divmod(d);
+  EXPECT_LT(r.degree(), d.degree());
+  EXPECT_TRUE((q * d + r).approx_equal(n));
+}
+
+TEST(Polynomial, DivmodByHigherDegree) {
+  const Polynomial n = Polynomial::from_real({1.0, 1.0});
+  const Polynomial d = Polynomial::from_real({1.0, 0.0, 1.0});
+  const auto [q, r] = n.divmod(d);
+  EXPECT_TRUE(q.is_zero());
+  EXPECT_TRUE(r.approx_equal(n));
+}
+
+TEST(Polynomial, DivisionByZeroThrows) {
+  const Polynomial p = Polynomial::from_real({1.0, 1.0});
+  EXPECT_THROW(p.divmod(Polynomial()), std::invalid_argument);
+}
+
+TEST(Polynomial, ShiftedArgumentMatchesDirectEvaluation) {
+  const Polynomial p = Polynomial::from_real({1.0, -2.0, 0.5, 3.0});
+  const cplx shift{0.7, -1.3};
+  const Polynomial q = p.shifted_argument(shift);
+  for (const cplx s : {cplx{0.0}, cplx{1.0, 2.0}, cplx{-3.0, 0.1}}) {
+    EXPECT_NEAR(std::abs(q(s) - p(s + shift)), 0.0, 1e-10);
+  }
+}
+
+TEST(Polynomial, ScaledArgumentMatchesDirectEvaluation) {
+  const Polynomial p = Polynomial::from_real({2.0, 1.0, -1.0});
+  const cplx alpha{2.0, 0.5};
+  const Polynomial q = p.scaled_argument(alpha);
+  for (const cplx s : {cplx{1.0}, cplx{0.0, 1.0}}) {
+    EXPECT_NEAR(std::abs(q(s) - p(alpha * s)), 0.0, 1e-12);
+  }
+}
+
+TEST(Polynomial, IsRealDetectsComplexCoefficients) {
+  EXPECT_TRUE(Polynomial::from_real({1.0, 2.0}).is_real());
+  EXPECT_FALSE(Polynomial(CVector{j, cplx{1.0}}).is_real());
+}
+
+TEST(Polynomial, ToStringSmoke) {
+  const Polynomial p = Polynomial::from_real({1.0, 0.0, 2.0});
+  const std::string s = p.to_string();
+  EXPECT_NE(s.find("s^2"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace htmpll

@@ -1,0 +1,84 @@
+#include <cmath>
+#include <numbers>
+
+#include <gtest/gtest.h>
+
+#include "htmpll/timedomain/probe.hpp"
+
+namespace htmpll {
+namespace {
+
+constexpr double kPi = std::numbers::pi;
+
+TEST(SingleBin, RecoversKnownGainAndPhase) {
+  // y = 0.5 x delayed by 30 degrees at w = 2.
+  const double w = 2.0;
+  const cplx h_true = 0.5 * std::exp(cplx{0.0, -kPi / 6.0});
+  std::vector<double> t, x, y;
+  const int n = 4096;
+  const double dt = (40.0 * kPi / w) / n;  // 20 cycles
+  for (int k = 0; k < n; ++k) {
+    const double tk = k * dt;
+    t.push_back(tk);
+    x.push_back(std::sin(w * tk));
+    y.push_back(0.5 * std::sin(w * tk - kPi / 6.0));
+  }
+  const cplx h = single_bin_transfer(t, y, x, w);
+  EXPECT_NEAR(std::abs(h - h_true), 0.0, 1e-6);
+}
+
+TEST(SingleBin, RejectsAdditiveToneAtOtherFrequency) {
+  // A strong interferer 7 bins away must be suppressed by the window.
+  const double w = 1.0;
+  std::vector<double> t, x, y;
+  const int n = 8192;
+  const double span = 32.0 * 2.0 * kPi / w;  // 32 cycles
+  const double dt = span / n;
+  const double w_int = w * (1.0 + 7.0 / 32.0);
+  for (int k = 0; k < n; ++k) {
+    const double tk = k * dt;
+    t.push_back(tk);
+    x.push_back(std::cos(w * tk));
+    y.push_back(2.0 * std::cos(w * tk) + 5.0 * std::sin(w_int * tk));
+  }
+  const cplx h = single_bin_transfer(t, y, x, w);
+  EXPECT_NEAR(std::abs(h - cplx{2.0}), 0.0, 2e-2);
+}
+
+TEST(SingleBin, ValidatesInput) {
+  const std::vector<double> t{1.0, 2.0};
+  EXPECT_THROW(single_bin_transfer(t, {1.0}, {1.0, 2.0}, 1.0),
+               std::invalid_argument);
+  EXPECT_THROW(single_bin_transfer(t, {1.0, 2.0}, {1.0, 2.0}, 1.0),
+               std::invalid_argument);  // too short
+}
+
+TEST(Probe, OptionsValidated) {
+  const PllParameters p = make_typical_loop(0.2 * 2.0 * kPi, 2.0 * kPi);
+  ProbeOptions opts;
+  opts.samples_per_period = 2;
+  EXPECT_THROW(measure_baseband_transfer(p, 1.0, opts),
+               std::invalid_argument);
+  opts = ProbeOptions{};
+  opts.measure_periods = 0;
+  EXPECT_THROW(measure_baseband_transfer(p, 1.0, opts),
+               std::invalid_argument);
+  EXPECT_THROW(measure_baseband_transfer(p, 0.0), std::invalid_argument);
+}
+
+TEST(Probe, InBandMeasurementTracksReference) {
+  // Deep inside the loop bandwidth H_00 ~ 1.
+  const double w0 = 2.0 * kPi;
+  const PllParameters p = make_typical_loop(0.2 * w0, w0);
+  ProbeOptions opts;
+  opts.settle_periods = 120.0;
+  opts.measure_periods = 12;
+  const TransferMeasurement m =
+      measure_baseband_transfer(p, 0.01 * w0, opts);
+  EXPECT_NEAR(std::abs(m.value), 1.0, 0.03);
+  EXPECT_GT(m.events, 100u);
+  EXPECT_GT(m.simulated_time, 0.0);
+}
+
+}  // namespace
+}  // namespace htmpll

@@ -1,0 +1,189 @@
+// Cross-cutting property suite: randomized/parameterized invariants that
+// tie the independent implementations together.  Each TEST_P sweeps loop
+// families, bandwidth ratios and absolute frequency scales.
+#include <cmath>
+#include <numbers>
+#include <random>
+
+#include <gtest/gtest.h>
+
+#include "htmpll/core/pole_search.hpp"
+#include "htmpll/core/stability.hpp"
+#include "htmpll/ztrans/jury.hpp"
+#include "htmpll/ztrans/zdomain.hpp"
+
+namespace htmpll {
+namespace {
+
+const cplx j{0.0, 1.0};
+
+struct LoopCase {
+  double w0;
+  double ratio;
+  double gamma;
+  bool second_order;
+};
+
+PllParameters make_loop(const LoopCase& c) {
+  return c.second_order
+             ? make_second_order_loop(c.ratio * c.w0, c.w0, c.gamma)
+             : make_typical_loop(c.ratio * c.w0, c.w0, c.gamma);
+}
+
+class LoopFamily : public ::testing::TestWithParam<LoopCase> {};
+
+TEST_P(LoopFamily, ExactAndAdaptiveLambdaAgree) {
+  const LoopCase c = GetParam();
+  const SamplingPllModel m(make_loop(c));
+  for (double f : {0.04, 0.13, 0.29, 0.47}) {
+    const cplx s = j * (f * c.w0);
+    const cplx exact = m.lambda(s, LambdaMethod::kExact, 0);
+    const cplx adaptive = m.lambda(s, LambdaMethod::kAdaptive, 0);
+    EXPECT_NEAR(std::abs(adaptive - exact) / std::abs(exact), 0.0, 1e-7)
+        << "f = " << f;
+  }
+}
+
+TEST_P(LoopFamily, PoissonIdentityHolds) {
+  const LoopCase c = GetParam();
+  const PllParameters p = make_loop(c);
+  const SamplingPllModel m(p);
+  const ImpulseInvariantModel zm(p.open_loop_gain(), c.w0);
+  for (double f : {0.06, 0.21, 0.43}) {
+    const cplx s = j * (f * c.w0);
+    const cplx lam = m.lambda(s);
+    const cplx zlam = zm.lambda_equivalent(s);
+    EXPECT_NEAR(std::abs(lam - zlam) / std::abs(lam), 0.0, 1e-8)
+        << "f = " << f;
+  }
+}
+
+TEST_P(LoopFamily, RankOneEqualsDenseSolve) {
+  const LoopCase c = GetParam();
+  const SamplingPllModel m(make_loop(c));
+  const cplx s = j * (0.17 * c.w0);
+  const Htm a = m.closed_loop_htm(s, 5);
+  const Htm b = m.closed_loop_htm_dense(s, 5);
+  EXPECT_LT((a.matrix() - b.matrix()).max_abs() /
+                std::max(1e-300, b.matrix().max_abs()),
+            1e-9);
+}
+
+TEST_P(LoopFamily, JuryAgreesWithPoleRadii) {
+  const LoopCase c = GetParam();
+  const ImpulseInvariantModel zm(make_loop(c).open_loop_gain(), c.w0);
+  double maxr = 0.0;
+  for (const cplx& z : zm.closed_loop_poles()) {
+    maxr = std::max(maxr, std::abs(z));
+  }
+  // Skip the knife-edge (bisection-boundary) cases.
+  if (std::abs(maxr - 1.0) < 1e-3) GTEST_SKIP();
+  EXPECT_EQ(jury_stable(zm.characteristic()), maxr < 1.0);
+}
+
+TEST_P(LoopFamily, LambdaConjugateSymmetry) {
+  // Real loops: lambda(conj(s)) = conj(lambda(s)).
+  const LoopCase c = GetParam();
+  const SamplingPllModel m(make_loop(c));
+  const cplx s{-0.03 * c.w0, 0.19 * c.w0};
+  const cplx a = m.lambda(std::conj(s));
+  const cplx b = std::conj(m.lambda(s));
+  EXPECT_NEAR(std::abs(a - b) / std::abs(b), 0.0, 1e-10);
+}
+
+TEST_P(LoopFamily, BasebandTransferScaleInvariance) {
+  // Normalized response depends only on (ratio, gamma, f/w0) -- never on
+  // the absolute reference frequency.
+  const LoopCase c = GetParam();
+  const SamplingPllModel m1(make_loop(c));
+  LoopCase scaled = c;
+  scaled.w0 = c.w0 * 977.0;
+  const SamplingPllModel m2(make_loop(scaled));
+  for (double f : {0.05, 0.22, 0.41}) {
+    const cplx h1 = m1.baseband_transfer(j * (f * c.w0));
+    const cplx h2 = m2.baseband_transfer(j * (f * scaled.w0));
+    EXPECT_NEAR(std::abs(h1 - h2), 0.0, 1e-9 * std::abs(h1))
+        << "f = " << f;
+  }
+}
+
+TEST_P(LoopFamily, ErrorPlusTrackingIsUnity) {
+  const LoopCase c = GetParam();
+  const SamplingPllModel m(make_loop(c));
+  const cplx s = j * (0.11 * c.w0);
+  EXPECT_NEAR(std::abs(m.baseband_transfer(s) +
+                       m.baseband_error_transfer(s) - cplx{1.0}),
+              0.0, 1e-12);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Loops, LoopFamily,
+    ::testing::Values(
+        LoopCase{2.0 * std::numbers::pi, 0.05, 4.0, false},
+        LoopCase{2.0 * std::numbers::pi, 0.15, 4.0, false},
+        LoopCase{2.0 * std::numbers::pi, 0.25, 4.0, false},
+        LoopCase{2.0 * std::numbers::pi, 0.1, 2.0, false},
+        LoopCase{2.0 * std::numbers::pi, 0.1, 8.0, false},
+        LoopCase{2.0 * std::numbers::pi * 1e6, 0.12, 4.0, false},
+        LoopCase{2.0 * std::numbers::pi * 1e9, 0.2, 3.0, false},
+        LoopCase{2.0 * std::numbers::pi, 0.1, 4.0, true},
+        LoopCase{2.0 * std::numbers::pi, 0.3, 4.0, true},
+        LoopCase{2.0 * std::numbers::pi * 1e6, 0.2, 6.0, true}));
+
+TEST(RandomLptvProperties, RankOneEqualsDenseWithRandomIsf) {
+  std::mt19937 rng(2024u);
+  std::uniform_real_distribution<double> d(-0.3, 0.3);
+  const double w0 = 2.0 * std::numbers::pi;
+  for (int trial = 0; trial < 12; ++trial) {
+    const HarmonicCoefficients isf = HarmonicCoefficients::real_waveform(
+        1.0, {cplx{d(rng), d(rng)}, cplx{d(rng), d(rng)}});
+    const SamplingPllModel m(make_typical_loop(0.15 * w0, w0), isf);
+    const cplx s = j * ((0.05 + 0.04 * trial) * w0);
+    const Htm a = m.closed_loop_htm(s, 6);
+    const Htm b = m.closed_loop_htm_dense(s, 6);
+    EXPECT_LT((a.matrix() - b.matrix()).max_abs() /
+                  std::max(1e-300, b.matrix().max_abs()),
+              1e-9)
+        << "trial " << trial;
+  }
+}
+
+TEST(RandomLptvProperties, TruncatedLambdaConvergesToExactWithRandomIsf) {
+  std::mt19937 rng(7u);
+  std::uniform_real_distribution<double> d(-0.25, 0.25);
+  const double w0 = 2.0 * std::numbers::pi;
+  for (int trial = 0; trial < 6; ++trial) {
+    const HarmonicCoefficients isf = HarmonicCoefficients::real_waveform(
+        1.0, {cplx{d(rng), d(rng)}});
+    const SamplingPllModel m(make_typical_loop(0.12 * w0, w0), isf);
+    const cplx s = j * (0.17 * w0);
+    const cplx exact = m.lambda(s, LambdaMethod::kExact, 0);
+    double prev = 1e300;
+    for (int k : {8, 64, 512}) {
+      const double err =
+          std::abs(m.lambda(s, LambdaMethod::kTruncated, k) - exact);
+      EXPECT_LT(err, prev * 1.05);
+      prev = err;
+    }
+    EXPECT_LT(prev / std::abs(exact), 1e-2) << "trial " << trial;
+  }
+}
+
+TEST(RandomLptvProperties, PoleResidualsStayTinyAcrossFamilies) {
+  const double w0 = 2.0 * std::numbers::pi;
+  for (double ratio : {0.08, 0.18, 0.26}) {
+    for (bool second : {false, true}) {
+      const PllParameters p =
+          second ? make_second_order_loop(ratio * w0, w0)
+                 : make_typical_loop(ratio * w0, w0);
+      const SamplingPllModel m(p);
+      for (const ClosedLoopPole& pole : closed_loop_poles(m)) {
+        EXPECT_LT(pole.residual, 1e-8)
+            << "ratio " << ratio << " second " << second;
+      }
+    }
+  }
+}
+
+}  // namespace
+}  // namespace htmpll

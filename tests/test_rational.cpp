@@ -1,0 +1,137 @@
+#include <gtest/gtest.h>
+
+#include "htmpll/lti/rational.hpp"
+
+namespace htmpll {
+namespace {
+
+const cplx j{0.0, 1.0};
+
+RationalFunction simple_lowpass(double wc) {
+  // wc / (s + wc)
+  return RationalFunction(Polynomial::constant(wc),
+                          Polynomial::from_real({wc, 1.0}));
+}
+
+TEST(Rational, EvaluationOfLowpass) {
+  const RationalFunction h = simple_lowpass(10.0);
+  EXPECT_NEAR(std::abs(h(cplx{0.0}) - cplx{1.0}), 0.0, 1e-14);
+  // |H(j wc)| = 1/sqrt(2)
+  EXPECT_NEAR(std::abs(h(10.0 * j)), 1.0 / std::sqrt(2.0), 1e-12);
+}
+
+TEST(Rational, DenominatorNormalizedMonic) {
+  const RationalFunction h(Polynomial::from_real({2.0}),
+                           Polynomial::from_real({4.0, 2.0}));
+  EXPECT_EQ(h.den().leading(), cplx(1.0));
+  EXPECT_NEAR(std::abs(h(cplx{0.0}) - cplx{0.5}), 0.0, 1e-14);
+}
+
+TEST(Rational, ZeroDenominatorThrows) {
+  EXPECT_THROW(RationalFunction(Polynomial::constant(1.0), Polynomial()),
+               std::invalid_argument);
+}
+
+TEST(Rational, ArithmeticConsistentWithEvaluation) {
+  const RationalFunction a = simple_lowpass(1.0);
+  const RationalFunction b = RationalFunction::integrator(2.0);
+  const cplx s{0.3, 1.7};
+  EXPECT_NEAR(std::abs((a + b)(s) - (a(s) + b(s))), 0.0, 1e-12);
+  EXPECT_NEAR(std::abs((a - b)(s) - (a(s) - b(s))), 0.0, 1e-12);
+  EXPECT_NEAR(std::abs((a * b)(s) - (a(s) * b(s))), 0.0, 1e-12);
+  EXPECT_NEAR(std::abs((a / b)(s) - (a(s) / b(s))), 0.0, 1e-12);
+}
+
+TEST(Rational, IntegratorOrders) {
+  const RationalFunction i2 = RationalFunction::integrator(3.0, 2);
+  EXPECT_EQ(i2.relative_degree(), 2);
+  EXPECT_NEAR(std::abs(i2(2.0 * j) - 3.0 / (2.0 * j * 2.0 * j)), 0.0, 1e-14);
+  EXPECT_THROW(RationalFunction::integrator(1.0, 0), std::invalid_argument);
+}
+
+TEST(Rational, RelativeDegreeAndProperness) {
+  EXPECT_EQ(simple_lowpass(1.0).relative_degree(), 1);
+  EXPECT_TRUE(simple_lowpass(1.0).is_strictly_proper());
+  const RationalFunction biquad = RationalFunction(
+      Polynomial::from_real({1.0, 0.0, 1.0}),
+      Polynomial::from_real({1.0, 1.0, 1.0}));
+  EXPECT_EQ(biquad.relative_degree(), 0);
+  EXPECT_TRUE(biquad.is_proper());
+  EXPECT_FALSE(biquad.is_strictly_proper());
+}
+
+TEST(Rational, PolesAndZerosFromZpk) {
+  const CVector zeros{cplx{-1.0}};
+  const CVector poles{cplx{-2.0}, cplx{-3.0}};
+  const RationalFunction h = RationalFunction::from_zpk(zeros, poles, 5.0);
+  const CVector z = h.zeros();
+  const CVector p = h.poles();
+  ASSERT_EQ(z.size(), 1u);
+  ASSERT_EQ(p.size(), 2u);
+  EXPECT_NEAR(std::abs(z[0] + 1.0), 0.0, 1e-10);
+  // Gain check: H(0) = 5 * (1)/(2*3)... sign: 5*(0+1)/((0+2)(0+3)) = 5/6
+  EXPECT_NEAR(std::abs(h(cplx{0.0}) - cplx{5.0 / 6.0}), 0.0, 1e-12);
+}
+
+TEST(Rational, ClosedLoopUnityFeedback) {
+  // G = 1/s -> G/(1+G) = 1/(s+1)
+  const RationalFunction g = RationalFunction::integrator(1.0);
+  const RationalFunction cl = g.closed_loop_unity_feedback();
+  EXPECT_TRUE(cl.approx_equal(simple_lowpass(1.0)));
+}
+
+TEST(Rational, InverseAndDivision) {
+  const RationalFunction h = simple_lowpass(4.0);
+  const RationalFunction one = h * h.inverse();
+  EXPECT_NEAR(std::abs(one(cplx{1.0, 1.0}) - cplx{1.0}), 0.0, 1e-12);
+  EXPECT_THROW(RationalFunction().inverse(), std::invalid_argument);
+}
+
+TEST(Rational, ShiftedArgument) {
+  const RationalFunction h = simple_lowpass(2.0);
+  const cplx shift = 3.0 * j;
+  const RationalFunction hs = h.shifted_argument(shift);
+  for (const cplx s : {cplx{0.0}, cplx{1.0, -2.0}}) {
+    EXPECT_NEAR(std::abs(hs(s) - h(s + shift)), 0.0, 1e-12);
+  }
+}
+
+TEST(Rational, ScaledArgument) {
+  const RationalFunction h = simple_lowpass(2.0);
+  const RationalFunction hs = h.scaled_argument(0.5);
+  EXPECT_NEAR(std::abs(hs(cplx{4.0}) - h(cplx{2.0})), 0.0, 1e-13);
+}
+
+TEST(Rational, SimplifiedCancelsPoleZeroPair) {
+  // (s+1)(s+2) / ((s+1)(s+3)) -> (s+2)/(s+3)
+  const RationalFunction h(
+      Polynomial::from_roots({cplx{-1.0}, cplx{-2.0}}),
+      Polynomial::from_roots({cplx{-1.0}, cplx{-3.0}}));
+  const RationalFunction s = h.simplified();
+  EXPECT_EQ(s.den().degree(), 1u);
+  EXPECT_EQ(s.num().degree(), 1u);
+  const cplx x{0.4, 0.9};
+  EXPECT_NEAR(std::abs(s(x) - h(x)), 0.0, 1e-10);
+}
+
+TEST(Rational, ApproxEqualCrossMultiplied) {
+  // Same function, different (unnormalized) representations.
+  const RationalFunction a(Polynomial::from_real({2.0, 2.0}),
+                           Polynomial::from_real({2.0, 0.0, 2.0}));
+  const RationalFunction b(Polynomial::from_real({1.0, 1.0}),
+                           Polynomial::from_real({1.0, 0.0, 1.0}));
+  EXPECT_TRUE(a.approx_equal(b));
+  EXPECT_FALSE(a.approx_equal(simple_lowpass(1.0)));
+}
+
+TEST(Rational, ZeroFunctionBehaviour) {
+  const RationalFunction z;
+  EXPECT_TRUE(z.is_zero());
+  EXPECT_EQ(z(cplx{1.0, 1.0}), cplx(0.0));
+  const RationalFunction h = simple_lowpass(1.0);
+  EXPECT_TRUE((h - h).is_zero());
+  EXPECT_THROW(h / RationalFunction(), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace htmpll

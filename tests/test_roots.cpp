@@ -1,0 +1,141 @@
+#include <algorithm>
+#include <random>
+
+#include <gtest/gtest.h>
+
+#include "htmpll/lti/roots.hpp"
+
+namespace htmpll {
+namespace {
+
+const cplx j{0.0, 1.0};
+
+/// Matches each expected root to a distinct found root within tol.
+void expect_roots_match(CVector found, CVector expected, double tol) {
+  ASSERT_EQ(found.size(), expected.size());
+  for (const cplx& e : expected) {
+    auto best = found.end();
+    double best_d = 1e300;
+    for (auto it = found.begin(); it != found.end(); ++it) {
+      const double d = std::abs(*it - e);
+      if (d < best_d) {
+        best_d = d;
+        best = it;
+      }
+    }
+    ASSERT_NE(best, found.end());
+    EXPECT_LT(best_d, tol) << "expected root " << e.real() << "+"
+                           << e.imag() << "j";
+    found.erase(best);
+  }
+}
+
+TEST(Roots, Linear) {
+  const Polynomial p = Polynomial::from_real({-6.0, 2.0});  // 2s - 6
+  const CVector r = find_roots(p);
+  ASSERT_EQ(r.size(), 1u);
+  EXPECT_NEAR(std::abs(r[0] - cplx{3.0}), 0.0, 1e-14);
+}
+
+TEST(Roots, QuadraticComplexPair) {
+  // s^2 + 2s + 5 = (s+1)^2 + 4 -> -1 +- 2j
+  const Polynomial p = Polynomial::from_real({5.0, 2.0, 1.0});
+  expect_roots_match(find_roots(p), {-1.0 + 2.0 * j, -1.0 - 2.0 * j}, 1e-12);
+}
+
+TEST(Roots, QuadraticNearCancellation) {
+  // Roots 1e-6 and 1e6: naive formula loses the small root.
+  const Polynomial p =
+      Polynomial::from_roots({cplx{1e-6}, cplx{1e6}});
+  const CVector r = find_roots(p);
+  std::vector<double> mags{std::abs(r[0]), std::abs(r[1])};
+  std::sort(mags.begin(), mags.end());
+  EXPECT_NEAR(mags[0] / 1e-6, 1.0, 1e-9);
+  EXPECT_NEAR(mags[1] / 1e6, 1.0, 1e-9);
+}
+
+TEST(Roots, ZeroRootsStripped) {
+  // s^2 (s - 2)
+  const Polynomial p = Polynomial::from_real({0.0, 0.0, -2.0, 1.0});
+  const CVector r = find_roots(p);
+  ASSERT_EQ(r.size(), 3u);
+  int zeros = 0;
+  for (const cplx& x : r) {
+    if (std::abs(x) < 1e-12) ++zeros;
+  }
+  EXPECT_EQ(zeros, 2);
+}
+
+TEST(Roots, ConstantHasNoRoots) {
+  EXPECT_TRUE(find_roots(Polynomial::constant(3.0)).empty());
+}
+
+TEST(Roots, ZeroPolynomialThrows) {
+  EXPECT_THROW(find_roots(Polynomial()), std::invalid_argument);
+}
+
+TEST(Roots, CubicWithKnownRoots) {
+  const CVector expected{cplx{-1.0}, cplx{-2.0}, cplx{-10.0}};
+  const Polynomial p = Polynomial::from_roots(expected, 4.0);
+  expect_roots_match(find_roots(p), expected, 1e-9);
+}
+
+TEST(Roots, DoubleRootClusterDetected) {
+  // (s+1)^2 (s+5)
+  const Polynomial p =
+      Polynomial::from_roots({cplx{-1.0}, cplx{-1.0}, cplx{-5.0}});
+  const CVector r = find_roots(p);
+  const auto clusters = cluster_roots(r, 1e-4);
+  ASSERT_EQ(clusters.size(), 2u);
+  int total = 0;
+  for (const auto& c : clusters) {
+    total += c.multiplicity;
+    if (c.multiplicity == 2) {
+      EXPECT_NEAR(std::abs(c.value - cplx{-1.0}), 0.0, 1e-5);
+    } else {
+      EXPECT_NEAR(std::abs(c.value - cplx{-5.0}), 0.0, 1e-7);
+    }
+  }
+  EXPECT_EQ(total, 3);
+}
+
+TEST(Roots, CauchyBoundContainsRoots) {
+  const Polynomial p = Polynomial::from_real({-10.0, 3.0, -2.0, 1.0});
+  const double bound = cauchy_root_bound(p);
+  for (const cplx& r : find_roots(p)) {
+    EXPECT_LE(std::abs(r), bound + 1e-9);
+  }
+}
+
+class RootsRandomReconstruction : public ::testing::TestWithParam<int> {};
+
+TEST_P(RootsRandomReconstruction, RecoversRandomSimpleRoots) {
+  std::mt19937 rng(7u + static_cast<unsigned>(GetParam()));
+  std::uniform_real_distribution<double> re(-3.0, 3.0);
+  const int n = GetParam();
+  // Redraw until the roots are well separated (simple-root test).
+  CVector expected;
+  for (int attempt = 0; attempt < 200; ++attempt) {
+    expected.clear();
+    for (int i = 0; i < n; ++i) {
+      expected.push_back(cplx{re(rng), re(rng)});
+    }
+    bool ok = true;
+    for (std::size_t a = 0; a < expected.size(); ++a) {
+      for (std::size_t b = a + 1; b < expected.size(); ++b) {
+        if (std::abs(expected[a] - expected[b]) < 0.2) ok = false;
+      }
+    }
+    if (ok) break;
+    expected.clear();
+  }
+  ASSERT_FALSE(expected.empty()) << "could not draw separated roots";
+  const Polynomial p = Polynomial::from_roots(expected, cplx{1.5, 0.5});
+  expect_roots_match(find_roots(p), expected, 1e-7);
+}
+
+INSTANTIATE_TEST_SUITE_P(Degrees, RootsRandomReconstruction,
+                         ::testing::Values(3, 4, 5, 6, 8, 10, 12, 16, 20));
+
+}  // namespace
+}  // namespace htmpll

@@ -1,0 +1,180 @@
+#include <numbers>
+
+#include <gtest/gtest.h>
+
+#include "htmpll/core/sampling_pll.hpp"
+
+namespace htmpll {
+namespace {
+
+const cplx j{0.0, 1.0};
+constexpr double kW0 = 2.0 * std::numbers::pi;  // T = 1
+
+SamplingPllModel make_model(double ratio,
+                            LambdaMethod method = LambdaMethod::kExact) {
+  SamplingPllOptions opts;
+  opts.lambda_method = method;
+  return SamplingPllModel(make_typical_loop(ratio * kW0, kW0),
+                          HarmonicCoefficients(cplx{1.0}), opts);
+}
+
+TEST(SamplingPll, LambdaEqualsAliasingSumOfA) {
+  // eq. 37 for a time-invariant VCO.
+  const SamplingPllModel m = make_model(0.3);
+  const AliasingSum ref(m.open_loop_gain(), kW0);
+  for (double f : {0.07, 0.21, 0.44}) {
+    const cplx s = j * (f * kW0);
+    EXPECT_NEAR(std::abs(m.lambda(s) - ref.exact(s)) /
+                    std::abs(ref.exact(s)),
+                0.0, 1e-10)
+        << "f = " << f;
+  }
+}
+
+TEST(SamplingPll, VtildeElementsAreShiftedA) {
+  // eq. 29 with TI VCO: V~_n(s) = A(s + j n w0).
+  const SamplingPllModel m = make_model(0.2);
+  const RationalFunction& a = m.open_loop_gain();
+  const cplx s = j * (0.15 * kW0);
+  for (int n = -4; n <= 4; ++n) {
+    const cplx expected = a(s + cplx{0.0, n * kW0});
+    EXPECT_NEAR(std::abs(m.vtilde_element(n, s) - expected) /
+                    std::abs(expected),
+                0.0, 1e-10)
+        << "n = " << n;
+  }
+  const CVector v = m.vtilde(s, 3);
+  ASSERT_EQ(v.size(), 7u);
+  EXPECT_EQ(v[3], m.vtilde_element(0, s));
+}
+
+TEST(SamplingPll, BasebandTransferIsEq38) {
+  const SamplingPllModel m = make_model(0.35);
+  const cplx s = j * (0.2 * kW0);
+  const cplx a = m.open_loop_gain()(s);
+  const cplx expected = a / (1.0 + m.lambda(s));
+  EXPECT_NEAR(std::abs(m.baseband_transfer(s) - expected), 0.0,
+              1e-12 * std::abs(expected));
+}
+
+TEST(SamplingPll, ErrorTransferComplements) {
+  const SamplingPllModel m = make_model(0.25);
+  const cplx s = j * (0.1 * kW0);
+  EXPECT_NEAR(std::abs(m.baseband_transfer(s) +
+                       m.baseband_error_transfer(s) - cplx{1.0}),
+              0.0, 1e-12);
+}
+
+TEST(SamplingPll, LambdaMethodsAgree) {
+  const SamplingPllModel m = make_model(0.3);
+  const cplx s = j * (0.18 * kW0);
+  const cplx exact = m.lambda(s, LambdaMethod::kExact, 0);
+  const cplx adaptive = m.lambda(s, LambdaMethod::kAdaptive, 0);
+  const cplx truncated = m.lambda(s, LambdaMethod::kTruncated, 4000);
+  EXPECT_NEAR(std::abs(adaptive - exact) / std::abs(exact), 0.0, 1e-8);
+  // Raw truncation converges like 1/K.
+  EXPECT_NEAR(std::abs(truncated - exact) / std::abs(exact), 0.0, 2e-3);
+}
+
+TEST(SamplingPll, ApproachesLtiModelForSlowLoop) {
+  // The classical approximation is the w_UG/w0 -> 0 limit (paper, after
+  // eq. 38).
+  const SamplingPllModel m = make_model(0.002);
+  for (double f : {0.0005, 0.002, 0.006}) {
+    const cplx s = j * (f * kW0);
+    const cplx tv = m.baseband_transfer(s);
+    const cplx lti = m.lti_baseband_transfer(s);
+    EXPECT_NEAR(std::abs(tv - lti) / std::abs(lti), 0.0, 5e-3)
+        << "f = " << f;
+  }
+}
+
+TEST(SamplingPll, DeviatesFromLtiModelForFastLoop) {
+  const SamplingPllModel m = make_model(0.25);
+  const cplx s = j * (0.35 * kW0);
+  const cplx tv = m.baseband_transfer(s);
+  const cplx lti = m.lti_baseband_transfer(s);
+  EXPECT_GT(std::abs(tv - lti) / std::abs(lti), 0.05);
+}
+
+TEST(SamplingPll, OpenLoopHtmIsRankOneColumns) {
+  // G = V~ l^T: every column identical (eq. 30).
+  const SamplingPllModel m = make_model(0.3);
+  const cplx s = j * (0.2 * kW0);
+  const Htm g = m.open_loop_htm(s, 4);
+  for (int n = -4; n <= 4; ++n) {
+    for (int c = -4; c <= 4; ++c) {
+      EXPECT_NEAR(std::abs(g.at(n, c) - g.at(n, 0)), 0.0, 1e-14);
+    }
+  }
+}
+
+TEST(SamplingPll, RankOneClosedLoopMatchesDense) {
+  // The Sherman-Morrison closed form (eq. 34) against the brute-force
+  // (I+G)^{-1} G solve on the same truncated HTM.
+  const SamplingPllModel m = make_model(0.4);
+  for (double f : {0.1, 0.3}) {
+    const cplx s = j * (f * kW0);
+    const Htm a = m.closed_loop_htm(s, 6);
+    const Htm b = m.closed_loop_htm_dense(s, 6);
+    EXPECT_LT((a.matrix() - b.matrix()).max_abs(), 1e-10)
+        << "f = " << f;
+  }
+}
+
+TEST(SamplingPll, ClosedLoopHtmConsistentWithScalarPath) {
+  // The (0,0) element of the truncated closed-loop HTM converges to the
+  // scalar eq. 38 value as truncation grows.
+  const SamplingPllModel m = make_model(0.2);
+  const cplx s = j * (0.22 * kW0);
+  const cplx scalar = m.baseband_transfer(s);
+  double prev = 1e300;
+  for (int k : {4, 16, 128}) {
+    const Htm cl = m.closed_loop_htm(s, k);
+    const double err = std::abs(cl.at(0, 0) - scalar);
+    EXPECT_LT(err, prev * 1.05);
+    prev = err;
+  }
+  // Truncated-HTM lambda carries the 1/K aliasing-tail error.
+  EXPECT_LT(prev / std::abs(scalar), 3e-2);
+}
+
+TEST(SamplingPll, LptvVcoChannelsReduceToTiWhenDcOnly) {
+  // A one-harmonic ISF with zero harmonic coefficient must behave as TI.
+  const PllParameters p = make_typical_loop(0.3 * kW0, kW0);
+  const SamplingPllModel ti(p);
+  const SamplingPllModel fake_lptv(
+      p, HarmonicCoefficients(CVector{cplx{0.0}, cplx{1.0}, cplx{0.0}}));
+  const cplx s = j * (0.2 * kW0);
+  EXPECT_NEAR(std::abs(ti.lambda(s) - fake_lptv.lambda(s)), 0.0,
+              1e-12 * std::abs(ti.lambda(s)));
+}
+
+TEST(SamplingPll, LptvVcoLambdaMatchesHtmTruncation) {
+  // With a real ISF harmonic, the scalar channel machinery must agree
+  // with summing V~ elements (the HTM row sum) at high truncation.
+  const PllParameters p = make_typical_loop(0.2 * kW0, kW0);
+  const HarmonicCoefficients isf =
+      HarmonicCoefficients::real_waveform(1.0, {cplx{0.2, 0.05}});
+  const SamplingPllModel m(p, isf);
+  const cplx s = j * (0.17 * kW0);
+  const cplx exact = m.lambda(s, LambdaMethod::kExact, 0);
+  const cplx truncated = m.lambda(s, LambdaMethod::kTruncated, 3000);
+  EXPECT_NEAR(std::abs(truncated - exact) / std::abs(exact), 0.0, 1e-4);
+}
+
+TEST(SamplingPll, RejectsBadIsf) {
+  const PllParameters p = make_typical_loop(0.3 * kW0, kW0);
+  EXPECT_THROW(SamplingPllModel(p, HarmonicCoefficients(cplx{0.0, 1.0})),
+               std::invalid_argument);
+  EXPECT_THROW(SamplingPllModel(p, HarmonicCoefficients(cplx{0.0})),
+               std::invalid_argument);
+}
+
+TEST(SamplingPll, VtildeRejectsIntegratorPole) {
+  const SamplingPllModel m = make_model(0.3);
+  EXPECT_THROW(m.vtilde_element(-1, j * kW0), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace htmpll

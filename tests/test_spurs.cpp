@@ -1,0 +1,151 @@
+// Reference-spur model vs the transient simulator with injected
+// charge-pump leakage.
+#include <cmath>
+#include <numbers>
+
+#include <gtest/gtest.h>
+
+#include "htmpll/noise/spurs.hpp"
+#include "htmpll/timedomain/pll_sim.hpp"
+
+namespace htmpll {
+namespace {
+
+constexpr double kW0 = 2.0 * std::numbers::pi;  // T = 1
+
+/// Hann-windowed Fourier coefficient of a uniformly sampled record at
+/// frequency w (normalized so a pure e^{jwt} component returns its
+/// coefficient).
+cplx fourier_bin(const std::vector<double>& t, const std::vector<double>& y,
+                 double w) {
+  cplx acc{0.0};
+  double norm = 0.0;
+  const std::size_t n = t.size();
+  for (std::size_t k = 0; k < n; ++k) {
+    const double hann =
+        0.5 * (1.0 - std::cos(2.0 * std::numbers::pi *
+                              static_cast<double>(k) /
+                              static_cast<double>(n - 1)));
+    acc += hann * y[k] * std::exp(cplx{0.0, -w * t[k]});
+    norm += hann;
+  }
+  return acc / norm;
+}
+
+TEST(Leakage, HarmonicCoefficients) {
+  const ChargePumpLeakage leak{2e-3, 0.25};
+  // DC: I * window / T.
+  EXPECT_NEAR(leak.harmonic(0, kW0).real(), 2e-3 * 0.25, 1e-15);
+  EXPECT_NEAR(leak.harmonic(0, kW0).imag(), 0.0, 1e-18);
+  // |i_k| <= i_0 always (rectangular pulse spectrum).
+  for (int k = 1; k <= 6; ++k) {
+    EXPECT_LE(std::abs(leak.harmonic(k, kW0)),
+              leak.harmonic(0, kW0).real() + 1e-15);
+  }
+  // Conjugate symmetry.
+  EXPECT_NEAR(std::abs(leak.harmonic(-2, kW0) -
+                       std::conj(leak.harmonic(2, kW0))),
+              0.0, 1e-15);
+  // Zero window: no disturbance.
+  const ChargePumpLeakage none{2e-3, 0.0};
+  EXPECT_EQ(none.harmonic(0, kW0), cplx(0.0));
+  EXPECT_EQ(none.harmonic(3, kW0), cplx(0.0));
+}
+
+TEST(Leakage, ValidatesWindow) {
+  const ChargePumpLeakage bad{1e-3, 1.5};  // window > T
+  EXPECT_THROW(bad.harmonic(1, kW0), std::invalid_argument);
+}
+
+class SpurFixture : public ::testing::Test {
+ protected:
+  static constexpr double kRatio = 0.1;
+  PllParameters params_ = make_typical_loop(kRatio * kW0, kW0);
+  SamplingPllModel model_{params_};
+  // 5% current mismatch over a 5%-of-T reset window.
+  ChargePumpLeakage leak_{0.05 * params_.icp, 0.05};
+};
+
+TEST_F(SpurFixture, StaticPhaseOffsetMatchesSimulator) {
+  PllTransientSim sim(params_);
+  sim.set_leakage(leak_.mismatch_current, leak_.window);
+  sim.set_recording(false);
+  sim.run_periods(400.0);
+  sim.set_recording(true);
+  sim.clear_samples();
+  sim.run_periods(64.0);
+  double mean = 0.0;
+  for (double th : sim.theta_samples()) mean += th;
+  mean /= static_cast<double>(sim.theta_samples().size());
+  // Predicted error offset e = theta_ref - theta = -i0 T / Icp, so the
+  // VCO phase sits at +i0 T / Icp.
+  const double predicted = -static_phase_offset(model_, leak_);
+  EXPECT_GT(std::abs(predicted), 1e-4);
+  EXPECT_NEAR(mean / predicted, 1.0, 0.02);
+}
+
+TEST_F(SpurFixture, SpurMagnitudesMatchSimulator) {
+  PllTransientSim sim(params_);
+  sim.set_leakage(leak_.mismatch_current, leak_.window);
+  sim.set_recording(false);
+  sim.run_periods(500.0);
+  sim.set_recording(true);
+  sim.clear_samples();
+  sim.run_periods(128.0);
+
+  const auto spurs = reference_spurs(model_, leak_, 2);
+  for (const SpurLevel& s : spurs) {
+    const cplx measured = fourier_bin(sim.sample_times(),
+                                      sim.theta_samples(),
+                                      s.harmonic * kW0);
+    EXPECT_NEAR(std::abs(measured) / std::abs(s.theta), 1.0, 0.12)
+        << "harmonic " << s.harmonic;
+  }
+}
+
+TEST_F(SpurFixture, SpursScaleLinearlyWithMismatch) {
+  const ChargePumpLeakage half{0.5 * leak_.mismatch_current, leak_.window};
+  const auto full = reference_spurs(model_, leak_, 3);
+  const auto halved = reference_spurs(model_, half, 3);
+  for (std::size_t i = 0; i < full.size(); ++i) {
+    EXPECT_NEAR(std::abs(halved[i].theta) / std::abs(full[i].theta), 0.5,
+                1e-12);
+  }
+}
+
+TEST_F(SpurFixture, ImpulseLikeLeakageCancels) {
+  // Shrinking the window at FIXED charge: i_k -> i_0, the compensating
+  // pump pulses cancel the leakage spectrum, spurs vanish ~ linearly.
+  const double charge = leak_.mismatch_current * leak_.window;
+  double prev = 1e300;
+  for (double window : {0.05, 0.02, 0.005}) {
+    const ChargePumpLeakage l{charge / window, window};
+    const auto spurs = reference_spurs(model_, l, 1);
+    EXPECT_LT(spurs[0].phase_rad, prev);
+    prev = spurs[0].phase_rad;
+  }
+}
+
+TEST_F(SpurFixture, LevelsReportedInDbc) {
+  const auto spurs = reference_spurs(model_, leak_, 4);
+  for (const SpurLevel& s : spurs) {
+    EXPECT_LT(s.dbc, 0.0);  // small-angle spurs sit below the carrier
+    EXPECT_NEAR(s.dbc, 20.0 * std::log10(0.5 * s.phase_rad), 1e-12);
+  }
+  // The filter's rolloff makes higher spurs weaker for this loop.
+  for (std::size_t i = 1; i < spurs.size(); ++i) {
+    EXPECT_LT(spurs[i].phase_rad, spurs[i - 1].phase_rad);
+  }
+}
+
+TEST_F(SpurFixture, ValidatesArguments) {
+  EXPECT_THROW(reference_spurs(model_, leak_, 0), std::invalid_argument);
+  PllTransientSim sim(params_);
+  sim.run_periods(1.0);
+  EXPECT_THROW(sim.set_leakage(1e-3, 0.1), std::invalid_argument);
+  PllTransientSim sim2(params_);
+  EXPECT_THROW(sim2.set_leakage(1e-3, 2.0), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace htmpll

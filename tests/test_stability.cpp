@@ -1,0 +1,112 @@
+#include <numbers>
+
+#include <gtest/gtest.h>
+
+#include "htmpll/core/stability.hpp"
+
+namespace htmpll {
+namespace {
+
+constexpr double kW0 = 2.0 * std::numbers::pi;
+
+SamplingPllModel make_model(double ratio) {
+  return SamplingPllModel(make_typical_loop(ratio * kW0, kW0));
+}
+
+TEST(Stability, LtiMarginsMatchTypicalLoopDesign) {
+  const SamplingPllModel m = make_model(0.1);
+  const EffectiveMargins em = effective_margins(m);
+  ASSERT_TRUE(em.lti_found);
+  EXPECT_NEAR(em.lti_crossover / (0.1 * kW0), 1.0, 1e-6);
+  EXPECT_NEAR(em.lti_phase_margin_deg, typical_loop_lti_phase_margin_deg(),
+              1e-4);
+}
+
+TEST(Stability, EffectiveMarginDegradesWithRatio) {
+  // The paper's Fig. 7 (lower plot): PM of lambda collapses as w_UG/w0
+  // grows, while the LTI prediction stays constant.
+  // Beyond ~0.28 the sampled loop is outright unstable (|lambda| never
+  // crosses 1 below w0/2), so the sweep stays inside the usable range.
+  double prev_pm = 180.0;
+  for (double ratio : {0.02, 0.05, 0.1, 0.15, 0.2, 0.25}) {
+    const EffectiveMargins em = effective_margins(make_model(ratio));
+    ASSERT_TRUE(em.eff_found) << "ratio " << ratio;
+    EXPECT_LT(em.eff_phase_margin_deg, prev_pm);
+    EXPECT_LT(em.eff_phase_margin_deg, em.lti_phase_margin_deg);
+    prev_pm = em.eff_phase_margin_deg;
+  }
+}
+
+TEST(Stability, EffectiveCrossoverShiftsUp) {
+  // Fig. 7 (upper plot): w_UG,eff / w_UG grows above 1 with the ratio.
+  const EffectiveMargins slow = effective_margins(make_model(0.05));
+  const EffectiveMargins fast = effective_margins(make_model(0.25));
+  ASSERT_TRUE(slow.eff_found && fast.eff_found);
+  const double slow_norm = slow.eff_crossover / slow.lti_crossover;
+  const double fast_norm = fast.eff_crossover / fast.lti_crossover;
+  EXPECT_NEAR(slow_norm, 1.0, 0.05);
+  EXPECT_GT(fast_norm, slow_norm);
+  EXPECT_GT(fast_norm, 1.05);
+}
+
+TEST(Stability, SlowLoopEffectiveMarginNearLti) {
+  const EffectiveMargins em = effective_margins(make_model(0.01));
+  ASSERT_TRUE(em.eff_found);
+  EXPECT_NEAR(em.eff_phase_margin_deg, em.lti_phase_margin_deg, 2.0);
+}
+
+TEST(Stability, ClosedLoopPeakingGrowsWithRatio) {
+  // Fig. 6: "peaking at the passband's edge becomes worse".
+  const ClosedLoopSummary slow = closed_loop_summary(make_model(0.05));
+  const ClosedLoopSummary fast = closed_loop_summary(make_model(0.25));
+  EXPECT_GT(fast.peaking_db, slow.peaking_db + 1.0);
+  EXPECT_NEAR(slow.ref_level_db, 0.0, 0.1);  // unity DC gain
+}
+
+TEST(Stability, BandwidthShiftsRightWithRatio) {
+  // Fig. 6: "the effective bandwidth shifts to the right".  (For very
+  // fast loops the -3 dB point moves beyond w0/2 entirely, so compare
+  // two ratios whose bandwidth is still measurable.)
+  const ClosedLoopSummary slow = closed_loop_summary(make_model(0.02));
+  const ClosedLoopSummary fast = closed_loop_summary(make_model(0.1));
+  ASSERT_TRUE(slow.bw_found);
+  ASSERT_TRUE(fast.bw_found);
+  // Normalized to the respective w_UG.
+  EXPECT_GT(fast.bw_3db / (0.1 * kW0), slow.bw_3db / (0.02 * kW0));
+}
+
+TEST(Stability, FastLoopBandwidthEscapesNyquistRange) {
+  // At w_UG/w0 = 0.25 the closed-loop response stays above -3 dB all
+  // the way to w0/2 -- the extreme form of the bandwidth shift.
+  const ClosedLoopSummary fast = closed_loop_summary(make_model(0.25));
+  EXPECT_FALSE(fast.bw_found);
+}
+
+TEST(Stability, HalfRateLambdaIsRealAndNegative) {
+  const SamplingPllModel m = make_model(0.2);
+  const double hr = half_rate_lambda(m);
+  // For this loop family lambda(j w0/2) sits on the negative real axis.
+  EXPECT_LT(hr, 0.0);
+  EXPECT_FALSE(predicts_half_rate_instability(m));
+}
+
+TEST(Stability, HalfRateInstabilityForExtremeBandwidth) {
+  // Push the loop far past the sampling limit; the half-rate criterion
+  // must flag it.
+  bool flagged = false;
+  for (double ratio : {0.3, 0.4, 0.6, 0.8}) {
+    if (predicts_half_rate_instability(make_model(ratio))) {
+      flagged = true;
+      break;
+    }
+  }
+  EXPECT_TRUE(flagged);
+}
+
+TEST(Stability, SummaryRejectsTinyGrid) {
+  EXPECT_THROW(closed_loop_summary(make_model(0.1), 4),
+               std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace htmpll

@@ -1,0 +1,75 @@
+#include <gtest/gtest.h>
+
+#include "htmpll/lti/loop_filter.hpp"
+#include "htmpll/lti/state_space.hpp"
+
+namespace htmpll {
+namespace {
+
+const cplx j{0.0, 1.0};
+
+TEST(StateSpace, FirstOrderLowpassMatchesTransferFunction) {
+  const RationalFunction h(Polynomial::constant(3.0),
+                           Polynomial::from_real({2.0, 1.0}));
+  const StateSpace ss = to_state_space(h);
+  EXPECT_EQ(ss.order(), 1u);
+  for (const cplx s : {cplx{0.0}, cplx{0.0, 2.0}, cplx{-1.0, 5.0}}) {
+    EXPECT_NEAR(std::abs(ss.frequency_response(s) - h(s)), 0.0, 1e-12);
+  }
+}
+
+TEST(StateSpace, BiproperSystemHasDirectTerm) {
+  // (s+2)/(s+1): D = 1.
+  const RationalFunction h(Polynomial::from_real({2.0, 1.0}),
+                           Polynomial::from_real({1.0, 1.0}));
+  const StateSpace ss = to_state_space(h);
+  EXPECT_NEAR(ss.d, 1.0, 1e-12);
+  for (const cplx s : {cplx{0.0}, cplx{0.0, 10.0}}) {
+    EXPECT_NEAR(std::abs(ss.frequency_response(s) - h(s)), 0.0, 1e-12);
+  }
+}
+
+TEST(StateSpace, PureGainHasOrderZero) {
+  const StateSpace ss = to_state_space(RationalFunction::constant(2.5));
+  EXPECT_EQ(ss.order(), 0u);
+  EXPECT_NEAR(std::abs(ss.frequency_response(j) - cplx{2.5}), 0.0, 1e-15);
+  EXPECT_NEAR(ss.output({}, 2.0), 5.0, 1e-15);
+}
+
+TEST(StateSpace, ImproperRejected) {
+  const RationalFunction h(Polynomial::from_real({0.0, 0.0, 1.0}),
+                           Polynomial::from_real({1.0, 1.0}));
+  EXPECT_THROW(to_state_space(h), std::invalid_argument);
+}
+
+TEST(StateSpace, ComplexCoefficientsRejected) {
+  const RationalFunction h(Polynomial(CVector{j}),
+                           Polynomial::from_real({1.0, 1.0}));
+  EXPECT_THROW(to_state_space(h), std::invalid_argument);
+}
+
+TEST(StateSpace, LoopFilterImpedanceRealization) {
+  const ChargePumpFilter f =
+      ChargePumpFilter::from_frequencies(1e3, 1e5, 1e-9);
+  const RationalFunction z = f.impedance();
+  const StateSpace ss = to_state_space(z);
+  EXPECT_EQ(ss.order(), 2u);
+  for (double w : {1.0, 1e2, 1e3, 1e4, 1e6, 1e8}) {
+    const cplx expected = z(w * j);
+    const cplx got = ss.frequency_response(w * j);
+    EXPECT_NEAR(std::abs(got - expected) / std::abs(expected), 0.0, 1e-9)
+        << "w = " << w;
+  }
+}
+
+TEST(StateSpace, OutputEquation) {
+  // y = C x + D u for the canonical lowpass: wc/(s+wc).
+  const RationalFunction h(Polynomial::constant(4.0),
+                           Polynomial::from_real({4.0, 1.0}));
+  const StateSpace ss = to_state_space(h);
+  EXPECT_NEAR(ss.output({2.0}, 7.0), ss.c(0, 0) * 2.0, 1e-15);
+  EXPECT_THROW(ss.output({1.0, 2.0}, 0.0), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace htmpll

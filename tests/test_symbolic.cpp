@@ -1,0 +1,101 @@
+#include <numbers>
+
+#include <gtest/gtest.h>
+
+#include "htmpll/core/symbolic.hpp"
+#include "htmpll/lti/loop_filter.hpp"
+
+namespace htmpll {
+namespace {
+
+const cplx j{0.0, 1.0};
+constexpr double kW0 = 2.0 * std::numbers::pi;
+
+LambdaExpression typical_lambda(double ratio) {
+  const PllParameters p = make_typical_loop(ratio * kW0, kW0);
+  return LambdaExpression(p.open_loop_gain(), kW0);
+}
+
+TEST(Symbolic, MatchesAliasingSumEverywhere) {
+  const PllParameters p = make_typical_loop(0.2 * kW0, kW0);
+  const LambdaExpression lam(p.open_loop_gain(), kW0);
+  const AliasingSum ref(p.open_loop_gain(), kW0);
+  for (double f : {0.03, 0.11, 0.27, 0.46}) {
+    const cplx s = j * (f * kW0);
+    const cplx a = lam(s);
+    const cplx b = ref.exact(s);
+    EXPECT_NEAR(std::abs(a - b) / std::abs(b), 0.0, 1e-12) << "f = " << f;
+  }
+}
+
+TEST(Symbolic, TermStructureOfTypicalLoop) {
+  // A has a double pole at 0 and a simple pole at -wp: expect S1 + S2 at
+  // 0 and S1 at -wp (any zero residues dropped).
+  const LambdaExpression lam = typical_lambda(0.1);
+  int s1_at_zero = 0, s2_at_zero = 0, s1_at_wp = 0;
+  for (const CothTerm& t : lam.terms()) {
+    if (std::abs(t.pole) < 1e-9) {
+      if (t.order == 1) ++s1_at_zero;
+      if (t.order == 2) ++s2_at_zero;
+    } else if (t.order == 1) {
+      ++s1_at_wp;
+      EXPECT_NEAR(std::abs(t.pole + 4.0 * 0.1 * kW0) / (0.4 * kW0), 0.0,
+                  1e-6);
+    }
+  }
+  EXPECT_EQ(s1_at_zero, 1);
+  EXPECT_EQ(s2_at_zero, 1);
+  EXPECT_EQ(s1_at_wp, 1);
+}
+
+TEST(Symbolic, DerivativeMatchesFiniteDifference) {
+  const LambdaExpression lam = typical_lambda(0.15);
+  for (double f : {0.08, 0.22, 0.41}) {
+    const cplx s = j * (f * kW0);
+    const double h = 1e-6;
+    const cplx fd = (lam(s + h) - lam(s - h)) / (2.0 * h);
+    const cplx an = lam.derivative(s);
+    EXPECT_NEAR(std::abs(an - fd) / std::abs(fd), 0.0, 1e-6) << "f = " << f;
+  }
+}
+
+TEST(Symbolic, DifferentiatedExpressionEvaluatesToDerivative) {
+  const LambdaExpression lam = typical_lambda(0.1);
+  const LambdaExpression dlam = lam.differentiated();
+  const cplx s = j * (0.2 * kW0);
+  EXPECT_NEAR(std::abs(dlam(s) - lam.derivative(s)), 0.0,
+              1e-12 * std::abs(lam.derivative(s)));
+}
+
+TEST(Symbolic, PeriodicityInJw0) {
+  const LambdaExpression lam = typical_lambda(0.2);
+  const cplx s = cplx{-0.05 * kW0, 0.3 * kW0};
+  EXPECT_NEAR(std::abs(lam(s) - lam(s + j * kW0)) / std::abs(lam(s)), 0.0,
+              1e-10);
+}
+
+TEST(Symbolic, ToStringNamesAllTerms) {
+  const LambdaExpression lam = typical_lambda(0.1);
+  const std::string text = lam.to_string();
+  EXPECT_NE(text.find("S1"), std::string::npos);
+  EXPECT_NE(text.find("S2"), std::string::npos);
+  EXPECT_NE(text.find("coth"), std::string::npos);
+}
+
+TEST(Symbolic, RejectsExcessMultiplicity) {
+  // Quadruple pole: derivative would need S5.
+  const RationalFunction h(
+      Polynomial::constant(1.0),
+      Polynomial::from_roots({cplx{-1.0}, cplx{-1.0}, cplx{-1.0},
+                              cplx{-1.0}}));
+  EXPECT_THROW(LambdaExpression(h, 1.0), std::invalid_argument);
+}
+
+TEST(Symbolic, RejectsImproper) {
+  const RationalFunction biproper(Polynomial::from_real({1.0, 1.0}),
+                                  Polynomial::from_real({2.0, 1.0}));
+  EXPECT_THROW(LambdaExpression(biproper, 1.0), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace htmpll

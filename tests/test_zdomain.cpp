@@ -1,0 +1,146 @@
+#include <numbers>
+
+#include <gtest/gtest.h>
+
+#include "htmpll/core/aliasing_sum.hpp"
+#include "htmpll/lti/loop_filter.hpp"
+#include "htmpll/ztrans/jury.hpp"
+#include "htmpll/ztrans/zdomain.hpp"
+
+namespace htmpll {
+namespace {
+
+const cplx j{0.0, 1.0};
+constexpr double kW0 = 2.0 * std::numbers::pi;  // T = 1
+
+TEST(Zdomain, SimplePoleImpulseInvariance) {
+  // A = 1/(s+a): G(z) = T z/(z - e^{-aT}); check at a few z.
+  const double a = 0.7;
+  const RationalFunction h(Polynomial::constant(1.0),
+                           Polynomial::from_real({a, 1.0}));
+  const ImpulseInvariantModel m(h, kW0);
+  const double t = m.period();
+  const double q = std::exp(-a * t);
+  for (const cplx z : {cplx{2.0}, cplx{0.3, 0.9}}) {
+    const cplx expected = t * z / (z - q);
+    EXPECT_NEAR(std::abs(m.loop_gain(z) - expected) / std::abs(expected),
+                0.0, 1e-12);
+  }
+}
+
+TEST(Zdomain, LambdaEquivalenceIsThePoissonIdentity) {
+  // The central cross-check: the impulse-invariant z-model evaluated on
+  // z = e^{sT} must equal the paper's aliasing sum lambda(s) = sum_m
+  // A(s + j m w0) -- tying eq. 37 to the Hein-Scott/Gardner baseline.
+  const PllParameters p = make_typical_loop(0.3 * kW0, kW0);
+  const RationalFunction a = p.open_loop_gain();
+  const ImpulseInvariantModel zm(a, kW0);
+  const AliasingSum sum(a, kW0);
+  for (double f : {0.05, 0.15, 0.33, 0.47}) {
+    const cplx s = j * (f * kW0);
+    const cplx lhs = zm.lambda_equivalent(s);
+    const cplx rhs = sum.exact(s);
+    EXPECT_NEAR(std::abs(lhs - rhs) / std::abs(rhs), 0.0, 1e-8)
+        << "f = " << f;
+  }
+}
+
+TEST(Zdomain, LambdaEquivalenceWithRelativeDegreeOne) {
+  // A = 1/(s+1): a(0+) = 1 requires the half-sample correction.
+  const RationalFunction a(Polynomial::constant(1.0),
+                           Polynomial::from_real({1.0, 1.0}));
+  const ImpulseInvariantModel zm(a, kW0);
+  const AliasingSum sum(a, kW0);
+  const cplx s = j * (0.2 * kW0);
+  EXPECT_NEAR(std::abs(zm.lambda_equivalent(s) - sum.exact(s)) /
+                  std::abs(sum.exact(s)),
+              0.0, 1e-8);
+}
+
+TEST(Zdomain, RepeatedPoleTransform) {
+  // A = 1/s^2 (double pole): sampled ramp a(nT) = nT, G(z) =
+  // T^2 z/(z-1)^2.
+  const RationalFunction a(Polynomial::constant(1.0),
+                           Polynomial::from_real({0.0, 0.0, 1.0}));
+  const ImpulseInvariantModel m(a, kW0);
+  const double t = m.period();
+  const cplx z{1.5, 0.5};
+  const cplx expected = t * t * z / ((z - 1.0) * (z - 1.0));
+  EXPECT_NEAR(std::abs(m.loop_gain(z) - expected) / std::abs(expected),
+              0.0, 1e-10);
+}
+
+TEST(Zdomain, StabilityMatchesRootsForTypicalLoop) {
+  for (double ratio : {0.05, 0.15, 0.25}) {
+    const PllParameters p = make_typical_loop(ratio * kW0, kW0);
+    const ImpulseInvariantModel zm(p.open_loop_gain(), kW0);
+    EXPECT_TRUE(zm.is_stable()) << "ratio " << ratio;
+    EXPECT_TRUE(jury_stable(zm.characteristic())) << "ratio " << ratio;
+  }
+}
+
+TEST(Zdomain, FastLoopGoesUnstable) {
+  // Increase w_UG/w0 until the sampled loop loses stability; z-domain
+  // poles and Jury must agree on where.
+  bool unstable_seen = false;
+  bool agree = true;
+  for (double ratio = 0.2; ratio <= 0.8; ratio += 0.05) {
+    const PllParameters p = make_typical_loop(ratio * kW0, kW0);
+    const ImpulseInvariantModel zm(p.open_loop_gain(), kW0);
+    const bool by_roots = zm.is_stable();
+    const bool by_jury = jury_stable(zm.characteristic(), 1e-9);
+    if (by_roots != by_jury) agree = false;
+    if (!by_roots) unstable_seen = true;
+  }
+  EXPECT_TRUE(unstable_seen);
+  EXPECT_TRUE(agree);
+}
+
+TEST(Zdomain, RequiresStrictlyProper) {
+  const RationalFunction biproper(Polynomial::from_real({1.0, 1.0}),
+                                  Polynomial::from_real({2.0, 1.0}));
+  EXPECT_THROW(ImpulseInvariantModel(biproper, 1.0), std::invalid_argument);
+}
+
+TEST(Jury, KnownStableAndUnstablePolynomials) {
+  // Roots 0.5, 0.8 -> stable.
+  EXPECT_TRUE(jury_stable(
+      Polynomial::from_roots({cplx{0.5}, cplx{0.8}})));
+  // Root at 1.2 -> unstable.
+  EXPECT_FALSE(jury_stable(
+      Polynomial::from_roots({cplx{1.2}, cplx{0.1}})));
+  // Boundary root at |z| = 1 -> not strictly stable.
+  EXPECT_FALSE(jury_stable(
+      Polynomial::from_roots({cplx{0.0, 1.0}, cplx{0.0, -1.0}}), 1e-9));
+}
+
+TEST(Jury, ComplexCoefficientPolynomial) {
+  const cplx r1{0.3, 0.4};  // |r1| = 0.5
+  const cplx r2{-0.2, 0.6};
+  EXPECT_TRUE(jury_stable(Polynomial::from_roots({r1, r2})));
+  EXPECT_FALSE(jury_stable(Polynomial::from_roots({r1, cplx{1.1, 0.3}})));
+}
+
+TEST(Jury, ReflectionMagnitudesReported) {
+  const SchurCohnResult r =
+      schur_cohn(Polynomial::from_roots({cplx{0.5}, cplx{0.8}}));
+  EXPECT_TRUE(r.stable);
+  EXPECT_EQ(r.reflection_magnitudes.size(), 2u);
+  for (double m : r.reflection_magnitudes) EXPECT_LT(m, 1.0);
+}
+
+TEST(Jury, AgreesWithRootsOnRandomPolynomials) {
+  // Property sweep: polynomials from random roots inside/outside circle.
+  for (int trial = 0; trial < 40; ++trial) {
+    const double r1 = 0.1 + 0.05 * trial;  // 0.1 .. 2.05
+    const cplx root1{r1 * 0.7, r1 * 0.3};
+    const cplx root2{-0.4, 0.2};
+    const cplx root3{0.3, -0.5};
+    const Polynomial p = Polynomial::from_roots({root1, root2, root3});
+    const bool by_roots = std::abs(root1) < 1.0;
+    EXPECT_EQ(jury_stable(p, 1e-9), by_roots) << "trial " << trial;
+  }
+}
+
+}  // namespace
+}  // namespace htmpll
