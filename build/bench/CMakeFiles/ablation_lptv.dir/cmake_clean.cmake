@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_lptv.dir/ablation_lptv.cpp.o"
+  "CMakeFiles/ablation_lptv.dir/ablation_lptv.cpp.o.d"
+  "ablation_lptv"
+  "ablation_lptv.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_lptv.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

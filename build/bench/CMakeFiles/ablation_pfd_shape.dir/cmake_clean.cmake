@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_pfd_shape.dir/ablation_pfd_shape.cpp.o"
+  "CMakeFiles/ablation_pfd_shape.dir/ablation_pfd_shape.cpp.o.d"
+  "ablation_pfd_shape"
+  "ablation_pfd_shape.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_pfd_shape.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_rankone.dir/ablation_rankone.cpp.o"
+  "CMakeFiles/ablation_rankone.dir/ablation_rankone.cpp.o.d"
+  "ablation_rankone"
+  "ablation_rankone.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_rankone.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

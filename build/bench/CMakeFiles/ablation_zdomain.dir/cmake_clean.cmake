@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_zdomain.dir/ablation_zdomain.cpp.o"
+  "CMakeFiles/ablation_zdomain.dir/ablation_zdomain.cpp.o.d"
+  "ablation_zdomain"
+  "ablation_zdomain.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_zdomain.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

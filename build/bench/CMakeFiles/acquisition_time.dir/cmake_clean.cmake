@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/acquisition_time.dir/acquisition_time.cpp.o"
+  "CMakeFiles/acquisition_time.dir/acquisition_time.cpp.o.d"
+  "acquisition_time"
+  "acquisition_time.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/acquisition_time.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig2_bandmap.dir/fig2_bandmap.cpp.o"
+  "CMakeFiles/fig2_bandmap.dir/fig2_bandmap.cpp.o.d"
+  "fig2_bandmap"
+  "fig2_bandmap.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig2_bandmap.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

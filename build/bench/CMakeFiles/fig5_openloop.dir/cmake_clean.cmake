@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig5_openloop.dir/fig5_openloop.cpp.o"
+  "CMakeFiles/fig5_openloop.dir/fig5_openloop.cpp.o.d"
+  "fig5_openloop"
+  "fig5_openloop.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig5_openloop.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig6_closedloop.dir/fig6_closedloop.cpp.o"
+  "CMakeFiles/fig6_closedloop.dir/fig6_closedloop.cpp.o.d"
+  "fig6_closedloop"
+  "fig6_closedloop.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig6_closedloop.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig7_stability.dir/fig7_stability.cpp.o"
+  "CMakeFiles/fig7_stability.dir/fig7_stability.cpp.o.d"
+  "fig7_stability"
+  "fig7_stability.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig7_stability.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

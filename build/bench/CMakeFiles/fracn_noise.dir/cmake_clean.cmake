@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fracn_noise.dir/fracn_noise.cpp.o"
+  "CMakeFiles/fracn_noise.dir/fracn_noise.cpp.o.d"
+  "fracn_noise"
+  "fracn_noise.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fracn_noise.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gardner_chart.dir/gardner_chart.cpp.o"
+  "CMakeFiles/gardner_chart.dir/gardner_chart.cpp.o.d"
+  "gardner_chart"
+  "gardner_chart.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gardner_chart.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

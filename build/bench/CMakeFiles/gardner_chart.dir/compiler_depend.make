@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for gardner_chart.
+# This may be replaced when dependencies are built.

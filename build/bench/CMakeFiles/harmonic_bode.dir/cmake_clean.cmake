@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/harmonic_bode.dir/harmonic_bode.cpp.o"
+  "CMakeFiles/harmonic_bode.dir/harmonic_bode.cpp.o.d"
+  "harmonic_bode"
+  "harmonic_bode.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/harmonic_bode.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for harmonic_bode.
+# This may be replaced when dependencies are built.

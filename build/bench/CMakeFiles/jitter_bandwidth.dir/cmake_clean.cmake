@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/jitter_bandwidth.dir/jitter_bandwidth.cpp.o"
+  "CMakeFiles/jitter_bandwidth.dir/jitter_bandwidth.cpp.o.d"
+  "jitter_bandwidth"
+  "jitter_bandwidth.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/jitter_bandwidth.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pole_trajectory.dir/pole_trajectory.cpp.o"
+  "CMakeFiles/pole_trajectory.dir/pole_trajectory.cpp.o.d"
+  "pole_trajectory"
+  "pole_trajectory.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pole_trajectory.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/reference_spurs.dir/reference_spurs.cpp.o"
+  "CMakeFiles/reference_spurs.dir/reference_spurs.cpp.o.d"
+  "reference_spurs"
+  "reference_spurs.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/reference_spurs.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

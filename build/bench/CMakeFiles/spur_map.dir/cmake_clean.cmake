@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/spur_map.dir/spur_map.cpp.o"
+  "CMakeFiles/spur_map.dir/spur_map.cpp.o.d"
+  "spur_map"
+  "spur_map.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/spur_map.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

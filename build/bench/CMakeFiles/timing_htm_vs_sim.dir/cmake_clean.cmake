@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/timing_htm_vs_sim.dir/timing_htm_vs_sim.cpp.o"
+  "CMakeFiles/timing_htm_vs_sim.dir/timing_htm_vs_sim.cpp.o.d"
+  "timing_htm_vs_sim"
+  "timing_htm_vs_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/timing_htm_vs_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/transient_settling.dir/transient_settling.cpp.o"
+  "CMakeFiles/transient_settling.dir/transient_settling.cpp.o.d"
+  "transient_settling"
+  "transient_settling.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/transient_settling.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/clock_deskew.dir/clock_deskew.cpp.o"
+  "CMakeFiles/clock_deskew.dir/clock_deskew.cpp.o.d"
+  "clock_deskew"
+  "clock_deskew.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/clock_deskew.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

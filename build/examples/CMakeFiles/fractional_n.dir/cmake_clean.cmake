@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fractional_n.dir/fractional_n.cpp.o"
+  "CMakeFiles/fractional_n.dir/fractional_n.cpp.o.d"
+  "fractional_n"
+  "fractional_n.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fractional_n.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/frequency_synthesizer.dir/frequency_synthesizer.cpp.o"
+  "CMakeFiles/frequency_synthesizer.dir/frequency_synthesizer.cpp.o.d"
+  "frequency_synthesizer"
+  "frequency_synthesizer.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/frequency_synthesizer.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lab_calibration.dir/lab_calibration.cpp.o"
+  "CMakeFiles/lab_calibration.dir/lab_calibration.cpp.o.d"
+  "lab_calibration"
+  "lab_calibration.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lab_calibration.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

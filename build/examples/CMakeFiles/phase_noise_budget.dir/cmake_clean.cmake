@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/phase_noise_budget.dir/phase_noise_budget.cpp.o"
+  "CMakeFiles/phase_noise_budget.dir/phase_noise_budget.cpp.o.d"
+  "phase_noise_budget"
+  "phase_noise_budget.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/phase_noise_budget.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/transient_lock.dir/transient_lock.cpp.o"
+  "CMakeFiles/transient_lock.dir/transient_lock.cpp.o.d"
+  "transient_lock"
+  "transient_lock.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/transient_lock.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

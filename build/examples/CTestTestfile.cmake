@@ -1,0 +1,20 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/examples
+# Build directory: /root/repo/build/examples
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+add_test(example_quickstart "/root/repo/build/examples/quickstart")
+set_tests_properties(example_quickstart PROPERTIES  TIMEOUT "300" _BACKTRACE_TRIPLES "/root/repo/examples/CMakeLists.txt;6;add_test;/root/repo/examples/CMakeLists.txt;10;htmpll_example;/root/repo/examples/CMakeLists.txt;0;")
+add_test(example_frequency_synthesizer "/root/repo/build/examples/frequency_synthesizer")
+set_tests_properties(example_frequency_synthesizer PROPERTIES  TIMEOUT "300" _BACKTRACE_TRIPLES "/root/repo/examples/CMakeLists.txt;6;add_test;/root/repo/examples/CMakeLists.txt;11;htmpll_example;/root/repo/examples/CMakeLists.txt;0;")
+add_test(example_clock_deskew "/root/repo/build/examples/clock_deskew")
+set_tests_properties(example_clock_deskew PROPERTIES  TIMEOUT "300" _BACKTRACE_TRIPLES "/root/repo/examples/CMakeLists.txt;6;add_test;/root/repo/examples/CMakeLists.txt;12;htmpll_example;/root/repo/examples/CMakeLists.txt;0;")
+add_test(example_phase_noise_budget "/root/repo/build/examples/phase_noise_budget")
+set_tests_properties(example_phase_noise_budget PROPERTIES  TIMEOUT "300" _BACKTRACE_TRIPLES "/root/repo/examples/CMakeLists.txt;6;add_test;/root/repo/examples/CMakeLists.txt;13;htmpll_example;/root/repo/examples/CMakeLists.txt;0;")
+add_test(example_transient_lock "/root/repo/build/examples/transient_lock")
+set_tests_properties(example_transient_lock PROPERTIES  TIMEOUT "300" _BACKTRACE_TRIPLES "/root/repo/examples/CMakeLists.txt;6;add_test;/root/repo/examples/CMakeLists.txt;14;htmpll_example;/root/repo/examples/CMakeLists.txt;0;")
+add_test(example_lab_calibration "/root/repo/build/examples/lab_calibration")
+set_tests_properties(example_lab_calibration PROPERTIES  TIMEOUT "300" _BACKTRACE_TRIPLES "/root/repo/examples/CMakeLists.txt;6;add_test;/root/repo/examples/CMakeLists.txt;15;htmpll_example;/root/repo/examples/CMakeLists.txt;0;")
+add_test(example_fractional_n "/root/repo/build/examples/fractional_n")
+set_tests_properties(example_fractional_n PROPERTIES  TIMEOUT "300" _BACKTRACE_TRIPLES "/root/repo/examples/CMakeLists.txt;6;add_test;/root/repo/examples/CMakeLists.txt;16;htmpll_example;/root/repo/examples/CMakeLists.txt;0;")

@@ -1,0 +1,30 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/htmpll/core/aliasing_sum.cpp" "src/CMakeFiles/htmpll_core.dir/htmpll/core/aliasing_sum.cpp.o" "gcc" "src/CMakeFiles/htmpll_core.dir/htmpll/core/aliasing_sum.cpp.o.d"
+  "/root/repo/src/htmpll/core/builders.cpp" "src/CMakeFiles/htmpll_core.dir/htmpll/core/builders.cpp.o" "gcc" "src/CMakeFiles/htmpll_core.dir/htmpll/core/builders.cpp.o.d"
+  "/root/repo/src/htmpll/core/calibration.cpp" "src/CMakeFiles/htmpll_core.dir/htmpll/core/calibration.cpp.o" "gcc" "src/CMakeFiles/htmpll_core.dir/htmpll/core/calibration.cpp.o.d"
+  "/root/repo/src/htmpll/core/htm.cpp" "src/CMakeFiles/htmpll_core.dir/htmpll/core/htm.cpp.o" "gcc" "src/CMakeFiles/htmpll_core.dir/htmpll/core/htm.cpp.o.d"
+  "/root/repo/src/htmpll/core/pole_search.cpp" "src/CMakeFiles/htmpll_core.dir/htmpll/core/pole_search.cpp.o" "gcc" "src/CMakeFiles/htmpll_core.dir/htmpll/core/pole_search.cpp.o.d"
+  "/root/repo/src/htmpll/core/sampling_pll.cpp" "src/CMakeFiles/htmpll_core.dir/htmpll/core/sampling_pll.cpp.o" "gcc" "src/CMakeFiles/htmpll_core.dir/htmpll/core/sampling_pll.cpp.o.d"
+  "/root/repo/src/htmpll/core/stability.cpp" "src/CMakeFiles/htmpll_core.dir/htmpll/core/stability.cpp.o" "gcc" "src/CMakeFiles/htmpll_core.dir/htmpll/core/stability.cpp.o.d"
+  "/root/repo/src/htmpll/core/symbolic.cpp" "src/CMakeFiles/htmpll_core.dir/htmpll/core/symbolic.cpp.o" "gcc" "src/CMakeFiles/htmpll_core.dir/htmpll/core/symbolic.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/htmpll_lti.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/htmpll_linalg.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/htmpll_ztrans.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/htmpll_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,25 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/htmpll_core.dir/htmpll/core/aliasing_sum.cpp.o"
+  "CMakeFiles/htmpll_core.dir/htmpll/core/aliasing_sum.cpp.o.d"
+  "CMakeFiles/htmpll_core.dir/htmpll/core/builders.cpp.o"
+  "CMakeFiles/htmpll_core.dir/htmpll/core/builders.cpp.o.d"
+  "CMakeFiles/htmpll_core.dir/htmpll/core/calibration.cpp.o"
+  "CMakeFiles/htmpll_core.dir/htmpll/core/calibration.cpp.o.d"
+  "CMakeFiles/htmpll_core.dir/htmpll/core/htm.cpp.o"
+  "CMakeFiles/htmpll_core.dir/htmpll/core/htm.cpp.o.d"
+  "CMakeFiles/htmpll_core.dir/htmpll/core/pole_search.cpp.o"
+  "CMakeFiles/htmpll_core.dir/htmpll/core/pole_search.cpp.o.d"
+  "CMakeFiles/htmpll_core.dir/htmpll/core/sampling_pll.cpp.o"
+  "CMakeFiles/htmpll_core.dir/htmpll/core/sampling_pll.cpp.o.d"
+  "CMakeFiles/htmpll_core.dir/htmpll/core/stability.cpp.o"
+  "CMakeFiles/htmpll_core.dir/htmpll/core/stability.cpp.o.d"
+  "CMakeFiles/htmpll_core.dir/htmpll/core/symbolic.cpp.o"
+  "CMakeFiles/htmpll_core.dir/htmpll/core/symbolic.cpp.o.d"
+  "libhtmpll_core.a"
+  "libhtmpll_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/htmpll_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/htmpll_design.dir/htmpll/design/design.cpp.o"
+  "CMakeFiles/htmpll_design.dir/htmpll/design/design.cpp.o.d"
+  "libhtmpll_design.a"
+  "libhtmpll_design.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/htmpll_design.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

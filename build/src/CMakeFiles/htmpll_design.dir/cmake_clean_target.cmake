@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libhtmpll_design.a"
+)

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/htmpll_fracn.dir/htmpll/fracn/fracn_noise.cpp.o"
+  "CMakeFiles/htmpll_fracn.dir/htmpll/fracn/fracn_noise.cpp.o.d"
+  "CMakeFiles/htmpll_fracn.dir/htmpll/fracn/sigma_delta.cpp.o"
+  "CMakeFiles/htmpll_fracn.dir/htmpll/fracn/sigma_delta.cpp.o.d"
+  "libhtmpll_fracn.a"
+  "libhtmpll_fracn.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/htmpll_fracn.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/htmpll_linalg.dir/htmpll/linalg/expm.cpp.o"
+  "CMakeFiles/htmpll_linalg.dir/htmpll/linalg/expm.cpp.o.d"
+  "CMakeFiles/htmpll_linalg.dir/htmpll/linalg/lu.cpp.o"
+  "CMakeFiles/htmpll_linalg.dir/htmpll/linalg/lu.cpp.o.d"
+  "CMakeFiles/htmpll_linalg.dir/htmpll/linalg/matrix.cpp.o"
+  "CMakeFiles/htmpll_linalg.dir/htmpll/linalg/matrix.cpp.o.d"
+  "libhtmpll_linalg.a"
+  "libhtmpll_linalg.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/htmpll_linalg.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/htmpll/lti/bode.cpp" "src/CMakeFiles/htmpll_lti.dir/htmpll/lti/bode.cpp.o" "gcc" "src/CMakeFiles/htmpll_lti.dir/htmpll/lti/bode.cpp.o.d"
+  "/root/repo/src/htmpll/lti/delay.cpp" "src/CMakeFiles/htmpll_lti.dir/htmpll/lti/delay.cpp.o" "gcc" "src/CMakeFiles/htmpll_lti.dir/htmpll/lti/delay.cpp.o.d"
+  "/root/repo/src/htmpll/lti/loop_filter.cpp" "src/CMakeFiles/htmpll_lti.dir/htmpll/lti/loop_filter.cpp.o" "gcc" "src/CMakeFiles/htmpll_lti.dir/htmpll/lti/loop_filter.cpp.o.d"
+  "/root/repo/src/htmpll/lti/partial_fractions.cpp" "src/CMakeFiles/htmpll_lti.dir/htmpll/lti/partial_fractions.cpp.o" "gcc" "src/CMakeFiles/htmpll_lti.dir/htmpll/lti/partial_fractions.cpp.o.d"
+  "/root/repo/src/htmpll/lti/polynomial.cpp" "src/CMakeFiles/htmpll_lti.dir/htmpll/lti/polynomial.cpp.o" "gcc" "src/CMakeFiles/htmpll_lti.dir/htmpll/lti/polynomial.cpp.o.d"
+  "/root/repo/src/htmpll/lti/rational.cpp" "src/CMakeFiles/htmpll_lti.dir/htmpll/lti/rational.cpp.o" "gcc" "src/CMakeFiles/htmpll_lti.dir/htmpll/lti/rational.cpp.o.d"
+  "/root/repo/src/htmpll/lti/roots.cpp" "src/CMakeFiles/htmpll_lti.dir/htmpll/lti/roots.cpp.o" "gcc" "src/CMakeFiles/htmpll_lti.dir/htmpll/lti/roots.cpp.o.d"
+  "/root/repo/src/htmpll/lti/state_space.cpp" "src/CMakeFiles/htmpll_lti.dir/htmpll/lti/state_space.cpp.o" "gcc" "src/CMakeFiles/htmpll_lti.dir/htmpll/lti/state_space.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/htmpll_linalg.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/htmpll_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,25 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/htmpll_lti.dir/htmpll/lti/bode.cpp.o"
+  "CMakeFiles/htmpll_lti.dir/htmpll/lti/bode.cpp.o.d"
+  "CMakeFiles/htmpll_lti.dir/htmpll/lti/delay.cpp.o"
+  "CMakeFiles/htmpll_lti.dir/htmpll/lti/delay.cpp.o.d"
+  "CMakeFiles/htmpll_lti.dir/htmpll/lti/loop_filter.cpp.o"
+  "CMakeFiles/htmpll_lti.dir/htmpll/lti/loop_filter.cpp.o.d"
+  "CMakeFiles/htmpll_lti.dir/htmpll/lti/partial_fractions.cpp.o"
+  "CMakeFiles/htmpll_lti.dir/htmpll/lti/partial_fractions.cpp.o.d"
+  "CMakeFiles/htmpll_lti.dir/htmpll/lti/polynomial.cpp.o"
+  "CMakeFiles/htmpll_lti.dir/htmpll/lti/polynomial.cpp.o.d"
+  "CMakeFiles/htmpll_lti.dir/htmpll/lti/rational.cpp.o"
+  "CMakeFiles/htmpll_lti.dir/htmpll/lti/rational.cpp.o.d"
+  "CMakeFiles/htmpll_lti.dir/htmpll/lti/roots.cpp.o"
+  "CMakeFiles/htmpll_lti.dir/htmpll/lti/roots.cpp.o.d"
+  "CMakeFiles/htmpll_lti.dir/htmpll/lti/state_space.cpp.o"
+  "CMakeFiles/htmpll_lti.dir/htmpll/lti/state_space.cpp.o.d"
+  "libhtmpll_lti.a"
+  "libhtmpll_lti.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/htmpll_lti.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for htmpll_lti.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/htmpll_noise.dir/htmpll/noise/noise.cpp.o"
+  "CMakeFiles/htmpll_noise.dir/htmpll/noise/noise.cpp.o.d"
+  "CMakeFiles/htmpll_noise.dir/htmpll/noise/spurs.cpp.o"
+  "CMakeFiles/htmpll_noise.dir/htmpll/noise/spurs.cpp.o.d"
+  "libhtmpll_noise.a"
+  "libhtmpll_noise.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/htmpll_noise.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

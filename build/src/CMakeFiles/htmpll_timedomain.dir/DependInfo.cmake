@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/htmpll/timedomain/loop_filter_sim.cpp" "src/CMakeFiles/htmpll_timedomain.dir/htmpll/timedomain/loop_filter_sim.cpp.o" "gcc" "src/CMakeFiles/htmpll_timedomain.dir/htmpll/timedomain/loop_filter_sim.cpp.o.d"
+  "/root/repo/src/htmpll/timedomain/lptv_vco_sim.cpp" "src/CMakeFiles/htmpll_timedomain.dir/htmpll/timedomain/lptv_vco_sim.cpp.o" "gcc" "src/CMakeFiles/htmpll_timedomain.dir/htmpll/timedomain/lptv_vco_sim.cpp.o.d"
+  "/root/repo/src/htmpll/timedomain/pfd.cpp" "src/CMakeFiles/htmpll_timedomain.dir/htmpll/timedomain/pfd.cpp.o" "gcc" "src/CMakeFiles/htmpll_timedomain.dir/htmpll/timedomain/pfd.cpp.o.d"
+  "/root/repo/src/htmpll/timedomain/pll_sim.cpp" "src/CMakeFiles/htmpll_timedomain.dir/htmpll/timedomain/pll_sim.cpp.o" "gcc" "src/CMakeFiles/htmpll_timedomain.dir/htmpll/timedomain/pll_sim.cpp.o.d"
+  "/root/repo/src/htmpll/timedomain/probe.cpp" "src/CMakeFiles/htmpll_timedomain.dir/htmpll/timedomain/probe.cpp.o" "gcc" "src/CMakeFiles/htmpll_timedomain.dir/htmpll/timedomain/probe.cpp.o.d"
+  "/root/repo/src/htmpll/timedomain/sample_hold_sim.cpp" "src/CMakeFiles/htmpll_timedomain.dir/htmpll/timedomain/sample_hold_sim.cpp.o" "gcc" "src/CMakeFiles/htmpll_timedomain.dir/htmpll/timedomain/sample_hold_sim.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/htmpll_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/htmpll_lti.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/htmpll_linalg.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/htmpll_ztrans.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/htmpll_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

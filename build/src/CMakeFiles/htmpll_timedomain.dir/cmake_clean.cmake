@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/htmpll_timedomain.dir/htmpll/timedomain/loop_filter_sim.cpp.o"
+  "CMakeFiles/htmpll_timedomain.dir/htmpll/timedomain/loop_filter_sim.cpp.o.d"
+  "CMakeFiles/htmpll_timedomain.dir/htmpll/timedomain/lptv_vco_sim.cpp.o"
+  "CMakeFiles/htmpll_timedomain.dir/htmpll/timedomain/lptv_vco_sim.cpp.o.d"
+  "CMakeFiles/htmpll_timedomain.dir/htmpll/timedomain/pfd.cpp.o"
+  "CMakeFiles/htmpll_timedomain.dir/htmpll/timedomain/pfd.cpp.o.d"
+  "CMakeFiles/htmpll_timedomain.dir/htmpll/timedomain/pll_sim.cpp.o"
+  "CMakeFiles/htmpll_timedomain.dir/htmpll/timedomain/pll_sim.cpp.o.d"
+  "CMakeFiles/htmpll_timedomain.dir/htmpll/timedomain/probe.cpp.o"
+  "CMakeFiles/htmpll_timedomain.dir/htmpll/timedomain/probe.cpp.o.d"
+  "CMakeFiles/htmpll_timedomain.dir/htmpll/timedomain/sample_hold_sim.cpp.o"
+  "CMakeFiles/htmpll_timedomain.dir/htmpll/timedomain/sample_hold_sim.cpp.o.d"
+  "libhtmpll_timedomain.a"
+  "libhtmpll_timedomain.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/htmpll_timedomain.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

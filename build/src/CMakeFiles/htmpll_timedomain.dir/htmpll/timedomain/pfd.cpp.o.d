@@ -1,0 +1,3 @@
+src/CMakeFiles/htmpll_timedomain.dir/htmpll/timedomain/pfd.cpp.o: \
+ /root/repo/src/htmpll/timedomain/pfd.cpp /usr/include/stdc-predef.h \
+ /root/repo/src/htmpll/timedomain/pfd.hpp

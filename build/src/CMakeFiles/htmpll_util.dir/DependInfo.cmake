@@ -1,0 +1,21 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/htmpll/util/check.cpp" "src/CMakeFiles/htmpll_util.dir/htmpll/util/check.cpp.o" "gcc" "src/CMakeFiles/htmpll_util.dir/htmpll/util/check.cpp.o.d"
+  "/root/repo/src/htmpll/util/grid.cpp" "src/CMakeFiles/htmpll_util.dir/htmpll/util/grid.cpp.o" "gcc" "src/CMakeFiles/htmpll_util.dir/htmpll/util/grid.cpp.o.d"
+  "/root/repo/src/htmpll/util/table.cpp" "src/CMakeFiles/htmpll_util.dir/htmpll/util/table.cpp.o" "gcc" "src/CMakeFiles/htmpll_util.dir/htmpll/util/table.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

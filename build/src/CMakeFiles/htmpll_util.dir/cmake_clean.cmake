@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/htmpll_util.dir/htmpll/util/check.cpp.o"
+  "CMakeFiles/htmpll_util.dir/htmpll/util/check.cpp.o.d"
+  "CMakeFiles/htmpll_util.dir/htmpll/util/grid.cpp.o"
+  "CMakeFiles/htmpll_util.dir/htmpll/util/grid.cpp.o.d"
+  "CMakeFiles/htmpll_util.dir/htmpll/util/table.cpp.o"
+  "CMakeFiles/htmpll_util.dir/htmpll/util/table.cpp.o.d"
+  "libhtmpll_util.a"
+  "libhtmpll_util.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/htmpll_util.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/htmpll/ztrans/discrete_response.cpp" "src/CMakeFiles/htmpll_ztrans.dir/htmpll/ztrans/discrete_response.cpp.o" "gcc" "src/CMakeFiles/htmpll_ztrans.dir/htmpll/ztrans/discrete_response.cpp.o.d"
+  "/root/repo/src/htmpll/ztrans/jury.cpp" "src/CMakeFiles/htmpll_ztrans.dir/htmpll/ztrans/jury.cpp.o" "gcc" "src/CMakeFiles/htmpll_ztrans.dir/htmpll/ztrans/jury.cpp.o.d"
+  "/root/repo/src/htmpll/ztrans/zdomain.cpp" "src/CMakeFiles/htmpll_ztrans.dir/htmpll/ztrans/zdomain.cpp.o" "gcc" "src/CMakeFiles/htmpll_ztrans.dir/htmpll/ztrans/zdomain.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/htmpll_lti.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/htmpll_linalg.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/htmpll_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/htmpll_ztrans.dir/htmpll/ztrans/discrete_response.cpp.o"
+  "CMakeFiles/htmpll_ztrans.dir/htmpll/ztrans/discrete_response.cpp.o.d"
+  "CMakeFiles/htmpll_ztrans.dir/htmpll/ztrans/jury.cpp.o"
+  "CMakeFiles/htmpll_ztrans.dir/htmpll/ztrans/jury.cpp.o.d"
+  "CMakeFiles/htmpll_ztrans.dir/htmpll/ztrans/zdomain.cpp.o"
+  "CMakeFiles/htmpll_ztrans.dir/htmpll/ztrans/zdomain.cpp.o.d"
+  "libhtmpll_ztrans.a"
+  "libhtmpll_ztrans.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/htmpll_ztrans.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,65 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/test_aliasing_sum.cpp" "tests/CMakeFiles/htmpll_tests.dir/test_aliasing_sum.cpp.o" "gcc" "tests/CMakeFiles/htmpll_tests.dir/test_aliasing_sum.cpp.o.d"
+  "/root/repo/tests/test_band_transfer.cpp" "tests/CMakeFiles/htmpll_tests.dir/test_band_transfer.cpp.o" "gcc" "tests/CMakeFiles/htmpll_tests.dir/test_band_transfer.cpp.o.d"
+  "/root/repo/tests/test_bode.cpp" "tests/CMakeFiles/htmpll_tests.dir/test_bode.cpp.o" "gcc" "tests/CMakeFiles/htmpll_tests.dir/test_bode.cpp.o.d"
+  "/root/repo/tests/test_calibration.cpp" "tests/CMakeFiles/htmpll_tests.dir/test_calibration.cpp.o" "gcc" "tests/CMakeFiles/htmpll_tests.dir/test_calibration.cpp.o.d"
+  "/root/repo/tests/test_delay.cpp" "tests/CMakeFiles/htmpll_tests.dir/test_delay.cpp.o" "gcc" "tests/CMakeFiles/htmpll_tests.dir/test_delay.cpp.o.d"
+  "/root/repo/tests/test_design.cpp" "tests/CMakeFiles/htmpll_tests.dir/test_design.cpp.o" "gcc" "tests/CMakeFiles/htmpll_tests.dir/test_design.cpp.o.d"
+  "/root/repo/tests/test_discrete_response.cpp" "tests/CMakeFiles/htmpll_tests.dir/test_discrete_response.cpp.o" "gcc" "tests/CMakeFiles/htmpll_tests.dir/test_discrete_response.cpp.o.d"
+  "/root/repo/tests/test_edge_cases.cpp" "tests/CMakeFiles/htmpll_tests.dir/test_edge_cases.cpp.o" "gcc" "tests/CMakeFiles/htmpll_tests.dir/test_edge_cases.cpp.o.d"
+  "/root/repo/tests/test_expm.cpp" "tests/CMakeFiles/htmpll_tests.dir/test_expm.cpp.o" "gcc" "tests/CMakeFiles/htmpll_tests.dir/test_expm.cpp.o.d"
+  "/root/repo/tests/test_htm.cpp" "tests/CMakeFiles/htmpll_tests.dir/test_htm.cpp.o" "gcc" "tests/CMakeFiles/htmpll_tests.dir/test_htm.cpp.o.d"
+  "/root/repo/tests/test_integration.cpp" "tests/CMakeFiles/htmpll_tests.dir/test_integration.cpp.o" "gcc" "tests/CMakeFiles/htmpll_tests.dir/test_integration.cpp.o.d"
+  "/root/repo/tests/test_loop_filter.cpp" "tests/CMakeFiles/htmpll_tests.dir/test_loop_filter.cpp.o" "gcc" "tests/CMakeFiles/htmpll_tests.dir/test_loop_filter.cpp.o.d"
+  "/root/repo/tests/test_loop_filter_sim.cpp" "tests/CMakeFiles/htmpll_tests.dir/test_loop_filter_sim.cpp.o" "gcc" "tests/CMakeFiles/htmpll_tests.dir/test_loop_filter_sim.cpp.o.d"
+  "/root/repo/tests/test_lptv_sim.cpp" "tests/CMakeFiles/htmpll_tests.dir/test_lptv_sim.cpp.o" "gcc" "tests/CMakeFiles/htmpll_tests.dir/test_lptv_sim.cpp.o.d"
+  "/root/repo/tests/test_lu.cpp" "tests/CMakeFiles/htmpll_tests.dir/test_lu.cpp.o" "gcc" "tests/CMakeFiles/htmpll_tests.dir/test_lu.cpp.o.d"
+  "/root/repo/tests/test_matrix.cpp" "tests/CMakeFiles/htmpll_tests.dir/test_matrix.cpp.o" "gcc" "tests/CMakeFiles/htmpll_tests.dir/test_matrix.cpp.o.d"
+  "/root/repo/tests/test_noise.cpp" "tests/CMakeFiles/htmpll_tests.dir/test_noise.cpp.o" "gcc" "tests/CMakeFiles/htmpll_tests.dir/test_noise.cpp.o.d"
+  "/root/repo/tests/test_noise_injection.cpp" "tests/CMakeFiles/htmpll_tests.dir/test_noise_injection.cpp.o" "gcc" "tests/CMakeFiles/htmpll_tests.dir/test_noise_injection.cpp.o.d"
+  "/root/repo/tests/test_partial_fractions.cpp" "tests/CMakeFiles/htmpll_tests.dir/test_partial_fractions.cpp.o" "gcc" "tests/CMakeFiles/htmpll_tests.dir/test_partial_fractions.cpp.o.d"
+  "/root/repo/tests/test_pfd.cpp" "tests/CMakeFiles/htmpll_tests.dir/test_pfd.cpp.o" "gcc" "tests/CMakeFiles/htmpll_tests.dir/test_pfd.cpp.o.d"
+  "/root/repo/tests/test_pfd_shape.cpp" "tests/CMakeFiles/htmpll_tests.dir/test_pfd_shape.cpp.o" "gcc" "tests/CMakeFiles/htmpll_tests.dir/test_pfd_shape.cpp.o.d"
+  "/root/repo/tests/test_pll_sim.cpp" "tests/CMakeFiles/htmpll_tests.dir/test_pll_sim.cpp.o" "gcc" "tests/CMakeFiles/htmpll_tests.dir/test_pll_sim.cpp.o.d"
+  "/root/repo/tests/test_pole_search.cpp" "tests/CMakeFiles/htmpll_tests.dir/test_pole_search.cpp.o" "gcc" "tests/CMakeFiles/htmpll_tests.dir/test_pole_search.cpp.o.d"
+  "/root/repo/tests/test_polynomial.cpp" "tests/CMakeFiles/htmpll_tests.dir/test_polynomial.cpp.o" "gcc" "tests/CMakeFiles/htmpll_tests.dir/test_polynomial.cpp.o.d"
+  "/root/repo/tests/test_probe.cpp" "tests/CMakeFiles/htmpll_tests.dir/test_probe.cpp.o" "gcc" "tests/CMakeFiles/htmpll_tests.dir/test_probe.cpp.o.d"
+  "/root/repo/tests/test_properties.cpp" "tests/CMakeFiles/htmpll_tests.dir/test_properties.cpp.o" "gcc" "tests/CMakeFiles/htmpll_tests.dir/test_properties.cpp.o.d"
+  "/root/repo/tests/test_random_algebra.cpp" "tests/CMakeFiles/htmpll_tests.dir/test_random_algebra.cpp.o" "gcc" "tests/CMakeFiles/htmpll_tests.dir/test_random_algebra.cpp.o.d"
+  "/root/repo/tests/test_rational.cpp" "tests/CMakeFiles/htmpll_tests.dir/test_rational.cpp.o" "gcc" "tests/CMakeFiles/htmpll_tests.dir/test_rational.cpp.o.d"
+  "/root/repo/tests/test_roots.cpp" "tests/CMakeFiles/htmpll_tests.dir/test_roots.cpp.o" "gcc" "tests/CMakeFiles/htmpll_tests.dir/test_roots.cpp.o.d"
+  "/root/repo/tests/test_sampling_pll.cpp" "tests/CMakeFiles/htmpll_tests.dir/test_sampling_pll.cpp.o" "gcc" "tests/CMakeFiles/htmpll_tests.dir/test_sampling_pll.cpp.o.d"
+  "/root/repo/tests/test_second_order.cpp" "tests/CMakeFiles/htmpll_tests.dir/test_second_order.cpp.o" "gcc" "tests/CMakeFiles/htmpll_tests.dir/test_second_order.cpp.o.d"
+  "/root/repo/tests/test_sigma_delta.cpp" "tests/CMakeFiles/htmpll_tests.dir/test_sigma_delta.cpp.o" "gcc" "tests/CMakeFiles/htmpll_tests.dir/test_sigma_delta.cpp.o.d"
+  "/root/repo/tests/test_spurs.cpp" "tests/CMakeFiles/htmpll_tests.dir/test_spurs.cpp.o" "gcc" "tests/CMakeFiles/htmpll_tests.dir/test_spurs.cpp.o.d"
+  "/root/repo/tests/test_stability.cpp" "tests/CMakeFiles/htmpll_tests.dir/test_stability.cpp.o" "gcc" "tests/CMakeFiles/htmpll_tests.dir/test_stability.cpp.o.d"
+  "/root/repo/tests/test_state_space.cpp" "tests/CMakeFiles/htmpll_tests.dir/test_state_space.cpp.o" "gcc" "tests/CMakeFiles/htmpll_tests.dir/test_state_space.cpp.o.d"
+  "/root/repo/tests/test_symbolic.cpp" "tests/CMakeFiles/htmpll_tests.dir/test_symbolic.cpp.o" "gcc" "tests/CMakeFiles/htmpll_tests.dir/test_symbolic.cpp.o.d"
+  "/root/repo/tests/test_util.cpp" "tests/CMakeFiles/htmpll_tests.dir/test_util.cpp.o" "gcc" "tests/CMakeFiles/htmpll_tests.dir/test_util.cpp.o.d"
+  "/root/repo/tests/test_zdomain.cpp" "tests/CMakeFiles/htmpll_tests.dir/test_zdomain.cpp.o" "gcc" "tests/CMakeFiles/htmpll_tests.dir/test_zdomain.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/htmpll_timedomain.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/htmpll_fracn.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/htmpll_design.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/htmpll_noise.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/htmpll_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/htmpll_ztrans.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/htmpll_lti.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/htmpll_linalg.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/htmpll_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")
