@@ -1,0 +1,151 @@
+#include "bench_common.hpp"
+
+#include <cstdio>
+#include <fstream>
+#include <iostream>
+
+#include "htmpll/util/check.hpp"
+
+namespace htmpll::bench {
+
+double time_best_of(int reps, const std::function<void()>& fn) {
+  HTMPLL_REQUIRE(reps >= 1, "time_best_of needs at least one repetition");
+  double best = 0.0;
+  for (int r = 0; r < reps; ++r) {
+    WallTimer timer;
+    fn();
+    const double t = timer.seconds();
+    if (r == 0 || t < best) best = t;
+  }
+  return best;
+}
+
+void maybe_write_csv(const Table& t, int argc, char** argv, int index) {
+  if (argc > index) {
+    t.write_csv_file(argv[index]);
+    std::cout << "wrote " << argv[index] << "\n";
+  }
+}
+
+Json Json::object() { return Json(Kind::kObject); }
+Json Json::array() { return Json(Kind::kArray); }
+
+Json Json::number(double v) {
+  Json j(Kind::kNumber);
+  j.number_ = v;
+  return j;
+}
+
+Json Json::string(std::string v) {
+  Json j(Kind::kString);
+  j.string_ = std::move(v);
+  return j;
+}
+
+Json Json::boolean(bool v) {
+  Json j(Kind::kBool);
+  j.bool_ = v;
+  return j;
+}
+
+Json& Json::set(const std::string& key, Json value) {
+  HTMPLL_REQUIRE(kind_ == Kind::kObject, "Json::set on a non-object");
+  for (auto& [k, v] : members_) {
+    if (k == key) {
+      v = std::move(value);
+      return *this;
+    }
+  }
+  members_.emplace_back(key, std::move(value));
+  return *this;
+}
+
+Json& Json::push(Json value) {
+  HTMPLL_REQUIRE(kind_ == Kind::kArray, "Json::push on a non-array");
+  items_.push_back(std::move(value));
+  return *this;
+}
+
+namespace {
+
+void append_quoted(std::string& out, const std::string& s) {
+  out += '"';
+  for (char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\t': out += "\\t"; break;
+      default: out += c;
+    }
+  }
+  out += '"';
+}
+
+}  // namespace
+
+void Json::dump_to(std::string& out, int indent, int depth) const {
+  const std::string pad(static_cast<std::size_t>(indent * (depth + 1)), ' ');
+  const std::string close_pad(static_cast<std::size_t>(indent * depth), ' ');
+  switch (kind_) {
+    case Kind::kNumber: {
+      char buf[64];
+      std::snprintf(buf, sizeof buf, "%.9g", number_);
+      out += buf;
+      break;
+    }
+    case Kind::kString:
+      append_quoted(out, string_);
+      break;
+    case Kind::kBool:
+      out += bool_ ? "true" : "false";
+      break;
+    case Kind::kObject: {
+      if (members_.empty()) {
+        out += "{}";
+        break;
+      }
+      out += "{\n";
+      for (std::size_t i = 0; i < members_.size(); ++i) {
+        out += pad;
+        append_quoted(out, members_[i].first);
+        out += ": ";
+        members_[i].second.dump_to(out, indent, depth + 1);
+        if (i + 1 < members_.size()) out += ',';
+        out += '\n';
+      }
+      out += close_pad + "}";
+      break;
+    }
+    case Kind::kArray: {
+      if (items_.empty()) {
+        out += "[]";
+        break;
+      }
+      out += "[\n";
+      for (std::size_t i = 0; i < items_.size(); ++i) {
+        out += pad;
+        items_[i].dump_to(out, indent, depth + 1);
+        if (i + 1 < items_.size()) out += ',';
+        out += '\n';
+      }
+      out += close_pad + "]";
+      break;
+    }
+  }
+}
+
+std::string Json::dump(int indent) const {
+  std::string out;
+  dump_to(out, indent, 0);
+  out += '\n';
+  return out;
+}
+
+void Json::write_file(const std::string& path, int indent) const {
+  std::ofstream os(path);
+  HTMPLL_REQUIRE(os.good(), "cannot open JSON output file: " + path);
+  os << dump(indent);
+}
+
+}  // namespace htmpll::bench

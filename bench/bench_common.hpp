@@ -1,0 +1,75 @@
+// Helpers shared by every bench driver: wall-clock timing with
+// best-of-N repetition, the common "[output.csv]" argument handling,
+// and a minimal JSON writer for machine-readable benchmark reports
+// (BENCH_*.json).  Lives in the bench tree -- the library proper stays
+// free of benchmarking concerns.
+#pragma once
+
+#include <chrono>
+#include <cstddef>
+#include <functional>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "htmpll/util/table.hpp"
+
+namespace htmpll::bench {
+
+/// Monotonic wall-clock stopwatch.
+class WallTimer {
+ public:
+  WallTimer() : start_(std::chrono::steady_clock::now()) {}
+  void reset() { start_ = std::chrono::steady_clock::now(); }
+  double seconds() const {
+    return std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                         start_)
+        .count();
+  }
+
+ private:
+  std::chrono::steady_clock::time_point start_;
+};
+
+/// Runs `fn` `reps` times and returns the fastest wall time in seconds.
+/// Min-of-N rejects scheduler noise better than the mean on a shared
+/// machine.
+double time_best_of(int reps, const std::function<void()>& fn);
+
+/// If argv[index] names a file, writes the table there as CSV and
+/// prints a confirmation; the shared tail of every figure driver.
+void maybe_write_csv(const Table& t, int argc, char** argv, int index = 1);
+
+/// Minimal JSON value (object / array / number / string / bool) with a
+/// pretty-printing dump -- just enough for benchmark reports, with
+/// object keys kept in insertion order.
+class Json {
+ public:
+  static Json object();
+  static Json array();
+  static Json number(double v);
+  static Json string(std::string v);
+  static Json boolean(bool v);
+
+  /// Object member set (insert or overwrite); returns *this for chains.
+  Json& set(const std::string& key, Json value);
+  /// Array append.
+  Json& push(Json value);
+
+  std::string dump(int indent = 2) const;
+  void write_file(const std::string& path, int indent = 2) const;
+
+ private:
+  enum class Kind { kObject, kArray, kNumber, kString, kBool };
+  explicit Json(Kind k) : kind_(k) {}
+  void dump_to(std::string& out, int indent, int depth) const;
+
+  Kind kind_;
+  std::vector<std::pair<std::string, Json>> members_;  // kObject
+  std::vector<Json> items_;                            // kArray
+  double number_ = 0.0;
+  std::string string_;
+  bool bool_ = false;
+};
+
+}  // namespace htmpll::bench

@@ -1,0 +1,240 @@
+// Sweep-engine benchmark: measures the parallel/batched evaluation
+// paths against their naive point-wise counterparts and verifies that
+// every path returns BIT-IDENTICAL results.
+//
+//   1. baseband_transfer over a 2000-point log grid: scalar loop,
+//      1-thread SweepRunner, global-pool SweepRunner, and the batched
+//      baseband_transfer_grid API (exact and truncated lambda).
+//   2. closed_loop_grid over 6 output bands vs a naive nested
+//      closed_loop loop (shared lambda + shifted-gain table per point).
+//   3. dense kernels: blocked HTM-sized complex matrix product and the
+//      transposed-RHS LU multi-solve.
+//
+// Writes a machine-readable report (default BENCH_sweep.json).
+//
+// Usage: bench_sweep [output.json] [--check]
+//   --check: exit non-zero if the global-pool sweep is slower than the
+//            1-thread sweep on a machine with >= 4 hardware threads.
+#include <cstring>
+#include <iostream>
+#include <numbers>
+#include <string>
+#include <thread>
+
+#include "bench_common.hpp"
+#include "htmpll/core/sampling_pll.hpp"
+#include "htmpll/linalg/lu.hpp"
+#include "htmpll/linalg/matrix.hpp"
+#include "htmpll/parallel/sweep.hpp"
+#include "htmpll/parallel/thread_pool.hpp"
+#include "htmpll/util/grid.hpp"
+#include "htmpll/util/table.hpp"
+
+namespace {
+
+using namespace htmpll;
+using bench::Json;
+using bench::time_best_of;
+
+bool bit_identical(const CVector& a, const CVector& b) {
+  return a.size() == b.size() &&
+         std::memcmp(a.data(), b.data(), a.size() * sizeof(cplx)) == 0;
+}
+
+/// Deterministic pseudo-random complex fill (no global RNG state).
+CMatrix random_matrix(std::size_t n) {
+  CMatrix m(n, n);
+  std::uint64_t state = 0x9e3779b97f4a7c15ull;
+  auto next = [&state]() {
+    state = state * 6364136223846793005ull + 1442695040888963407ull;
+    return static_cast<double>(state >> 11) / 9007199254740992.0 - 0.5;
+  };
+  for (std::size_t i = 0; i < n; ++i) {
+    for (std::size_t j = 0; j < n; ++j) m(i, j) = cplx{next(), next()};
+    m(i, i) += cplx{4.0, 0.0};  // keep it comfortably non-singular
+  }
+  return m;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::string out_path = "BENCH_sweep.json";
+  bool check = false;
+  for (int i = 1; i < argc; ++i) {
+    if (std::string(argv[i]) == "--check") {
+      check = true;
+    } else {
+      out_path = argv[i];
+    }
+  }
+
+  const double w0 = 2.0 * std::numbers::pi;
+  const PllParameters params = make_typical_loop(0.1 * w0, w0);
+  const SamplingPllModel exact(params);
+  SamplingPllOptions trunc_opts;
+  trunc_opts.lambda_method = LambdaMethod::kTruncated;
+  trunc_opts.truncation = 16;
+  const SamplingPllModel truncated(params, HarmonicCoefficients(cplx{1.0}),
+                                   trunc_opts);
+
+  const std::size_t n_points = 2000;
+  const std::vector<double> w_grid = logspace(1e-3 * w0, 0.49 * w0, n_points);
+  const CVector s_grid = jw_grid(w_grid);
+
+  const std::size_t hw = std::thread::hardware_concurrency();
+  const std::size_t pool_width = ThreadPool::global().threads();
+  std::cout << "=== Sweep-engine benchmark: " << n_points
+            << " grid points, pool width " << pool_width << " (hardware "
+            << hw << ") ===\n\n";
+
+  const int reps = 3;
+  const auto scalar_eval = [&exact](cplx s) {
+    return exact.baseband_transfer(s);
+  };
+
+  // --- 1. baseband transfer sweep, exact lambda -------------------------
+  CVector r_pointwise(n_points);
+  const double t_pointwise = time_best_of(reps, [&] {
+    for (std::size_t i = 0; i < n_points; ++i) {
+      r_pointwise[i] = exact.baseband_transfer(s_grid[i]);
+    }
+  });
+
+  ThreadPool serial_pool(1);
+  CVector r_serial;
+  const double t_serial = time_best_of(reps, [&] {
+    r_serial = SweepRunner(serial_pool).run(s_grid, scalar_eval);
+  });
+
+  CVector r_parallel;
+  const double t_parallel = time_best_of(reps, [&] {
+    r_parallel = SweepRunner().run(s_grid, scalar_eval);
+  });
+
+  CVector r_grid;
+  const double t_grid = time_best_of(reps, [&] {
+    r_grid = exact.baseband_transfer_grid(s_grid);
+  });
+
+  const bool exact_identical = bit_identical(r_pointwise, r_serial) &&
+                               bit_identical(r_pointwise, r_parallel) &&
+                               bit_identical(r_pointwise, r_grid);
+
+  // --- 1b. truncated lambda: the shifted-gain memo also pays serially --
+  CVector rt_pointwise(n_points);
+  const double tt_pointwise = time_best_of(reps, [&] {
+    for (std::size_t i = 0; i < n_points; ++i) {
+      rt_pointwise[i] = truncated.baseband_transfer(s_grid[i]);
+    }
+  });
+  CVector rt_grid;
+  const double tt_grid = time_best_of(reps, [&] {
+    rt_grid = truncated.baseband_transfer_grid(s_grid);
+  });
+  const bool trunc_identical = bit_identical(rt_pointwise, rt_grid);
+
+  // --- 2. multi-band closed loop ---------------------------------------
+  const std::vector<int> bands = {-2, -1, 0, 1, 2, 3};
+  const std::size_t n_band_points = 400;
+  const CVector s_band = jw_grid(logspace(1e-3 * w0, 0.49 * w0,
+                                          n_band_points));
+  std::vector<CVector> cl_naive(bands.size(), CVector(n_band_points));
+  const double t_cl_naive = time_best_of(reps, [&] {
+    for (std::size_t b = 0; b < bands.size(); ++b) {
+      for (std::size_t i = 0; i < n_band_points; ++i) {
+        cl_naive[b][i] = exact.closed_loop(bands[b], s_band[i]);
+      }
+    }
+  });
+  std::vector<CVector> cl_grid;
+  const double t_cl_grid = time_best_of(reps, [&] {
+    cl_grid = exact.closed_loop_grid(bands, s_band);
+  });
+  bool cl_identical = cl_grid.size() == bands.size();
+  for (std::size_t b = 0; cl_identical && b < bands.size(); ++b) {
+    cl_identical = bit_identical(cl_naive[b], cl_grid[b]);
+  }
+
+  // --- 3. dense kernels -------------------------------------------------
+  const std::size_t dim = 129;  // truncation 64 HTM
+  const CMatrix a = random_matrix(dim);
+  const CMatrix b = random_matrix(dim);
+  CMatrix prod(1, 1);
+  const double t_matmul = time_best_of(reps, [&] { prod = a * b; });
+  const CLu lu(a);
+  CMatrix solved(1, 1);
+  const double t_solve = time_best_of(reps, [&] { solved = lu.solve(b); });
+  // Touch the results so the work cannot be optimized away.
+  const double checksum = std::abs(prod(0, 0)) + std::abs(solved(0, 0));
+
+  // --- report -----------------------------------------------------------
+  Table t({"case", "time_s", "vs_baseline", "bit_identical"});
+  auto row = [&t](const std::string& name, double time, double base,
+                  bool same) {
+    t.add_row({name, Table::fmt(time), Table::fmt(base / time),
+               same ? "yes" : "NO"});
+  };
+  row("exact pointwise (baseline)", t_pointwise, t_pointwise, true);
+  row("exact SweepRunner 1 thread", t_serial, t_pointwise, exact_identical);
+  row("exact SweepRunner pool", t_parallel, t_pointwise, exact_identical);
+  row("exact baseband_transfer_grid", t_grid, t_pointwise, exact_identical);
+  row("trunc pointwise (baseline)", tt_pointwise, tt_pointwise, true);
+  row("trunc baseband_transfer_grid", tt_grid, tt_pointwise,
+      trunc_identical);
+  row("closed_loop 6-band pointwise", t_cl_naive, t_cl_naive, true);
+  row("closed_loop_grid 6 bands", t_cl_grid, t_cl_naive, cl_identical);
+  t.print(std::cout);
+  std::cout << "\ndense " << dim << "x" << dim << " complex: blocked product "
+            << t_matmul << " s, LU multi-solve " << t_solve
+            << " s  (checksum " << checksum << ")\n";
+
+  const bool all_identical = exact_identical && trunc_identical &&
+                             cl_identical;
+  std::cout << "\nall paths bit-identical: " << (all_identical ? "yes" : "NO")
+            << "\n";
+
+  Json report = Json::object();
+  report.set("bench", Json::string("sweep_engine"))
+      .set("grid_points", Json::number(static_cast<double>(n_points)))
+      .set("hardware_threads", Json::number(static_cast<double>(hw)))
+      .set("pool_threads", Json::number(static_cast<double>(pool_width)));
+  Json sweeps = Json::object();
+  sweeps.set("exact_pointwise_s", Json::number(t_pointwise))
+      .set("exact_sweep_serial_s", Json::number(t_serial))
+      .set("exact_sweep_pool_s", Json::number(t_parallel))
+      .set("exact_grid_api_s", Json::number(t_grid))
+      .set("pool_speedup_vs_serial", Json::number(t_serial / t_parallel))
+      .set("grid_speedup_vs_pointwise", Json::number(t_pointwise / t_grid))
+      .set("truncated_pointwise_s", Json::number(tt_pointwise))
+      .set("truncated_grid_api_s", Json::number(tt_grid))
+      .set("truncated_grid_speedup", Json::number(tt_pointwise / tt_grid));
+  report.set("baseband_sweep", sweeps);
+  Json cl = Json::object();
+  cl.set("bands", Json::number(static_cast<double>(bands.size())))
+      .set("grid_points", Json::number(static_cast<double>(n_band_points)))
+      .set("pointwise_s", Json::number(t_cl_naive))
+      .set("grid_s", Json::number(t_cl_grid))
+      .set("speedup", Json::number(t_cl_naive / t_cl_grid));
+  report.set("closed_loop_multiband", cl);
+  Json dense = Json::object();
+  dense.set("dim", Json::number(static_cast<double>(dim)))
+      .set("blocked_product_s", Json::number(t_matmul))
+      .set("lu_multi_solve_s", Json::number(t_solve));
+  report.set("dense_kernels", dense);
+  report.set("bit_identical", Json::boolean(all_identical));
+  report.write_file(out_path);
+  std::cout << "wrote " << out_path << "\n";
+
+  if (!all_identical) {
+    std::cerr << "FAIL: a batched path is not bit-identical to the scalar "
+                 "path\n";
+    return 1;
+  }
+  if (check && hw >= 4 && t_parallel > t_serial) {
+    std::cerr << "FAIL: pool sweep slower than 1-thread sweep on " << hw
+              << " hardware threads\n";
+    return 1;
+  }
+  return 0;
+}

@@ -11,8 +11,11 @@
 #include <iostream>
 #include <numbers>
 
+#include "bench_common.hpp"
 #include "htmpll/lti/bode.hpp"
 #include "htmpll/lti/loop_filter.hpp"
+#include "htmpll/parallel/sweep.hpp"
+#include "htmpll/util/grid.hpp"
 #include "htmpll/util/table.hpp"
 
 int main(int argc, char** argv) {
@@ -29,9 +32,14 @@ int main(int argc, char** argv) {
   const FrequencyResponse resp = [&a](double w) {
     return a(cplx{0.0, w});
   };
-  const auto sweep = bode_sweep(resp, 1e-2 * w_ug, 1e2 * w_ug, 33);
+  // Evaluate the grid on the sweep engine, then unwrap serially.
+  const std::vector<double> grid = logspace(1e-2 * w_ug, 1e2 * w_ug, 33);
+  const CVector samples =
+      SweepRunner().run_jw(grid, [&a](cplx s) { return a(s); });
+  const auto sweep = bode_points_from_samples(grid, samples);
 
   Table t({"w/w_UG", "mag_dB", "phase_deg"});
+  t.reserve(sweep.size());
   for (const BodePoint& p : sweep) {
     t.add_row(std::vector<double>{p.w / w_ug, p.mag_db, p.phase_deg});
   }
@@ -44,9 +52,6 @@ int main(int argc, char** argv) {
             << " deg (analytic " << typical_loop_lti_phase_margin_deg()
             << " deg)\n";
 
-  if (argc > 1) {
-    t.write_csv_file(argv[1]);
-    std::cout << "wrote " << argv[1] << "\n";
-  }
+  bench::maybe_write_csv(t, argc, argv);
   return 0;
 }

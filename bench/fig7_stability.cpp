@@ -13,8 +13,11 @@
 // Usage: fig7_stability [output.csv]
 #include <iostream>
 #include <numbers>
+#include <vector>
 
+#include "bench_common.hpp"
 #include "htmpll/core/stability.hpp"
+#include "htmpll/parallel/sweep.hpp"
 #include "htmpll/util/table.hpp"
 #include "htmpll/ztrans/zdomain.hpp"
 
@@ -28,26 +31,41 @@ int main(int argc, char** argv) {
   std::cout << "LTI-predicted phase margin (horizontal line): " << lti_pm
             << " deg\n\n";
 
+  const std::vector<double> ratios = {0.01, 0.02, 0.04, 0.06, 0.08,
+                                      0.10, 0.125, 0.15, 0.175, 0.20,
+                                      0.225, 0.25, 0.27};
+  // The margin searches per ratio are independent crossover hunts --
+  // run one per pool slot.
+  struct RatioResult {
+    EffectiveMargins em;
+    double half_rate;
+    bool z_stable;
+  };
+  const std::vector<RatioResult> results = parallel_map<RatioResult>(
+      ratios.size(), [&](std::size_t i) {
+        const SamplingPllModel model(make_typical_loop(ratios[i] * w0, w0));
+        const ImpulseInvariantModel zm(model.open_loop_gain(), w0);
+        return RatioResult{effective_margins(model), half_rate_lambda(model),
+                           zm.is_stable()};
+      });
+
   Table t({"w_UG/w0", "wUGeff/wUG", "PM_eff_deg", "PM_lti_deg",
            "PM_loss_%", "lambda(jw0/2)", "z_stable"});
-  for (double ratio :
-       {0.01, 0.02, 0.04, 0.06, 0.08, 0.10, 0.125, 0.15, 0.175, 0.20,
-        0.225, 0.25, 0.27}) {
-    const SamplingPllModel model(make_typical_loop(ratio * w0, w0));
-    const EffectiveMargins em = effective_margins(model);
-    const ImpulseInvariantModel zm(model.open_loop_gain(), w0);
+  t.reserve(ratios.size());
+  for (std::size_t i = 0; i < ratios.size(); ++i) {
+    const EffectiveMargins& em = results[i].em;
     const double loss =
         100.0 * (em.lti_phase_margin_deg - em.eff_phase_margin_deg) /
         em.lti_phase_margin_deg;
-    t.add_row({Table::fmt(ratio),
+    t.add_row({Table::fmt(ratios[i]),
                em.eff_found
                    ? Table::fmt(em.eff_crossover / em.lti_crossover)
                    : "-",
                em.eff_found ? Table::fmt(em.eff_phase_margin_deg) : "-",
                Table::fmt(em.lti_phase_margin_deg),
                em.eff_found ? Table::fmt(loss) : "-",
-               Table::fmt(half_rate_lambda(model)),
-               zm.is_stable() ? "yes" : "NO"});
+               Table::fmt(results[i].half_rate),
+               results[i].z_stable ? "yes" : "NO"});
   }
   t.print(std::cout);
 
@@ -66,9 +84,6 @@ int main(int argc, char** argv) {
             << "w_UG/w0 = " << 0.5 * (lo + hi)
             << "   [LTI analysis predicts stability for ALL ratios]\n";
 
-  if (argc > 1) {
-    t.write_csv_file(argv[1]);
-    std::cout << "wrote " << argv[1] << "\n";
-  }
+  bench::maybe_write_csv(t, argc, argv);
   return 0;
 }

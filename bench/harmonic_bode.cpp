@@ -8,30 +8,36 @@
 // Usage: harmonic_bode [output.csv]
 #include <iostream>
 #include <numbers>
+#include <vector>
 
+#include "bench_common.hpp"
 #include "htmpll/core/sampling_pll.hpp"
 #include "htmpll/lti/bode.hpp"
+#include "htmpll/parallel/sweep.hpp"
 #include "htmpll/util/grid.hpp"
 #include "htmpll/util/table.hpp"
 
 int main(int argc, char** argv) {
   using namespace htmpll;
   const double w0 = 2.0 * std::numbers::pi;
-  const cplx j{0.0, 1.0};
   const double ratio = 0.2;
   const SamplingPllModel model(make_typical_loop(ratio * w0, w0));
 
   std::cout << "=== Harmonic Bode plot |H_n0(jw)| dB, w_UG/w0 = " << ratio
             << " ===\n\n";
   Table t({"w/w0", "n=0 (Fig.6)", "n=1", "n=2", "n=3", "n=-1"});
-  for (double w : logspace(1e-3 * w0, 0.49 * w0, 21)) {
-    const cplx s = j * w;
+  // One batched call: all five band columns share a single lambda
+  // evaluation and shifted-gain table per grid point.
+  const std::vector<int> bands = {0, 1, 2, 3, -1};
+  const std::vector<double> w_grid = logspace(1e-3 * w0, 0.49 * w0, 21);
+  const std::vector<CVector> h = model.closed_loop_grid(bands,
+                                                        jw_grid(w_grid));
+  t.reserve(w_grid.size());
+  for (std::size_t i = 0; i < w_grid.size(); ++i) {
     t.add_row(std::vector<double>{
-        w / w0, magnitude_db(model.closed_loop(0, s)),
-        magnitude_db(model.closed_loop(1, s)),
-        magnitude_db(model.closed_loop(2, s)),
-        magnitude_db(model.closed_loop(3, s)),
-        magnitude_db(model.closed_loop(-1, s))});
+        w_grid[i] / w0, magnitude_db(h[0][i]), magnitude_db(h[1][i]),
+        magnitude_db(h[2][i]), magnitude_db(h[3][i]),
+        magnitude_db(h[4][i])});
   }
   t.print(std::cout);
   std::cout << "\nreading: a reference tone at w/w0 leaves the loop at "
@@ -40,9 +46,6 @@ int main(int argc, char** argv) {
                "baseband response) -- the crosstalk that limits "
                "measurement accuracy near the Nyquist edge.\n";
 
-  if (argc > 1) {
-    t.write_csv_file(argv[1]);
-    std::cout << "wrote " << argv[1] << "\n";
-  }
+  bench::maybe_write_csv(t, argc, argv);
   return 0;
 }

@@ -10,8 +10,11 @@
 // Usage: jitter_bandwidth [output.csv]
 #include <iostream>
 #include <numbers>
+#include <vector>
 
+#include "bench_common.hpp"
 #include "htmpll/design/design.hpp"
+#include "htmpll/parallel/sweep.hpp"
 #include "htmpll/util/table.hpp"
 
 int main(int argc, char** argv) {
@@ -30,11 +33,23 @@ int main(int argc, char** argv) {
   std::cout << "=== Output jitter vs loop bandwidth (10 MHz reference) "
                "===\n\n";
   Table t({"w_UG/w0", "rms (TV model)", "rms (LTI model)", "TV/LTI"});
-  for (double ratio :
-       {0.01, 0.02, 0.05, 0.1, 0.15, 0.2, 0.22, 0.24, 0.26}) {
-    const double tv = output_jitter_tv(spec, ratio * w0);
-    const double lti = output_jitter_lti(spec, ratio * w0);
-    t.add_row(std::vector<double>{ratio, tv, lti, tv / lti});
+  const std::vector<double> ratios = {0.01, 0.02, 0.05, 0.1, 0.15,
+                                      0.2, 0.22, 0.24, 0.26};
+  // Each bandwidth's jitter integral is independent -- evaluate the
+  // whole trade-off curve concurrently.
+  struct JitterPair {
+    double tv;
+    double lti;
+  };
+  const auto rms = parallel_map<JitterPair>(
+      ratios.size(), [&](std::size_t i) {
+        return JitterPair{output_jitter_tv(spec, ratios[i] * w0),
+                          output_jitter_lti(spec, ratios[i] * w0)};
+      });
+  t.reserve(ratios.size());
+  for (std::size_t i = 0; i < ratios.size(); ++i) {
+    t.add_row(std::vector<double>{ratios[i], rms[i].tv, rms[i].lti,
+                                  rms[i].tv / rms[i].lti});
   }
   t.print(std::cout);
 
@@ -46,9 +61,6 @@ int main(int argc, char** argv) {
   std::cout << "jitter penalty of trusting LTI analysis: "
             << 100.0 * (r.penalty - 1.0) << " %\n";
 
-  if (argc > 1) {
-    t.write_csv_file(argv[1]);
-    std::cout << "wrote " << argv[1] << "\n";
-  }
+  bench::maybe_write_csv(t, argc, argv);
   return 0;
 }

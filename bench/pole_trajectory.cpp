@@ -12,8 +12,11 @@
 // Usage: pole_trajectory [output.csv]
 #include <iostream>
 #include <numbers>
+#include <vector>
 
+#include "bench_common.hpp"
 #include "htmpll/core/pole_search.hpp"
+#include "htmpll/parallel/sweep.hpp"
 #include "htmpll/util/table.hpp"
 
 int main(int argc, char** argv) {
@@ -30,14 +33,22 @@ int main(int argc, char** argv) {
     std::cout << "lambda(s) = " << lam.to_string() << "\n\n";
   }
 
+  const std::vector<double> ratios = {0.05, 0.1, 0.15, 0.2,
+                                      0.25, 0.27, 0.28, 0.3};
+  // Each ratio's Newton pole hunt is independent -- run them all
+  // concurrently, then print in ratio order.
+  const auto per_ratio = parallel_map<std::vector<ClosedLoopPole>>(
+      ratios.size(), [&](std::size_t i) {
+        const SamplingPllModel model(make_typical_loop(ratios[i] * w0, w0));
+        return closed_loop_poles(model);
+      });
+
   Table t({"w_UG/w0", "Re(s)/w0", "Im(s)/w0", "zeta", "|1+lambda|"});
-  for (double ratio :
-       {0.05, 0.1, 0.15, 0.2, 0.25, 0.27, 0.28, 0.3}) {
-    const SamplingPllModel model(make_typical_loop(ratio * w0, w0));
-    for (const ClosedLoopPole& p : closed_loop_poles(model)) {
+  for (std::size_t i = 0; i < ratios.size(); ++i) {
+    for (const ClosedLoopPole& p : per_ratio[i]) {
       // Report the fundamental-strip poles with non-negative Im.
       if (p.s.imag() < -1e-9) continue;
-      t.add_row(std::vector<double>{ratio, p.s.real() / w0,
+      t.add_row(std::vector<double>{ratios[i], p.s.real() / w0,
                                     p.s.imag() / w0, p.damping,
                                     p.residual});
     }
@@ -47,9 +58,6 @@ int main(int argc, char** argv) {
                "and Re(s) crossing zero past the boundary: the loop fails "
                "by oscillating at half the reference rate.\n";
 
-  if (argc > 1) {
-    t.write_csv_file(argv[1]);
-    std::cout << "wrote " << argv[1] << "\n";
-  }
+  bench::maybe_write_csv(t, argc, argv);
   return 0;
 }

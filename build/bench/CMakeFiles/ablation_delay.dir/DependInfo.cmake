@@ -13,11 +13,13 @@ set(CMAKE_DEPENDS_DEPENDENCY_FILES
 
 # Targets to which this target links.
 set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/bench/CMakeFiles/htmpll_bench_common.dir/DependInfo.cmake"
   "/root/repo/build/src/CMakeFiles/htmpll_timedomain.dir/DependInfo.cmake"
   "/root/repo/build/src/CMakeFiles/htmpll_fracn.dir/DependInfo.cmake"
   "/root/repo/build/src/CMakeFiles/htmpll_design.dir/DependInfo.cmake"
   "/root/repo/build/src/CMakeFiles/htmpll_noise.dir/DependInfo.cmake"
   "/root/repo/build/src/CMakeFiles/htmpll_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/htmpll_parallel.dir/DependInfo.cmake"
   "/root/repo/build/src/CMakeFiles/htmpll_ztrans.dir/DependInfo.cmake"
   "/root/repo/build/src/CMakeFiles/htmpll_lti.dir/DependInfo.cmake"
   "/root/repo/build/src/CMakeFiles/htmpll_linalg.dir/DependInfo.cmake"

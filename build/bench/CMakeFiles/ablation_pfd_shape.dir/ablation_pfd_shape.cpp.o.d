@@ -211,7 +211,7 @@ bench/CMakeFiles/ablation_pfd_shape.dir/ablation_pfd_shape.cpp.o: \
  /usr/include/c++/12/bits/node_handle.h \
  /usr/include/c++/12/bits/unordered_map.h \
  /usr/include/c++/12/bits/erase_if.h /usr/include/c++/12/array \
- /root/repo/src/htmpll/core/htm.hpp \
+ /root/repo/src/htmpll/core/htm.hpp /root/repo/src/htmpll/linalg/lu.hpp \
  /root/repo/src/htmpll/lti/loop_filter.hpp \
  /root/repo/src/htmpll/timedomain/sample_hold_sim.hpp \
  /root/repo/src/htmpll/timedomain/loop_filter_sim.hpp \

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/htmpll_bench_common.dir/bench_common.cpp.o"
+  "CMakeFiles/htmpll_bench_common.dir/bench_common.cpp.o.d"
+  "libhtmpll_bench_common.a"
+  "libhtmpll_bench_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/htmpll_bench_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

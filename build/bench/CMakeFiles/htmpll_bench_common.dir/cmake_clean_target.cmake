@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libhtmpll_bench_common.a"
+)

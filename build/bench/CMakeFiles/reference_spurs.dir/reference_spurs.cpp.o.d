@@ -211,7 +211,7 @@ bench/CMakeFiles/reference_spurs.dir/reference_spurs.cpp.o: \
  /usr/include/c++/12/bits/node_handle.h \
  /usr/include/c++/12/bits/unordered_map.h \
  /usr/include/c++/12/bits/erase_if.h /usr/include/c++/12/array \
- /root/repo/src/htmpll/core/htm.hpp \
+ /root/repo/src/htmpll/core/htm.hpp /root/repo/src/htmpll/linalg/lu.hpp \
  /root/repo/src/htmpll/lti/loop_filter.hpp \
  /root/repo/src/htmpll/timedomain/pll_sim.hpp /usr/include/c++/12/deque \
  /usr/include/c++/12/bits/stl_deque.h /usr/include/c++/12/bits/deque.tcc \

@@ -176,31 +176,17 @@ bench/CMakeFiles/spur_map.dir/spur_map.cpp.o: \
  /usr/include/c++/12/bits/locale_facets.tcc \
  /usr/include/c++/12/bits/basic_ios.tcc \
  /usr/include/c++/12/bits/ostream.tcc /usr/include/c++/12/istream \
- /usr/include/c++/12/bits/istream.tcc \
- /root/repo/src/htmpll/core/sampling_pll.hpp /usr/include/c++/12/vector \
+ /usr/include/c++/12/bits/istream.tcc /usr/include/c++/12/vector \
  /usr/include/c++/12/bits/stl_uninitialized.h \
  /usr/include/c++/12/bits/stl_vector.h \
  /usr/include/c++/12/bits/stl_bvector.h \
- /usr/include/c++/12/bits/vector.tcc \
- /root/repo/src/htmpll/core/aliasing_sum.hpp \
- /root/repo/src/htmpll/lti/partial_fractions.hpp \
- /root/repo/src/htmpll/lti/rational.hpp \
- /root/repo/src/htmpll/lti/polynomial.hpp /usr/include/c++/12/complex \
- /usr/include/c++/12/sstream /usr/include/c++/12/bits/sstream.tcc \
- /usr/include/c++/12/cstddef /root/repo/src/htmpll/linalg/matrix.hpp \
- /usr/include/c++/12/algorithm /usr/include/c++/12/bits/stl_algo.h \
- /usr/include/c++/12/bits/algorithmfwd.h \
- /usr/include/c++/12/bits/stl_heap.h \
- /usr/include/c++/12/bits/stl_tempbuf.h \
- /usr/include/c++/12/bits/uniform_int_dist.h \
- /usr/include/c++/12/bits/ranges_algo.h \
- /usr/include/c++/12/bits/ranges_algobase.h \
- /usr/include/c++/12/bits/ranges_util.h \
- /usr/include/c++/12/pstl/glue_algorithm_defs.h \
- /usr/include/c++/12/pstl/execution_defs.h \
- /root/repo/src/htmpll/util/check.hpp /root/repo/src/htmpll/lti/roots.hpp \
- /root/repo/src/htmpll/core/builders.hpp /usr/include/c++/12/functional \
- /usr/include/c++/12/tuple /usr/include/c++/12/bits/uses_allocator.h \
+ /usr/include/c++/12/bits/vector.tcc /root/repo/bench/bench_common.hpp \
+ /usr/include/c++/12/chrono /usr/include/c++/12/bits/chrono.h \
+ /usr/include/c++/12/ratio /usr/include/c++/12/ctime \
+ /usr/include/c++/12/bits/parse_numbers.h /usr/include/c++/12/sstream \
+ /usr/include/c++/12/bits/sstream.tcc /usr/include/c++/12/cstddef \
+ /usr/include/c++/12/functional /usr/include/c++/12/tuple \
+ /usr/include/c++/12/bits/uses_allocator.h \
  /usr/include/c++/12/bits/std_function.h \
  /usr/include/c++/12/unordered_map \
  /usr/include/c++/12/ext/aligned_buffer.h \
@@ -210,7 +196,27 @@ bench/CMakeFiles/spur_map.dir/spur_map.cpp.o: \
  /usr/include/c++/12/bits/node_handle.h \
  /usr/include/c++/12/bits/unordered_map.h \
  /usr/include/c++/12/bits/erase_if.h /usr/include/c++/12/array \
- /root/repo/src/htmpll/core/htm.hpp \
+ /usr/include/c++/12/bits/stl_algo.h \
+ /usr/include/c++/12/bits/algorithmfwd.h \
+ /usr/include/c++/12/bits/stl_heap.h \
+ /usr/include/c++/12/bits/stl_tempbuf.h \
+ /usr/include/c++/12/bits/uniform_int_dist.h /usr/include/c++/12/utility \
+ /usr/include/c++/12/bits/stl_relops.h \
+ /root/repo/src/htmpll/util/table.hpp \
+ /root/repo/src/htmpll/core/sampling_pll.hpp \
+ /root/repo/src/htmpll/core/aliasing_sum.hpp \
+ /root/repo/src/htmpll/lti/partial_fractions.hpp \
+ /root/repo/src/htmpll/lti/rational.hpp \
+ /root/repo/src/htmpll/lti/polynomial.hpp /usr/include/c++/12/complex \
+ /root/repo/src/htmpll/linalg/matrix.hpp /usr/include/c++/12/algorithm \
+ /usr/include/c++/12/bits/ranges_algo.h \
+ /usr/include/c++/12/bits/ranges_algobase.h \
+ /usr/include/c++/12/bits/ranges_util.h \
+ /usr/include/c++/12/pstl/glue_algorithm_defs.h \
+ /usr/include/c++/12/pstl/execution_defs.h \
+ /root/repo/src/htmpll/util/check.hpp /root/repo/src/htmpll/lti/roots.hpp \
+ /root/repo/src/htmpll/core/builders.hpp \
+ /root/repo/src/htmpll/core/htm.hpp /root/repo/src/htmpll/linalg/lu.hpp \
  /root/repo/src/htmpll/lti/loop_filter.hpp \
  /root/repo/src/htmpll/lti/bode.hpp /usr/include/c++/12/optional \
  /root/repo/src/htmpll/timedomain/probe.hpp \
@@ -224,5 +230,4 @@ bench/CMakeFiles/spur_map.dir/spur_map.cpp.o: \
  /root/repo/src/htmpll/timedomain/loop_filter_sim.hpp \
  /root/repo/src/htmpll/linalg/expm.hpp \
  /root/repo/src/htmpll/lti/state_space.hpp \
- /root/repo/src/htmpll/timedomain/pfd.hpp \
- /root/repo/src/htmpll/util/table.hpp
+ /root/repo/src/htmpll/timedomain/pfd.hpp

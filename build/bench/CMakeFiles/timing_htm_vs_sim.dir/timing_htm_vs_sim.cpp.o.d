@@ -237,7 +237,7 @@ bench/CMakeFiles/timing_htm_vs_sim.dir/timing_htm_vs_sim.cpp.o: \
  /usr/include/c++/12/bits/hashtable_policy.h \
  /usr/include/c++/12/bits/enable_special_members.h \
  /usr/include/c++/12/bits/unordered_map.h /usr/include/c++/12/array \
- /root/repo/src/htmpll/core/htm.hpp \
+ /root/repo/src/htmpll/core/htm.hpp /root/repo/src/htmpll/linalg/lu.hpp \
  /root/repo/src/htmpll/lti/loop_filter.hpp \
  /root/repo/src/htmpll/timedomain/probe.hpp \
  /root/repo/src/htmpll/timedomain/pll_sim.hpp /usr/include/c++/12/deque \

@@ -209,7 +209,7 @@ examples/CMakeFiles/fractional_n.dir/fractional_n.cpp.o: \
  /usr/include/c++/12/bits/node_handle.h \
  /usr/include/c++/12/bits/unordered_map.h \
  /usr/include/c++/12/bits/erase_if.h /usr/include/c++/12/array \
- /root/repo/src/htmpll/core/htm.hpp \
+ /root/repo/src/htmpll/core/htm.hpp /root/repo/src/htmpll/linalg/lu.hpp \
  /root/repo/src/htmpll/core/calibration.hpp \
  /root/repo/src/htmpll/core/sampling_pll.hpp \
  /root/repo/src/htmpll/lti/loop_filter.hpp \
@@ -221,8 +221,7 @@ examples/CMakeFiles/fractional_n.dir/fractional_n.cpp.o: \
  /root/repo/src/htmpll/ztrans/zdomain.hpp \
  /root/repo/src/htmpll/fracn/fracn_noise.hpp \
  /root/repo/src/htmpll/fracn/sigma_delta.hpp \
- /root/repo/src/htmpll/linalg/expm.hpp \
- /root/repo/src/htmpll/linalg/lu.hpp /root/repo/src/htmpll/lti/bode.hpp \
+ /root/repo/src/htmpll/linalg/expm.hpp /root/repo/src/htmpll/lti/bode.hpp \
  /usr/include/c++/12/optional /root/repo/src/htmpll/lti/delay.hpp \
  /root/repo/src/htmpll/lti/state_space.hpp \
  /root/repo/src/htmpll/noise/spurs.hpp \

@@ -18,6 +18,7 @@ set(CMAKE_TARGET_LINKED_INFO_FILES
   "/root/repo/build/src/CMakeFiles/htmpll_ztrans.dir/DependInfo.cmake"
   "/root/repo/build/src/CMakeFiles/htmpll_lti.dir/DependInfo.cmake"
   "/root/repo/build/src/CMakeFiles/htmpll_linalg.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/htmpll_parallel.dir/DependInfo.cmake"
   "/root/repo/build/src/CMakeFiles/htmpll_util.dir/DependInfo.cmake"
   )
 

@@ -212,7 +212,7 @@ src/CMakeFiles/htmpll_fracn.dir/htmpll/fracn/fracn_noise.cpp.o: \
  /usr/include/c++/12/bits/node_handle.h \
  /usr/include/c++/12/bits/unordered_map.h \
  /usr/include/c++/12/bits/erase_if.h /usr/include/c++/12/array \
- /root/repo/src/htmpll/core/htm.hpp \
+ /root/repo/src/htmpll/core/htm.hpp /root/repo/src/htmpll/linalg/lu.hpp \
  /root/repo/src/htmpll/lti/loop_filter.hpp \
  /root/repo/src/htmpll/fracn/sigma_delta.hpp \
  /root/repo/src/htmpll/util/grid.hpp

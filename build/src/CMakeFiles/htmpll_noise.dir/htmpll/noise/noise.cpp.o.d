@@ -210,6 +210,6 @@ src/CMakeFiles/htmpll_noise.dir/htmpll/noise/noise.cpp.o: \
  /usr/include/c++/12/pstl/execution_defs.h \
  /root/repo/src/htmpll/util/check.hpp /root/repo/src/htmpll/lti/roots.hpp \
  /root/repo/src/htmpll/core/builders.hpp \
- /root/repo/src/htmpll/core/htm.hpp \
+ /root/repo/src/htmpll/core/htm.hpp /root/repo/src/htmpll/linalg/lu.hpp \
  /root/repo/src/htmpll/lti/loop_filter.hpp \
  /root/repo/src/htmpll/util/grid.hpp

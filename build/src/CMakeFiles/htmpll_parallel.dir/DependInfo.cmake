@@ -1,0 +1,21 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/htmpll/parallel/sweep.cpp" "src/CMakeFiles/htmpll_parallel.dir/htmpll/parallel/sweep.cpp.o" "gcc" "src/CMakeFiles/htmpll_parallel.dir/htmpll/parallel/sweep.cpp.o.d"
+  "/root/repo/src/htmpll/parallel/thread_pool.cpp" "src/CMakeFiles/htmpll_parallel.dir/htmpll/parallel/thread_pool.cpp.o" "gcc" "src/CMakeFiles/htmpll_parallel.dir/htmpll/parallel/thread_pool.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/htmpll_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/htmpll_parallel.dir/htmpll/parallel/sweep.cpp.o"
+  "CMakeFiles/htmpll_parallel.dir/htmpll/parallel/sweep.cpp.o.d"
+  "CMakeFiles/htmpll_parallel.dir/htmpll/parallel/thread_pool.cpp.o"
+  "CMakeFiles/htmpll_parallel.dir/htmpll/parallel/thread_pool.cpp.o.d"
+  "libhtmpll_parallel.a"
+  "libhtmpll_parallel.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/htmpll_parallel.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libhtmpll_parallel.a"
+)

@@ -107,6 +107,7 @@ src/CMakeFiles/htmpll_timedomain.dir/htmpll/timedomain/lptv_vco_sim.cpp.o: \
  /usr/include/x86_64-linux-gnu/bits/stdlib-bsearch.h \
  /usr/include/x86_64-linux-gnu/bits/stdlib-float.h \
  /usr/include/c++/12/bits/std_abs.h /root/repo/src/htmpll/core/htm.hpp \
+ /root/repo/src/htmpll/linalg/lu.hpp /usr/include/c++/12/cstddef \
  /root/repo/src/htmpll/linalg/matrix.hpp /usr/include/c++/12/algorithm \
  /usr/include/c++/12/bits/ranges_algo.h \
  /usr/include/c++/12/bits/ranges_algobase.h \
@@ -205,7 +206,7 @@ src/CMakeFiles/htmpll_timedomain.dir/htmpll/timedomain/lptv_vco_sim.cpp.o: \
  /usr/include/c++/12/bits/basic_ios.tcc /usr/include/c++/12/ostream \
  /usr/include/c++/12/bits/ostream.tcc \
  /usr/include/c++/12/bits/istream.tcc \
- /usr/include/c++/12/bits/sstream.tcc /usr/include/c++/12/cstddef \
+ /usr/include/c++/12/bits/sstream.tcc \
  /root/repo/src/htmpll/util/check.hpp \
  /root/repo/src/htmpll/lti/rational.hpp \
  /root/repo/src/htmpll/lti/polynomial.hpp \

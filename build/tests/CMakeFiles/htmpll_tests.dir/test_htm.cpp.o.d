@@ -295,7 +295,7 @@ tests/CMakeFiles/htmpll_tests.dir/test_htm.cpp.o: \
  /root/miniconda/include/gtest/gtest-typed-test.h \
  /root/miniconda/include/gtest/gtest_pred_impl.h \
  /root/repo/src/htmpll/core/builders.hpp \
- /root/repo/src/htmpll/core/htm.hpp \
+ /root/repo/src/htmpll/core/htm.hpp /root/repo/src/htmpll/linalg/lu.hpp \
  /root/repo/src/htmpll/linalg/matrix.hpp /usr/include/c++/12/algorithm \
  /usr/include/c++/12/bits/ranges_algo.h \
  /usr/include/c++/12/bits/ranges_util.h \
@@ -324,5 +324,5 @@ tests/CMakeFiles/htmpll_tests.dir/test_htm.cpp.o: \
  /root/repo/src/htmpll/util/check.hpp \
  /root/repo/src/htmpll/lti/rational.hpp \
  /root/repo/src/htmpll/lti/polynomial.hpp \
- /root/repo/src/htmpll/lti/roots.hpp /root/repo/src/htmpll/linalg/lu.hpp \
+ /root/repo/src/htmpll/lti/roots.hpp \
  /root/repo/src/htmpll/lti/loop_filter.hpp

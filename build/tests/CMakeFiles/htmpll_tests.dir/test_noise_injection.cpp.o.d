@@ -330,7 +330,7 @@ tests/CMakeFiles/htmpll_tests.dir/test_noise_injection.cpp.o: \
  /root/repo/src/htmpll/lti/polynomial.hpp \
  /root/repo/src/htmpll/lti/roots.hpp \
  /root/repo/src/htmpll/core/builders.hpp \
- /root/repo/src/htmpll/core/htm.hpp \
+ /root/repo/src/htmpll/core/htm.hpp /root/repo/src/htmpll/linalg/lu.hpp \
  /root/repo/src/htmpll/lti/loop_filter.hpp \
  /root/repo/src/htmpll/timedomain/pll_sim.hpp /usr/include/c++/12/deque \
  /usr/include/c++/12/bits/stl_deque.h /usr/include/c++/12/bits/deque.tcc \

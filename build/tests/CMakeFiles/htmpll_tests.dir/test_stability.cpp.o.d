@@ -328,5 +328,5 @@ tests/CMakeFiles/htmpll_tests.dir/test_stability.cpp.o: \
  /usr/include/c++/12/pstl/glue_algorithm_defs.h \
  /root/repo/src/htmpll/util/check.hpp /root/repo/src/htmpll/lti/roots.hpp \
  /root/repo/src/htmpll/core/builders.hpp \
- /root/repo/src/htmpll/core/htm.hpp \
+ /root/repo/src/htmpll/core/htm.hpp /root/repo/src/htmpll/linalg/lu.hpp \
  /root/repo/src/htmpll/lti/loop_filter.hpp

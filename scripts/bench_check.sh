@@ -1,0 +1,18 @@
+#!/usr/bin/env bash
+# Builds the sweep benchmark in Release and verifies the parallel sweep
+# engine: every batched path must be bit-identical to the scalar path,
+# and on a machine with >= 4 hardware threads the pool sweep must not be
+# slower than the 1-thread sweep (bench_sweep --check enforces both; on
+# narrower machines only bit-identity is enforced).
+#
+# Usage: scripts/bench_check.sh [build-dir] [report.json]
+set -euo pipefail
+
+BUILD="${1:-build-release}"
+REPORT="${2:-BENCH_sweep.json}"
+
+cmake -B "$BUILD" -S . -DCMAKE_BUILD_TYPE=Release > /dev/null
+cmake --build "$BUILD" --target bench_sweep -j > /dev/null
+
+"$BUILD/bench/bench_sweep" "$REPORT" --check
+echo "bench_check: OK ($REPORT)"

@@ -1,8 +1,10 @@
 #include "htmpll/core/sampling_pll.hpp"
 
+#include <algorithm>
 #include <cmath>
 #include <numbers>
 
+#include "htmpll/parallel/thread_pool.hpp"
 #include "htmpll/util/check.hpp"
 
 namespace htmpll {
@@ -77,6 +79,43 @@ cplx SamplingPllModel::shape_prefactor(cplx s) const {
   return 1.0 - std::exp(-s * params_.period());
 }
 
+cplx SamplingPllModel::shifted_gain(cplx s_m) const {
+  return hlf_(s_m) * shape_factor(s_m);
+}
+
+/// Lazily fills shifted_gain values for harmonic offsets |m| <= mmax of
+/// one evaluation point.  Reusing a memoized value is bit-identical to
+/// recomputing it (same inputs, same code path), so the grid APIs that
+/// share this table match the scalar APIs exactly.  One table serves one
+/// grid point and is touched by a single thread only.
+struct SamplingPllModel::ShiftedGainCache {
+  ShiftedGainCache(const SamplingPllModel& model, cplx s, int mmax)
+      : model_(model),
+        s_(s),
+        mmax_(mmax),
+        value_(2 * static_cast<std::size_t>(mmax) + 1),
+        ready_(value_.size(), 0) {}
+
+  cplx get(int m) {
+    const cplx sm =
+        s_ + cplx{0.0, static_cast<double>(m) * model_.params_.w0};
+    if (m < -mmax_ || m > mmax_) return model_.shifted_gain(sm);
+    const auto i = static_cast<std::size_t>(m + mmax_);
+    if (!ready_[i]) {
+      value_[i] = model_.shifted_gain(sm);
+      ready_[i] = 1;
+    }
+    return value_[i];
+  }
+
+ private:
+  const SamplingPllModel& model_;
+  cplx s_;
+  int mmax_;
+  std::vector<cplx> value_;
+  std::vector<char> ready_;
+};
+
 cplx SamplingPllModel::lambda(cplx s) const {
   return lambda(s, opts_.lambda_method, opts_.truncation);
 }
@@ -94,20 +133,25 @@ cplx SamplingPllModel::lambda(cplx s, LambdaMethod method,
       for (const HarmonicChannel& ch : channels_) acc += ch.sum.adaptive(s);
       return shape_prefactor(s) * acc;
     }
-    case LambdaMethod::kTruncated: {
-      // Truncate the HTM row index n (lambda = sum_n V~_n), matching what
-      // a finite (2K+1)-harmonic HTM computes.
-      cplx acc{0.0};
-      for (int n = -truncation; n <= truncation; ++n) {
-        acc += vtilde_element(n, s);
-      }
-      return acc;
-    }
+    case LambdaMethod::kTruncated:
+      return lambda_truncated_impl(s, truncation, nullptr);
   }
-  HTMPLL_ASSERT(false);
+  throw_assertion_failure("unhandled LambdaMethod", __FILE__, __LINE__);
 }
 
-cplx SamplingPllModel::vtilde_element(int n, cplx s) const {
+cplx SamplingPllModel::lambda_truncated_impl(cplx s, int truncation,
+                                             ShiftedGainCache* cache) const {
+  // Truncate the HTM row index n (lambda = sum_n V~_n), matching what
+  // a finite (2K+1)-harmonic HTM computes.
+  cplx acc{0.0};
+  for (int n = -truncation; n <= truncation; ++n) {
+    acc += vtilde_element_impl(n, s, cache);
+  }
+  return acc;
+}
+
+cplx SamplingPllModel::vtilde_element_impl(int n, cplx s,
+                                           ShiftedGainCache* cache) const {
   // V~_n(s) = (w0/2pi) / (s + j n w0) * sum_m v_{n-m} H_LF(s + j m w0),
   // the m-sum ranging over the (finitely many) non-zero ISF harmonics.
   const cplx sn = s + cplx{0.0, static_cast<double>(n) * params_.w0};
@@ -119,10 +163,14 @@ cplx SamplingPllModel::vtilde_element(int n, cplx s) const {
     if (v_k == cplx{0.0}) continue;
     const int m = n - k;
     const cplx sm = s + cplx{0.0, static_cast<double>(m) * params_.w0};
-    acc += v_k * hlf_(sm) * shape_factor(sm);
+    acc += v_k * (cache ? cache->get(m) : shifted_gain(sm));
   }
   return shape_prefactor(s) * acc * params_.w0 /
          (2.0 * std::numbers::pi) / sn;
+}
+
+cplx SamplingPllModel::vtilde_element(int n, cplx s) const {
+  return vtilde_element_impl(n, s, nullptr);
 }
 
 CVector SamplingPllModel::vtilde(cplx s, int truncation) const {
@@ -148,6 +196,91 @@ cplx SamplingPllModel::lti_baseband_transfer(cplx s) const {
 
 cplx SamplingPllModel::baseband_error_transfer(cplx s) const {
   return 1.0 - baseband_transfer(s);
+}
+
+CVector SamplingPllModel::lambda_grid(const CVector& s_grid) const {
+  return lambda_grid(s_grid, opts_.lambda_method, opts_.truncation);
+}
+
+CVector SamplingPllModel::lambda_grid(const CVector& s_grid,
+                                      LambdaMethod method,
+                                      int truncation) const {
+  CVector out(s_grid.size());
+  ThreadPool::global().parallel_for(s_grid.size(), [&](std::size_t i) {
+    if (method == LambdaMethod::kTruncated) {
+      ShiftedGainCache cache(*this, s_grid[i],
+                             truncation + isf_.max_harmonic());
+      out[i] = lambda_truncated_impl(s_grid[i], truncation, &cache);
+    } else {
+      out[i] = lambda(s_grid[i], method, truncation);
+    }
+  });
+  return out;
+}
+
+CVector SamplingPllModel::baseband_transfer_grid(const CVector& s_grid) const {
+  const LambdaMethod method = opts_.lambda_method;
+  const int truncation = opts_.truncation;
+  CVector out(s_grid.size());
+  ThreadPool::global().parallel_for(s_grid.size(), [&](std::size_t i) {
+    const cplx s = s_grid[i];
+    if (method == LambdaMethod::kTruncated && !isf_.is_dc_only()) {
+      // One gain table serves the V~_0 numerator and all 2K+1 terms of
+      // the truncated lambda sum.  With a DC-only ISF the two share a
+      // single gain, so the table costs more than it saves -- use the
+      // scalar path (same arithmetic either way).
+      ShiftedGainCache cache(*this, s, truncation + isf_.max_harmonic());
+      const cplx v0 = vtilde_element_impl(0, s, &cache);
+      out[i] = v0 / (1.0 + lambda_truncated_impl(s, truncation, &cache));
+    } else {
+      out[i] = vtilde_element(0, s) / (1.0 + lambda(s, method, truncation));
+    }
+  });
+  return out;
+}
+
+CVector SamplingPllModel::lti_baseband_transfer_grid(
+    const CVector& s_grid) const {
+  CVector out(s_grid.size());
+  ThreadPool::global().parallel_for(s_grid.size(), [&](std::size_t i) {
+    out[i] = lti_baseband_transfer(s_grid[i]);
+  });
+  return out;
+}
+
+CVector SamplingPllModel::baseband_error_transfer_grid(
+    const CVector& s_grid) const {
+  CVector h = baseband_transfer_grid(s_grid);
+  for (cplx& x : h) x = 1.0 - x;
+  return h;
+}
+
+std::vector<CVector> SamplingPllModel::closed_loop_grid(
+    const std::vector<int>& bands, const CVector& s_grid) const {
+  const LambdaMethod method = opts_.lambda_method;
+  const int truncation = opts_.truncation;
+  int band_max = 0;
+  for (int n : bands) band_max = std::max(band_max, std::abs(n));
+  const int table_span =
+      std::max(band_max,
+               method == LambdaMethod::kTruncated ? truncation : 0) +
+      isf_.max_harmonic();
+
+  std::vector<CVector> out(bands.size(), CVector(s_grid.size()));
+  ThreadPool::global().parallel_for(s_grid.size(), [&](std::size_t i) {
+    const cplx s = s_grid[i];
+    // The shifted gains overlap between bands (offsets n - k), so one
+    // lazily filled table serves every band and the truncated lambda.
+    ShiftedGainCache cache(*this, s, table_span);
+    const cplx lam = method == LambdaMethod::kTruncated
+                         ? lambda_truncated_impl(s, truncation, &cache)
+                         : lambda(s, method, truncation);
+    const cplx denom = 1.0 + lam;
+    for (std::size_t b = 0; b < bands.size(); ++b) {
+      out[b][i] = vtilde_element_impl(bands[b], s, &cache) / denom;
+    }
+  });
+  return out;
 }
 
 Htm SamplingPllModel::open_loop_htm(cplx s, int truncation) const {

@@ -87,6 +87,39 @@ class SamplingPllModel {
   cplx lambda(cplx s) const;
   cplx lambda(cplx s, LambdaMethod method, int truncation) const;
 
+  // ---- batched grid evaluation (parallel sweep engine) ----
+  //
+  // Every *_grid method evaluates its scalar counterpart over a grid of
+  // s points on the shared thread pool (HTMPLL_THREADS wide), hoisting
+  // per-point loop-invariant work -- the shifted loop-filter gains
+  // H_LF(s + j m w0) * shape(s + j m w0) shared between the truncated
+  // lambda sum and the V~ numerators -- into a per-point table.  Slot i
+  // of the result is BIT-IDENTICAL to the scalar call at s_grid[i] for
+  // every method and PFD shape, and independent of the thread count:
+  // points never share accumulators, so no floating-point operation is
+  // reassociated.
+
+  /// lambda over a grid via the configured / an explicit method.
+  CVector lambda_grid(const CVector& s_grid) const;
+  CVector lambda_grid(const CVector& s_grid, LambdaMethod method,
+                      int truncation) const;
+
+  /// H_{0,0} (eq. 38) over a grid.
+  CVector baseband_transfer_grid(const CVector& s_grid) const;
+
+  /// Classical A/(1+A) over a grid.
+  CVector lti_baseband_transfer_grid(const CVector& s_grid) const;
+
+  /// 1 - H_{0,0} over a grid.
+  CVector baseband_error_transfer_grid(const CVector& s_grid) const;
+
+  /// H_{n,0} for several output bands over one grid, sharing a single
+  /// lambda evaluation and shifted-gain table per grid point:
+  /// result[b][i] == closed_loop(bands[b], s_grid[i]) bit-identically,
+  /// at roughly 1/bands.size() of the point-wise cost.
+  std::vector<CVector> closed_loop_grid(const std::vector<int>& bands,
+                                        const CVector& s_grid) const;
+
   /// V~ components for |n| <= truncation (eq. 29):
   /// result[n + truncation] = V~_n(s).
   CVector vtilde(cplx s, int truncation) const;
@@ -124,6 +157,17 @@ class SamplingPllModel {
   cplx shape_factor(cplx s_m) const;
   /// The T-periodic (harmonic-independent) prefactor of the PFD shape.
   cplx shape_prefactor(cplx s) const;
+  /// H_LF(s_m) * shape_factor(s_m) -- the m-shifted filter gain every
+  /// V~ component and truncated-lambda term is built from.
+  cplx shifted_gain(cplx s_m) const;
+  /// Per-point memo of shifted_gain over the harmonic offsets; lets the
+  /// grid paths reuse one evaluation per offset without changing bits.
+  struct ShiftedGainCache;
+  /// V~_n(s) with an optional shared gain table (nullptr = compute).
+  cplx vtilde_element_impl(int n, cplx s, ShiftedGainCache* cache) const;
+  /// Truncated-HTM lambda with an optional shared gain table.
+  cplx lambda_truncated_impl(cplx s, int truncation,
+                             ShiftedGainCache* cache) const;
 
   PllParameters params_;
   HarmonicCoefficients isf_;

@@ -2,6 +2,7 @@
 
 #include <sstream>
 
+#include "htmpll/parallel/thread_pool.hpp"
 #include "htmpll/util/check.hpp"
 
 namespace htmpll {
@@ -30,6 +31,13 @@ cplx LambdaExpression::operator()(cplx s) const {
     acc += t.residue * harmonic_pole_sum(s - t.pole, w0_, t.order);
   }
   return acc;
+}
+
+CVector LambdaExpression::evaluate_grid(const CVector& s_grid) const {
+  CVector out(s_grid.size());
+  ThreadPool::global().parallel_for(
+      s_grid.size(), [&](std::size_t i) { out[i] = (*this)(s_grid[i]); });
+  return out;
 }
 
 cplx LambdaExpression::derivative(cplx s) const {

@@ -42,6 +42,10 @@ class LambdaExpression {
   /// lambda(s).
   cplx operator()(cplx s) const;
 
+  /// lambda over a grid of s points, evaluated in parallel on the shared
+  /// thread pool.  result[i] is bit-identical to operator()(s_grid[i]).
+  CVector evaluate_grid(const CVector& s_grid) const;
+
   /// d lambda / ds, exact (no finite differences).
   cplx derivative(cplx s) const;
 

@@ -42,22 +42,31 @@ LuDecomposition<T>::LuDecomposition(DenseMatrix<T> a) : lu_(std::move(a)) {
 }
 
 template <class T>
-std::vector<T> LuDecomposition<T>::solve(std::vector<T> b) const {
+void LuDecomposition<T>::substitute(T* x) const {
+  // Forward- and back-substitution on one (already permuted) RHS with
+  // hoisted row pointers.
   const std::size_t n = order();
-  HTMPLL_REQUIRE(b.size() == n, "LU solve: rhs length mismatch");
-  // Apply the permutation, then forward- and back-substitute.
-  std::vector<T> x(n);
-  for (std::size_t i = 0; i < n; ++i) x[i] = b[perm_[i]];
   for (std::size_t i = 0; i < n; ++i) {
+    const T* lrow = lu_.row(i);
     T acc = x[i];
-    for (std::size_t j = 0; j < i; ++j) acc -= lu_(i, j) * x[j];
+    for (std::size_t j = 0; j < i; ++j) acc -= lrow[j] * x[j];
     x[i] = acc;
   }
   for (std::size_t ii = n; ii-- > 0;) {
+    const T* urow = lu_.row(ii);
     T acc = x[ii];
-    for (std::size_t j = ii + 1; j < n; ++j) acc -= lu_(ii, j) * x[j];
-    x[ii] = acc / lu_(ii, ii);
+    for (std::size_t j = ii + 1; j < n; ++j) acc -= urow[j] * x[j];
+    x[ii] = acc / urow[ii];
   }
+}
+
+template <class T>
+std::vector<T> LuDecomposition<T>::solve(std::vector<T> b) const {
+  const std::size_t n = order();
+  HTMPLL_REQUIRE(b.size() == n, "LU solve: rhs length mismatch");
+  std::vector<T> x(n);
+  for (std::size_t i = 0; i < n; ++i) x[i] = b[perm_[i]];
+  substitute(x.data());
   return x;
 }
 
@@ -65,14 +74,16 @@ template <class T>
 DenseMatrix<T> LuDecomposition<T>::solve(const DenseMatrix<T>& b) const {
   const std::size_t n = order();
   HTMPLL_REQUIRE(b.rows() == n, "LU solve: rhs row count mismatch");
-  DenseMatrix<T> x(n, b.cols());
-  std::vector<T> col(n);
-  for (std::size_t c = 0; c < b.cols(); ++c) {
-    for (std::size_t i = 0; i < n; ++i) col[i] = b(i, c);
-    const std::vector<T> sol = solve(col);
-    for (std::size_t i = 0; i < n; ++i) x(i, c) = sol[i];
+  // Transposed-RHS kernel: each right-hand side becomes one contiguous
+  // row, so permutation and both substitutions stream linear memory
+  // instead of striding column-wise through b.
+  DenseMatrix<T> xt(b.cols(), n);
+  for (std::size_t r = 0; r < b.cols(); ++r) {
+    T* x = xt.row(r);
+    for (std::size_t i = 0; i < n; ++i) x[i] = b(perm_[i], r);
+    substitute(x);
   }
-  return x;
+  return xt.transpose();
 }
 
 template <class T>

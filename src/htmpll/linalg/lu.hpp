@@ -23,7 +23,8 @@ class LuDecomposition {
   /// Solve A x = b for a single right-hand side.
   std::vector<T> solve(std::vector<T> b) const;
 
-  /// Solve A X = B column-by-column.
+  /// Solve A X = B for all columns of B through a transposed-RHS kernel
+  /// (each RHS is substituted as one contiguous row).
   DenseMatrix<T> solve(const DenseMatrix<T>& b) const;
 
   DenseMatrix<T> inverse() const;
@@ -34,6 +35,9 @@ class LuDecomposition {
   std::size_t swap_count() const { return swaps_; }
 
  private:
+  /// In-place forward/back substitution of one permuted RHS.
+  void substitute(T* x) const;
+
   DenseMatrix<T> lu_;
   std::vector<std::size_t> perm_;
   std::size_t swaps_ = 0;

@@ -119,23 +119,32 @@ std::optional<GainMarginResult> find_gain_margin(const FrequencyResponse& h,
   return std::nullopt;
 }
 
-std::vector<BodePoint> bode_sweep(const FrequencyResponse& h, double w_lo,
-                                  double w_hi, std::size_t points) {
-  const std::vector<double> grid = logspace(w_lo, w_hi, points);
+std::vector<BodePoint> bode_points_from_samples(
+    const std::vector<double>& w_grid, const CVector& h) {
+  HTMPLL_REQUIRE(w_grid.size() == h.size(),
+                 "bode samples / grid length mismatch");
+  const std::size_t points = w_grid.size();
   std::vector<double> raw;
   raw.reserve(points);
   std::vector<BodePoint> out(points);
   for (std::size_t i = 0; i < points; ++i) {
-    const cplx v = h(grid[i]);
-    out[i].w = grid[i];
-    out[i].mag_db = magnitude_db(v);
-    raw.push_back(std::arg(v));
+    out[i].w = w_grid[i];
+    out[i].mag_db = magnitude_db(h[i]);
+    raw.push_back(std::arg(h[i]));
   }
   const std::vector<double> ph = unwrap_phase(raw);
   for (std::size_t i = 0; i < points; ++i) {
     out[i].phase_deg = ph[i] * 180.0 / std::numbers::pi;
   }
   return out;
+}
+
+std::vector<BodePoint> bode_sweep(const FrequencyResponse& h, double w_lo,
+                                  double w_hi, std::size_t points) {
+  const std::vector<double> grid = logspace(w_lo, w_hi, points);
+  CVector samples(points);
+  for (std::size_t i = 0; i < points; ++i) samples[i] = h(grid[i]);
+  return bode_points_from_samples(grid, samples);
 }
 
 }  // namespace htmpll

@@ -65,4 +65,11 @@ struct BodePoint {
 std::vector<BodePoint> bode_sweep(const FrequencyResponse& h, double w_lo,
                                   double w_hi, std::size_t points);
 
+/// Converts precomputed response samples h[i] = H(j w_grid[i]) into
+/// Bode rows with the phase unwrapped along the grid.  Pairs with the
+/// parallel sweep engine: evaluate the grid with a SweepRunner (order
+/// is deterministic), then unwrap here serially.
+std::vector<BodePoint> bode_points_from_samples(
+    const std::vector<double>& w_grid, const CVector& h);
+
 }  // namespace htmpll

@@ -30,6 +30,11 @@ cplx NoiseAnalysis::vco_transfer(int m, double w) const {
 }
 
 cplx NoiseAnalysis::charge_pump_transfer(int m, double w) const {
+  return charge_pump_transfer_impl(m, w, model_.closed_loop(0, cplx{0.0, w}));
+}
+
+cplx NoiseAnalysis::charge_pump_transfer_impl(int m, double w,
+                                              cplx tracking) const {
   const cplx s{0.0, w};
   const double w0 = model_.w0();
   const cplx sm = s + cplx{0.0, static_cast<double>(m) * w0};
@@ -53,7 +58,6 @@ cplx NoiseAnalysis::charge_pump_transfer(int m, double w) const {
         s + cplx{0.0, static_cast<double>(m + k) * w0};
     row_sum += v_k / sn;
   }
-  const cplx tracking = model_.closed_loop(0, s);  // V~_0/(1+lambda)
   return z_m * (v_minus_m / s - tracking * row_sum);
 }
 
@@ -67,11 +71,15 @@ double NoiseAnalysis::output_psd_from_reference(
 double NoiseAnalysis::output_psd_from_vco(double w,
                                           const PsdFunction& s_vco) const {
   const double w0 = model_.w0();
+  // vco_transfer(m, w) = delta_{m0} - H_00(jw): hoist the (expensive)
+  // H_00 evaluation out of the folding loop -- it does not depend on m.
+  const cplx h00 = model_.baseband_transfer(cplx{0.0, w});
   double acc = 0.0;
   for (int m = -fold_; m <= fold_; ++m) {
     const double wm = std::abs(w + static_cast<double>(m) * w0);
     if (wm == 0.0) continue;
-    acc += std::norm(vco_transfer(m, w)) * s_vco(wm);
+    const cplx t = (m == 0 ? cplx{1.0} : cplx{0.0}) - h00;
+    acc += std::norm(t) * s_vco(wm);
   }
   return acc;
 }
@@ -79,11 +87,12 @@ double NoiseAnalysis::output_psd_from_vco(double w,
 double NoiseAnalysis::output_psd_from_charge_pump(
     double w, const PsdFunction& s_icp) const {
   const double w0 = model_.w0();
+  const cplx tracking = model_.closed_loop(0, cplx{0.0, w});
   double acc = 0.0;
   for (int m = -fold_; m <= fold_; ++m) {
     const double wm = std::abs(w + static_cast<double>(m) * w0);
     if (wm == 0.0) continue;
-    acc += std::norm(charge_pump_transfer(m, w)) * s_icp(wm);
+    acc += std::norm(charge_pump_transfer_impl(m, w, tracking)) * s_icp(wm);
   }
   return acc;
 }

@@ -81,6 +81,11 @@ class NoiseAnalysis {
                         std::size_t points = 400) const;
 
  private:
+  /// charge_pump_transfer with the m-independent tracking factor
+  /// V~_0/(1+lambda) supplied by the caller, so folding loops evaluate
+  /// it once instead of per harmonic.
+  cplx charge_pump_transfer_impl(int m, double w, cplx tracking) const;
+
   const SamplingPllModel& model_;
   int fold_;
 };

@@ -1,0 +1,134 @@
+#include "htmpll/parallel/thread_pool.hpp"
+
+#include <algorithm>
+#include <cstdlib>
+#include <string>
+
+#include "htmpll/util/check.hpp"
+
+namespace htmpll {
+
+namespace {
+
+/// True on threads that belong to some pool; nested parallel_for calls
+/// from inside a worker run inline instead of deadlocking on the pool.
+thread_local bool t_inside_worker = false;
+
+}  // namespace
+
+std::size_t configured_thread_count() {
+  if (const char* env = std::getenv("HTMPLL_THREADS")) {
+    char* end = nullptr;
+    const long parsed = std::strtol(env, &end, 10);
+    if (end != env && *end == '\0' && parsed >= 1) {
+      return static_cast<std::size_t>(std::min(parsed, 256L));
+    }
+  }
+  const unsigned hw = std::thread::hardware_concurrency();
+  return hw == 0 ? 1 : static_cast<std::size_t>(hw);
+}
+
+ThreadPool::ThreadPool(std::size_t threads) {
+  HTMPLL_REQUIRE(threads >= 1, "thread pool needs at least one thread");
+  workers_.reserve(threads - 1);
+  for (std::size_t i = 0; i + 1 < threads; ++i) {
+    workers_.emplace_back([this] { worker_loop(); });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    stop_ = true;
+  }
+  cv_job_.notify_all();
+  for (std::thread& w : workers_) w.join();
+}
+
+void ThreadPool::worker_loop() {
+  t_inside_worker = true;
+  std::uint64_t seen = 0;
+  std::unique_lock<std::mutex> lock(mu_);
+  for (;;) {
+    cv_job_.wait(lock, [&] { return stop_ || generation_ != seen; });
+    if (stop_) return;
+    seen = generation_;
+    lock.unlock();
+    run_chunks();
+    lock.lock();
+    if (--busy_workers_ == 0) cv_done_.notify_all();
+  }
+}
+
+void ThreadPool::run_chunks() {
+  const std::size_t n = job_n_;
+  const std::size_t grain = job_grain_;
+  const std::function<void(std::size_t)>& fn = *job_fn_;
+  for (;;) {
+    const std::size_t chunk =
+        next_chunk_.fetch_add(1, std::memory_order_relaxed);
+    const std::size_t begin = chunk * grain;
+    if (begin >= n) return;
+    if (failed_.load(std::memory_order_relaxed)) return;
+    const std::size_t end = std::min(n, begin + grain);
+    try {
+      for (std::size_t i = begin; i < end; ++i) fn(i);
+    } catch (...) {
+      std::lock_guard<std::mutex> lock(mu_);
+      if (!error_) error_ = std::current_exception();
+      failed_.store(true, std::memory_order_relaxed);
+    }
+  }
+}
+
+void ThreadPool::parallel_for(std::size_t n, std::size_t grain,
+                              const std::function<void(std::size_t)>& fn) {
+  HTMPLL_REQUIRE(grain >= 1, "parallel_for grain must be >= 1");
+  if (n == 0) return;
+  if (workers_.empty() || n <= grain || t_inside_worker) {
+    for (std::size_t i = 0; i < n; ++i) fn(i);
+    return;
+  }
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    job_n_ = n;
+    job_grain_ = grain;
+    job_fn_ = &fn;
+    next_chunk_.store(0, std::memory_order_relaxed);
+    failed_.store(false, std::memory_order_relaxed);
+    error_ = nullptr;
+    busy_workers_ = workers_.size();
+    ++generation_;
+  }
+  cv_job_.notify_all();
+  // Mark the participating caller like a worker for the duration of its
+  // chunk processing: a nested parallel_for issued from inside fn would
+  // otherwise publish a second job on this pool mid-flight.
+  const bool was_inside = t_inside_worker;
+  t_inside_worker = true;
+  run_chunks();
+  t_inside_worker = was_inside;
+  std::unique_lock<std::mutex> lock(mu_);
+  cv_done_.wait(lock, [&] { return busy_workers_ == 0; });
+  job_fn_ = nullptr;
+  if (error_) {
+    std::exception_ptr err = error_;
+    error_ = nullptr;
+    lock.unlock();
+    std::rethrow_exception(err);
+  }
+}
+
+void ThreadPool::parallel_for(std::size_t n,
+                              const std::function<void(std::size_t)>& fn) {
+  const std::size_t target_chunks = 8 * threads();
+  const std::size_t grain = std::max<std::size_t>(1, n / target_chunks);
+  parallel_for(n, grain, fn);
+}
+
+ThreadPool& ThreadPool::global() {
+  static ThreadPool pool(configured_thread_count());
+  return pool;
+}
+
+}  // namespace htmpll

@@ -1,0 +1,88 @@
+// Fixed-size thread pool with a chunked, deterministic parallel_for.
+//
+// Every frequency-grid deliverable in this repo (Fig. 5/6/7 sweeps, spur
+// maps, pole trajectories, jitter integrals, simulation mark batches) is
+// an embarrassingly parallel map over independent evaluation points.
+// This pool serves all of them with one set of long-lived workers.
+//
+// Determinism guarantee: parallel_for partitions [0, n) into fixed
+// chunks whose boundaries depend only on n and the grain size -- never
+// on the thread count or on scheduling.  Each index is visited exactly
+// once and writes only its own output slot, so results are bit-identical
+// for any pool size, including the inline single-threaded path.  There
+// is no cross-point reduction inside the pool, hence no floating-point
+// reassociation.
+//
+// The worker count of the shared pool is HTMPLL_THREADS when set
+// (clamped to [1, 256]); otherwise std::thread::hardware_concurrency().
+// HTMPLL_THREADS=1 runs every parallel_for inline on the calling thread.
+#pragma once
+
+#include <atomic>
+#include <condition_variable>
+#include <cstddef>
+#include <cstdint>
+#include <exception>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace htmpll {
+
+/// Worker count for the shared pool: HTMPLL_THREADS if set and valid
+/// (clamped to [1, 256]), else hardware concurrency (at least 1).
+std::size_t configured_thread_count();
+
+class ThreadPool {
+ public:
+  /// Spawns `threads - 1` workers; the caller of parallel_for always
+  /// participates, so `threads == 1` means no worker threads at all.
+  explicit ThreadPool(std::size_t threads);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  /// Total execution width (workers + the calling thread).
+  std::size_t threads() const { return workers_.size() + 1; }
+
+  /// Runs fn(i) for every i in [0, n) exactly once, chunked by `grain`
+  /// indices per task.  Chunk boundaries depend only on (n, grain).
+  /// Blocks until all indices completed.  The first exception thrown by
+  /// any fn(i) is rethrown here (remaining chunks are skipped).
+  /// Nested calls from inside a worker run inline.
+  void parallel_for(std::size_t n, std::size_t grain,
+                    const std::function<void(std::size_t)>& fn);
+
+  /// parallel_for with an automatic grain (targets ~8 chunks per thread).
+  void parallel_for(std::size_t n, const std::function<void(std::size_t)>& fn);
+
+  /// Process-wide pool sized by configured_thread_count(), created on
+  /// first use.
+  static ThreadPool& global();
+
+ private:
+  void worker_loop();
+  /// Claims and runs chunks of the current job; records the first error.
+  void run_chunks();
+
+  std::vector<std::thread> workers_;
+
+  std::mutex mu_;
+  std::condition_variable cv_job_;
+  std::condition_variable cv_done_;
+  bool stop_ = false;
+  std::uint64_t generation_ = 0;  ///< bumped per job (guarded by mu_)
+  std::size_t busy_workers_ = 0;  ///< workers still in the current job
+
+  // Current job (written under mu_ before the generation bump).
+  std::size_t job_n_ = 0;
+  std::size_t job_grain_ = 1;
+  const std::function<void(std::size_t)>* job_fn_ = nullptr;
+  std::atomic<std::size_t> next_chunk_{0};
+  std::atomic<bool> failed_{false};
+  std::exception_ptr error_;  ///< first failure (guarded by mu_)
+};
+
+}  // namespace htmpll

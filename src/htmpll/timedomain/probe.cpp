@@ -3,6 +3,7 @@
 #include <cmath>
 #include <numbers>
 
+#include "htmpll/parallel/thread_pool.hpp"
 #include "htmpll/util/check.hpp"
 
 namespace htmpll {
@@ -110,6 +111,29 @@ TransferMeasurement measure_band_transfer(const PllParameters& params,
                                     opts);
   if (omega_out < 0.0) m.value = std::conj(m.value);
   return m;
+}
+
+std::vector<TransferMeasurement> measure_baseband_transfer_many(
+    const PllParameters& params, const std::vector<double>& omegas,
+    const ProbeOptions& opts) {
+  std::vector<TransferMeasurement> out(omegas.size());
+  // Grain 1: each probe is a full transient simulation, far heavier
+  // than the dispatch overhead.
+  ThreadPool::global().parallel_for(omegas.size(), 1, [&](std::size_t i) {
+    out[i] = measure_baseband_transfer(params, omegas[i], opts);
+  });
+  return out;
+}
+
+std::vector<TransferMeasurement> measure_band_transfer_many(
+    const PllParameters& params, const std::vector<BandProbePoint>& points,
+    const ProbeOptions& opts) {
+  std::vector<TransferMeasurement> out(points.size());
+  ThreadPool::global().parallel_for(points.size(), 1, [&](std::size_t i) {
+    out[i] = measure_band_transfer(params, points[i].band, points[i].omega_m,
+                                   opts);
+  });
+  return out;
 }
 
 }  // namespace htmpll

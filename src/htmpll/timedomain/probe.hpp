@@ -51,6 +51,26 @@ TransferMeasurement measure_band_transfer(const PllParameters& params,
                                           int band, double omega_m,
                                           const ProbeOptions& opts = {});
 
+/// Batched probe: one full transient simulation per entry, distributed
+/// over the global thread pool.  Each simulation is independent, so
+/// results are identical to calling measure_baseband_transfer point by
+/// point, regardless of thread count.  out[i] corresponds to omegas[i].
+std::vector<TransferMeasurement> measure_baseband_transfer_many(
+    const PllParameters& params, const std::vector<double>& omegas,
+    const ProbeOptions& opts = {});
+
+/// One (band, omega_m) request for measure_band_transfer_many.
+struct BandProbePoint {
+  int band;
+  double omega_m;
+};
+
+/// Batched band-transfer probe over the global thread pool; same
+/// determinism guarantee as measure_baseband_transfer_many.
+std::vector<TransferMeasurement> measure_band_transfer_many(
+    const PllParameters& params, const std::vector<BandProbePoint>& points,
+    const ProbeOptions& opts = {});
+
 /// Windowed single-bin DFT ratio of two equally-sampled records; exposed
 /// for unit testing.  Returns sum(w_k y_k e^{-j wy t_k}) /
 /// sum(w_k x_k e^{-j wx t_k}) with a Hann window.

@@ -3,7 +3,10 @@
 // Preconditions on public API entry points are enforced with
 // HTMPLL_REQUIRE, which throws std::invalid_argument so callers can
 // recover.  Internal invariants use HTMPLL_ASSERT, which throws
-// std::logic_error; a failure there is a library bug.
+// std::logic_error in debug builds (a failure there is a library bug)
+// and compiles out entirely under NDEBUG -- it must never guard
+// anything with side effects, and release-mode hot loops (matrix
+// kernels, grid sweeps) pay nothing for it.
 #pragma once
 
 #include <stdexcept>
@@ -25,9 +28,16 @@ namespace htmpll {
     }                                                                      \
   } while (false)
 
+#ifdef NDEBUG
+#define HTMPLL_ASSERT(cond)      \
+  do {                           \
+    (void)sizeof((cond) ? 1 : 0); \
+  } while (false)
+#else
 #define HTMPLL_ASSERT(cond)                                            \
   do {                                                                 \
     if (!(cond)) {                                                     \
       ::htmpll::throw_assertion_failure(#cond, __FILE__, __LINE__);    \
     }                                                                  \
   } while (false)
+#endif

@@ -7,7 +7,7 @@
 namespace htmpll {
 
 std::vector<double> linspace(double lo, double hi, std::size_t n) {
-  HTMPLL_REQUIRE(n >= 1, "linspace needs at least one point");
+  HTMPLL_REQUIRE(n != 0, "linspace: n == 0 (an empty grid) is not allowed");
   if (n == 1) return {lo};
   std::vector<double> out(n);
   const double step = (hi - lo) / static_cast<double>(n - 1);
@@ -19,10 +19,28 @@ std::vector<double> linspace(double lo, double hi, std::size_t n) {
 }
 
 std::vector<double> logspace(double lo, double hi, std::size_t n) {
+  HTMPLL_REQUIRE(n != 0, "logspace: n == 0 (an empty grid) is not allowed");
   HTMPLL_REQUIRE(lo > 0.0 && hi > lo, "logspace needs 0 < lo < hi");
+  if (n == 1) return {lo};
   std::vector<double> out = linspace(std::log10(lo), std::log10(hi), n);
   for (double& x : out) x = std::pow(10.0, x);
-  out.front() = lo;
+  out.front() = lo;  // endpoints bit-exact, not 10^log10(x)
+  out.back() = hi;
+  return out;
+}
+
+std::vector<double> geomspace(double lo, double hi, std::size_t n) {
+  HTMPLL_REQUIRE(n != 0, "geomspace: n == 0 (an empty grid) is not allowed");
+  HTMPLL_REQUIRE(lo != 0.0 && hi != 0.0 && (lo > 0.0) == (hi > 0.0),
+                 "geomspace needs non-zero endpoints of the same sign");
+  if (n == 1) return {lo};
+  std::vector<double> out(n);
+  const double ratio = hi / lo;
+  const double inv = 1.0 / static_cast<double>(n - 1);
+  for (std::size_t i = 0; i < n; ++i) {
+    out[i] = lo * std::pow(ratio, static_cast<double>(i) * inv);
+  }
+  out.front() = lo;  // both endpoints bit-exact
   out.back() = hi;
   return out;
 }

@@ -6,13 +6,22 @@
 
 namespace htmpll {
 
-/// `n` points linearly spaced over [lo, hi] inclusive.  n >= 2, or n == 1
-/// (returns {lo}).
+// All grid builders reject n == 0 explicitly (std::invalid_argument),
+// return {lo} for n == 1, and make both endpoints bit-exact:
+// grid.front() == lo and grid.back() == hi compare equal as doubles.
+
+/// `n` points linearly spaced over [lo, hi] inclusive.
 std::vector<double> linspace(double lo, double hi, std::size_t n);
 
 /// `n` points logarithmically spaced over [lo, hi] inclusive.
 /// Requires lo > 0, hi > lo.
 std::vector<double> logspace(double lo, double hi, std::size_t n);
+
+/// `n` points in geometric progression from lo to hi inclusive (both
+/// endpoints bit-exact).  Unlike logspace, the grid may descend
+/// (hi < lo) or be negative; endpoints must be non-zero and share a
+/// sign.
+std::vector<double> geomspace(double lo, double hi, std::size_t n);
 
 /// Points per decade over [lo, hi]; convenience wrapper around logspace
 /// that picks the count from the span.

@@ -14,6 +14,10 @@ class Table {
   /// Column headers fix the column count; every row must match it.
   explicit Table(std::vector<std::string> headers);
 
+  /// Pre-allocates row storage; call before bulk add_row loops so a
+  /// sweep-sized table never reallocates mid-fill.
+  void reserve(std::size_t row_count) { rows_.reserve(row_count); }
+
   void add_row(std::vector<std::string> cells);
 
   /// Convenience: formats doubles with %.6g.

@@ -1,0 +1,305 @@
+// Tests for the parallel sweep engine: thread-pool semantics
+// (coverage, determinism, exception propagation, nesting), the
+// HTMPLL_THREADS configuration, and exact agreement between the
+// batched *_grid model APIs and their scalar counterparts for every
+// lambda method and PFD shape.
+//
+// Built as its own executable so it can also run under
+// -DHTMPLL_SANITIZE=thread, where the whole suite would be too slow.
+#include <atomic>
+#include <cmath>
+#include <cstdlib>
+#include <numbers>
+#include <stdexcept>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "htmpll/core/sampling_pll.hpp"
+#include "htmpll/parallel/sweep.hpp"
+#include "htmpll/parallel/thread_pool.hpp"
+#include "htmpll/util/grid.hpp"
+
+namespace htmpll {
+namespace {
+
+// A deliberately order-sensitive float computation: if two indices ever
+// shared an accumulator, or an index ran twice, the bits would differ.
+double heavy(std::size_t i) {
+  double acc = static_cast<double>(i) + 0.5;
+  for (int k = 0; k < 50; ++k) {
+    acc = std::sin(acc) + std::sqrt(acc + static_cast<double>(k));
+  }
+  return acc;
+}
+
+TEST(ThreadPool, CoversEveryIndexExactlyOnce) {
+  for (std::size_t width : {1u, 2u, 7u}) {
+    ThreadPool pool(width);
+    std::vector<std::atomic<int>> hits(257);
+    for (auto& h : hits) h.store(0);
+    pool.parallel_for(hits.size(), 3, [&](std::size_t i) { hits[i]++; });
+    for (std::size_t i = 0; i < hits.size(); ++i) {
+      EXPECT_EQ(hits[i].load(), 1) << "index " << i << " width " << width;
+    }
+  }
+}
+
+TEST(ThreadPool, BitIdenticalAcrossPoolSizes) {
+  const std::size_t n = 500;
+  std::vector<double> reference(n);
+  for (std::size_t i = 0; i < n; ++i) reference[i] = heavy(i);
+
+  for (std::size_t width : {1u, 2u, 7u}) {
+    ThreadPool pool(width);
+    for (std::size_t grain : {1u, 4u, 64u}) {
+      std::vector<double> out(n);
+      pool.parallel_for(n, grain, [&](std::size_t i) { out[i] = heavy(i); });
+      for (std::size_t i = 0; i < n; ++i) {
+        EXPECT_EQ(out[i], reference[i])
+            << "i=" << i << " width=" << width << " grain=" << grain;
+      }
+    }
+  }
+}
+
+TEST(ThreadPool, PropagatesFirstExceptionFromWorkers) {
+  ThreadPool pool(4);
+  EXPECT_THROW(
+      pool.parallel_for(1000, 1,
+                        [](std::size_t i) {
+                          if (i == 37) throw std::runtime_error("boom");
+                        }),
+      std::runtime_error);
+}
+
+TEST(ThreadPool, UsableAfterException) {
+  ThreadPool pool(3);
+  try {
+    pool.parallel_for(100, 1, [](std::size_t) {
+      throw std::runtime_error("boom");
+    });
+  } catch (const std::runtime_error&) {
+  }
+  std::atomic<int> count{0};
+  pool.parallel_for(100, 1, [&](std::size_t) { count++; });
+  EXPECT_EQ(count.load(), 100);
+}
+
+TEST(ThreadPool, NestedCallsRunInlineWithoutDeadlock) {
+  ThreadPool pool(4);
+  std::vector<double> out(64);
+  pool.parallel_for(out.size(), 1, [&](std::size_t i) {
+    double inner = 0.0;
+    // A nested parallel_for on the same pool must not deadlock; it runs
+    // inline on whichever thread is executing this chunk.
+    pool.parallel_for(10, 1, [&](std::size_t k) {
+      inner += static_cast<double>(k);
+    });
+    out[i] = inner;
+  });
+  for (double v : out) EXPECT_EQ(v, 45.0);
+}
+
+TEST(ThreadPool, RejectsZeroGrainAndAcceptsEmptyRange) {
+  ThreadPool pool(2);
+  EXPECT_THROW(pool.parallel_for(10, 0, [](std::size_t) {}),
+               std::invalid_argument);
+  EXPECT_NO_THROW(pool.parallel_for(0, 1, [](std::size_t) {
+    throw std::runtime_error("never called");
+  }));
+}
+
+TEST(ThreadPool, ConfiguredThreadCountParsesEnvironment) {
+  const char* saved = std::getenv("HTMPLL_THREADS");
+  const std::string restore = saved ? saved : "";
+
+  ::setenv("HTMPLL_THREADS", "1", 1);
+  EXPECT_EQ(configured_thread_count(), 1u);
+  ::setenv("HTMPLL_THREADS", "7", 1);
+  EXPECT_EQ(configured_thread_count(), 7u);
+  ::setenv("HTMPLL_THREADS", "9999", 1);
+  EXPECT_EQ(configured_thread_count(), 256u);  // clamped
+
+  // Invalid values fall back to hardware concurrency.
+  const unsigned hw = std::thread::hardware_concurrency();
+  const std::size_t fallback = hw == 0 ? 1 : hw;
+  ::setenv("HTMPLL_THREADS", "0", 1);
+  EXPECT_EQ(configured_thread_count(), fallback);
+  ::setenv("HTMPLL_THREADS", "abc", 1);
+  EXPECT_EQ(configured_thread_count(), fallback);
+  ::unsetenv("HTMPLL_THREADS");
+  EXPECT_EQ(configured_thread_count(), fallback);
+
+  if (saved) {
+    ::setenv("HTMPLL_THREADS", restore.c_str(), 1);
+  } else {
+    ::unsetenv("HTMPLL_THREADS");
+  }
+}
+
+TEST(Sweep, ParallelMapPreservesOrder) {
+  ThreadPool pool(5);
+  const auto out = parallel_map<double>(pool, 300, [](std::size_t i) {
+    return heavy(i);
+  });
+  ASSERT_EQ(out.size(), 300u);
+  for (std::size_t i = 0; i < out.size(); ++i) {
+    EXPECT_EQ(out[i], heavy(i));
+  }
+}
+
+TEST(Sweep, RunnerMatchesSerialBitwise) {
+  const auto eval = [](cplx s) {
+    return (s + cplx{1.0, 0.5}) / (s * s + cplx{2.0});
+  };
+  const std::vector<double> w = logspace(1e-2, 1e2, 333);
+  const CVector s_grid = jw_grid(w);
+
+  ThreadPool serial(1);
+  ThreadPool wide(7);
+  const CVector a = SweepRunner(serial).run(s_grid, eval);
+  const CVector b = SweepRunner(wide).run(s_grid, eval);
+  const CVector c = SweepRunner(wide).run_jw(w, eval);
+  ASSERT_EQ(a.size(), s_grid.size());
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    EXPECT_EQ(a[i], b[i]);
+    EXPECT_EQ(a[i], c[i]);
+    EXPECT_EQ(a[i], eval(s_grid[i]));
+  }
+}
+
+TEST(Sweep, JwGrid) {
+  const std::vector<double> w = {0.5, 2.0, 7.5};
+  const CVector s = jw_grid(w);
+  ASSERT_EQ(s.size(), 3u);
+  for (std::size_t i = 0; i < w.size(); ++i) {
+    EXPECT_EQ(s[i], (cplx{0.0, w[i]}));
+  }
+}
+
+// ---- batched model APIs vs scalar, all methods x shapes ---------------
+
+class GridApiTest
+    : public ::testing::TestWithParam<std::tuple<LambdaMethod, PfdShape>> {};
+
+TEST_P(GridApiTest, GridsMatchScalarExactly) {
+  const auto [method, shape] = GetParam();
+  const double w0 = 2.0 * std::numbers::pi;
+
+  SamplingPllOptions opts;
+  opts.lambda_method = method;
+  opts.truncation = 12;
+  opts.pfd_shape = shape;
+  const SamplingPllModel model(make_typical_loop(0.1 * w0, w0),
+                               HarmonicCoefficients(cplx{1.0}), opts);
+
+  const CVector s_grid = jw_grid(logspace(1e-3 * w0, 0.49 * w0, 200));
+
+  const CVector lam = model.lambda_grid(s_grid);
+  const CVector h00 = model.baseband_transfer_grid(s_grid);
+  const CVector lti = model.lti_baseband_transfer_grid(s_grid);
+  const CVector err = model.baseband_error_transfer_grid(s_grid);
+  const std::vector<int> bands = {-2, -1, 0, 1, 3};
+  const std::vector<CVector> cl = model.closed_loop_grid(bands, s_grid);
+  ASSERT_EQ(cl.size(), bands.size());
+
+  for (std::size_t i = 0; i < s_grid.size(); ++i) {
+    const cplx s = s_grid[i];
+    EXPECT_EQ(lam[i], model.lambda(s)) << "lambda i=" << i;
+    EXPECT_EQ(h00[i], model.baseband_transfer(s)) << "h00 i=" << i;
+    EXPECT_EQ(lti[i], model.lti_baseband_transfer(s)) << "lti i=" << i;
+    EXPECT_EQ(err[i], model.baseband_error_transfer(s)) << "err i=" << i;
+    for (std::size_t b = 0; b < bands.size(); ++b) {
+      EXPECT_EQ(cl[b][i], model.closed_loop(bands[b], s))
+          << "band " << bands[b] << " i=" << i;
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllMethodsAndShapes, GridApiTest,
+    ::testing::Combine(::testing::Values(LambdaMethod::kExact,
+                                         LambdaMethod::kAdaptive,
+                                         LambdaMethod::kTruncated),
+                       ::testing::Values(PfdShape::kImpulse,
+                                         PfdShape::kZeroOrderHold)));
+
+TEST(GridApi, LptvVcoGridsMatchScalar) {
+  // Non-trivial ISF exercises the shared shifted-gain table across
+  // harmonics and bands.
+  const double w0 = 2.0 * std::numbers::pi;
+  const HarmonicCoefficients isf =
+      HarmonicCoefficients::real_waveform(1.0, {cplx{0.2, 0.1},
+                                                cplx{0.05, -0.02}});
+  SamplingPllOptions opts;
+  opts.lambda_method = LambdaMethod::kTruncated;
+  opts.truncation = 10;
+  const SamplingPllModel model(make_typical_loop(0.1 * w0, w0), isf, opts);
+
+  const CVector s_grid = jw_grid(logspace(1e-2 * w0, 0.45 * w0, 60));
+  const CVector lam = model.lambda_grid(s_grid);
+  const CVector h00 = model.baseband_transfer_grid(s_grid);
+  const std::vector<int> bands = {-1, 0, 2};
+  const std::vector<CVector> cl = model.closed_loop_grid(bands, s_grid);
+
+  for (std::size_t i = 0; i < s_grid.size(); ++i) {
+    EXPECT_EQ(lam[i], model.lambda(s_grid[i]));
+    EXPECT_EQ(h00[i], model.baseband_transfer(s_grid[i]));
+    for (std::size_t b = 0; b < bands.size(); ++b) {
+      EXPECT_EQ(cl[b][i], model.closed_loop(bands[b], s_grid[i]));
+    }
+  }
+}
+
+// ---- grid builder edge cases (sweep inputs) ---------------------------
+
+TEST(GridBuilders, RejectEmptyGrids) {
+  EXPECT_THROW(linspace(0.0, 1.0, 0), std::invalid_argument);
+  EXPECT_THROW(logspace(1.0, 2.0, 0), std::invalid_argument);
+  EXPECT_THROW(geomspace(1.0, 2.0, 0), std::invalid_argument);
+}
+
+TEST(GridBuilders, SinglePointReturnsLo) {
+  EXPECT_EQ(linspace(3.0, 7.0, 1), std::vector<double>{3.0});
+  EXPECT_EQ(logspace(3.0, 7.0, 1), std::vector<double>{3.0});
+  EXPECT_EQ(geomspace(3.0, 7.0, 1), std::vector<double>{3.0});
+}
+
+TEST(GridBuilders, GeomspaceEndpointsBitExact) {
+  const double lo = 0.1, hi = 730.0;  // neither is exactly representable fun
+  const auto g = geomspace(lo, hi, 57);
+  ASSERT_EQ(g.size(), 57u);
+  EXPECT_EQ(g.front(), lo);
+  EXPECT_EQ(g.back(), hi);
+  for (std::size_t i = 1; i + 1 < g.size(); ++i) {
+    EXPECT_NEAR(g[i + 1] / g[i], g[1] / g[0], 1e-12);
+  }
+}
+
+TEST(GridBuilders, GeomspaceDescendingAndNegative) {
+  const auto down = geomspace(100.0, 1.0, 5);
+  EXPECT_EQ(down.front(), 100.0);
+  EXPECT_EQ(down.back(), 1.0);
+  EXPECT_GT(down[1], down[2]);
+
+  const auto neg = geomspace(-1.0, -16.0, 5);
+  EXPECT_EQ(neg.front(), -1.0);
+  EXPECT_EQ(neg.back(), -16.0);
+  EXPECT_NEAR(neg[2], -4.0, 1e-12);
+}
+
+TEST(GridBuilders, GeomspaceRejectsZeroOrMixedSign) {
+  EXPECT_THROW(geomspace(0.0, 1.0, 4), std::invalid_argument);
+  EXPECT_THROW(geomspace(1.0, 0.0, 4), std::invalid_argument);
+  EXPECT_THROW(geomspace(-1.0, 1.0, 4), std::invalid_argument);
+}
+
+TEST(GridBuilders, LogspaceEndpointsBitExact) {
+  const auto g = logspace(0.3, 97.0, 41);
+  EXPECT_EQ(g.front(), 0.3);
+  EXPECT_EQ(g.back(), 97.0);
+}
+
+}  // namespace
+}  // namespace htmpll
