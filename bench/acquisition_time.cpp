@@ -10,47 +10,41 @@
 // textbook ones: pull-in time scales inversely with bandwidth and grows
 // with offset.
 //
+// The whole (bandwidth x offset) grid is one acquisition_periods batch
+// over the shared thread pool -- every cell is an independent transient
+// simulation, and the batch is bit-identical for any thread count.
+//
 // Usage: acquisition_time [output.csv]
 #include <iostream>
 #include <numbers>
 
-#include "htmpll/timedomain/pll_sim.hpp"
+#include "htmpll/timedomain/montecarlo.hpp"
 #include "htmpll/util/table.hpp"
 
-namespace {
-
-using namespace htmpll;
-
-/// Periods until the charge-pump pulse widths collapse below tol, or -1.
-double periods_to_lock(const PllParameters& params, double rel_offset,
-                       double tol, double max_periods) {
-  PllTransientSim sim(params);
-  sim.set_recording(false);
-  sim.set_initial_frequency_offset(rel_offset);
-  const double chunk = 5.0;
-  double elapsed = 0.0;
-  while (elapsed < max_periods) {
-    sim.run_periods(chunk);
-    elapsed += chunk;
-    if (sim.is_locked(tol * params.period())) return elapsed;
-  }
-  return -1.0;
-}
-
-}  // namespace
-
 int main(int argc, char** argv) {
+  using namespace htmpll;
   const double w0 = 2.0 * std::numbers::pi;
+  const std::vector<double> ratios = {0.05, 0.1, 0.15, 0.2};
+  const std::vector<double> offsets = {0.005, 0.01, 0.02, 0.05};
 
   std::cout << "=== Lock acquisition: periods to |pulse width| < 1e-6 T "
                "===\n\n";
+
+  std::vector<AcquisitionCase> cases;
+  cases.reserve(ratios.size() * offsets.size());
+  for (double ratio : ratios) {
+    const PllParameters p = make_typical_loop(ratio * w0, w0);
+    for (double offset : offsets) cases.push_back({p, offset});
+  }
+  const std::vector<double> periods = acquisition_periods(cases);
+
   Table t({"w_UG/w0", "offset 0.5%", "offset 1%", "offset 2%",
            "offset 5%"});
-  for (double ratio : {0.05, 0.1, 0.15, 0.2}) {
-    const PllParameters p = make_typical_loop(ratio * w0, w0);
-    std::vector<std::string> row{Table::fmt(ratio)};
-    for (double offset : {0.005, 0.01, 0.02, 0.05}) {
-      const double n = periods_to_lock(p, offset, 1e-6, 3000.0);
+  t.reserve(ratios.size());
+  for (std::size_t r = 0; r < ratios.size(); ++r) {
+    std::vector<std::string> row{Table::fmt(ratios[r])};
+    for (std::size_t o = 0; o < offsets.size(); ++o) {
+      const double n = periods[r * offsets.size() + o];
       row.push_back(n < 0.0 ? "-" : Table::fmt(n));
     }
     t.add_row(row);

@@ -1,0 +1,246 @@
+// Transient-engine benchmark: measures the time-domain performance
+// layer (keyed propagator cache, settled-state warm starts, batched
+// probes) against the seed behavior and verifies its contracts:
+//
+//   1. Multi-frequency probe sweep, single thread: the seed baseline
+//      (single-entry propagator cache, full per-point settle) vs the
+//      default cold path (multi-entry cache; must be BIT-IDENTICAL to
+//      the seed) vs the warm-start path (shared settled checkpoint;
+//      must agree within the probe's small-signal tolerance).
+//   2. Raw event rate and expm-evaluations-saved of a locked loop.
+//   3. Thread scaling of the batched probe on the global pool.
+//
+// Writes a machine-readable report (default BENCH_transient.json).
+//
+// Usage: bench_transient [output.json] [--check]
+//   --check: exit non-zero if the cold path is not bit-identical to the
+//            seed behavior, if warm-start disagrees beyond tolerance, or
+//            if caching + warm start fail to beat the seed baseline.
+#include <cmath>
+#include <cstring>
+#include <iostream>
+#include <numbers>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "bench_common.hpp"
+#include "htmpll/parallel/thread_pool.hpp"
+#include "htmpll/timedomain/probe.hpp"
+#include "htmpll/util/grid.hpp"
+#include "htmpll/util/table.hpp"
+
+namespace {
+
+using namespace htmpll;
+using bench::Json;
+using bench::time_best_of;
+
+/// Replica of the probe measurement loop with a configurable propagator
+/// cache capacity.  Capacity 1 reproduces the seed's single-entry cache
+/// behavior exactly; the arithmetic is identical to run_probe's, so the
+/// default cold probe must match its output bit-for-bit.
+cplx probe_with_cache(const PllParameters& params, double omega_m,
+                      const ProbeOptions& opts, std::size_t capacity) {
+  const double t_period = params.period();
+  const double tm = 2.0 * std::numbers::pi / omega_m;
+
+  ReferenceModulation mod;
+  mod.amplitude = opts.amplitude_fraction * t_period;
+  mod.omega = omega_m;
+  mod.phase = 0.0;
+
+  TransientConfig cfg;
+  cfg.sample_interval =
+      std::min({tm / static_cast<double>(opts.samples_per_period),
+                t_period / 8.0,
+                2.0 * std::numbers::pi / (16.0 * omega_m)});
+  cfg.record = false;
+  cfg.propagator_cache = capacity;
+
+  PllTransientSim sim(params, mod, cfg);
+  const double settle = std::max(opts.settle_periods * t_period, 4.0 * tm);
+  sim.run_until(settle);
+  sim.set_recording(true);
+  sim.clear_samples();
+  sim.run_until(settle + static_cast<double>(opts.measure_periods) * tm);
+  return single_bin_ratio(sim.sample_times(), sim.theta_samples(), omega_m,
+                          sim.theta_ref_samples(), omega_m);
+}
+
+bool bit_identical(const std::vector<cplx>& a, const std::vector<cplx>& b) {
+  return a.size() == b.size() &&
+         std::memcmp(a.data(), b.data(), a.size() * sizeof(cplx)) == 0;
+}
+
+std::vector<cplx> values_of(const std::vector<TransferMeasurement>& ms) {
+  std::vector<cplx> out;
+  out.reserve(ms.size());
+  for (const TransferMeasurement& m : ms) out.push_back(m.value);
+  return out;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::string out_path = "BENCH_transient.json";
+  bool check = false;
+  for (int i = 1; i < argc; ++i) {
+    if (std::string(argv[i]) == "--check") {
+      check = true;
+    } else {
+      out_path = argv[i];
+    }
+  }
+
+  const double w0 = 2.0 * std::numbers::pi;
+  const PllParameters params = make_typical_loop(0.2 * w0, w0);
+  const std::size_t n_points = 8;
+  const std::vector<double> omegas = logspace(0.1 * w0, 0.45 * w0,
+                                              n_points);
+  ProbeOptions opts;
+  opts.settle_periods = 300.0;
+
+  const std::size_t hw = std::thread::hardware_concurrency();
+  const std::size_t pool_width = ThreadPool::global().threads();
+  std::cout << "=== Transient-engine benchmark: " << n_points
+            << "-point probe sweep, pool width " << pool_width
+            << " (hardware " << hw << ") ===\n\n";
+
+  const int reps = 2;
+  ThreadPool serial_pool(1);
+
+  // --- 1. probe sweep: seed baseline vs cached cold vs warm start -----
+  std::vector<cplx> r_seed(n_points);
+  const double t_seed = time_best_of(reps, [&] {
+    for (std::size_t i = 0; i < n_points; ++i) {
+      r_seed[i] = probe_with_cache(params, omegas[i], opts, 1);
+    }
+  });
+
+  std::vector<TransferMeasurement> m_cold;
+  const double t_cold = time_best_of(reps, [&] {
+    m_cold = measure_baseband_transfer_many(params, omegas, opts,
+                                            serial_pool);
+  });
+  const std::vector<cplx> r_cold = values_of(m_cold);
+  const bool default_identical = bit_identical(r_seed, r_cold);
+
+  ProbeOptions warm_opts = opts;
+  warm_opts.warm_start = true;
+  std::vector<TransferMeasurement> m_warm;
+  const double t_warm = time_best_of(reps, [&] {
+    m_warm = measure_baseband_transfer_many(params, omegas, warm_opts,
+                                            serial_pool);
+  });
+  double warm_max_rel_err = 0.0;
+  for (std::size_t i = 0; i < n_points; ++i) {
+    warm_max_rel_err = std::max(
+        warm_max_rel_err,
+        std::abs(m_warm[i].value - r_cold[i]) / std::abs(r_cold[i]));
+  }
+  // The probe itself is only trusted to the paper's few-percent level;
+  // warm and cold runs differ by the (settled-out) modulation onset
+  // transient and must agree far inside that.
+  const double warm_tol = 1e-2;
+  const bool warm_ok = warm_max_rel_err < warm_tol;
+
+  const double speedup_cache = t_seed / t_cold;
+  const double speedup_warm = t_seed / t_warm;
+
+  // --- 2. event rate and expm savings of a locked loop ----------------
+  TransientConfig lock_cfg;
+  lock_cfg.record = false;
+  PllTransientSim lock_sim(params, {}, lock_cfg);
+  const bench::WallTimer lock_timer;
+  lock_sim.run_periods(2000.0);
+  const double t_lock = lock_timer.seconds();
+  const double events_per_sec =
+      static_cast<double>(lock_sim.event_count()) / t_lock;
+  const PropagatorCacheStats& st = lock_sim.propagator_cache_stats();
+  const double saved_fraction =
+      st.lookups == 0
+          ? 0.0
+          : static_cast<double>(st.hits()) / static_cast<double>(st.lookups);
+
+  // --- 3. thread scaling of the batched probe -------------------------
+  std::vector<TransferMeasurement> m_pool;
+  const double t_pool = time_best_of(reps, [&] {
+    m_pool = measure_baseband_transfer_many(params, omegas, opts);
+  });
+  const bool pool_identical = bit_identical(r_cold, values_of(m_pool));
+
+  // --- report ----------------------------------------------------------
+  Table t({"case", "time_s", "vs_seed", "note"});
+  t.add_row({"seed (1-entry cache, cold)", Table::fmt(t_seed),
+             Table::fmt(1.0), "baseline"});
+  t.add_row({"cold, keyed cache", Table::fmt(t_cold),
+             Table::fmt(speedup_cache),
+             default_identical ? "bit-identical" : "NOT IDENTICAL"});
+  t.add_row({"warm start", Table::fmt(t_warm), Table::fmt(speedup_warm),
+             warm_ok ? "within tolerance" : "OUT OF TOLERANCE"});
+  t.add_row({"cold, global pool", Table::fmt(t_pool),
+             Table::fmt(t_seed / t_pool),
+             pool_identical ? "bit-identical" : "NOT IDENTICAL"});
+  t.print(std::cout);
+  std::cout << "\nwarm-start max relative error vs cold: "
+            << warm_max_rel_err << " (tolerance " << warm_tol << ")\n";
+  std::cout << "locked loop: " << events_per_sec << " events/s, expm "
+            << st.misses << " of " << st.lookups << " lookups ("
+            << 100.0 * saved_fraction << "% saved by the cache)\n";
+
+  const std::string verdict =
+      std::string(default_identical
+                      ? "default path bit-identical"
+                      : "DEFAULT PATH NOT BIT-IDENTICAL") +
+      ", " +
+      (warm_ok ? "warm-start within tolerance"
+               : "WARM-START OUT OF TOLERANCE");
+  std::cout << "\nverdict: " << verdict << "\n";
+
+  Json report = Json::object();
+  report.set("bench", Json::string("transient_engine"))
+      .set("hardware_threads", Json::number(static_cast<double>(hw)))
+      .set("pool_threads", Json::number(static_cast<double>(pool_width)));
+  Json sweep = Json::object();
+  sweep.set("points", Json::number(static_cast<double>(n_points)))
+      .set("seed_single_entry_s", Json::number(t_seed))
+      .set("cold_keyed_cache_s", Json::number(t_cold))
+      .set("warm_start_s", Json::number(t_warm))
+      .set("pool_cold_s", Json::number(t_pool))
+      .set("speedup_cache_only", Json::number(speedup_cache))
+      .set("speedup_cache_plus_warm", Json::number(speedup_warm))
+      .set("warm_max_rel_err", Json::number(warm_max_rel_err))
+      .set("warm_tolerance", Json::number(warm_tol));
+  report.set("probe_sweep", sweep);
+  Json lock = Json::object();
+  lock.set("periods", Json::number(2000.0))
+      .set("events_per_sec", Json::number(events_per_sec))
+      .set("expm_lookups", Json::number(static_cast<double>(st.lookups)))
+      .set("expm_evaluations", Json::number(static_cast<double>(st.misses)))
+      .set("expm_saved_fraction", Json::number(saved_fraction));
+  report.set("locked_loop", lock);
+  report.set("default_bit_identical",
+             Json::boolean(default_identical && pool_identical));
+  report.set("warm_within_tolerance", Json::boolean(warm_ok));
+  report.set("verdict", Json::string(verdict));
+  report.write_file(out_path);
+  std::cout << "wrote " << out_path << "\n";
+
+  if (!default_identical || !pool_identical) {
+    std::cerr << "FAIL: default probe path is not bit-identical to the "
+                 "seed behavior\n";
+    return 1;
+  }
+  if (!warm_ok) {
+    std::cerr << "FAIL: warm-start probe disagrees with the cold probe "
+                 "beyond tolerance\n";
+    return 1;
+  }
+  if (check && speedup_warm < 1.2) {
+    std::cerr << "FAIL: caching + warm start only " << speedup_warm
+              << "x vs the seed baseline\n";
+    return 1;
+  }
+  return 0;
+}

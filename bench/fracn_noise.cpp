@@ -7,6 +7,10 @@
 // in-band tracking improves, and the time-varying H_00 (peaking near
 // w0/2) makes wide loops worse than the LTI transfer would suggest.
 //
+// The modulator sanity check is a monte_carlo_map ensemble over
+// independently-seeded MASH input words, and the PSD/jitter scans run as
+// parallel_map batches over the thread pool.
+//
 // Usage: fracn_noise [output.csv]
 #include <cmath>
 #include <iostream>
@@ -14,55 +18,95 @@
 
 #include "htmpll/fracn/fracn_noise.hpp"
 #include "htmpll/fracn/sigma_delta.hpp"
+#include "htmpll/parallel/sweep.hpp"
+#include "htmpll/timedomain/montecarlo.hpp"
 #include "htmpll/util/table.hpp"
 
 int main(int argc, char** argv) {
   using namespace htmpll;
   const double w0 = 2.0 * std::numbers::pi;  // T = 1
   const double t_vco = 1.0 / 100.0;          // N = 100 divider
-  const cplx j{0.0, 1.0};
 
   std::cout << "=== MASH-1-1-1 fractional-N noise, N = 100 ===\n\n";
 
-  // Sanity row: modulator sequence statistics.
+  // Modulator ensemble: statistics over independently-seeded input
+  // words (deterministic per-run streams from (base_seed, index)).
   {
-    Mash111 mash(104857u, 1u << 20);
-    const auto seq = mash.sequence(1u << 15);
-    double mean = 0.0;
+    struct MashStats {
+      double mean;
+      int lo, hi;
+    };
+    const std::size_t n_runs = 8;
+    const auto stats = monte_carlo_map<MashStats>(
+        n_runs, 2003, [](std::size_t, std::uint64_t seed) {
+          const unsigned word =
+              static_cast<unsigned>(seed % ((1u << 20) - 1)) + 1;
+          Mash111 mash(word, 1u << 20);
+          const auto seq = mash.sequence(1u << 15);
+          MashStats st{0.0, 99, -99};
+          for (int y : seq) {
+            st.mean += y;
+            st.lo = std::min(st.lo, y);
+            st.hi = std::max(st.hi, y);
+          }
+          st.mean /= static_cast<double>(seq.size());
+          return st;
+        });
+    double worst_err = 0.0;
     int lo = 99, hi = -99;
-    for (int y : seq) {
-      mean += y;
-      lo = std::min(lo, y);
-      hi = std::max(hi, y);
+    for (std::size_t i = 0; i < n_runs; ++i) {
+      const unsigned word = static_cast<unsigned>(
+          mc_stream_seed(2003, i) % ((1u << 20) - 1)) + 1;
+      worst_err = std::max(
+          worst_err,
+          std::abs(stats[i].mean - word / static_cast<double>(1u << 20)));
+      lo = std::min(lo, stats[i].lo);
+      hi = std::max(hi, stats[i].hi);
     }
-    mean /= static_cast<double>(seq.size());
-    std::cout << "modulator: mean " << mean << " (word "
-              << 104857.0 / (1u << 20) << "), output range [" << lo
-              << ", " << hi << "]\n\n";
+    std::cout << "modulator ensemble (" << n_runs
+              << " seeded words): worst |mean - word| " << worst_err
+              << ", output range [" << lo << ", " << hi << "]\n\n";
   }
+
+  const std::vector<double> bandwidths = {0.02, 0.05, 0.15};
+  std::vector<SamplingPllModel> models;
+  models.reserve(bandwidths.size());
+  for (double bw : bandwidths) {
+    models.emplace_back(make_typical_loop(bw * w0, w0));
+  }
+
+  const std::vector<double> fracs = {0.003, 0.01, 0.03, 0.1,
+                                     0.2, 0.35, 0.45};
+  // Each table row (input PSD + one output PSD per bandwidth) is an
+  // independent evaluation point -- batch the whole scan.
+  const auto rows = parallel_map<std::vector<double>>(
+      fracs.size(), [&](std::size_t i) {
+        const double w = fracs[i] * w0;
+        std::vector<double> row{fracs[i],
+                                mash_phase_psd({w}, t_vco, 1.0, 3)[0]};
+        for (const SamplingPllModel& m : models) {
+          row.push_back(fracn_output_psd(m, w, t_vco));
+        }
+        return row;
+      });
 
   Table t({"w/w0", "S_in (quant.)", "S_out bw=0.02", "S_out bw=0.05",
            "S_out bw=0.15"});
-  const SamplingPllModel m002(make_typical_loop(0.02 * w0, w0));
-  const SamplingPllModel m005(make_typical_loop(0.05 * w0, w0));
-  const SamplingPllModel m015(make_typical_loop(0.15 * w0, w0));
-  for (double f : {0.003, 0.01, 0.03, 0.1, 0.2, 0.35, 0.45}) {
-    const double w = f * w0;
-    const double s_in = mash_phase_psd({w}, t_vco, 1.0, 3)[0];
-    t.add_row(std::vector<double>{
-        f, s_in, fracn_output_psd(m002, w, t_vco),
-        fracn_output_psd(m005, w, t_vco),
-        fracn_output_psd(m015, w, t_vco)});
-  }
+  t.reserve(rows.size());
+  for (const auto& row : rows) t.add_row(row);
   t.print(std::cout);
 
+  const std::vector<double> rms_ratios = {0.01, 0.02, 0.05,
+                                          0.1, 0.15, 0.2};
+  const auto rms = parallel_map<double>(
+      rms_ratios.size(), [&](std::size_t i) {
+        const SamplingPllModel m(make_typical_loop(rms_ratios[i] * w0, w0));
+        return fracn_output_rms(m, t_vco, 1e-3 * w0, 0.49 * w0);
+      });
   std::cout << "\nintegrated output phase rms (fraction of T):\n";
-  for (double ratio : {0.01, 0.02, 0.05, 0.1, 0.15, 0.2}) {
-    const SamplingPllModel m(make_typical_loop(ratio * w0, w0));
-    const double rms =
-        fracn_output_rms(m, t_vco, 1e-3 * w0, 0.49 * w0);
-    std::cout << "  w_UG/w0 = " << ratio << "  ->  rms " << rms
-              << "\n";
+  for (std::size_t i = 0; i < rms_ratios.size(); ++i) {
+    std::cout << "  w_UG/w0 = " << rms_ratios[i] << "  ->  rms "
+              << rms[i] << "\n";
   }
   std::cout << "\nnarrow loops win against MASH noise; the VCO-noise "
                "trade-off (bench/jitter_bandwidth) pushes the other "

@@ -8,13 +8,18 @@
 // in z^{-1}) tracks the simulator; the LTI column is what a textbook
 // settling budget would have signed off.
 //
+// The simulator column is one step_response_batch over the thread pool
+// (one transient simulation per bandwidth); the two analytic columns are
+// a parallel_map over the same bandwidth list.
+//
 // Usage: transient_settling [output.csv]
 #include <cmath>
 #include <iostream>
 #include <numbers>
 
 #include "htmpll/lti/partial_fractions.hpp"
-#include "htmpll/timedomain/pll_sim.hpp"
+#include "htmpll/parallel/sweep.hpp"
+#include "htmpll/timedomain/montecarlo.hpp"
 #include "htmpll/util/table.hpp"
 #include "htmpll/ztrans/discrete_response.hpp"
 #include "htmpll/ztrans/zdomain.hpp"
@@ -46,46 +51,49 @@ std::vector<double> discrete_step_samples(const PllParameters& p,
   return out;
 }
 
-std::vector<double> simulated_step_samples(const PllParameters& p,
-                                           std::size_t count,
-                                           double delta) {
-  TransientConfig cfg;
-  cfg.sample_interval = p.period();
-  PllTransientSim sim(p, {}, cfg);
-  sim.set_initial_theta(-delta);
-  sim.run_periods(static_cast<double>(count) + 2.0);
-  std::vector<double> out;
-  out.push_back(0.0);  // t = 0
-  for (std::size_t i = 0; i + 1 < count && i < sim.theta_samples().size();
-       ++i) {
-    out.push_back(sim.theta_samples()[i] / delta + 1.0);
-  }
-  return out;
-}
-
 }  // namespace
 
 int main(int argc, char** argv) {
   const double w0 = 2.0 * std::numbers::pi;
   const std::size_t count = 600;
   const double band = 0.02;
+  const std::vector<double> ratios = {0.05, 0.1, 0.15, 0.2, 0.25};
+
+  std::vector<PllParameters> loops;
+  loops.reserve(ratios.size());
+  for (double ratio : ratios) {
+    loops.push_back(make_typical_loop(ratio * w0, w0));
+  }
 
   std::cout << "=== Reference phase step: overshoot and 2% settling "
                "(periods) ===\n\n";
+
+  // Simulator batch: one exact transient per bandwidth, pool-parallel.
+  const std::vector<std::vector<double>> sim_steps =
+      step_response_batch(loops, count, 1e-3);
+  // Analytic columns: independent per bandwidth as well.
+  struct AnalyticMetrics {
+    StepMetrics lti;
+    StepMetrics tv;
+  };
+  const auto analytic = parallel_map<AnalyticMetrics>(
+      loops.size(), [&](std::size_t i) {
+        return AnalyticMetrics{
+            step_metrics(lti_step_samples(loops[i], count), 1.0, band),
+            step_metrics(discrete_step_samples(loops[i], count), 1.0,
+                         band)};
+      });
+
   Table t({"w_UG/w0", "LTI ovsh%", "TV ovsh%", "sim ovsh%",
            "LTI settle", "TV settle", "sim settle"});
-  for (double ratio : {0.05, 0.1, 0.15, 0.2, 0.25}) {
-    const PllParameters p = make_typical_loop(ratio * w0, w0);
-    const StepMetrics lti =
-        step_metrics(lti_step_samples(p, count), 1.0, band);
-    const StepMetrics tv =
-        step_metrics(discrete_step_samples(p, count), 1.0, band);
-    const StepMetrics sim =
-        step_metrics(simulated_step_samples(p, count, 1e-3), 1.0, band);
+  t.reserve(ratios.size());
+  for (std::size_t i = 0; i < ratios.size(); ++i) {
+    const StepMetrics sim = step_metrics(sim_steps[i], 1.0, band);
     t.add_row(std::vector<double>{
-        ratio, 100.0 * lti.overshoot, 100.0 * tv.overshoot,
-        100.0 * sim.overshoot, static_cast<double>(lti.settle_index),
-        static_cast<double>(tv.settle_index),
+        ratios[i], 100.0 * analytic[i].lti.overshoot,
+        100.0 * analytic[i].tv.overshoot, 100.0 * sim.overshoot,
+        static_cast<double>(analytic[i].lti.settle_index),
+        static_cast<double>(analytic[i].tv.settle_index),
         static_cast<double>(sim.settle_index)});
   }
   t.print(std::cout);

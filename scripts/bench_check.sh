@@ -1,18 +1,27 @@
 #!/usr/bin/env bash
-# Builds the sweep benchmark in Release and verifies the parallel sweep
-# engine: every batched path must be bit-identical to the scalar path,
-# and on a machine with >= 4 hardware threads the pool sweep must not be
-# slower than the 1-thread sweep (bench_sweep --check enforces both; on
-# narrower machines only bit-identity is enforced).
+# Builds the benchmark gates in Release and verifies both engines:
 #
-# Usage: scripts/bench_check.sh [build-dir] [report.json]
+#  * bench_sweep: every batched frequency-domain path must be
+#    bit-identical to the scalar path, and on a machine with >= 4
+#    hardware threads the pool sweep must not be slower than the
+#    1-thread sweep (--check enforces both; on narrower machines only
+#    bit-identity is enforced).
+#  * bench_transient: the default (cold) transient probe path must be
+#    bit-identical to the seed behavior (single-entry propagator cache),
+#    warm-start measurements must agree with cold ones within the probe
+#    tolerance, and caching + warm start must beat the seed baseline
+#    (verdict field in BENCH_transient.json).
+#
+# Usage: scripts/bench_check.sh [build-dir] [sweep-report.json] [transient-report.json]
 set -euo pipefail
 
 BUILD="${1:-build-release}"
 REPORT="${2:-BENCH_sweep.json}"
+TREPORT="${3:-BENCH_transient.json}"
 
 cmake -B "$BUILD" -S . -DCMAKE_BUILD_TYPE=Release > /dev/null
-cmake --build "$BUILD" --target bench_sweep -j > /dev/null
+cmake --build "$BUILD" --target bench_sweep bench_transient -j > /dev/null
 
 "$BUILD/bench/bench_sweep" "$REPORT" --check
-echo "bench_check: OK ($REPORT)"
+"$BUILD/bench/bench_transient" "$TREPORT" --check
+echo "bench_check: OK ($REPORT, $TREPORT)"

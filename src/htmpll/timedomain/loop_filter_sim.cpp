@@ -23,20 +23,42 @@ StateSpace augment_with_phase(const StateSpace& filter, double kvco) {
   return aug;
 }
 
-PiecewiseExactIntegrator::PiecewiseExactIntegrator(StateSpace ss)
-    : ss_(std::move(ss)), x_(ss_.order(), 0.0) {}
+PiecewiseExactIntegrator::PiecewiseExactIntegrator(StateSpace ss,
+                                                   std::size_t cache_capacity)
+    : ss_(std::move(ss)), x_(ss_.order(), 0.0) {
+  set_cache_capacity(cache_capacity);
+}
 
 void PiecewiseExactIntegrator::set_state(RVector x) {
   HTMPLL_REQUIRE(x.size() == ss_.order(), "state dimension mismatch");
   x_ = std::move(x);
 }
 
-const StepPropagator& PiecewiseExactIntegrator::propagator(double h) const {
-  if (h != cached_h_) {
-    cached_ = make_propagator(ss_.a, ss_.b, h);
-    cached_h_ = h;
+void PiecewiseExactIntegrator::set_cache_capacity(std::size_t capacity) {
+  HTMPLL_REQUIRE(capacity >= 1, "propagator cache needs at least one slot");
+  cache_capacity_ = capacity;
+  if (cache_.size() > capacity) {
+    cache_.clear();
+    next_slot_ = 0;
   }
-  return cached_;
+  cache_.reserve(cache_capacity_);
+}
+
+const StepPropagator& PiecewiseExactIntegrator::propagator(double h) const {
+  ++stats_.lookups;
+  for (const CacheEntry& e : cache_) {
+    if (e.h == h) return e.prop;
+  }
+  ++stats_.misses;
+  if (cache_.size() < cache_capacity_) {
+    cache_.push_back({h, make_propagator(ss_.a, ss_.b, h)});
+    return cache_.back().prop;
+  }
+  CacheEntry& slot = cache_[next_slot_];
+  next_slot_ = (next_slot_ + 1) % cache_capacity_;
+  slot.h = h;
+  slot.prop = make_propagator(ss_.a, ss_.b, h);
+  return slot.prop;
 }
 
 RVector PiecewiseExactIntegrator::peek(double h, double u) const {

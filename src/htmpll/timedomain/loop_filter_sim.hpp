@@ -7,6 +7,9 @@
 // "within 2%" claim) measures modeling error, not integration error.
 #pragma once
 
+#include <cstdint>
+#include <vector>
+
 #include "htmpll/linalg/expm.hpp"
 #include "htmpll/lti/state_space.hpp"
 
@@ -17,9 +20,26 @@ namespace htmpll {
 /// output y (the VCO control).  Shared by the transient simulators.
 StateSpace augment_with_phase(const StateSpace& filter, double kvco);
 
+/// Hit/miss counters of a PiecewiseExactIntegrator's propagator cache.
+/// Every miss costs one Van Loan matrix exponential; `misses` therefore
+/// equals the number of expm evaluations performed so far and
+/// `lookups - misses` the number saved by caching.
+struct PropagatorCacheStats {
+  std::uint64_t lookups = 0;
+  std::uint64_t misses = 0;
+  std::uint64_t hits() const { return lookups - misses; }
+};
+
 class PiecewiseExactIntegrator {
  public:
-  explicit PiecewiseExactIntegrator(StateSpace ss);
+  /// Default propagator-cache capacity.  In lock the segment lengths a
+  /// simulation requests cluster around a handful of exact values (the
+  /// inter-event spacing plus the uniform-sampler offsets), so a few
+  /// dozen entries capture essentially all reuse.
+  static constexpr std::size_t kDefaultCacheCapacity = 32;
+
+  explicit PiecewiseExactIntegrator(
+      StateSpace ss, std::size_t cache_capacity = kDefaultCacheCapacity);
 
   std::size_t order() const { return ss_.order(); }
   const StateSpace& system() const { return ss_; }
@@ -39,15 +59,33 @@ class PiecewiseExactIntegrator {
   /// Commit: advance the state by `h` under constant input `u`.
   void advance(double h, double u);
 
+  // --- propagator cache ---
+  /// Caps the number of cached step propagators (>= 1).  Shrinking
+  /// discards existing entries; results never depend on the capacity,
+  /// only the expm count does.
+  void set_cache_capacity(std::size_t capacity);
+  std::size_t cache_capacity() const { return cache_capacity_; }
+  const PropagatorCacheStats& cache_stats() const { return stats_; }
+
  private:
   const StepPropagator& propagator(double h) const;
 
   StateSpace ss_;
   RVector x_;
-  // Single-entry propagator cache: edge searches evaluate several trial
-  // steps of identical length (and the final commit reuses the last one).
-  mutable double cached_h_ = -1.0;
-  mutable StepPropagator cached_;
+
+  // Keyed propagator cache (exact h match).  Each distinct step length
+  // costs one Van Loan expm; edge searches, sampler peeks and commits
+  // then reuse the entry.  The cache is per-integrator (no sharing, no
+  // locking) and bounded: eviction is round-robin over the slots, which
+  // is enough because a locked loop cycles through few distinct lengths.
+  struct CacheEntry {
+    double h;
+    StepPropagator prop;
+  };
+  std::size_t cache_capacity_;
+  mutable std::vector<CacheEntry> cache_;
+  mutable std::size_t next_slot_ = 0;  ///< round-robin eviction cursor
+  mutable PropagatorCacheStats stats_;
 };
 
 }  // namespace htmpll

@@ -4,6 +4,7 @@
 #include <cmath>
 #include <limits>
 #include <numbers>
+#include <sstream>
 
 #include "htmpll/util/check.hpp"
 
@@ -37,7 +38,8 @@ PllTransientSim::PllTransientSim(const PllParameters& params,
       // charge-pump current (+-Icp) is the input, so Icp must not be
       // folded into the system too.
       aug_(augment_with_phase(to_state_space(params.filter.impedance()),
-                              params.kvco)),
+                              params.kvco),
+           cfg.propagator_cache),
       theta_index_(aug_.order() - 1) {
   HTMPLL_REQUIRE(std::abs(mod_.amplitude) < 0.25 * t_period_,
                  "reference modulation must stay small-signal (< T/4)");
@@ -71,6 +73,66 @@ void PllTransientSim::clear_samples() {
   sample_t_.clear();
   sample_theta_.clear();
   sample_theta_ref_.clear();
+}
+
+TransientCheckpoint PllTransientSim::checkpoint() const {
+  TransientCheckpoint cp;
+  cp.state = aug_.state();
+  cp.period = t_period_;
+  cp.t = t_;
+  cp.n_ref = n_ref_;
+  cp.n_vco = n_vco_;
+  cp.n_leak = n_leak_;
+  cp.events = events_;
+  cp.pfd_up = pfd_.up();
+  cp.pfd_down = pfd_.down();
+  cp.pulse_start = pulse_start_;
+  cp.pulse_active = pulse_active_;
+  cp.recent_pulse_widths = recent_pulse_widths_;
+  cp.leak_on = leak_on_;
+  cp.noise_sigma = noise_sigma_;
+  cp.noise_current = noise_current_;
+  // The serialized stream captures the engine AND the distribution's
+  // internal spare-Gaussian cache, so restored runs replay the exact
+  // noise sample sequence.
+  std::ostringstream os;
+  os << noise_rng_ << ' ' << noise_dist_;
+  cp.noise_rng = os.str();
+  cp.sample_interval = cfg_.sample_interval;
+  cp.next_sample = next_sample_;
+  cp.started = started_;
+  return cp;
+}
+
+void PllTransientSim::restore(const TransientCheckpoint& cp) {
+  HTMPLL_REQUIRE(cp.state.size() == aug_.order(),
+                 "checkpoint is for a different loop filter order");
+  HTMPLL_REQUIRE(cp.period == t_period_,
+                 "checkpoint is for a different reference period");
+  aug_.set_state(cp.state);
+  t_ = cp.t;
+  n_ref_ = cp.n_ref;
+  n_vco_ = cp.n_vco;
+  n_leak_ = cp.n_leak;
+  events_ = cp.events;
+  pfd_.restore(cp.pfd_up, cp.pfd_down);
+  pulse_start_ = cp.pulse_start;
+  pulse_active_ = cp.pulse_active;
+  recent_pulse_widths_ = cp.recent_pulse_widths;
+  leak_on_ = cp.leak_on;
+  noise_sigma_ = cp.noise_sigma;
+  noise_current_ = cp.noise_current;
+  std::istringstream is(cp.noise_rng);
+  is >> noise_rng_ >> noise_dist_;
+  if (cfg_.sample_interval == cp.sample_interval) {
+    next_sample_ = cp.next_sample;
+  } else {
+    // Different recording grid: resume at the first sample instant
+    // strictly beyond t, matching what record_range would have tracked.
+    next_sample_ = static_cast<std::int64_t>(
+                       std::floor(t_ / cfg_.sample_interval)) + 1;
+  }
+  started_ = cp.started;
 }
 
 void PllTransientSim::set_initial_theta(double theta0) {
@@ -214,6 +276,15 @@ void PllTransientSim::process_edges(double t_evt, double t_ref, double t_vco) {
 
 void PllTransientSim::run_until(double t_end) {
   started_ = true;
+  if (cfg_.record && t_end > t_) {
+    // Reserve the whole recording horizon up front instead of growing
+    // the three streams geometrically mid-run.
+    const std::size_t add = static_cast<std::size_t>(
+        (t_end - t_) / cfg_.sample_interval) + 2;
+    sample_t_.reserve(sample_t_.size() + add);
+    sample_theta_.reserve(sample_theta_.size() + add);
+    sample_theta_ref_.reserve(sample_theta_ref_.size() + add);
+  }
   const bool leaking = leak_current_ != 0.0 && leak_window_ > 0.0;
   const double eps = 1e-9 * t_period_;
   while (t_ < t_end) {

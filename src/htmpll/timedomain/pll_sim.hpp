@@ -14,6 +14,7 @@
 #include <cstdint>
 #include <deque>
 #include <random>
+#include <string>
 #include <vector>
 
 #include "htmpll/lti/loop_filter.hpp"
@@ -41,6 +42,38 @@ struct TransientConfig {
   bool record = true;
   /// Newton convergence tolerance for edge times, relative to T.
   double edge_tolerance = 1e-13;
+  /// Step-propagator cache capacity of the exact integrator (>= 1).
+  /// Affects only how often expm is recomputed, never the results.
+  std::size_t propagator_cache =
+      PiecewiseExactIntegrator::kDefaultCacheCapacity;
+};
+
+/// Complete dynamic state of a PllTransientSim at one instant: the
+/// augmented integrator state, PFD flip-flops, edge/leak counters,
+/// lock-detector history and the held-noise RNG stream (serialized, so a
+/// restored run replays the *same* noise samples).  Checkpoints are only
+/// meaningful for a simulator built from the same PllParameters; restore
+/// validates the state dimension and reference period.
+struct TransientCheckpoint {
+  RVector state;             ///< augmented integrator state [x_f; theta]
+  double period = 0.0;       ///< reference period, restore sanity check
+  double t = 0.0;
+  std::int64_t n_ref = 1;
+  std::int64_t n_vco = 1;
+  std::int64_t n_leak = 0;
+  std::size_t events = 0;
+  bool pfd_up = false;
+  bool pfd_down = false;
+  double pulse_start = 0.0;
+  bool pulse_active = false;
+  std::deque<double> recent_pulse_widths;
+  bool leak_on = false;
+  double noise_sigma = 0.0;
+  double noise_current = 0.0;
+  std::string noise_rng;     ///< serialized engine + distribution state
+  double sample_interval = 0.0;
+  std::int64_t next_sample = 1;
+  bool started = false;
 };
 
 class PllTransientSim {
@@ -74,6 +107,17 @@ class PllTransientSim {
   void clear_samples();
   void set_recording(bool on) { cfg_.record = on; }
 
+  // --- checkpointing (warm starts, ensemble restarts) ---
+  /// Captures the full dynamic state.  Recorded sample streams are NOT
+  /// part of the checkpoint -- manage them with clear_samples().
+  TransientCheckpoint checkpoint() const;
+  /// Restores a checkpoint taken from a simulator with the same
+  /// PllParameters (modulation and recording config may differ; the
+  /// sampling cursor is re-derived when the recording interval differs).
+  /// Unlike the set_* initial-condition calls, restore is valid at any
+  /// time, including after run_until.
+  void restore(const TransientCheckpoint& cp);
+
   // --- initial conditions (lock-acquisition studies) ---
   /// Sets theta(0); only valid before the first run_until call.
   void set_initial_theta(double theta0);
@@ -96,6 +140,11 @@ class PllTransientSim {
 
   // --- diagnostics ---
   std::size_t event_count() const { return events_; }
+  /// Step-propagator cache counters of the exact integrator; misses
+  /// equal expm evaluations performed, hits are expm evaluations saved.
+  const PropagatorCacheStats& propagator_cache_stats() const {
+    return aug_.cache_stats();
+  }
   /// Largest |charge-pump pulse width| among the last few pulses, in
   /// seconds; ~0 when phase-locked with no modulation.
   double max_recent_pulse_width() const;

@@ -34,18 +34,42 @@ cplx single_bin_transfer(const std::vector<double>& t,
   return single_bin_ratio(t, y, omega, x, omega);
 }
 
+void validate_probe_options(const ProbeOptions& opts) {
+  HTMPLL_REQUIRE(opts.amplitude_fraction > 0.0,
+                 "modulation amplitude must be positive");
+  HTMPLL_REQUIRE(opts.settle_periods >= 0.0,
+                 "settle period count must be non-negative");
+  HTMPLL_REQUIRE(opts.measure_periods >= 1, "need >= 1 measurement period");
+  HTMPLL_REQUIRE(opts.samples_per_period >= 8,
+                 "need >= 8 samples per modulation period");
+  HTMPLL_REQUIRE(opts.warm_resettle_periods >= 0.0,
+                 "warm re-settle period count must be non-negative");
+}
+
+TransientCheckpoint make_settled_checkpoint(const PllParameters& params,
+                                            double settle_periods) {
+  HTMPLL_REQUIRE(settle_periods >= 0.0,
+                 "settle period count must be non-negative");
+  TransientConfig cfg;
+  cfg.record = false;
+  PllTransientSim sim(params, {}, cfg);
+  sim.run_periods(settle_periods);
+  return sim.checkpoint();
+}
+
 namespace {
 
 /// Shared probe core: runs the modulated simulation to steady state and
 /// returns the bin ratio between the theta record at omega_out and the
-/// theta_ref record at omega_m.
+/// theta_ref record at omega_m.  With a warm checkpoint the full settle
+/// is replaced by restoring the settled unmodulated state and a short
+/// re-settle under modulation.
 TransferMeasurement run_probe(const PllParameters& params, double omega_m,
                               double omega_out, double min_sample_rate,
-                              const ProbeOptions& opts) {
+                              const ProbeOptions& opts,
+                              const TransientCheckpoint* warm) {
   HTMPLL_REQUIRE(omega_m > 0.0, "modulation frequency must be positive");
-  HTMPLL_REQUIRE(opts.samples_per_period >= 8,
-                 "need >= 8 samples per modulation period");
-  HTMPLL_REQUIRE(opts.measure_periods >= 1, "need >= 1 measurement period");
+  validate_probe_options(opts);
 
   const double t_period = params.period();
   const double tm = 2.0 * std::numbers::pi / omega_m;
@@ -66,7 +90,14 @@ TransferMeasurement run_probe(const PllParameters& params, double omega_m,
   cfg.record = false;
 
   PllTransientSim sim(params, mod, cfg);
-  const double settle = std::max(opts.settle_periods * t_period, 4.0 * tm);
+  double settle;
+  if (warm != nullptr) {
+    sim.restore(*warm);
+    settle = sim.time() + std::max(opts.warm_resettle_periods * t_period,
+                                   4.0 * tm);
+  } else {
+    settle = std::max(opts.settle_periods * t_period, 4.0 * tm);
+  }
   sim.run_until(settle);
 
   sim.set_recording(true);
@@ -81,17 +112,15 @@ TransferMeasurement run_probe(const PllParameters& params, double omega_m,
   return out;
 }
 
-}  // namespace
-
-TransferMeasurement measure_baseband_transfer(const PllParameters& params,
-                                              double omega_m,
-                                              const ProbeOptions& opts) {
-  return run_probe(params, omega_m, omega_m, 16.0 * omega_m, opts);
+TransferMeasurement baseband_probe(const PllParameters& params,
+                                   double omega_m, const ProbeOptions& opts,
+                                   const TransientCheckpoint* warm) {
+  return run_probe(params, omega_m, omega_m, 16.0 * omega_m, opts, warm);
 }
 
-TransferMeasurement measure_band_transfer(const PllParameters& params,
-                                          int band, double omega_m,
-                                          const ProbeOptions& opts) {
+TransferMeasurement band_probe(const PllParameters& params, int band,
+                               double omega_m, const ProbeOptions& opts,
+                               const TransientCheckpoint* warm) {
   HTMPLL_REQUIRE(band >= -8 && band <= 8,
                  "band transfer probe supports |n| <= 8");
   const double w0 = params.w0;
@@ -108,19 +137,60 @@ TransferMeasurement measure_band_transfer(const PllParameters& params,
   // Sample fast enough that omega_abs is well below Nyquist.
   const double min_rate = 4.0 * (omega_abs + w0);
   TransferMeasurement m = run_probe(params, omega_m, omega_abs, min_rate,
-                                    opts);
+                                    opts, warm);
   if (omega_out < 0.0) m.value = std::conj(m.value);
   return m;
+}
+
+/// Settles the shared warm-start checkpoint when requested (and only
+/// then -- the cold batched path must not simulate anything extra).
+struct WarmState {
+  TransientCheckpoint checkpoint;
+  const TransientCheckpoint* ptr = nullptr;
+
+  WarmState(const PllParameters& params, const ProbeOptions& opts) {
+    if (opts.warm_start) {
+      checkpoint = make_settled_checkpoint(params, opts.settle_periods);
+      ptr = &checkpoint;
+    }
+  }
+};
+
+}  // namespace
+
+TransferMeasurement measure_baseband_transfer(const PllParameters& params,
+                                              double omega_m,
+                                              const ProbeOptions& opts) {
+  validate_probe_options(opts);
+  const WarmState warm(params, opts);
+  return baseband_probe(params, omega_m, opts, warm.ptr);
+}
+
+TransferMeasurement measure_band_transfer(const PllParameters& params,
+                                          int band, double omega_m,
+                                          const ProbeOptions& opts) {
+  validate_probe_options(opts);
+  const WarmState warm(params, opts);
+  return band_probe(params, band, omega_m, opts, warm.ptr);
 }
 
 std::vector<TransferMeasurement> measure_baseband_transfer_many(
     const PllParameters& params, const std::vector<double>& omegas,
     const ProbeOptions& opts) {
+  return measure_baseband_transfer_many(params, omegas, opts,
+                                        ThreadPool::global());
+}
+
+std::vector<TransferMeasurement> measure_baseband_transfer_many(
+    const PllParameters& params, const std::vector<double>& omegas,
+    const ProbeOptions& opts, ThreadPool& pool) {
+  validate_probe_options(opts);
+  const WarmState warm(params, opts);
   std::vector<TransferMeasurement> out(omegas.size());
   // Grain 1: each probe is a full transient simulation, far heavier
   // than the dispatch overhead.
-  ThreadPool::global().parallel_for(omegas.size(), 1, [&](std::size_t i) {
-    out[i] = measure_baseband_transfer(params, omegas[i], opts);
+  pool.parallel_for(omegas.size(), 1, [&](std::size_t i) {
+    out[i] = baseband_probe(params, omegas[i], opts, warm.ptr);
   });
   return out;
 }
@@ -128,10 +198,19 @@ std::vector<TransferMeasurement> measure_baseband_transfer_many(
 std::vector<TransferMeasurement> measure_band_transfer_many(
     const PllParameters& params, const std::vector<BandProbePoint>& points,
     const ProbeOptions& opts) {
+  return measure_band_transfer_many(params, points, opts,
+                                    ThreadPool::global());
+}
+
+std::vector<TransferMeasurement> measure_band_transfer_many(
+    const PllParameters& params, const std::vector<BandProbePoint>& points,
+    const ProbeOptions& opts, ThreadPool& pool) {
+  validate_probe_options(opts);
+  const WarmState warm(params, opts);
   std::vector<TransferMeasurement> out(points.size());
-  ThreadPool::global().parallel_for(points.size(), 1, [&](std::size_t i) {
-    out[i] = measure_band_transfer(params, points[i].band, points[i].omega_m,
-                                   opts);
+  pool.parallel_for(points.size(), 1, [&](std::size_t i) {
+    out[i] = band_probe(params, points[i].band, points[i].omega_m, opts,
+                        warm.ptr);
   });
   return out;
 }

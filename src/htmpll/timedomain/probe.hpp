@@ -18,6 +18,8 @@
 
 namespace htmpll {
 
+class ThreadPool;
+
 struct ProbeOptions {
   /// theta_ref modulation amplitude as a fraction of T (small-signal).
   double amplitude_fraction = 1e-3;
@@ -27,7 +29,27 @@ struct ProbeOptions {
   int measure_periods = 24;
   /// Samples per modulation period (>= 8).
   int samples_per_period = 16;
+  /// Warm start: settle the *unmodulated* loop once (settle_periods),
+  /// checkpoint it, and reuse that checkpoint for every probe frequency
+  /// with only a short per-point re-settle.  Off by default -- the cold
+  /// path is bit-identical to the historical per-point full settle; warm
+  /// measurements agree within the probe's small-signal tolerance.
+  bool warm_start = false;
+  /// Reference periods of per-point re-settle after restoring the warm
+  /// checkpoint (the 4-modulation-period floor still applies).
+  double warm_resettle_periods = 20.0;
 };
+
+/// Throws std::invalid_argument unless amplitude_fraction > 0,
+/// settle_periods >= 0, measure_periods >= 1, samples_per_period >= 8
+/// and warm_resettle_periods >= 0.  Called by every probe entry point.
+void validate_probe_options(const ProbeOptions& opts);
+
+/// Settles the unmodulated loop for `settle_periods` reference periods
+/// and returns its checkpoint -- the shared warm-start state of the
+/// batched probes, exposed for benchmarks and ensemble drivers.
+TransientCheckpoint make_settled_checkpoint(const PllParameters& params,
+                                            double settle_periods);
 
 struct TransferMeasurement {
   cplx value;              ///< measured H_{0,0}(j w_m)
@@ -51,13 +73,18 @@ TransferMeasurement measure_band_transfer(const PllParameters& params,
                                           int band, double omega_m,
                                           const ProbeOptions& opts = {});
 
-/// Batched probe: one full transient simulation per entry, distributed
-/// over the global thread pool.  Each simulation is independent, so
-/// results are identical to calling measure_baseband_transfer point by
-/// point, regardless of thread count.  out[i] corresponds to omegas[i].
+/// Batched probe: one transient simulation per entry, distributed over
+/// the given thread pool (global pool by default).  Each simulation is
+/// independent, so results are identical to calling
+/// measure_baseband_transfer point by point, regardless of thread
+/// count.  With opts.warm_start the settle phase runs once up front and
+/// its checkpoint seeds every point.  out[i] corresponds to omegas[i].
 std::vector<TransferMeasurement> measure_baseband_transfer_many(
     const PllParameters& params, const std::vector<double>& omegas,
     const ProbeOptions& opts = {});
+std::vector<TransferMeasurement> measure_baseband_transfer_many(
+    const PllParameters& params, const std::vector<double>& omegas,
+    const ProbeOptions& opts, ThreadPool& pool);
 
 /// One (band, omega_m) request for measure_band_transfer_many.
 struct BandProbePoint {
@@ -65,11 +92,14 @@ struct BandProbePoint {
   double omega_m;
 };
 
-/// Batched band-transfer probe over the global thread pool; same
-/// determinism guarantee as measure_baseband_transfer_many.
+/// Batched band-transfer probe; same determinism and warm-start
+/// semantics as measure_baseband_transfer_many.
 std::vector<TransferMeasurement> measure_band_transfer_many(
     const PllParameters& params, const std::vector<BandProbePoint>& points,
     const ProbeOptions& opts = {});
+std::vector<TransferMeasurement> measure_band_transfer_many(
+    const PllParameters& params, const std::vector<BandProbePoint>& points,
+    const ProbeOptions& opts, ThreadPool& pool);
 
 /// Windowed single-bin DFT ratio of two equally-sampled records; exposed
 /// for unit testing.  Returns sum(w_k y_k e^{-j wy t_k}) /

@@ -1,0 +1,349 @@
+// Transient performance-layer suite: keyed propagator cache, checkpoint
+// round-tripping, warm-start probes, probe-option validation and the
+// Monte Carlo batch APIs.  Kept in its own binary (like test_parallel)
+// so the whole suite stays fast enough to run routinely under
+// -DHTMPLL_SANITIZE=thread.
+#include <cmath>
+#include <numbers>
+
+#include <gtest/gtest.h>
+
+#include "htmpll/parallel/thread_pool.hpp"
+#include "htmpll/timedomain/montecarlo.hpp"
+#include "htmpll/timedomain/probe.hpp"
+
+namespace htmpll {
+namespace {
+
+constexpr double kW0 = 2.0 * std::numbers::pi;  // T = 1
+
+TEST(PropagatorCache, CountsHitsAndMisses) {
+  const PllParameters p = make_typical_loop(0.1 * kW0, kW0);
+  PiecewiseExactIntegrator integ(
+      augment_with_phase(to_state_space(p.filter.impedance()), p.kvco));
+  (void)integ.peek(0.125, 1e-3);
+  (void)integ.peek(0.125, 2e-3);  // same h, different input: cache hit
+  (void)integ.peek(0.25, 1e-3);
+  const PropagatorCacheStats& st = integ.cache_stats();
+  EXPECT_EQ(st.lookups, 3u);
+  EXPECT_EQ(st.misses, 2u);
+  EXPECT_EQ(st.hits(), 1u);
+}
+
+TEST(PropagatorCache, EvictionKeepsResultsExact) {
+  const PllParameters p = make_typical_loop(0.1 * kW0, kW0);
+  const StateSpace aug =
+      augment_with_phase(to_state_space(p.filter.impedance()), p.kvco);
+  PiecewiseExactIntegrator tiny(aug, 2);   // constant thrash
+  PiecewiseExactIntegrator roomy(aug, 64);
+  for (int round = 0; round < 3; ++round) {
+    for (double h : {0.1, 0.2, 0.3, 0.4, 0.5}) {
+      const RVector a = tiny.peek(h, 1e-3);
+      const RVector b = roomy.peek(h, 1e-3);
+      ASSERT_EQ(a.size(), b.size());
+      for (std::size_t i = 0; i < a.size(); ++i) EXPECT_EQ(a[i], b[i]);
+    }
+  }
+  EXPECT_GT(tiny.cache_stats().misses, roomy.cache_stats().misses);
+}
+
+TEST(PropagatorCache, CapacityValidatedAndShrinkable) {
+  const PllParameters p = make_typical_loop(0.1 * kW0, kW0);
+  PiecewiseExactIntegrator integ(
+      augment_with_phase(to_state_space(p.filter.impedance()), p.kvco));
+  EXPECT_THROW(integ.set_cache_capacity(0), std::invalid_argument);
+  for (double h : {0.1, 0.2, 0.3}) (void)integ.peek(h, 0.0);
+  integ.set_cache_capacity(1);  // discards entries, stays correct
+  const RVector x = integ.peek(0.1, 0.0);
+  EXPECT_EQ(x.size(), integ.order());
+}
+
+TEST(PropagatorCache, SimulationIndependentOfCapacity) {
+  const PllParameters p = make_typical_loop(0.15 * kW0, kW0);
+  ReferenceModulation mod;
+  mod.amplitude = 1e-3;
+  mod.omega = 0.2 * kW0;
+  auto run = [&](std::size_t capacity) {
+    TransientConfig cfg;
+    cfg.propagator_cache = capacity;
+    PllTransientSim sim(p, mod, cfg);
+    sim.run_periods(40.0);
+    return sim;
+  };
+  const PllTransientSim s1 = run(1);
+  const PllTransientSim s64 = run(64);
+  ASSERT_EQ(s1.theta_samples().size(), s64.theta_samples().size());
+  for (std::size_t i = 0; i < s1.theta_samples().size(); ++i) {
+    EXPECT_EQ(s1.theta_samples()[i], s64.theta_samples()[i]);
+  }
+  EXPECT_EQ(s1.theta(), s64.theta());
+  // The keyed cache must actually save expm work on the same workload.
+  EXPECT_LT(s64.propagator_cache_stats().misses,
+            s1.propagator_cache_stats().misses);
+}
+
+TEST(Checkpoint, RoundTripReproducesTrajectoryBitForBit) {
+  const PllParameters p = make_typical_loop(0.12 * kW0, kW0);
+  ReferenceModulation mod;
+  mod.amplitude = 2e-3;
+  mod.omega = 0.17 * kW0;
+  PllTransientSim sim(p, mod);
+  sim.set_recording(false);
+  sim.run_periods(30.0);
+  const TransientCheckpoint cp = sim.checkpoint();
+
+  sim.set_recording(true);
+  sim.clear_samples();
+  sim.run_periods(20.0);
+  const std::vector<double> t_ref = sim.sample_times();
+  const std::vector<double> th_ref = sim.theta_samples();
+  const double theta_end = sim.theta();
+  const std::size_t events_end = sim.event_count();
+
+  sim.restore(cp);
+  sim.clear_samples();
+  sim.run_periods(20.0);
+  ASSERT_EQ(sim.sample_times().size(), t_ref.size());
+  for (std::size_t i = 0; i < t_ref.size(); ++i) {
+    EXPECT_EQ(sim.sample_times()[i], t_ref[i]);
+    EXPECT_EQ(sim.theta_samples()[i], th_ref[i]);
+  }
+  EXPECT_EQ(sim.theta(), theta_end);
+  EXPECT_EQ(sim.event_count(), events_end);
+}
+
+TEST(Checkpoint, RoundTripWithLeakageAndHeldNoise) {
+  const PllParameters p = make_typical_loop(0.1 * kW0, kW0);
+  PllTransientSim sim(p);
+  sim.set_leakage(0.02 * p.icp, 0.15 * p.period());
+  sim.set_noise_current(1e-4 * p.icp, 4242);
+  sim.set_recording(false);
+  sim.run_periods(25.0);
+  const TransientCheckpoint cp = sim.checkpoint();
+
+  sim.set_recording(true);
+  sim.clear_samples();
+  sim.run_periods(30.0);
+  const std::vector<double> th_ref = sim.theta_samples();
+  const double theta_end = sim.theta();
+
+  // The RNG stream (engine + the distribution's spare-Gaussian cache)
+  // is part of the checkpoint, so the replay sees the same noise draws.
+  sim.restore(cp);
+  sim.clear_samples();
+  sim.run_periods(30.0);
+  ASSERT_EQ(sim.theta_samples().size(), th_ref.size());
+  for (std::size_t i = 0; i < th_ref.size(); ++i) {
+    EXPECT_EQ(sim.theta_samples()[i], th_ref[i]);
+  }
+  EXPECT_EQ(sim.theta(), theta_end);
+}
+
+TEST(Checkpoint, RestoreValidatesCompatibility) {
+  const PllParameters p = make_typical_loop(0.1 * kW0, kW0);
+  PllTransientSim sim(p);
+  sim.run_periods(5.0);
+  TransientCheckpoint cp = sim.checkpoint();
+
+  // Different reference period.
+  PllTransientSim other_period(make_typical_loop(0.05 * kW0, 2.0 * kW0));
+  EXPECT_THROW(other_period.restore(cp), std::invalid_argument);
+
+  // Different filter order.
+  PllTransientSim other_order(make_second_order_loop(0.1 * kW0, kW0));
+  EXPECT_THROW(other_order.restore(cp), std::invalid_argument);
+}
+
+TEST(Checkpoint, SettledCheckpointTransfersAcrossConfigs) {
+  const PllParameters p = make_typical_loop(0.15 * kW0, kW0);
+  const TransientCheckpoint cp = make_settled_checkpoint(p, 60.0);
+  EXPECT_NEAR(cp.t, 60.0 * p.period(), 1e-9);
+
+  // Restore into a sim with a different recording grid and modulation.
+  ReferenceModulation mod;
+  mod.amplitude = 1e-3;
+  mod.omega = 0.2 * kW0;
+  TransientConfig cfg;
+  cfg.sample_interval = p.period() / 16.0;
+  PllTransientSim sim(p, mod, cfg);
+  sim.restore(cp);
+  sim.clear_samples();
+  sim.run_periods(10.0);
+  // Still locked and recording on the new grid from t onward.
+  ASSERT_FALSE(sim.sample_times().empty());
+  EXPECT_GT(sim.sample_times().front(), cp.t);
+  EXPECT_LT(std::abs(sim.theta()), 0.01 * p.period());
+}
+
+TEST(ProbeOptionsValidation, RejectsOutOfRangeFields) {
+  const PllParameters p = make_typical_loop(0.2 * kW0, kW0);
+  const std::vector<double> omegas{0.2 * kW0};
+
+  ProbeOptions bad = {};
+  bad.amplitude_fraction = 0.0;
+  EXPECT_THROW(validate_probe_options(bad), std::invalid_argument);
+  EXPECT_THROW(measure_baseband_transfer(p, 0.2 * kW0, bad),
+               std::invalid_argument);
+  EXPECT_THROW(measure_baseband_transfer_many(p, omegas, bad),
+               std::invalid_argument);
+
+  bad = {};
+  bad.settle_periods = -1.0;
+  EXPECT_THROW(measure_baseband_transfer(p, 0.2 * kW0, bad),
+               std::invalid_argument);
+
+  bad = {};
+  bad.measure_periods = 0;
+  EXPECT_THROW(measure_band_transfer(p, 1, 0.2 * kW0, bad),
+               std::invalid_argument);
+
+  bad = {};
+  bad.samples_per_period = 7;
+  EXPECT_THROW(measure_band_transfer_many(p, {{1, 0.2 * kW0}}, bad),
+               std::invalid_argument);
+
+  bad = {};
+  bad.warm_resettle_periods = -0.5;
+  EXPECT_THROW(measure_baseband_transfer(p, 0.2 * kW0, bad),
+               std::invalid_argument);
+
+  EXPECT_NO_THROW(validate_probe_options(ProbeOptions{}));
+}
+
+TEST(WarmStart, AgreesWithColdWithinSmallSignalTolerance) {
+  const PllParameters p = make_typical_loop(0.2 * kW0, kW0);
+  const std::vector<double> omegas{0.12 * kW0, 0.3 * kW0};
+  ProbeOptions cold;
+  cold.settle_periods = 150.0;
+  cold.measure_periods = 12;
+  ProbeOptions warm = cold;
+  warm.warm_start = true;
+
+  const auto mc = measure_baseband_transfer_many(p, omegas, cold);
+  const auto mw = measure_baseband_transfer_many(p, omegas, warm);
+  ASSERT_EQ(mc.size(), mw.size());
+  for (std::size_t i = 0; i < mc.size(); ++i) {
+    EXPECT_LT(std::abs(mw[i].value - mc[i].value) / std::abs(mc[i].value),
+              1e-2)
+        << "w_m/w0 = " << omegas[i] / kW0;
+    // Warm runs must actually be cheaper in simulated time per point.
+    EXPECT_LT(mw[i].simulated_time - 150.0,
+              mc[i].simulated_time);
+  }
+}
+
+TEST(WarmStart, DeterministicAcrossPoolWidths) {
+  const PllParameters p = make_typical_loop(0.2 * kW0, kW0);
+  const std::vector<double> omegas{0.15 * kW0, 0.25 * kW0, 0.4 * kW0};
+  ProbeOptions warm;
+  warm.settle_periods = 80.0;
+  warm.measure_periods = 8;
+  warm.warm_start = true;
+
+  ThreadPool one(1);
+  ThreadPool four(4);
+  const auto a = measure_baseband_transfer_many(p, omegas, warm, one);
+  const auto b = measure_baseband_transfer_many(p, omegas, warm, four);
+  ASSERT_EQ(a.size(), b.size());
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    EXPECT_EQ(a[i].value.real(), b[i].value.real());
+    EXPECT_EQ(a[i].value.imag(), b[i].value.imag());
+    EXPECT_EQ(a[i].events, b[i].events);
+  }
+}
+
+TEST(MonteCarlo, StreamSeedsAreDeterministicAndDistinct) {
+  EXPECT_EQ(mc_stream_seed(7, 0), mc_stream_seed(7, 0));
+  EXPECT_NE(mc_stream_seed(7, 0), mc_stream_seed(7, 1));
+  EXPECT_NE(mc_stream_seed(7, 0), mc_stream_seed(8, 0));
+  // base+index collisions must not alias streams: (7, 1) vs (8, 0).
+  EXPECT_NE(mc_stream_seed(7, 1), mc_stream_seed(8, 0));
+}
+
+TEST(MonteCarlo, MapIsBitIdenticalAcrossPoolWidths) {
+  ThreadPool one(1);
+  ThreadPool four(4);
+  auto fn = [](std::size_t i, std::uint64_t seed) {
+    return static_cast<double>(seed % 1000003) +
+           static_cast<double>(i) * 1e-3;
+  };
+  const auto a = monte_carlo_map<double>(64, 99, fn, one);
+  const auto b = monte_carlo_map<double>(64, 99, fn, four);
+  ASSERT_EQ(a.size(), b.size());
+  for (std::size_t i = 0; i < a.size(); ++i) EXPECT_EQ(a[i], b[i]);
+}
+
+TEST(MonteCarlo, NoiseEnsembleReproducibleAndNonDegenerate) {
+  const PllParameters p = make_typical_loop(0.1 * kW0, kW0);
+  NoiseEnsembleOptions opts;
+  opts.settle_periods = 20.0;
+  opts.measure_periods = 60.0;
+  const double sigma = 1e-4 * p.icp;
+  const auto a = run_noise_ensemble(p, sigma, 1234, 3, opts);
+  const auto b = run_noise_ensemble(p, sigma, 1234, 3, opts);
+  ASSERT_EQ(a.size(), 3u);
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    EXPECT_EQ(a[i].theta_rms, b[i].theta_rms);  // bit-reproducible
+    EXPECT_GT(a[i].theta_rms, 0.0);
+    EXPECT_GE(a[i].theta_peak, a[i].theta_rms);
+    EXPECT_GT(a[i].events, 100u);
+  }
+  // Independent streams: distinct runs see distinct noise paths.
+  EXPECT_NE(a[0].theta_rms, a[1].theta_rms);
+}
+
+TEST(MonteCarlo, AcquisitionBatchMatchesSerialLoop) {
+  const PllParameters p = make_typical_loop(0.2 * kW0, kW0);
+  AcquisitionOptions opts;
+  opts.max_periods = 600.0;
+  const std::vector<AcquisitionCase> cases{{p, 0.005}, {p, 0.02}};
+  const std::vector<double> batch = acquisition_periods(cases, opts);
+  ASSERT_EQ(batch.size(), 2u);
+  for (std::size_t i = 0; i < cases.size(); ++i) {
+    // Serial re-run of the same experiment.
+    PllTransientSim sim(p);
+    sim.set_recording(false);
+    sim.set_initial_frequency_offset(cases[i].rel_offset);
+    const double tol = opts.tol_fraction * p.period();
+    double elapsed = 0.0, locked = -1.0;
+    while (elapsed < opts.max_periods) {
+      sim.run_periods(opts.chunk_periods);
+      elapsed += opts.chunk_periods;
+      if (sim.is_locked(tol)) {
+        locked = elapsed;
+        break;
+      }
+    }
+    EXPECT_EQ(batch[i], locked);
+    EXPECT_GT(batch[i], 0.0);  // both offsets must actually lock
+  }
+  // Larger offset takes at least as long.
+  EXPECT_GE(batch[1], batch[0]);
+}
+
+TEST(MonteCarlo, StepResponseBatchMatchesSingleRun) {
+  const double delta = 1e-3;
+  const std::size_t count = 80;
+  const std::vector<PllParameters> loops{
+      make_typical_loop(0.1 * kW0, kW0),
+      make_typical_loop(0.2 * kW0, kW0)};
+  const auto batch = step_response_batch(loops, count, delta);
+  ASSERT_EQ(batch.size(), 2u);
+  for (std::size_t k = 0; k < loops.size(); ++k) {
+    TransientConfig cfg;
+    cfg.sample_interval = loops[k].period();
+    PllTransientSim sim(loops[k], {}, cfg);
+    sim.set_initial_theta(-delta);
+    sim.run_periods(static_cast<double>(count) + 2.0);
+    ASSERT_GE(batch[k].size(), 2u);
+    EXPECT_EQ(batch[k][0], 0.0);
+    for (std::size_t n = 1; n < batch[k].size(); ++n) {
+      EXPECT_EQ(batch[k][n], sim.theta_samples()[n - 1] / delta + 1.0);
+    }
+    // A locked loop's normalized step response ends near 1.
+    EXPECT_NEAR(batch[k].back(), 1.0, 0.05);
+  }
+}
+
+}  // namespace
+}  // namespace htmpll
