@@ -4,6 +4,8 @@
 #include <fstream>
 #include <iostream>
 
+#include "htmpll/obs/metrics.hpp"
+#include "htmpll/obs/trace.hpp"
 #include "htmpll/util/check.hpp"
 
 namespace htmpll::bench {
@@ -146,6 +148,87 @@ void Json::write_file(const std::string& path, int indent) const {
   std::ofstream os(path);
   HTMPLL_REQUIRE(os.good(), "cannot open JSON output file: " + path);
   os << dump(indent);
+}
+
+Json telemetry_json(
+    const std::vector<std::pair<std::string, double>>& phases) {
+  const obs::MetricsSnapshot snap = obs::snapshot();
+
+  Json counters = Json::object();
+  Json gauges = Json::object();
+  for (const obs::MetricSample& m : snap.samples) {
+    switch (m.kind) {
+      case obs::MetricKind::kCounter:
+      case obs::MetricKind::kHistogram:
+        counters.set(m.name, Json::number(static_cast<double>(m.count)));
+        break;
+      case obs::MetricKind::kGauge:
+        gauges.set(m.name, Json::number(m.value));
+        break;
+    }
+  }
+
+  // Derived rates.  Zero denominators report 0 rather than NaN so the
+  // JSON stays loadable by strict parsers.
+  const auto ratio = [](double num, double den) {
+    return den > 0.0 ? num / den : 0.0;
+  };
+  const double prop_lookups = static_cast<double>(
+      snap.counter_value("timedomain.propagator_lookups"));
+  const double prop_misses = static_cast<double>(
+      snap.counter_value("timedomain.propagator_misses"));
+  const double busy_ns =
+      static_cast<double>(snap.counter_value("parallel.pool_busy_ns"));
+  const double width_ns =
+      static_cast<double>(snap.counter_value("parallel.pool_width_ns"));
+
+  Json derived = Json::object();
+  derived
+      .set("propagator_cache_hit_rate",
+           Json::number(ratio(prop_lookups - prop_misses, prop_lookups)))
+      .set("pool_utilization", Json::number(ratio(busy_ns, width_ns)));
+
+  Json spans = Json::object();
+  for (const obs::SpanStats& s : obs::span_summary()) {
+    Json one = Json::object();
+    one.set("count", Json::number(static_cast<double>(s.count)))
+        .set("total_s", Json::number(static_cast<double>(s.total_ns) * 1e-9))
+        .set("max_s", Json::number(static_cast<double>(s.max_ns) * 1e-9));
+    spans.set(s.name, std::move(one));
+  }
+
+  Json phase_obj = Json::object();
+  for (const auto& [name, seconds] : phases) {
+    phase_obj.set(name, Json::number(seconds));
+  }
+
+  Json out = Json::object();
+  out.set("counters", std::move(counters))
+      .set("gauges", std::move(gauges))
+      .set("derived", std::move(derived))
+      .set("phases_s", std::move(phase_obj))
+      .set("spans", std::move(spans))
+      .set("trace_spans_dropped",
+           Json::number(static_cast<double>(obs::trace_dropped())));
+  return out;
+}
+
+void run_phase(std::vector<std::pair<std::string, double>>& phases,
+               const std::string& name, const std::function<void()>& fn) {
+  WallTimer timer;
+  fn();
+  phases.emplace_back(name, timer.seconds());
+}
+
+obs::RunReport make_manifest(
+    const std::string& run_name,
+    const std::vector<std::pair<std::string, double>>& phases) {
+  obs::RunReport report(run_name);
+  for (const auto& [name, seconds] : phases) {
+    report.add_phase(name, seconds);
+  }
+  report.capture();
+  return report;
 }
 
 }  // namespace htmpll::bench

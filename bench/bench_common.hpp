@@ -12,6 +12,7 @@
 #include <utility>
 #include <vector>
 
+#include "htmpll/obs/report.hpp"
 #include "htmpll/util/table.hpp"
 
 namespace htmpll::bench {
@@ -71,5 +72,24 @@ class Json {
   std::string string_;
   bool bool_ = false;
 };
+
+/// The "telemetry" section of a bench report: the current obs metrics
+/// snapshot (counters, gauges, histogram counts), a per-name span
+/// summary, per-phase wall times, and the derived rates the reports care
+/// about (propagator cache hit rate, pool utilization).  Call with obs
+/// enabled after an instrumented pass of the workload.
+Json telemetry_json(const std::vector<std::pair<std::string, double>>& phases);
+
+/// Times one named phase of an instrumented pass and appends it to
+/// `phases`.
+void run_phase(std::vector<std::pair<std::string, double>>& phases,
+               const std::string& name, const std::function<void()>& fn);
+
+/// Builds the run manifest shared by the bench drivers: run name, the
+/// phase wall times, and a capture of the instrumentation state.  The
+/// caller adds its workload configuration before writing the file.
+htmpll::obs::RunReport make_manifest(
+    const std::string& run_name,
+    const std::vector<std::pair<std::string, double>>& phases);
 
 }  // namespace htmpll::bench

@@ -25,6 +25,9 @@
 #include "htmpll/core/sampling_pll.hpp"
 #include "htmpll/linalg/lu.hpp"
 #include "htmpll/linalg/matrix.hpp"
+#include "htmpll/obs/metrics.hpp"
+#include "htmpll/obs/report.hpp"
+#include "htmpll/obs/trace.hpp"
 #include "htmpll/parallel/sweep.hpp"
 #include "htmpll/parallel/thread_pool.hpp"
 #include "htmpll/util/grid.hpp"
@@ -168,6 +171,44 @@ int main(int argc, char** argv) {
   // Touch the results so the work cannot be optimized away.
   const double checksum = std::abs(prod(0, 0)) + std::abs(solved(0, 0));
 
+  // --- 4. instrumentation overhead -------------------------------------
+  // Same workload, obs off vs obs on.  The enabled run bounds the cost
+  // of every instrumentation site from above; the disabled run is the
+  // production path scripts/check_overhead.sh gates at < 1%.
+  const bool obs_was_enabled = obs::enabled();
+  const int overhead_reps = 7;
+  obs::disable();
+  CVector r_obs;
+  const double t_obs_off = time_best_of(overhead_reps, [&] {
+    r_obs = exact.baseband_transfer_grid(s_grid);
+  });
+  obs::enable();
+  const double t_obs_on = time_best_of(overhead_reps, [&] {
+    r_obs = exact.baseband_transfer_grid(s_grid);
+  });
+  const double obs_delta = t_obs_on - t_obs_off;
+  const double obs_fraction = obs_delta / t_obs_off;
+  const bool obs_identical = bit_identical(r_pointwise, r_obs);
+
+  // --- 5. instrumented telemetry pass -----------------------------------
+  // One clean re-run of each phase with obs enabled; the counters and
+  // spans it accumulates become the report's "telemetry" section, the
+  // Chrome trace and the run manifest.
+  obs::reset_counters();
+  obs::clear_trace();
+  std::vector<std::pair<std::string, double>> phases;
+  bench::run_phase(phases, "exact_grid",
+                   [&] { r_grid = exact.baseband_transfer_grid(s_grid); });
+  bench::run_phase(phases, "truncated_grid", [&] {
+    rt_grid = truncated.baseband_transfer_grid(s_grid);
+  });
+  bench::run_phase(phases, "closed_loop_grid",
+                   [&] { cl_grid = exact.closed_loop_grid(bands, s_band); });
+  bench::run_phase(phases, "dense_kernels", [&] {
+    prod = a * b;
+    solved = lu.solve(b);
+  });
+
   // --- report -----------------------------------------------------------
   Table t({"case", "time_s", "vs_baseline", "bit_identical"});
   auto row = [&t](const std::string& name, double time, double base,
@@ -188,9 +229,12 @@ int main(int argc, char** argv) {
   std::cout << "\ndense " << dim << "x" << dim << " complex: blocked product "
             << t_matmul << " s, LU multi-solve " << t_solve
             << " s  (checksum " << checksum << ")\n";
+  std::cout << "instrumentation: off " << t_obs_off << " s, on " << t_obs_on
+            << " s (delta " << obs_delta << " s, "
+            << 100.0 * obs_fraction << "%)\n";
 
   const bool all_identical = exact_identical && trunc_identical &&
-                             cl_identical;
+                             cl_identical && obs_identical;
   std::cout << "\nall paths bit-identical: " << (all_identical ? "yes" : "NO")
             << "\n";
 
@@ -222,9 +266,37 @@ int main(int argc, char** argv) {
       .set("blocked_product_s", Json::number(t_matmul))
       .set("lu_multi_solve_s", Json::number(t_solve));
   report.set("dense_kernels", dense);
+  Json overhead = Json::object();
+  overhead.set("workload", Json::string("exact baseband_transfer_grid"))
+      .set("reps", Json::number(static_cast<double>(overhead_reps)))
+      .set("disabled_s", Json::number(t_obs_off))
+      .set("enabled_s", Json::number(t_obs_on))
+      .set("delta_s", Json::number(obs_delta))
+      .set("fraction", Json::number(obs_fraction));
+  report.set("obs_overhead", overhead);
+  report.set("telemetry", bench::telemetry_json(phases));
   report.set("bit_identical", Json::boolean(all_identical));
   report.write_file(out_path);
   std::cout << "wrote " << out_path << "\n";
+
+  const std::string trace_path = out_path + ".trace.json";
+  obs::write_chrome_trace(trace_path);
+  std::cout << "wrote " << trace_path << "\n";
+
+  obs::RunReport manifest = bench::make_manifest("bench_sweep", phases);
+  manifest.set_config("grid_points", static_cast<double>(n_points));
+  manifest.set_config("band_grid_points",
+                      static_cast<double>(n_band_points));
+  manifest.set_config("bands", static_cast<double>(bands.size()));
+  manifest.set_config("truncation",
+                      static_cast<double>(trunc_opts.truncation));
+  manifest.set_config("dense_dim", static_cast<double>(dim));
+  manifest.set_config("pool_threads", static_cast<double>(pool_width));
+  const std::string manifest_path = out_path + ".manifest.json";
+  manifest.write_json(manifest_path);
+  std::cout << "wrote " << manifest_path << "\n";
+
+  if (!obs_was_enabled) obs::disable();
 
   if (!all_identical) {
     std::cerr << "FAIL: a batched path is not bit-identical to the scalar "

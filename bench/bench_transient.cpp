@@ -25,6 +25,9 @@
 #include <vector>
 
 #include "bench_common.hpp"
+#include "htmpll/obs/metrics.hpp"
+#include "htmpll/obs/report.hpp"
+#include "htmpll/obs/trace.hpp"
 #include "htmpll/parallel/thread_pool.hpp"
 #include "htmpll/timedomain/probe.hpp"
 #include "htmpll/util/grid.hpp"
@@ -170,6 +173,23 @@ int main(int argc, char** argv) {
   });
   const bool pool_identical = bit_identical(r_cold, values_of(m_pool));
 
+  // --- 4. instrumented telemetry pass ----------------------------------
+  // One clean warm probe batch plus a locked-loop run with obs enabled;
+  // what they count becomes the report's "telemetry" section, the
+  // Chrome trace and the run manifest.
+  const bool obs_was_enabled = obs::enabled();
+  obs::enable();
+  obs::reset_counters();
+  obs::clear_trace();
+  std::vector<std::pair<std::string, double>> phases;
+  bench::run_phase(phases, "probe_batch", [&] {
+    m_pool = measure_baseband_transfer_many(params, omegas, warm_opts);
+  });
+  bench::run_phase(phases, "locked_loop", [&] {
+    PllTransientSim sim(params, {}, lock_cfg);
+    sim.run_periods(500.0);
+  });
+
   // --- report ----------------------------------------------------------
   Table t({"case", "time_s", "vs_seed", "note"});
   t.add_row({"seed (1-entry cache, cold)", Table::fmt(t_seed),
@@ -220,12 +240,28 @@ int main(int argc, char** argv) {
       .set("expm_evaluations", Json::number(static_cast<double>(st.misses)))
       .set("expm_saved_fraction", Json::number(saved_fraction));
   report.set("locked_loop", lock);
+  report.set("telemetry", bench::telemetry_json(phases));
   report.set("default_bit_identical",
              Json::boolean(default_identical && pool_identical));
   report.set("warm_within_tolerance", Json::boolean(warm_ok));
   report.set("verdict", Json::string(verdict));
   report.write_file(out_path);
   std::cout << "wrote " << out_path << "\n";
+
+  const std::string trace_path = out_path + ".trace.json";
+  obs::write_chrome_trace(trace_path);
+  std::cout << "wrote " << trace_path << "\n";
+
+  obs::RunReport manifest = bench::make_manifest("bench_transient", phases);
+  manifest.set_config("probe_points", static_cast<double>(n_points));
+  manifest.set_config("settle_periods", opts.settle_periods);
+  manifest.set_config("locked_loop_periods", 500.0);
+  manifest.set_config("pool_threads", static_cast<double>(pool_width));
+  const std::string manifest_path = out_path + ".manifest.json";
+  manifest.write_json(manifest_path);
+  std::cout << "wrote " << manifest_path << "\n";
+
+  if (!obs_was_enabled) obs::disable();
 
   if (!default_identical || !pool_identical) {
     std::cerr << "FAIL: default probe path is not bit-identical to the "

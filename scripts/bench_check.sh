@@ -11,6 +11,12 @@
 #    warm-start measurements must agree with cold ones within the probe
 #    tolerance, and caching + warm start must beat the seed baseline
 #    (verdict field in BENCH_transient.json).
+#  * report shape: both BENCH_*.json files must carry the fields the
+#    downstream tooling reads (bit-identity verdicts, telemetry,
+#    obs_overhead); a missing field fails with the gate name and the
+#    expected vs actual value instead of a silent pass.
+#  * instrumentation overhead: scripts/check_overhead.sh gates the
+#    obs_overhead section of the sweep report.
 #
 # Usage: scripts/bench_check.sh [build-dir] [sweep-report.json] [transient-report.json]
 set -euo pipefail
@@ -24,4 +30,70 @@ cmake --build "$BUILD" --target bench_sweep bench_transient -j > /dev/null
 
 "$BUILD/bench/bench_sweep" "$REPORT" --check
 "$BUILD/bench/bench_transient" "$TREPORT" --check
+
+FAILURES=0
+
+# fail <gate> <file> <expected> <actual>
+fail() {
+  echo "bench_check: FAIL [$1] in $2" >&2
+  echo "  expected: $3" >&2
+  echo "  actual:   $4" >&2
+  FAILURES=$((FAILURES + 1))
+}
+
+# field <file> <key> -> first "key": value in the file, '' when absent.
+field() {
+  awk -v key="\"$2\"" '$1 == key ":" {
+    v = $2
+    gsub(/,$/, "", v)
+    print v
+    exit
+  }' "$1"
+}
+
+# require_true <gate> <file> <key>
+require_true() {
+  local v
+  v="$(field "$2" "$3")"
+  if [ -z "$v" ]; then
+    fail "$1" "$2" "\"$3\": true" "field missing"
+  elif [ "$v" != "true" ]; then
+    fail "$1" "$2" "\"$3\": true" "\"$3\": $v"
+  fi
+}
+
+# require_section <gate> <file> <key>
+require_section() {
+  if ! grep -q "\"$3\":" "$2"; then
+    fail "$1" "$2" "a \"$3\" section" "section missing"
+  fi
+}
+
+for f in "$REPORT" "$TREPORT"; do
+  if [ ! -f "$f" ]; then
+    fail "report-exists" "$f" "file written by the bench" "no such file"
+  fi
+done
+
+if [ -f "$REPORT" ]; then
+  require_true sweep-bit-identical "$REPORT" bit_identical
+  require_section sweep-telemetry "$REPORT" telemetry
+  require_section sweep-obs-overhead "$REPORT" obs_overhead
+  require_section sweep-baseband "$REPORT" baseband_sweep
+fi
+
+if [ -f "$TREPORT" ]; then
+  require_true transient-bit-identical "$TREPORT" default_bit_identical
+  require_true transient-warm-tolerance "$TREPORT" warm_within_tolerance
+  require_section transient-telemetry "$TREPORT" telemetry
+  require_section transient-probe-sweep "$TREPORT" probe_sweep
+fi
+
+if [ "$FAILURES" -gt 0 ]; then
+  echo "bench_check: $FAILURES gate(s) failed" >&2
+  exit 1
+fi
+
+"$(dirname "$0")/check_overhead.sh" "$BUILD" "$REPORT" --no-run
+
 echo "bench_check: OK ($REPORT, $TREPORT)"

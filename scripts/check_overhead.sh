@@ -1,0 +1,81 @@
+#!/usr/bin/env bash
+# Gates the cost of the instrumentation layer: bench_sweep measures its
+# reference workload (the exact baseband_transfer_grid sweep) with obs
+# disabled and enabled and records both in the report's "obs_overhead"
+# section; this script fails if the measured overhead exceeds the
+# budget.
+#
+# Pass criteria (either suffices):
+#  * fraction  < 1%   -- relative overhead of the instrumented build
+#  * delta_s < 0.0002 -- absolute overhead too small to resolve against
+#                        scheduler noise on a sub-millisecond workload
+#
+# Usage: scripts/check_overhead.sh [build-dir] [sweep-report.json] [--no-run]
+#   --no-run: gate an existing report instead of building and running
+#             bench_sweep (used by bench_check.sh, which just ran it).
+set -euo pipefail
+
+BUILD="build-release"
+REPORT="BENCH_sweep.json"
+RUN=1
+POS=()
+for arg in "$@"; do
+  if [ "$arg" = "--no-run" ]; then
+    RUN=0
+  else
+    POS+=("$arg")
+  fi
+done
+if [ "${#POS[@]}" -ge 1 ]; then BUILD="${POS[0]}"; fi
+if [ "${#POS[@]}" -ge 2 ]; then REPORT="${POS[1]}"; fi
+
+if [ "$RUN" = 1 ]; then
+  cmake -B "$BUILD" -S . -DCMAKE_BUILD_TYPE=Release > /dev/null
+  cmake --build "$BUILD" --target bench_sweep -j > /dev/null
+  "$BUILD/bench/bench_sweep" "$REPORT" > /dev/null
+fi
+
+if [ ! -f "$REPORT" ]; then
+  echo "check_overhead: FAIL: report '$REPORT' does not exist" >&2
+  exit 1
+fi
+
+# Extract "key": value numbers from the obs_overhead object.
+extract() {
+  awk -v key="\"$1\"" '
+    /"obs_overhead"/ { in_obj = 1 }
+    in_obj && $1 == key ":" { gsub(/[",]/, "", $2); print $2; exit }
+    in_obj && /^  \}/ { exit }
+  ' "$REPORT"
+}
+
+FRACTION="$(extract fraction)"
+DELTA="$(extract delta_s)"
+DISABLED="$(extract disabled_s)"
+ENABLED="$(extract enabled_s)"
+
+if [ -z "$FRACTION" ] || [ -z "$DELTA" ]; then
+  echo "check_overhead: FAIL: $REPORT has no obs_overhead.fraction /" \
+       "obs_overhead.delta_s (is bench_sweep up to date?)" >&2
+  exit 1
+fi
+
+MAX_FRACTION=0.01
+MAX_DELTA=0.0002
+PASS="$(awk -v f="$FRACTION" -v d="$DELTA" \
+            -v mf="$MAX_FRACTION" -v md="$MAX_DELTA" \
+            'BEGIN { print (f < mf || d < md) ? 1 : 0 }')"
+
+if [ "$PASS" != 1 ]; then
+  {
+    echo "check_overhead: FAIL: instrumentation overhead over budget"
+    echo "  workload:  exact baseband_transfer_grid (bench_sweep)"
+    echo "  disabled:  ${DISABLED}s   enabled: ${ENABLED}s"
+    echo "  delta:     ${DELTA}s      (budget < ${MAX_DELTA}s)"
+    echo "  fraction:  ${FRACTION}    (budget < ${MAX_FRACTION})"
+  } >&2
+  exit 1
+fi
+
+echo "check_overhead: OK (delta ${DELTA}s, fraction ${FRACTION} vs" \
+     "budget ${MAX_FRACTION} rel / ${MAX_DELTA}s abs)"

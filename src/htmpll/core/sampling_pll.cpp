@@ -4,10 +4,23 @@
 #include <cmath>
 #include <numbers>
 
+#include "htmpll/obs/metrics.hpp"
+#include "htmpll/obs/trace.hpp"
 #include "htmpll/parallel/thread_pool.hpp"
 #include "htmpll/util/check.hpp"
 
 namespace htmpll {
+
+namespace {
+
+/// Scalar lambda(s) evaluations -- the per-point unit of work every
+/// sweep and stability search is built from.
+obs::Counter& lambda_eval_counter() {
+  static obs::Counter& c = obs::counter("core.lambda_evals");
+  return c;
+}
+
+}  // namespace
 
 namespace {
 
@@ -124,11 +137,13 @@ cplx SamplingPllModel::lambda(cplx s, LambdaMethod method,
                               int truncation) const {
   switch (method) {
     case LambdaMethod::kExact: {
+      lambda_eval_counter().add();
       cplx acc{0.0};
       for (const HarmonicChannel& ch : channels_) acc += ch.sum.exact(s);
       return shape_prefactor(s) * acc;
     }
     case LambdaMethod::kAdaptive: {
+      lambda_eval_counter().add();
       cplx acc{0.0};
       for (const HarmonicChannel& ch : channels_) acc += ch.sum.adaptive(s);
       return shape_prefactor(s) * acc;
@@ -142,7 +157,10 @@ cplx SamplingPllModel::lambda(cplx s, LambdaMethod method,
 cplx SamplingPllModel::lambda_truncated_impl(cplx s, int truncation,
                                              ShiftedGainCache* cache) const {
   // Truncate the HTM row index n (lambda = sum_n V~_n), matching what
-  // a finite (2K+1)-harmonic HTM computes.
+  // a finite (2K+1)-harmonic HTM computes.  Counted here (not in the
+  // public lambda()) so grid paths that call this impl directly are
+  // still accounted for, exactly once.
+  lambda_eval_counter().add();
   cplx acc{0.0};
   for (int n = -truncation; n <= truncation; ++n) {
     acc += vtilde_element_impl(n, s, cache);
@@ -205,6 +223,7 @@ CVector SamplingPllModel::lambda_grid(const CVector& s_grid) const {
 CVector SamplingPllModel::lambda_grid(const CVector& s_grid,
                                       LambdaMethod method,
                                       int truncation) const {
+  HTMPLL_TRACE_SPAN("core.lambda_grid");
   CVector out(s_grid.size());
   ThreadPool::global().parallel_for(s_grid.size(), [&](std::size_t i) {
     if (method == LambdaMethod::kTruncated) {
@@ -219,6 +238,7 @@ CVector SamplingPllModel::lambda_grid(const CVector& s_grid,
 }
 
 CVector SamplingPllModel::baseband_transfer_grid(const CVector& s_grid) const {
+  HTMPLL_TRACE_SPAN("core.baseband_transfer_grid");
   const LambdaMethod method = opts_.lambda_method;
   const int truncation = opts_.truncation;
   CVector out(s_grid.size());
@@ -257,6 +277,7 @@ CVector SamplingPllModel::baseband_error_transfer_grid(
 
 std::vector<CVector> SamplingPllModel::closed_loop_grid(
     const std::vector<int>& bands, const CVector& s_grid) const {
+  HTMPLL_TRACE_SPAN("core.closed_loop_grid");
   const LambdaMethod method = opts_.lambda_method;
   const int truncation = opts_.truncation;
   int band_max = 0;

@@ -3,6 +3,7 @@
 #include <cmath>
 
 #include "htmpll/linalg/lu.hpp"
+#include "htmpll/obs/metrics.hpp"
 
 namespace htmpll {
 
@@ -39,6 +40,8 @@ RMatrix pade6(const RMatrix& a) {
 }  // namespace
 
 RMatrix expm(const RMatrix& a) {
+  static obs::Counter& c_evals = obs::counter("linalg.expm_evals");
+  c_evals.add();
   HTMPLL_REQUIRE(a.is_square(), "expm requires a square matrix");
   if (a.rows() == 0) return a;
   const double nrm = a.norm_inf();

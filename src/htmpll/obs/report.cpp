@@ -1,0 +1,209 @@
+#include "htmpll/obs/report.hpp"
+
+#include <cstdio>
+#include <ctime>
+#include <fstream>
+#include <thread>
+
+#include "htmpll/util/check.hpp"
+
+namespace htmpll::obs {
+
+namespace {
+
+void append_quoted(std::string& out, const std::string& s) {
+  out += '"';
+  for (char c : s) {
+    if (c == '"' || c == '\\') {
+      out += '\\';
+      out += c;
+    } else if (static_cast<unsigned char>(c) < 0x20) {
+      char buf[8];
+      std::snprintf(buf, sizeof buf, "\\u%04x", c);
+      out += buf;
+    } else {
+      out += c;
+    }
+  }
+  out += '"';
+}
+
+void append_number(std::string& out, double v) {
+  char buf[64];
+  std::snprintf(buf, sizeof buf, "%.9g", v);
+  out += buf;
+}
+
+void append_u64(std::string& out, std::uint64_t v) {
+  char buf[32];
+  std::snprintf(buf, sizeof buf, "%llu",
+                static_cast<unsigned long long>(v));
+  out += buf;
+}
+
+}  // namespace
+
+std::string git_describe() {
+#ifdef HTMPLL_GIT_DESCRIBE
+  return HTMPLL_GIT_DESCRIBE;
+#else
+  return "unknown";
+#endif
+}
+
+RunReport::RunReport(std::string run_name)
+    : run_name_(std::move(run_name)) {}
+
+void RunReport::set_config(const std::string& key, double value) {
+  for (auto& [k, v] : config_numbers_) {
+    if (k == key) {
+      v = value;
+      return;
+    }
+  }
+  config_numbers_.emplace_back(key, value);
+}
+
+void RunReport::set_config(const std::string& key,
+                           const std::string& value) {
+  for (auto& [k, v] : config_strings_) {
+    if (k == key) {
+      v = value;
+      return;
+    }
+  }
+  config_strings_.emplace_back(key, value);
+}
+
+void RunReport::add_phase(const std::string& phase, double seconds) {
+  phases_.emplace_back(phase, seconds);
+}
+
+void RunReport::capture() {
+  metrics_ = snapshot();
+  spans_ = span_summary();
+  trace_dropped_ = trace_dropped();
+  captured_ = true;
+}
+
+std::string RunReport::to_json() const {
+  std::string out;
+  out += "{\n  \"run\": ";
+  append_quoted(out, run_name_);
+  out += ",\n  \"git\": ";
+  append_quoted(out, git_describe());
+  char stamp[64] = "unknown";
+  const std::time_t now = std::time(nullptr);
+  std::tm tm_utc{};
+  if (gmtime_r(&now, &tm_utc) != nullptr) {
+    std::strftime(stamp, sizeof stamp, "%Y-%m-%dT%H:%M:%SZ", &tm_utc);
+  }
+  out += ",\n  \"timestamp\": ";
+  append_quoted(out, stamp);
+  out += ",\n  \"hardware_threads\": ";
+  append_u64(out, std::thread::hardware_concurrency());
+  out += ",\n  \"obs_enabled\": ";
+  out += enabled() ? "true" : "false";
+
+  out += ",\n  \"config\": {";
+  bool first = true;
+  for (const auto& [k, v] : config_strings_) {
+    out += first ? "\n    " : ",\n    ";
+    first = false;
+    append_quoted(out, k);
+    out += ": ";
+    append_quoted(out, v);
+  }
+  for (const auto& [k, v] : config_numbers_) {
+    out += first ? "\n    " : ",\n    ";
+    first = false;
+    append_quoted(out, k);
+    out += ": ";
+    append_number(out, v);
+  }
+  out += first ? "}" : "\n  }";
+
+  out += ",\n  \"phases_s\": {";
+  first = true;
+  for (const auto& [k, v] : phases_) {
+    out += first ? "\n    " : ",\n    ";
+    first = false;
+    append_quoted(out, k);
+    out += ": ";
+    append_number(out, v);
+  }
+  out += first ? "}" : "\n  }";
+
+  out += ",\n  \"metrics\": {";
+  first = true;
+  for (const MetricSample& s : metrics_.samples) {
+    out += first ? "\n    " : ",\n    ";
+    first = false;
+    append_quoted(out, s.name);
+    out += ": ";
+    switch (s.kind) {
+      case MetricKind::kCounter:
+        append_u64(out, s.count);
+        break;
+      case MetricKind::kGauge:
+        append_number(out, s.value);
+        break;
+      case MetricKind::kHistogram: {
+        out += "{\"count\": ";
+        append_u64(out, s.count);
+        out += ", \"sum\": ";
+        append_number(out, s.value);
+        out += ", \"min\": ";
+        append_u64(out, s.hist_min);
+        out += ", \"max\": ";
+        append_u64(out, s.hist_max);
+        out += ", \"buckets\": {";
+        bool bfirst = true;
+        for (const auto& [value, n] : s.buckets) {
+          if (!bfirst) out += ", ";
+          bfirst = false;
+          char key[32];
+          std::snprintf(key, sizeof key, "\"%llu\"",
+                        static_cast<unsigned long long>(value));
+          out += key;
+          out += ": ";
+          append_u64(out, n);
+        }
+        out += "}}";
+        break;
+      }
+    }
+  }
+  out += first ? "}" : "\n  }";
+
+  out += ",\n  \"spans\": {";
+  first = true;
+  for (const SpanStats& s : spans_) {
+    out += first ? "\n    " : ",\n    ";
+    first = false;
+    append_quoted(out, s.name);
+    out += ": {\"count\": ";
+    append_u64(out, s.count);
+    out += ", \"total_s\": ";
+    append_number(out, static_cast<double>(s.total_ns) * 1e-9);
+    out += ", \"max_s\": ";
+    append_number(out, static_cast<double>(s.max_ns) * 1e-9);
+    out += "}";
+  }
+  out += first ? "}" : "\n  }";
+
+  out += ",\n  \"trace_spans_dropped\": ";
+  append_u64(out, trace_dropped_);
+  out += ",\n  \"captured\": ";
+  out += captured_ ? "true" : "false";
+  out += "\n}\n";
+  return out;
+}
+
+void RunReport::write_json(const std::string& path) const {
+  std::ofstream os(path);
+  HTMPLL_REQUIRE(os.good(), "cannot open manifest output file: " + path);
+  os << to_json();
+}
+
+}  // namespace htmpll::obs

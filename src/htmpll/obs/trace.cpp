@@ -1,0 +1,215 @@
+#include "htmpll/obs/trace.hpp"
+
+#include <algorithm>
+#include <array>
+#include <chrono>
+#include <cstdio>
+#include <fstream>
+#include <map>
+#include <memory>
+#include <mutex>
+
+#include "htmpll/util/check.hpp"
+
+namespace htmpll::obs {
+
+std::uint64_t now_ns() {
+  static const std::chrono::steady_clock::time_point epoch =
+      std::chrono::steady_clock::now();
+  return static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          std::chrono::steady_clock::now() - epoch)
+          .count());
+}
+
+namespace {
+
+/// Per-thread span ring.  Single writer (the owning thread); readers
+/// acquire `head` and then load the published slots relaxed, so export
+/// races neither with writes nor with TSan.
+class TraceBuffer {
+ public:
+  static constexpr std::size_t kCapacity = 1 << 14;  // 16384 spans
+
+  struct Slot {
+    std::atomic<const char*> name{nullptr};
+    std::atomic<std::uint64_t> begin_ns{0};
+    std::atomic<std::uint64_t> end_ns{0};
+  };
+
+  explicit TraceBuffer(int tid) : tid_(tid), slots_(kCapacity) {}
+
+  void record(const char* name, std::uint64_t begin_ns,
+              std::uint64_t end_ns) {
+    const std::uint64_t h = head_.load(std::memory_order_relaxed);
+    Slot& s = slots_[h % kCapacity];
+    s.name.store(name, std::memory_order_relaxed);
+    s.begin_ns.store(begin_ns, std::memory_order_relaxed);
+    s.end_ns.store(end_ns, std::memory_order_relaxed);
+    head_.store(h + 1, std::memory_order_release);
+  }
+
+  void collect_into(std::vector<TraceEventView>& out) const {
+    const std::uint64_t h = head_.load(std::memory_order_acquire);
+    const std::uint64_t n = std::min<std::uint64_t>(h, kCapacity);
+    for (std::uint64_t i = h - n; i < h; ++i) {
+      const Slot& s = slots_[i % kCapacity];
+      TraceEventView e;
+      e.name = s.name.load(std::memory_order_relaxed);
+      e.begin_ns = s.begin_ns.load(std::memory_order_relaxed);
+      e.end_ns = s.end_ns.load(std::memory_order_relaxed);
+      e.tid = tid_;
+      if (e.name != nullptr) out.push_back(e);
+    }
+  }
+
+  std::uint64_t dropped() const {
+    const std::uint64_t h = head_.load(std::memory_order_acquire);
+    return h > kCapacity ? h - kCapacity : 0;
+  }
+
+  std::uint64_t size() const {
+    return std::min<std::uint64_t>(head_.load(std::memory_order_acquire),
+                                   kCapacity);
+  }
+
+  void clear() { head_.store(0, std::memory_order_release); }
+
+ private:
+  int tid_;
+  std::vector<Slot> slots_;
+  std::atomic<std::uint64_t> head_{0};
+};
+
+std::mutex& trace_mutex() {
+  static std::mutex mu;
+  return mu;
+}
+
+/// All rings ever registered; shared ownership with each thread's local
+/// handle so a ring survives its thread (its spans stay exportable).
+/// Leaked so exports work during late static destruction.
+std::vector<std::shared_ptr<TraceBuffer>>& buffers() {
+  static auto* v = new std::vector<std::shared_ptr<TraceBuffer>>();
+  return *v;
+}
+
+TraceBuffer& local_buffer() {
+  thread_local std::shared_ptr<TraceBuffer> buf = [] {
+    std::lock_guard<std::mutex> lock(trace_mutex());
+    auto b = std::make_shared<TraceBuffer>(
+        static_cast<int>(buffers().size()));
+    buffers().push_back(b);
+    return b;
+  }();
+  return *buf;
+}
+
+void append_escaped(std::string& out, const char* s) {
+  for (; *s != '\0'; ++s) {
+    const char c = *s;
+    if (c == '"' || c == '\\') {
+      out += '\\';
+      out += c;
+    } else if (static_cast<unsigned char>(c) < 0x20) {
+      char buf[8];
+      std::snprintf(buf, sizeof buf, "\\u%04x", c);
+      out += buf;
+    } else {
+      out += c;
+    }
+  }
+}
+
+}  // namespace
+
+namespace detail {
+
+void record_span(const char* name, std::uint64_t begin_ns,
+                 std::uint64_t end_ns) {
+  local_buffer().record(name, begin_ns, end_ns);
+}
+
+}  // namespace detail
+
+std::vector<TraceEventView> collect_trace() {
+  std::vector<TraceEventView> out;
+  {
+    std::lock_guard<std::mutex> lock(trace_mutex());
+    for (const auto& b : buffers()) b->collect_into(out);
+  }
+  std::sort(out.begin(), out.end(),
+            [](const TraceEventView& a, const TraceEventView& b) {
+              return a.begin_ns != b.begin_ns ? a.begin_ns < b.begin_ns
+                                              : a.end_ns > b.end_ns;
+            });
+  return out;
+}
+
+std::uint64_t trace_dropped() {
+  std::lock_guard<std::mutex> lock(trace_mutex());
+  std::uint64_t n = 0;
+  for (const auto& b : buffers()) n += b->dropped();
+  return n;
+}
+
+std::size_t trace_event_count() {
+  std::lock_guard<std::mutex> lock(trace_mutex());
+  std::uint64_t n = 0;
+  for (const auto& b : buffers()) n += b->size();
+  return static_cast<std::size_t>(n);
+}
+
+void clear_trace() {
+  std::lock_guard<std::mutex> lock(trace_mutex());
+  for (const auto& b : buffers()) b->clear();
+}
+
+std::vector<SpanStats> span_summary() {
+  std::map<std::string, SpanStats> agg;
+  for (const TraceEventView& e : collect_trace()) {
+    SpanStats& s = agg[e.name];
+    if (s.count == 0) s.name = e.name;
+    const std::uint64_t dur = e.end_ns - e.begin_ns;
+    ++s.count;
+    s.total_ns += dur;
+    s.max_ns = std::max(s.max_ns, dur);
+  }
+  std::vector<SpanStats> out;
+  out.reserve(agg.size());
+  for (auto& [name, s] : agg) out.push_back(std::move(s));
+  return out;
+}
+
+std::string chrome_trace_json() {
+  const std::vector<TraceEventView> events = collect_trace();
+  std::string out;
+  out.reserve(128 + events.size() * 96);
+  out += "{\n  \"displayTimeUnit\": \"ms\",\n  \"traceEvents\": [\n";
+  out +=
+      "    {\"name\": \"process_name\", \"ph\": \"M\", \"pid\": 1, "
+      "\"args\": {\"name\": \"htmpll\"}}";
+  char buf[64];
+  for (const TraceEventView& e : events) {
+    out += ",\n    {\"name\": \"";
+    append_escaped(out, e.name);
+    out += "\", \"cat\": \"htmpll\", \"ph\": \"X\", \"pid\": 1, \"tid\": ";
+    std::snprintf(buf, sizeof buf, "%d", e.tid);
+    out += buf;
+    // Chrome trace timestamps/durations are microseconds.
+    std::snprintf(buf, sizeof buf, ", \"ts\": %.3f, \"dur\": %.3f}",
+                  static_cast<double>(e.begin_ns) * 1e-3,
+                  static_cast<double>(e.end_ns - e.begin_ns) * 1e-3);
+    out += buf;
+  }
+  out += "\n  ]\n}\n";
+  return out;
+}
+
+void write_chrome_trace(const std::string& path) {
+  std::ofstream os(path);
+  HTMPLL_REQUIRE(os.good(), "cannot open trace output file: " + path);
+  os << chrome_trace_json();
+}
+
+}  // namespace htmpll::obs

@@ -1,5 +1,7 @@
 #include "htmpll/parallel/sweep.hpp"
 
+#include "htmpll/obs/trace.hpp"
+
 namespace htmpll {
 
 std::vector<cplx> jw_grid(const std::vector<double>& w) {
@@ -11,6 +13,7 @@ std::vector<cplx> jw_grid(const std::vector<double>& w) {
 std::vector<cplx> SweepRunner::run(
     const std::vector<cplx>& s_grid,
     const std::function<cplx(cplx)>& evaluator) const {
+  HTMPLL_TRACE_SPAN("sweep.run");
   std::vector<cplx> out(s_grid.size());
   pool_->parallel_for(s_grid.size(),
                       [&](std::size_t i) { out[i] = evaluator(s_grid[i]); });
@@ -20,6 +23,7 @@ std::vector<cplx> SweepRunner::run(
 std::vector<cplx> SweepRunner::run_jw(
     const std::vector<double>& w_grid,
     const std::function<cplx(cplx)>& evaluator) const {
+  HTMPLL_TRACE_SPAN("sweep.run_jw");
   std::vector<cplx> out(w_grid.size());
   pool_->parallel_for(w_grid.size(), [&](std::size_t i) {
     out[i] = evaluator(cplx{0.0, w_grid[i]});

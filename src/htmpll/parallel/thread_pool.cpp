@@ -1,9 +1,13 @@
 #include "htmpll/parallel/thread_pool.hpp"
 
 #include <algorithm>
+#include <cerrno>
+#include <cstdio>
 #include <cstdlib>
 #include <string>
 
+#include "htmpll/obs/metrics.hpp"
+#include "htmpll/obs/trace.hpp"
 #include "htmpll/util/check.hpp"
 
 namespace htmpll {
@@ -14,18 +18,59 @@ namespace {
 /// from inside a worker run inline instead of deadlocking on the pool.
 thread_local bool t_inside_worker = false;
 
+/// Pool instrumentation.  Jobs/chunks are counted per dispatch (coarse);
+/// busy/width nanoseconds let telemetry derive pool utilization as
+/// busy_ns / width_ns without assuming a single pool width per process.
+struct PoolMetrics {
+  obs::Counter& jobs = obs::counter("parallel.pool_jobs");
+  obs::Counter& jobs_inline = obs::counter("parallel.pool_jobs_inline");
+  obs::Counter& chunks = obs::counter("parallel.pool_chunks");
+  obs::Counter& indices = obs::counter("parallel.pool_indices");
+  obs::Counter& busy_ns = obs::counter("parallel.pool_busy_ns");
+  obs::Counter& width_ns = obs::counter("parallel.pool_width_ns");
+};
+
+PoolMetrics& pool_metrics() {
+  static PoolMetrics m;
+  return m;
+}
+
 }  // namespace
 
 std::size_t configured_thread_count() {
+  const unsigned hw = std::thread::hardware_concurrency();
+  const std::size_t fallback = hw == 0 ? 1 : static_cast<std::size_t>(hw);
   if (const char* env = std::getenv("HTMPLL_THREADS")) {
     char* end = nullptr;
+    errno = 0;
     const long parsed = std::strtol(env, &end, 10);
-    if (end != env && *end == '\0' && parsed >= 1) {
-      return static_cast<std::size_t>(std::min(parsed, 256L));
+    const bool numeric = end != env && *end == '\0' && errno == 0;
+    if (!numeric) {
+      // Garbage ("abc", "4x", "", out-of-range): reject loudly instead
+      // of silently misconfiguring the pool.
+      std::fprintf(stderr,
+                   "htmpll: warning: HTMPLL_THREADS='%s' is not an "
+                   "integer; using hardware concurrency (%zu)\n",
+                   env, fallback);
+      return fallback;
     }
+    if (parsed < 1) {
+      std::fprintf(stderr,
+                   "htmpll: warning: HTMPLL_THREADS=%ld must be >= 1; "
+                   "using hardware concurrency (%zu)\n",
+                   parsed, fallback);
+      return fallback;
+    }
+    if (parsed > 256) {
+      std::fprintf(stderr,
+                   "htmpll: warning: HTMPLL_THREADS=%ld clamped to the "
+                   "pool maximum of 256\n",
+                   parsed);
+      return 256;
+    }
+    return static_cast<std::size_t>(parsed);
   }
-  const unsigned hw = std::thread::hardware_concurrency();
-  return hw == 0 ? 1 : static_cast<std::size_t>(hw);
+  return fallback;
 }
 
 ThreadPool::ThreadPool(std::size_t threads) {
@@ -64,12 +109,16 @@ void ThreadPool::run_chunks() {
   const std::size_t n = job_n_;
   const std::size_t grain = job_grain_;
   const std::function<void(std::size_t)>& fn = *job_fn_;
+  const bool instrumented = obs::enabled();
+  const std::uint64_t t0 = instrumented ? obs::now_ns() : 0;
+  std::size_t chunks_run = 0;
+  std::size_t indices_run = 0;
   for (;;) {
     const std::size_t chunk =
         next_chunk_.fetch_add(1, std::memory_order_relaxed);
     const std::size_t begin = chunk * grain;
-    if (begin >= n) return;
-    if (failed_.load(std::memory_order_relaxed)) return;
+    if (begin >= n) break;
+    if (failed_.load(std::memory_order_relaxed)) break;
     const std::size_t end = std::min(n, begin + grain);
     try {
       for (std::size_t i = begin; i < end; ++i) fn(i);
@@ -78,6 +127,14 @@ void ThreadPool::run_chunks() {
       if (!error_) error_ = std::current_exception();
       failed_.store(true, std::memory_order_relaxed);
     }
+    ++chunks_run;
+    indices_run += end - begin;
+  }
+  if (instrumented) {
+    PoolMetrics& m = pool_metrics();
+    m.chunks.add(chunks_run);
+    m.indices.add(indices_run);
+    m.busy_ns.add(obs::now_ns() - t0);
   }
 }
 
@@ -86,9 +143,18 @@ void ThreadPool::parallel_for(std::size_t n, std::size_t grain,
   HTMPLL_REQUIRE(grain >= 1, "parallel_for grain must be >= 1");
   if (n == 0) return;
   if (workers_.empty() || n <= grain || t_inside_worker) {
+    if (obs::enabled()) {
+      PoolMetrics& m = pool_metrics();
+      m.jobs_inline.add();
+      m.indices.add(n);
+    }
     for (std::size_t i = 0; i < n; ++i) fn(i);
     return;
   }
+  HTMPLL_TRACE_SPAN("pool.parallel_for");
+  const bool instrumented = obs::enabled();
+  const std::uint64_t job_t0 = instrumented ? obs::now_ns() : 0;
+  if (instrumented) pool_metrics().jobs.add();
   {
     std::lock_guard<std::mutex> lock(mu_);
     job_n_ = n;
@@ -111,6 +177,11 @@ void ThreadPool::parallel_for(std::size_t n, std::size_t grain,
   std::unique_lock<std::mutex> lock(mu_);
   cv_done_.wait(lock, [&] { return busy_workers_ == 0; });
   job_fn_ = nullptr;
+  if (instrumented) {
+    // Capacity offered during this job: wall time times pool width.
+    // Telemetry derives utilization as pool_busy_ns / pool_width_ns.
+    pool_metrics().width_ns.add((obs::now_ns() - job_t0) * threads());
+  }
   if (error_) {
     std::exception_ptr err = error_;
     error_ = nullptr;
@@ -126,8 +197,20 @@ void ThreadPool::parallel_for(std::size_t n,
   parallel_for(n, grain, fn);
 }
 
+namespace {
+
+std::size_t resolved_global_width() {
+  const std::size_t width = configured_thread_count();
+  // Gauges record configuration unconditionally, so the resolved width
+  // is visible even when obs is enabled after pool creation.
+  obs::gauge("parallel.pool_width").set(static_cast<double>(width));
+  return width;
+}
+
+}  // namespace
+
 ThreadPool& ThreadPool::global() {
-  static ThreadPool pool(configured_thread_count());
+  static ThreadPool pool(resolved_global_width());
   return pool;
 }
 

@@ -13,8 +13,11 @@
 // is no cross-point reduction inside the pool, hence no floating-point
 // reassociation.
 //
-// The worker count of the shared pool is HTMPLL_THREADS when set
-// (clamped to [1, 256]); otherwise std::thread::hardware_concurrency().
+// The worker count of the shared pool is HTMPLL_THREADS when set to a
+// valid positive integer (clamped to 256 with a warning above that);
+// non-numeric, zero or negative values are rejected with a warning on
+// stderr and fall back to std::thread::hardware_concurrency().  The
+// resolved width is surfaced as the obs gauge "parallel.pool_width".
 // HTMPLL_THREADS=1 runs every parallel_for inline on the calling thread.
 #pragma once
 
@@ -31,7 +34,10 @@
 namespace htmpll {
 
 /// Worker count for the shared pool: HTMPLL_THREADS if set and valid
-/// (clamped to [1, 256]), else hardware concurrency (at least 1).
+/// (1..256; larger values clamp to 256 with a warning), else hardware
+/// concurrency (at least 1).  Invalid values -- non-numeric text, zero,
+/// negatives -- print a warning to stderr and use the fallback instead
+/// of silently misconfiguring the pool.
 std::size_t configured_thread_count();
 
 class ThreadPool {

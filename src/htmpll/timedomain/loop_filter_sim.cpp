@@ -1,8 +1,26 @@
 #include "htmpll/timedomain/loop_filter_sim.hpp"
 
+#include "htmpll/obs/metrics.hpp"
 #include "htmpll/util/check.hpp"
 
 namespace htmpll {
+
+namespace {
+
+/// Process-wide mirrors of the per-integrator cache stats; Counter::add
+/// is a no-op unless instrumentation is enabled.
+struct PropagatorMetrics {
+  obs::Counter& lookups = obs::counter("timedomain.propagator_lookups");
+  obs::Counter& misses = obs::counter("timedomain.propagator_misses");
+  obs::Counter& evictions = obs::counter("timedomain.propagator_evictions");
+};
+
+PropagatorMetrics& propagator_metrics() {
+  static PropagatorMetrics m;
+  return m;
+}
+
+}  // namespace
 
 StateSpace augment_with_phase(const StateSpace& filter, double kvco) {
   const std::size_t n = filter.order();
@@ -46,14 +64,18 @@ void PiecewiseExactIntegrator::set_cache_capacity(std::size_t capacity) {
 
 const StepPropagator& PiecewiseExactIntegrator::propagator(double h) const {
   ++stats_.lookups;
+  propagator_metrics().lookups.add();
   for (const CacheEntry& e : cache_) {
     if (e.h == h) return e.prop;
   }
   ++stats_.misses;
+  propagator_metrics().misses.add();
   if (cache_.size() < cache_capacity_) {
     cache_.push_back({h, make_propagator(ss_.a, ss_.b, h)});
     return cache_.back().prop;
   }
+  ++stats_.evictions;
+  propagator_metrics().evictions.add();
   CacheEntry& slot = cache_[next_slot_];
   next_slot_ = (next_slot_ + 1) % cache_capacity_;
   slot.h = h;

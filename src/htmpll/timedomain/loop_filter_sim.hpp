@@ -23,10 +23,14 @@ StateSpace augment_with_phase(const StateSpace& filter, double kvco);
 /// Hit/miss counters of a PiecewiseExactIntegrator's propagator cache.
 /// Every miss costs one Van Loan matrix exponential; `misses` therefore
 /// equals the number of expm evaluations performed so far and
-/// `lookups - misses` the number saved by caching.
+/// `lookups - misses` the number saved by caching.  This is a thin
+/// per-integrator view; when instrumentation is enabled (HTMPLL_OBS=1)
+/// the same events also feed the process-wide obs counters
+/// "timedomain.propagator_{lookups,misses,evictions}".
 struct PropagatorCacheStats {
   std::uint64_t lookups = 0;
   std::uint64_t misses = 0;
+  std::uint64_t evictions = 0;  ///< cache-full slot replacements
   std::uint64_t hits() const { return lookups - misses; }
 };
 

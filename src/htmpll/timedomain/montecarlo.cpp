@@ -2,6 +2,7 @@
 
 #include <cmath>
 
+#include "htmpll/obs/trace.hpp"
 #include "htmpll/util/check.hpp"
 
 namespace htmpll {
@@ -22,6 +23,7 @@ std::vector<NoiseRunStats> run_noise_ensemble(const PllParameters& params,
                                               std::size_t n_runs,
                                               const NoiseEnsembleOptions& opts,
                                               ThreadPool& pool) {
+  HTMPLL_TRACE_SPAN("mc.noise_ensemble");
   HTMPLL_REQUIRE(sigma >= 0.0, "noise sigma must be non-negative");
   HTMPLL_REQUIRE(opts.settle_periods >= 0.0 && opts.measure_periods > 0.0,
                  "noise ensemble needs settle >= 0 and measure > 0 periods");
@@ -59,6 +61,7 @@ std::vector<NoiseRunStats> run_noise_ensemble(const PllParameters& params,
 std::vector<double> acquisition_periods(
     const std::vector<AcquisitionCase>& cases,
     const AcquisitionOptions& opts, ThreadPool& pool) {
+  HTMPLL_TRACE_SPAN("mc.acquisition_batch");
   HTMPLL_REQUIRE(opts.tol_fraction > 0.0 && opts.chunk_periods > 0.0 &&
                      opts.max_periods > 0.0,
                  "acquisition options must be positive");
@@ -87,6 +90,7 @@ std::vector<double> acquisition_periods(
 std::vector<std::vector<double>> step_response_batch(
     const std::vector<PllParameters>& loops, std::size_t count,
     double delta, ThreadPool& pool) {
+  HTMPLL_TRACE_SPAN("mc.step_response_batch");
   HTMPLL_REQUIRE(count >= 1, "need at least one step-response sample");
   HTMPLL_REQUIRE(delta != 0.0, "step size must be non-zero");
   std::vector<std::vector<double>> out(loops.size());

@@ -6,6 +6,7 @@
 #include <numbers>
 #include <sstream>
 
+#include "htmpll/obs/metrics.hpp"
 #include "htmpll/util/check.hpp"
 
 namespace htmpll {
@@ -23,6 +24,13 @@ double ReferenceModulation::slope(double t) const {
 namespace {
 
 constexpr std::size_t kPulseHistory = 8;
+
+/// PFD edges processed across all simulators in the process (the
+/// per-instance count stays available via events()).
+obs::Counter& pfd_event_counter() {
+  static obs::Counter& c = obs::counter("timedomain.pfd_events");
+  return c;
+}
 
 }  // namespace
 
@@ -250,6 +258,7 @@ void PllTransientSim::process_edges(double t_evt, double t_ref, double t_vco) {
     pfd_.on_reference_edge();
     ++n_ref_;
     ++events_;
+    pfd_event_counter().add();
     if (noise_sigma_ > 0.0) {
       noise_current_ = noise_sigma_ * noise_dist_(noise_rng_);
     }
@@ -258,6 +267,7 @@ void PllTransientSim::process_edges(double t_evt, double t_ref, double t_vco) {
     pfd_.on_vco_edge();
     ++n_vco_;
     ++events_;
+    pfd_event_counter().add();
   }
   const TriStatePfd::State after = pfd_.state();
   // Track charge-pump pulse widths for lock detection.

@@ -3,10 +3,21 @@
 #include <cmath>
 #include <numbers>
 
+#include "htmpll/obs/metrics.hpp"
+#include "htmpll/obs/trace.hpp"
 #include "htmpll/parallel/thread_pool.hpp"
 #include "htmpll/util/check.hpp"
 
 namespace htmpll {
+
+namespace {
+
+obs::Counter& probe_point_counter() {
+  static obs::Counter& c = obs::counter("timedomain.probe_points");
+  return c;
+}
+
+}  // namespace
 
 cplx single_bin_ratio(const std::vector<double>& t,
                       const std::vector<double>& y, double omega_y,
@@ -50,6 +61,7 @@ TransientCheckpoint make_settled_checkpoint(const PllParameters& params,
                                             double settle_periods) {
   HTMPLL_REQUIRE(settle_periods >= 0.0,
                  "settle period count must be non-negative");
+  HTMPLL_TRACE_SPAN("probe.warm_settle");
   TransientConfig cfg;
   cfg.record = false;
   PllTransientSim sim(params, {}, cfg);
@@ -68,6 +80,8 @@ TransferMeasurement run_probe(const PllParameters& params, double omega_m,
                               double omega_out, double min_sample_rate,
                               const ProbeOptions& opts,
                               const TransientCheckpoint* warm) {
+  HTMPLL_TRACE_SPAN("probe.point");
+  probe_point_counter().add();
   HTMPLL_REQUIRE(omega_m > 0.0, "modulation frequency must be positive");
   validate_probe_options(opts);
 
@@ -98,11 +112,17 @@ TransferMeasurement run_probe(const PllParameters& params, double omega_m,
   } else {
     settle = std::max(opts.settle_periods * t_period, 4.0 * tm);
   }
-  sim.run_until(settle);
+  {
+    HTMPLL_TRACE_SPAN("probe.settle");
+    sim.run_until(settle);
+  }
 
   sim.set_recording(true);
   sim.clear_samples();
-  sim.run_until(settle + static_cast<double>(opts.measure_periods) * tm);
+  {
+    HTMPLL_TRACE_SPAN("probe.measure");
+    sim.run_until(settle + static_cast<double>(opts.measure_periods) * tm);
+  }
 
   TransferMeasurement out;
   out.value = single_bin_ratio(sim.sample_times(), sim.theta_samples(),
