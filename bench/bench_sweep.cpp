@@ -1,10 +1,15 @@
 // Sweep-engine benchmark: measures the parallel/batched evaluation
-// paths against their naive point-wise counterparts and verifies that
-// every path returns BIT-IDENTICAL results.
+// paths against their naive point-wise counterparts and verifies both
+// numerical contracts:
+//  * the scalar-forced grid paths (use_eval_plan = false) must be
+//    BIT-IDENTICAL to the point-wise calls,
+//  * the default eval-plan grid paths must agree with the point-wise
+//    calls to <= 1e-12 relative error.
 //
 //   1. baseband_transfer over a 2000-point log grid: scalar loop,
-//      1-thread SweepRunner, global-pool SweepRunner, and the batched
-//      baseband_transfer_grid API (exact and truncated lambda).
+//      1-thread SweepRunner, global-pool SweepRunner, the scalar-forced
+//      grid API, and the compiled-plan grid API (exact and truncated
+//      lambda).
 //   2. closed_loop_grid over 6 output bands vs a naive nested
 //      closed_loop loop (shared lambda + shifted-gain table per point).
 //   3. dense kernels: blocked HTM-sized complex matrix product and the
@@ -13,10 +18,14 @@
 // Writes a machine-readable report (default BENCH_sweep.json).
 //
 // Usage: bench_sweep [output.json] [--check]
-//   --check: exit non-zero if the global-pool sweep is slower than the
-//            1-thread sweep on a machine with >= 4 hardware threads.
+//   --check: additionally exit non-zero if the global-pool sweep is
+//            slower than the 1-thread sweep on a machine with >= 4
+//            hardware threads, or the plan grid is slower than 0.97x
+//            the point-wise loop.
+#include <algorithm>
 #include <cstring>
 #include <iostream>
+#include <limits>
 #include <numbers>
 #include <string>
 #include <thread>
@@ -42,6 +51,17 @@ using bench::time_best_of;
 bool bit_identical(const CVector& a, const CVector& b) {
   return a.size() == b.size() &&
          std::memcmp(a.data(), b.data(), a.size() * sizeof(cplx)) == 0;
+}
+
+double max_rel_err(const CVector& got, const CVector& want) {
+  double worst = got.size() == want.size()
+                     ? 0.0
+                     : std::numeric_limits<double>::infinity();
+  for (std::size_t i = 0; i < got.size() && i < want.size(); ++i) {
+    const double scale = std::max(1e-300, std::abs(want[i]));
+    worst = std::max(worst, std::abs(got[i] - want[i]) / scale);
+  }
+  return worst;
 }
 
 /// Deterministic pseudo-random complex fill (no global RNG state).
@@ -74,12 +94,20 @@ int main(int argc, char** argv) {
 
   const double w0 = 2.0 * std::numbers::pi;
   const PllParameters params = make_typical_loop(0.1 * w0, w0);
-  const SamplingPllModel exact(params);
+  const SamplingPllModel exact(params);  // default: eval-plan grids
+  SamplingPllOptions exact_scalar_opts;
+  exact_scalar_opts.use_eval_plan = false;
+  const SamplingPllModel exact_scalar(
+      params, HarmonicCoefficients(cplx{1.0}), exact_scalar_opts);
   SamplingPllOptions trunc_opts;
   trunc_opts.lambda_method = LambdaMethod::kTruncated;
   trunc_opts.truncation = 16;
   const SamplingPllModel truncated(params, HarmonicCoefficients(cplx{1.0}),
                                    trunc_opts);
+  SamplingPllOptions trunc_scalar_opts = trunc_opts;
+  trunc_scalar_opts.use_eval_plan = false;
+  const SamplingPllModel truncated_scalar(
+      params, HarmonicCoefficients(cplx{1.0}), trunc_scalar_opts);
 
   const std::size_t n_points = 2000;
   const std::vector<double> w_grid = logspace(1e-3 * w0, 0.49 * w0, n_points);
@@ -115,14 +143,20 @@ int main(int argc, char** argv) {
     r_parallel = SweepRunner().run(s_grid, scalar_eval);
   });
 
+  CVector r_grid_scalar;
+  const double t_grid_scalar = time_best_of(reps, [&] {
+    r_grid_scalar = exact_scalar.baseband_transfer_grid(s_grid);
+  });
+
   CVector r_grid;
   const double t_grid = time_best_of(reps, [&] {
     r_grid = exact.baseband_transfer_grid(s_grid);
   });
+  const double exact_plan_err = max_rel_err(r_grid, r_pointwise);
 
   const bool exact_identical = bit_identical(r_pointwise, r_serial) &&
                                bit_identical(r_pointwise, r_parallel) &&
-                               bit_identical(r_pointwise, r_grid);
+                               bit_identical(r_pointwise, r_grid_scalar);
 
   // --- 1b. truncated lambda: the shifted-gain memo also pays serially --
   CVector rt_pointwise(n_points);
@@ -131,11 +165,16 @@ int main(int argc, char** argv) {
       rt_pointwise[i] = truncated.baseband_transfer(s_grid[i]);
     }
   });
+  CVector rt_grid_scalar;
+  const double tt_grid_scalar = time_best_of(reps, [&] {
+    rt_grid_scalar = truncated_scalar.baseband_transfer_grid(s_grid);
+  });
   CVector rt_grid;
   const double tt_grid = time_best_of(reps, [&] {
     rt_grid = truncated.baseband_transfer_grid(s_grid);
   });
-  const bool trunc_identical = bit_identical(rt_pointwise, rt_grid);
+  const double trunc_plan_err = max_rel_err(rt_grid, rt_pointwise);
+  const bool trunc_identical = bit_identical(rt_pointwise, rt_grid_scalar);
 
   // --- 2. multi-band closed loop ---------------------------------------
   const std::vector<int> bands = {-2, -1, 0, 1, 2, 3};
@@ -150,13 +189,26 @@ int main(int argc, char** argv) {
       }
     }
   });
+  std::vector<CVector> cl_grid_scalar;
+  const double t_cl_grid_scalar = time_best_of(reps, [&] {
+    cl_grid_scalar = exact_scalar.closed_loop_grid(bands, s_band);
+  });
   std::vector<CVector> cl_grid;
   const double t_cl_grid = time_best_of(reps, [&] {
     cl_grid = exact.closed_loop_grid(bands, s_band);
   });
-  bool cl_identical = cl_grid.size() == bands.size();
-  for (std::size_t b = 0; cl_identical && b < bands.size(); ++b) {
-    cl_identical = bit_identical(cl_naive[b], cl_grid[b]);
+  bool cl_identical = cl_grid_scalar.size() == bands.size();
+  double cl_plan_err = cl_grid.size() == bands.size()
+                           ? 0.0
+                           : std::numeric_limits<double>::infinity();
+  for (std::size_t b = 0; b < bands.size(); ++b) {
+    if (cl_identical) {
+      cl_identical = bit_identical(cl_naive[b], cl_grid_scalar[b]);
+    }
+    if (b < cl_grid.size()) {
+      cl_plan_err =
+          std::max(cl_plan_err, max_rel_err(cl_grid[b], cl_naive[b]));
+    }
   }
 
   // --- 3. dense kernels -------------------------------------------------
@@ -188,7 +240,9 @@ int main(int argc, char** argv) {
   });
   const double obs_delta = t_obs_on - t_obs_off;
   const double obs_fraction = obs_delta / t_obs_off;
-  const bool obs_identical = bit_identical(r_pointwise, r_obs);
+  // The plan path is deterministic, so instrumentation must not change
+  // a single bit of its result.
+  const bool obs_identical = bit_identical(r_grid, r_obs);
 
   // --- 5. instrumented telemetry pass -----------------------------------
   // One clean re-run of each phase with obs enabled; the counters and
@@ -219,13 +273,24 @@ int main(int argc, char** argv) {
   row("exact pointwise (baseline)", t_pointwise, t_pointwise, true);
   row("exact SweepRunner 1 thread", t_serial, t_pointwise, exact_identical);
   row("exact SweepRunner pool", t_parallel, t_pointwise, exact_identical);
-  row("exact baseband_transfer_grid", t_grid, t_pointwise, exact_identical);
+  row("exact grid (scalar-forced)", t_grid_scalar, t_pointwise,
+      exact_identical);
+  row("exact grid (eval plan)", t_grid, t_pointwise,
+      exact_plan_err <= 1e-12);
   row("trunc pointwise (baseline)", tt_pointwise, tt_pointwise, true);
-  row("trunc baseband_transfer_grid", tt_grid, tt_pointwise,
+  row("trunc grid (scalar-forced)", tt_grid_scalar, tt_pointwise,
       trunc_identical);
+  row("trunc grid (eval plan)", tt_grid, tt_pointwise,
+      trunc_plan_err <= 1e-12);
   row("closed_loop 6-band pointwise", t_cl_naive, t_cl_naive, true);
-  row("closed_loop_grid 6 bands", t_cl_grid, t_cl_naive, cl_identical);
+  row("closed_loop_grid scalar", t_cl_grid_scalar, t_cl_naive,
+      cl_identical);
+  row("closed_loop_grid eval plan", t_cl_grid, t_cl_naive,
+      cl_plan_err <= 1e-12);
   t.print(std::cout);
+  std::cout << "\neval-plan max relative error vs pointwise: exact "
+            << exact_plan_err << ", truncated " << trunc_plan_err
+            << ", closed-loop " << cl_plan_err << "\n";
   std::cout << "\ndense " << dim << "x" << dim << " complex: blocked product "
             << t_matmul << " s, LU multi-solve " << t_solve
             << " s  (checksum " << checksum << ")\n";
@@ -235,7 +300,12 @@ int main(int argc, char** argv) {
 
   const bool all_identical = exact_identical && trunc_identical &&
                              cl_identical && obs_identical;
-  std::cout << "\nall paths bit-identical: " << (all_identical ? "yes" : "NO")
+  const double plan_err =
+      std::max({exact_plan_err, trunc_plan_err, cl_plan_err});
+  const bool plan_within_tol = plan_err <= 1e-12;
+  std::cout << "\nscalar-forced paths bit-identical: "
+            << (all_identical ? "yes" : "NO")
+            << ", plan within 1e-12: " << (plan_within_tol ? "yes" : "NO")
             << "\n";
 
   Json report = Json::object();
@@ -247,19 +317,27 @@ int main(int argc, char** argv) {
   sweeps.set("exact_pointwise_s", Json::number(t_pointwise))
       .set("exact_sweep_serial_s", Json::number(t_serial))
       .set("exact_sweep_pool_s", Json::number(t_parallel))
+      .set("exact_grid_scalar_s", Json::number(t_grid_scalar))
       .set("exact_grid_api_s", Json::number(t_grid))
       .set("pool_speedup_vs_serial", Json::number(t_serial / t_parallel))
       .set("grid_speedup_vs_pointwise", Json::number(t_pointwise / t_grid))
+      .set("scalar_grid_speedup_vs_pointwise",
+           Json::number(t_pointwise / t_grid_scalar))
+      .set("exact_plan_max_rel_err", Json::number(exact_plan_err))
       .set("truncated_pointwise_s", Json::number(tt_pointwise))
+      .set("truncated_grid_scalar_s", Json::number(tt_grid_scalar))
       .set("truncated_grid_api_s", Json::number(tt_grid))
-      .set("truncated_grid_speedup", Json::number(tt_pointwise / tt_grid));
+      .set("truncated_grid_speedup", Json::number(tt_pointwise / tt_grid))
+      .set("truncated_plan_max_rel_err", Json::number(trunc_plan_err));
   report.set("baseband_sweep", sweeps);
   Json cl = Json::object();
   cl.set("bands", Json::number(static_cast<double>(bands.size())))
       .set("grid_points", Json::number(static_cast<double>(n_band_points)))
       .set("pointwise_s", Json::number(t_cl_naive))
+      .set("grid_scalar_s", Json::number(t_cl_grid_scalar))
       .set("grid_s", Json::number(t_cl_grid))
-      .set("speedup", Json::number(t_cl_naive / t_cl_grid));
+      .set("speedup", Json::number(t_cl_naive / t_cl_grid))
+      .set("plan_max_rel_err", Json::number(cl_plan_err));
   report.set("closed_loop_multiband", cl);
   Json dense = Json::object();
   dense.set("dim", Json::number(static_cast<double>(dim)))
@@ -276,6 +354,7 @@ int main(int argc, char** argv) {
   report.set("obs_overhead", overhead);
   report.set("telemetry", bench::telemetry_json(phases));
   report.set("bit_identical", Json::boolean(all_identical));
+  report.set("plan_within_tolerance", Json::boolean(plan_within_tol));
   report.write_file(out_path);
   std::cout << "wrote " << out_path << "\n";
 
@@ -299,13 +378,23 @@ int main(int argc, char** argv) {
   if (!obs_was_enabled) obs::disable();
 
   if (!all_identical) {
-    std::cerr << "FAIL: a batched path is not bit-identical to the scalar "
-                 "path\n";
+    std::cerr << "FAIL: a scalar-forced batched path is not bit-identical "
+                 "to the point-wise path\n";
+    return 1;
+  }
+  if (!plan_within_tol) {
+    std::cerr << "FAIL: an eval-plan grid differs from the point-wise "
+                 "path by " << plan_err << " (> 1e-12 relative)\n";
     return 1;
   }
   if (check && hw >= 4 && t_parallel > t_serial) {
     std::cerr << "FAIL: pool sweep slower than 1-thread sweep on " << hw
               << " hardware threads\n";
+    return 1;
+  }
+  if (check && t_pointwise / t_grid < 0.97) {
+    std::cerr << "FAIL: eval-plan grid slower than 0.97x the point-wise "
+                 "loop (speedup " << t_pointwise / t_grid << ")\n";
     return 1;
   }
   return 0;

@@ -1,11 +1,16 @@
 #!/usr/bin/env bash
-# Builds the benchmark gates in Release and verifies both engines:
+# Builds the benchmark gates in Release and verifies the engines:
 #
-#  * bench_sweep: every batched frequency-domain path must be
-#    bit-identical to the scalar path, and on a machine with >= 4
+#  * bench_sweep: every scalar-forced batched frequency-domain path must
+#    be bit-identical to the point-wise path, the eval-plan grids must
+#    agree with the point-wise path to <= 1e-12 relative error and run
+#    at >= 0.97x the point-wise loop, and on a machine with >= 4
 #    hardware threads the pool sweep must not be slower than the
-#    1-thread sweep (--check enforces both; on narrower machines only
-#    bit-identity is enforced).
+#    1-thread sweep (--check enforces the timing gates; bit-identity and
+#    tolerance are enforced everywhere).
+#  * bench_kernels: the compiled eval plan must evaluate the exact-method
+#    2000-point lambda sweep at >= 1.5x the scalar-forced grid with
+#    <= 1e-12 max relative error.
 #  * bench_transient: the default (cold) transient probe path must be
 #    bit-identical to the seed behavior (single-entry propagator cache),
 #    warm-start measurements must agree with cold ones within the probe
@@ -18,18 +23,20 @@
 #  * instrumentation overhead: scripts/check_overhead.sh gates the
 #    obs_overhead section of the sweep report.
 #
-# Usage: scripts/bench_check.sh [build-dir] [sweep-report.json] [transient-report.json]
+# Usage: scripts/bench_check.sh [build-dir] [sweep-report.json] [transient-report.json] [kernels-report.json]
 set -euo pipefail
 
 BUILD="${1:-build-release}"
 REPORT="${2:-BENCH_sweep.json}"
 TREPORT="${3:-BENCH_transient.json}"
+KREPORT="${4:-BENCH_kernels.json}"
 
 cmake -B "$BUILD" -S . -DCMAKE_BUILD_TYPE=Release > /dev/null
-cmake --build "$BUILD" --target bench_sweep bench_transient -j > /dev/null
+cmake --build "$BUILD" --target bench_sweep bench_transient bench_kernels -j > /dev/null
 
 "$BUILD/bench/bench_sweep" "$REPORT" --check
 "$BUILD/bench/bench_transient" "$TREPORT" --check
+"$BUILD/bench/bench_kernels" "$KREPORT" --check
 
 FAILURES=0
 
@@ -69,7 +76,29 @@ require_section() {
   fi
 }
 
-for f in "$REPORT" "$TREPORT"; do
+# require_ge <gate> <file> <key> <min>
+require_ge() {
+  local v
+  v="$(field "$2" "$3")"
+  if [ -z "$v" ]; then
+    fail "$1" "$2" "\"$3\" >= $4" "field missing"
+  elif ! awk -v v="$v" -v min="$4" 'BEGIN { exit !(v + 0 >= min + 0) }'; then
+    fail "$1" "$2" "\"$3\" >= $4" "\"$3\": $v"
+  fi
+}
+
+# require_le <gate> <file> <key> <max>
+require_le() {
+  local v
+  v="$(field "$2" "$3")"
+  if [ -z "$v" ]; then
+    fail "$1" "$2" "\"$3\" <= $4" "field missing"
+  elif ! awk -v v="$v" -v max="$4" 'BEGIN { exit !(v + 0 <= max + 0) }'; then
+    fail "$1" "$2" "\"$3\" <= $4" "\"$3\": $v"
+  fi
+}
+
+for f in "$REPORT" "$TREPORT" "$KREPORT"; do
   if [ ! -f "$f" ]; then
     fail "report-exists" "$f" "file written by the bench" "no such file"
   fi
@@ -77,9 +106,20 @@ done
 
 if [ -f "$REPORT" ]; then
   require_true sweep-bit-identical "$REPORT" bit_identical
+  require_true sweep-plan-tolerance "$REPORT" plan_within_tolerance
+  require_ge sweep-plan-speedup "$REPORT" grid_speedup_vs_pointwise 0.97
   require_section sweep-telemetry "$REPORT" telemetry
   require_section sweep-obs-overhead "$REPORT" obs_overhead
   require_section sweep-baseband "$REPORT" baseband_sweep
+fi
+
+if [ -f "$KREPORT" ]; then
+  require_true kernels-plan-tolerance "$KREPORT" plan_within_tolerance
+  require_ge kernels-plan-speedup "$KREPORT" plan_speedup_vs_scalar 1.5
+  require_le kernels-plan-rel-err "$KREPORT" plan_max_rel_err 1e-12
+  require_section kernels-eval-plan "$KREPORT" eval_plan
+  require_section kernels-micro "$KREPORT" kernels
+  require_section kernels-telemetry "$KREPORT" telemetry
 fi
 
 if [ -f "$TREPORT" ]; then
@@ -96,4 +136,4 @@ fi
 
 "$(dirname "$0")/check_overhead.sh" "$BUILD" "$REPORT" --no-run
 
-echo "bench_check: OK ($REPORT, $TREPORT)"
+echo "bench_check: OK ($REPORT, $TREPORT, $KREPORT)"

@@ -7,27 +7,57 @@
 
 namespace htmpll {
 
+namespace {
+
+// Shared building blocks: every public entry point is assembled from
+// these so values derived from one exp(-2z) are bit-identical to values
+// computed standalone (same expressions, same operation order).
+
+inline cplx coth_from_e(cplx e) {
+  return (1.0 + e) / (1.0 - e);  // |e| <= 1 since Re z >= 0
+}
+
+inline cplx csch2_from_e(cplx e) {
+  const cplx d = 1.0 - e;
+  return 4.0 * e / (d * d);
+}
+
+// coth z = 1/z + z/3 - z^3/45 + O(z^5)
+inline cplx coth_series(cplx z) {
+  const cplx z2 = z * z;
+  return 1.0 / z + z * (1.0 / 3.0 - z2 / 45.0);
+}
+
+// csch^2 z = 1/z^2 - 1/3 + z^2/15 + O(z^4)
+inline cplx csch2_series(cplx z) {
+  const cplx z2 = z * z;
+  return 1.0 / z2 - 1.0 / 3.0 + z2 / 15.0;
+}
+
+}  // namespace
+
 cplx stable_coth(cplx z) {
   if (z.real() < 0.0) return -stable_coth(-z);
-  if (std::abs(z) < 1e-3) {
-    // coth z = 1/z + z/3 - z^3/45 + O(z^5)
-    const cplx z2 = z * z;
-    return 1.0 / z + z * (1.0 / 3.0 - z2 / 45.0);
-  }
-  const cplx e = std::exp(-2.0 * z);  // |e| <= 1 since Re z >= 0
-  return (1.0 + e) / (1.0 - e);
+  if (std::abs(z) < 1e-3) return coth_series(z);
+  return coth_from_e(std::exp(-2.0 * z));
 }
 
 cplx stable_csch2(cplx z) {
   if (z.real() < 0.0) z = -z;  // csch^2 is even
-  if (std::abs(z) < 1e-3) {
-    // csch^2 z = 1/z^2 - 1/3 + z^2/15 + O(z^4)
-    const cplx z2 = z * z;
-    return 1.0 / z2 - 1.0 / 3.0 + z2 / 15.0;
+  if (std::abs(z) < 1e-3) return csch2_series(z);
+  return csch2_from_e(std::exp(-2.0 * z));
+}
+
+CothCsch2 stable_coth_csch2(cplx z) {
+  const bool flip = z.real() < 0.0;  // coth is odd, csch^2 is even
+  const cplx zp = flip ? -z : z;
+  if (std::abs(zp) < 1e-3) {
+    const cplx ct = coth_series(zp);
+    return {flip ? -ct : ct, csch2_series(zp)};
   }
-  const cplx e = std::exp(-2.0 * z);
-  const cplx d = 1.0 - e;
-  return 4.0 * e / (d * d);
+  const cplx e = std::exp(-2.0 * zp);
+  const cplx ct = coth_from_e(e);
+  return {flip ? -ct : ct, csch2_from_e(e)};
 }
 
 cplx harmonic_pole_sum(cplx x, double w0, int k) {
@@ -41,14 +71,38 @@ cplx harmonic_pole_sum(cplx x, double w0, int k) {
       return c * stable_coth(u);
     case 2:
       return c * c * stable_csch2(u);
-    case 3:
-      return c * c * c * stable_csch2(u) * stable_coth(u);
+    case 3: {
+      const CothCsch2 h = stable_coth_csch2(u);
+      return c * c * c * h.csch2 * h.coth;
+    }
     default: {
       // S4 = (c^4/3) (2 csch^2 u coth^2 u + csch^4 u)
-      const cplx cs2 = stable_csch2(u);
-      const cplx ct = stable_coth(u);
+      const CothCsch2 h = stable_coth_csch2(u);
+      const cplx cs2 = h.csch2;
+      const cplx ct = h.coth;
       return (c * c * c * c / 3.0) * (2.0 * cs2 * ct * ct + cs2 * cs2);
     }
+  }
+}
+
+void harmonic_pole_sums(cplx x, double w0, int kmax, cplx* out) {
+  HTMPLL_REQUIRE(w0 > 0.0, "harmonic_pole_sums needs w0 > 0");
+  HTMPLL_REQUIRE(kmax >= 1 && kmax <= 4,
+                 "harmonic_pole_sums supports pole multiplicities 1..4");
+  const double c = std::numbers::pi / w0;
+  const cplx u = c * x;
+  if (kmax == 1) {
+    out[0] = c * stable_coth(u);
+    return;
+  }
+  const CothCsch2 h = stable_coth_csch2(u);
+  const cplx ct = h.coth;
+  const cplx cs2 = h.csch2;
+  out[0] = c * ct;
+  out[1] = c * c * cs2;
+  if (kmax >= 3) out[2] = c * c * c * cs2 * ct;
+  if (kmax >= 4) {
+    out[3] = (c * c * c * c / 3.0) * (2.0 * cs2 * ct * ct + cs2 * cs2);
   }
 }
 
@@ -123,20 +177,37 @@ cplx AliasingSum::adaptive(cplx s, const AliasingSumOptions& opts) const {
       quiet = 0;
     }
   }
-  if (corr1) acc += laurent_d_ * (harmonic_pole_sum(s, w0_, k1) - partial1);
-  if (corr2) acc += laurent_d1_ * (harmonic_pole_sum(s, w0_, k2) - partial2);
+  // Tail corrections: orders k1 and k2 = k1 + 1 share one exp(-2z) when
+  // both are active (bit-identical to two standalone calls).
+  cplx tail1{0.0};
+  cplx tail2{0.0};
+  if (corr1 && corr2) {
+    cplx sums[4];
+    harmonic_pole_sums(s, w0_, k2, sums);
+    tail1 = sums[k1 - 1];
+    tail2 = sums[k2 - 1];
+  } else if (corr1) {
+    tail1 = harmonic_pole_sum(s, w0_, k1);
+  } else if (corr2) {
+    tail2 = harmonic_pole_sum(s, w0_, k2);
+  }
+  if (corr1) acc += laurent_d_ * (tail1 - partial1);
+  if (corr2) acc += laurent_d1_ * (tail2 - partial2);
   return acc;
 }
 
 cplx AliasingSum::exact(cplx s) const {
   // lambda(s) = sum_i sum_k r_ik S_k(s - p_i); the direct part is zero
-  // because A is strictly proper.
+  // because A is strictly proper.  One harmonic_pole_sums call per pole
+  // shares the exponential across that pole's multiplicity orders.
   cplx acc{0.0};
+  cplx sums[4];
   for (const PoleTerm& term : pf_.terms()) {
     const cplx x = s - term.pole;
+    harmonic_pole_sums(x, w0_, static_cast<int>(term.residues.size()),
+                       sums);
     for (std::size_t j = 0; j < term.residues.size(); ++j) {
-      acc += term.residues[j] *
-             harmonic_pole_sum(x, w0_, static_cast<int>(j) + 1);
+      acc += term.residues[j] * sums[j];
     }
   }
   return acc;

@@ -33,10 +33,26 @@ struct AliasingSumOptions {
 /// for k = 1), via the coth closed form.  Throws for k outside [1, 4].
 cplx harmonic_pole_sum(cplx x, double w0, int k);
 
+/// Batch entry point: fills out[0..kmax-1] with S_1(x)..S_kmax(x),
+/// sharing ONE exp(-2z) evaluation between the coth and csch^2 kernels
+/// instead of paying one std::exp per order.  Bit-identical to kmax
+/// separate harmonic_pole_sum calls (same branch structure, same
+/// operation order; the exponential is a pure common subexpression).
+/// Throws for kmax outside [1, 4].
+void harmonic_pole_sums(cplx x, double w0, int kmax, cplx* out);
+
 /// Numerically stable coth / csch^2 on the whole complex plane (series
 /// near 0, exponential form elsewhere); exposed for testing.
 cplx stable_coth(cplx z);
 cplx stable_csch2(cplx z);
+
+/// coth(z) and csch^2(z) from one shared exp(-2z); each component is
+/// bit-identical to the standalone function.
+struct CothCsch2 {
+  cplx coth;
+  cplx csch2;
+};
+CothCsch2 stable_coth_csch2(cplx z);
 
 class AliasingSum {
  public:
@@ -48,6 +64,22 @@ class AliasingSum {
 
   const RationalFunction& transfer() const { return a_; }
   double w0() const { return w0_; }
+
+  // ---- compiled-plan extraction (core/eval_plan) ----------------------
+  //
+  // The exact closed form is a fixed pole/residue structure; exposing it
+  // lets the evaluation-plan layer flatten every channel's terms into
+  // contiguous tables at model-construction time instead of re-walking
+  // the decomposition per grid point.
+
+  /// The partial-fraction decomposition the exact path evaluates.
+  const PartialFractions& partial_fractions() const { return pf_; }
+  /// d: A ~ c_d / s^d at infinity (relative degree).
+  int relative_degree() const { return rel_degree_; }
+  /// Leading Laurent coefficient c_d (tail order summed in closed form).
+  cplx laurent_leading() const { return laurent_d_; }
+  /// Next Laurent coefficient c_{d+1}.
+  cplx laurent_next() const { return laurent_d1_; }
 
   /// sum_{|m| <= M} A(s + j m w0) -- the raw truncated sum (what a
   /// finite HTM computes).  Converges only like 1/M because A ~ c/s^d.

@@ -1,0 +1,341 @@
+#include "htmpll/core/eval_plan.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <numbers>
+
+#include "htmpll/obs/metrics.hpp"
+#include "htmpll/obs/trace.hpp"
+#include "htmpll/parallel/thread_pool.hpp"
+#include "htmpll/util/check.hpp"
+
+namespace htmpll {
+
+namespace {
+
+/// Grid points per chunk: large enough to amortize kernel setup and the
+/// split/join passes, small enough that one block's scratch planes
+/// (including the shifted-gain table) stay cache-resident.
+constexpr std::size_t kBlock = 256;
+
+obs::Counter& plan_points_counter() {
+  static obs::Counter& ctr = obs::counter("core.plan_grid_points");
+  return ctr;
+}
+
+}  // namespace
+
+/// Per-thread workspace for one block of grid points.  All planes are
+/// caller-sized per block; capacity persists across blocks and sweeps,
+/// so the steady state performs no heap allocation.  thread_local
+/// storage keeps concurrent sweeps (and pool workers) disjoint.
+struct EvalPlan::Scratch {
+  // Split planes of the current block.
+  std::vector<double> s_re, s_im;
+  // Argument and value planes of the shared exp(-sT) pass.
+  std::vector<double> arg_re, arg_im, e_re, e_im;
+  // Pole-sum accumulators (exact lambda).
+  std::vector<double> acc_re, acc_im;
+  // Rational-evaluation temporaries (denominator planes, shifted
+  // imaginary plane).
+  std::vector<double> den_re, den_im, im_shift;
+  // Shifted-gain table, planes laid out [(m + mspan) * n + i].
+  std::vector<double> g_re, g_im;
+  // Per-point lambda and PFD-shape prefactor of the block.
+  std::vector<cplx> lam, pre;
+
+  void resize_point_planes(std::size_t n) {
+    s_re.resize(n);
+    s_im.resize(n);
+    arg_re.resize(n);
+    arg_im.resize(n);
+    e_re.resize(n);
+    e_im.resize(n);
+    acc_re.resize(n);
+    acc_im.resize(n);
+    den_re.resize(n);
+    den_im.resize(n);
+    im_shift.resize(n);
+    lam.resize(n);
+    pre.resize(n);
+  }
+};
+
+EvalPlan::Scratch& EvalPlan::thread_scratch() {
+  thread_local Scratch sc;
+  return sc;
+}
+
+std::shared_ptr<const EvalPlan> EvalPlan::build(
+    const SamplingPllModel& model) {
+  HTMPLL_TRACE_SPAN("core.plan_build");
+  std::shared_ptr<EvalPlan> plan(new EvalPlan());
+  plan->w0_ = model.params_.w0;
+  plan->t_ = model.params_.period();
+  plan->c_ = std::numbers::pi / plan->w0_;
+  plan->front_ = plan->w0_ / (2.0 * std::numbers::pi);
+  plan->shape_ = model.opts_.pfd_shape;
+  plan->hlf_num_ = model.hlf_.num().coefficients();
+  plan->hlf_den_ = model.hlf_.den().coefficients();
+
+  for (const auto& ch : model.channels_) {
+    plan->channels_.push_back(ChannelWeight{ch.k, ch.v_k});
+    plan->hmax_ = std::max(plan->hmax_, std::abs(ch.k));
+  }
+
+  // Flatten the exact closed form: every channel's partial-fraction
+  // pole terms, in the scalar evaluation order (channels outer, terms
+  // inner), each carrying exp(p T) for the shared-exponential
+  // factorization exp(-2u) = exp(-sT) exp(pT).
+  plan->exact_usable_ = true;
+  for (const auto& ch : model.channels_) {
+    for (const PoleTerm& term : ch.sum.partial_fractions().terms()) {
+      if (term.residues.size() > 4 || term.residues.empty()) {
+        // The scalar exact path rejects multiplicity > 4 with a
+        // REQUIRE; leaving the plan unusable routes grid calls back to
+        // that path so the error behavior is unchanged.
+        plan->exact_usable_ = false;
+        break;
+      }
+      PoleSumTerm t;
+      t.pole = term.pole;
+      t.kmax = static_cast<int>(term.residues.size());
+      for (std::size_t j = 0; j < term.residues.size(); ++j) {
+        t.residues[j] = term.residues[j];
+      }
+      const cplx ept = std::exp(term.pole * plan->t_);
+      const double mag = std::abs(ept);
+      t.exp_pole_t = ept;
+      // Factoring through exp(pT) is only sound while that factor is a
+      // normal number; otherwise every point recomputes exp(-2u)
+      // directly (still exact, just without the shared plane).
+      t.factored = std::isfinite(ept.real()) && std::isfinite(ept.imag()) &&
+                   mag > 1e-250 && mag < 1e250;
+      plan->exact_terms_.push_back(t);
+    }
+    if (!plan->exact_usable_) break;
+  }
+  if (!plan->exact_usable_) plan->exact_terms_.clear();
+
+  obs::counter("core.plan_builds").add();
+  return plan;
+}
+
+bool EvalPlan::supports(LambdaMethod method) const {
+  switch (method) {
+    case LambdaMethod::kExact:
+      return exact_usable_;
+    case LambdaMethod::kTruncated:
+      return true;
+    case LambdaMethod::kAdaptive:
+      return false;  // per-point stopping rule stays scalar
+  }
+  return false;
+}
+
+void EvalPlan::load_block(const cplx* s, std::size_t n, bool need_exp,
+                          Scratch& sc) const {
+  sc.resize_point_planes(n);
+  split_planes(s, n, sc.s_re.data(), sc.s_im.data());
+  if (!need_exp) return;
+  for (std::size_t i = 0; i < n; ++i) {
+    sc.arg_re[i] = -t_ * sc.s_re[i];
+    sc.arg_im[i] = -t_ * sc.s_im[i];
+  }
+  batch_cexp(sc.arg_re.data(), sc.arg_im.data(), n, sc.e_re.data(),
+             sc.e_im.data());
+}
+
+void EvalPlan::prefactor_block(std::size_t n, Scratch& sc) const {
+  if (shape_ == PfdShape::kImpulse) {
+    std::fill_n(sc.pre.data(), n, cplx{1.0});
+    return;
+  }
+  for (std::size_t i = 0; i < n; ++i) {
+    sc.pre[i] = 1.0 - cplx{sc.e_re[i], sc.e_im[i]};
+  }
+}
+
+void EvalPlan::exact_lambda_block(std::size_t n, Scratch& sc) const {
+  std::fill_n(sc.acc_re.data(), n, 0.0);
+  std::fill_n(sc.acc_im.data(), n, 0.0);
+  for (const PoleSumTerm& term : exact_terms_) {
+    accumulate_pole_sums(term, c_, sc.s_re.data(), sc.s_im.data(),
+                         sc.e_re.data(), sc.e_im.data(), n,
+                         sc.acc_re.data(), sc.acc_im.data());
+  }
+  for (std::size_t i = 0; i < n; ++i) {
+    sc.lam[i] = sc.pre[i] * cplx{sc.acc_re[i], sc.acc_im[i]};
+  }
+}
+
+void EvalPlan::gains_block(std::size_t n, int mspan, Scratch& sc) const {
+  const std::size_t planes = 2 * static_cast<std::size_t>(mspan) + 1;
+  sc.g_re.resize(planes * n);
+  sc.g_im.resize(planes * n);
+  for (int m = -mspan; m <= mspan; ++m) {
+    double* gr = sc.g_re.data() + static_cast<std::size_t>(m + mspan) * n;
+    double* gi = sc.g_im.data() + static_cast<std::size_t>(m + mspan) * n;
+    const double shift = static_cast<double>(m) * w0_;
+    for (std::size_t i = 0; i < n; ++i) {
+      sc.im_shift[i] = sc.s_im[i] + shift;
+    }
+    batch_rational(hlf_num_.data(), hlf_num_.size(), hlf_den_.data(),
+                   hlf_den_.size(), sc.s_re.data(), sc.im_shift.data(), n,
+                   gr, gi, sc.den_re.data(), sc.den_im.data());
+    if (shape_ == PfdShape::kZeroOrderHold) {
+      for (std::size_t i = 0; i < n; ++i) {
+        const cplx sm{sc.s_re[i], sc.im_shift[i]};
+        HTMPLL_REQUIRE(std::abs(sm) > 0.0,
+                       "ZOH shape evaluated on a harmonic of w0; evaluate "
+                       "off the harmonic grid");
+        const cplx q = cplx{gr[i], gi[i]} / (sm * t_);
+        gr[i] = q.real();
+        gi[i] = q.imag();
+      }
+    }
+  }
+}
+
+cplx EvalPlan::vtilde_from_gains(const Scratch& sc, std::size_t n,
+                                 int mspan, std::size_t i, int band,
+                                 cplx pre) const {
+  cplx acc{0.0};
+  for (const ChannelWeight& ch : channels_) {
+    const int m = band - ch.k;  // |m| <= mspan by table construction
+    const std::size_t base = static_cast<std::size_t>(m + mspan) * n;
+    acc += ch.v * cplx{sc.g_re[base + i], sc.g_im[base + i]};
+  }
+  const cplx sn{sc.s_re[i],
+                sc.s_im[i] + static_cast<double>(band) * w0_};
+  HTMPLL_REQUIRE(std::abs(sn) > 0.0,
+                 "V~ evaluated on an integrator pole s = -j n w0");
+  return pre * acc * front_ / sn;
+}
+
+CVector EvalPlan::lambda_grid(const CVector& s_grid, LambdaMethod method,
+                              int truncation) const {
+  HTMPLL_ASSERT(supports(method));
+  HTMPLL_TRACE_SPAN("core.plan_grid");
+  plan_points_counter().add(s_grid.size());
+  const bool exact = method == LambdaMethod::kExact;
+  const bool need_exp = exact || shape_ == PfdShape::kZeroOrderHold;
+  CVector out(s_grid.size());
+  ThreadPool::global().for_each_chunk(
+      s_grid.size(), kBlock, [&](std::size_t b, std::size_t e) {
+        Scratch& sc = thread_scratch();
+        const std::size_t n = e - b;
+        load_block(s_grid.data() + b, n, need_exp, sc);
+        prefactor_block(n, sc);
+        if (exact) {
+          exact_lambda_block(n, sc);
+        } else {
+          gains_block(n, truncation + hmax_, sc);
+          const int mspan = truncation + hmax_;
+          std::fill_n(sc.lam.data(), n, cplx{0.0});
+          for (int band = -truncation; band <= truncation; ++band) {
+            for (std::size_t i = 0; i < n; ++i) {
+              sc.lam[i] +=
+                  vtilde_from_gains(sc, n, mspan, i, band, sc.pre[i]);
+            }
+          }
+        }
+        std::copy_n(sc.lam.data(), n, out.data() + b);
+      });
+  return out;
+}
+
+std::vector<CVector> EvalPlan::closed_loop_grid(
+    const std::vector<int>& bands, const CVector& s_grid,
+    LambdaMethod method, int truncation) const {
+  HTMPLL_ASSERT(supports(method));
+  HTMPLL_TRACE_SPAN("core.plan_grid");
+  plan_points_counter().add(s_grid.size());
+  const bool exact = method == LambdaMethod::kExact;
+  const bool need_exp = exact || shape_ == PfdShape::kZeroOrderHold;
+  int band_max = 0;
+  for (int band : bands) band_max = std::max(band_max, std::abs(band));
+  const int mspan =
+      std::max(band_max, exact ? 0 : truncation) + hmax_;
+  std::vector<CVector> out(bands.size(), CVector(s_grid.size()));
+  ThreadPool::global().for_each_chunk(
+      s_grid.size(), kBlock, [&](std::size_t b, std::size_t e) {
+        Scratch& sc = thread_scratch();
+        const std::size_t n = e - b;
+        load_block(s_grid.data() + b, n, need_exp, sc);
+        prefactor_block(n, sc);
+        gains_block(n, mspan, sc);
+        if (exact) {
+          exact_lambda_block(n, sc);
+        } else {
+          std::fill_n(sc.lam.data(), n, cplx{0.0});
+          for (int band = -truncation; band <= truncation; ++band) {
+            for (std::size_t i = 0; i < n; ++i) {
+              sc.lam[i] +=
+                  vtilde_from_gains(sc, n, mspan, i, band, sc.pre[i]);
+            }
+          }
+        }
+        for (std::size_t bi = 0; bi < bands.size(); ++bi) {
+          for (std::size_t i = 0; i < n; ++i) {
+            out[bi][b + i] =
+                vtilde_from_gains(sc, n, mspan, i, bands[bi], sc.pre[i]) /
+                (1.0 + sc.lam[i]);
+          }
+        }
+      });
+  return out;
+}
+
+CVector EvalPlan::vtilde(cplx s, int truncation) const {
+  HTMPLL_TRACE_SPAN("core.plan_grid");
+  plan_points_counter().add(1);
+  // The harmonic offsets are the SoA grid: slot j holds the shifted
+  // point s + j (j - mspan) w0, so ONE batched rational pass evaluates
+  // every gain the 2K+1 components need.
+  const int mspan = truncation + hmax_;
+  const std::size_t n = 2 * static_cast<std::size_t>(mspan) + 1;
+  Scratch& sc = thread_scratch();
+  sc.resize_point_planes(n);
+  for (std::size_t j = 0; j < n; ++j) {
+    sc.s_re[j] = s.real();
+    sc.s_im[j] = s.imag() +
+                 static_cast<double>(static_cast<int>(j) - mspan) * w0_;
+  }
+  sc.g_re.resize(n);
+  sc.g_im.resize(n);
+  batch_rational(hlf_num_.data(), hlf_num_.size(), hlf_den_.data(),
+                 hlf_den_.size(), sc.s_re.data(), sc.s_im.data(), n,
+                 sc.g_re.data(), sc.g_im.data(), sc.den_re.data(),
+                 sc.den_im.data());
+  if (shape_ == PfdShape::kZeroOrderHold) {
+    for (std::size_t j = 0; j < n; ++j) {
+      const cplx sm{sc.s_re[j], sc.s_im[j]};
+      HTMPLL_REQUIRE(std::abs(sm) > 0.0,
+                     "ZOH shape evaluated on a harmonic of w0; evaluate "
+                     "off the harmonic grid");
+      const cplx q = cplx{sc.g_re[j], sc.g_im[j]} / (sm * t_);
+      sc.g_re[j] = q.real();
+      sc.g_im[j] = q.imag();
+    }
+  }
+  const cplx pre =
+      shape_ == PfdShape::kZeroOrderHold ? 1.0 - std::exp(-s * t_)
+                                         : cplx{1.0};
+  CVector v(2 * static_cast<std::size_t>(truncation) + 1);
+  for (int band = -truncation; band <= truncation; ++band) {
+    cplx acc{0.0};
+    for (const ChannelWeight& ch : channels_) {
+      const std::size_t j = static_cast<std::size_t>(band - ch.k + mspan);
+      acc += ch.v * cplx{sc.g_re[j], sc.g_im[j]};
+    }
+    const cplx sn = s + cplx{0.0, static_cast<double>(band) * w0_};
+    HTMPLL_REQUIRE(std::abs(sn) > 0.0,
+                   "V~ evaluated on an integrator pole s = -j n w0");
+    v[static_cast<std::size_t>(band + truncation)] =
+        pre * acc * front_ / sn;
+  }
+  return v;
+}
+
+}  // namespace htmpll

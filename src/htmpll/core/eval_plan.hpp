@@ -1,0 +1,114 @@
+// Compiled evaluation plans for SamplingPllModel grid sweeps.
+//
+// The scalar model walks one frequency point at a time: per point it
+// re-derives the partial-fraction structure of every ISF harmonic
+// channel, calls std::exp once per pole term (plus once for the ZOH
+// prefactor), and evaluates the shifted loop-filter gains through the
+// generic RationalFunction recursion.  None of that structure depends
+// on the evaluation point -- it is fixed the moment the model is
+// constructed.
+//
+// An EvalPlan flattens that fixed structure once, at model-construction
+// time, into contiguous tables the linalg batch kernels can stream a
+// whole grid through:
+//  * exact lambda: every channel's pole/residue terms as PoleSumTerm
+//    records carrying exp(p T), so one exp(-sT) plane per grid block
+//    feeds the coth/csch^2 kernels of EVERY pole (exp(-2u) =
+//    exp(-sT) exp(pT) for u = (pi/w0)(s-p)) AND the ZOH shape
+//    prefactor 1 - exp(-sT);
+//  * truncated lambda / V~ / closed-loop bands: the loop-filter
+//    numerator/denominator coefficient vectors plus the (k, v_k) index
+//    structure of the nonzero ISF harmonics, evaluated as a
+//    shifted-gain table via batched Horner over split re/im planes.
+//
+// Numerical contract: every plan result agrees with its scalar
+// counterpart to <= 1e-12 relative error (see tests/test_eval_plan).
+// The scalar paths remain in SamplingPllModel as the reference oracle;
+// SamplingPllOptions::use_eval_plan = false forces them.
+//
+// Plans are immutable after build and shared by value-copied models
+// (shared_ptr<const EvalPlan>); grid evaluation uses per-thread scratch
+// planes, so concurrent sweeps over one plan are safe.
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include "htmpll/core/sampling_pll.hpp"
+#include "htmpll/linalg/batch_kernels.hpp"
+
+namespace htmpll {
+
+class EvalPlan {
+ public:
+  /// Compiles the model's channel structure into batch tables.  Called
+  /// by the SamplingPllModel constructor (unless opted out); counts
+  /// itself under "core.plan_builds".
+  static std::shared_ptr<const EvalPlan> build(const SamplingPllModel& model);
+
+  /// True when the plan can serve grids for `method`.  kTruncated is
+  /// always compiled; kExact requires every pole multiplicity <= 4
+  /// (otherwise the scalar path is used -- and throws, preserving the
+  /// scalar error behavior); kAdaptive keeps its per-point stopping
+  /// rule and stays scalar.
+  bool supports(LambdaMethod method) const;
+
+  /// Batched counterparts of the SamplingPllModel grid APIs.  Results
+  /// match the scalar evaluations to <= 1e-12 relative error; per-point
+  /// domain errors (integrator poles, ZOH on a harmonic of w0) throw
+  /// the same assertion messages as the scalar paths.
+  CVector lambda_grid(const CVector& s_grid, LambdaMethod method,
+                      int truncation) const;
+  std::vector<CVector> closed_loop_grid(const std::vector<int>& bands,
+                                        const CVector& s_grid,
+                                        LambdaMethod method,
+                                        int truncation) const;
+
+  /// V~_{-K..K}(s) with the harmonic offsets themselves as the SoA
+  /// "grid": one batched rational pass over the 2(K+h)+1 shifted points
+  /// replaces 2K+1 scalar gain evaluations.
+  CVector vtilde(cplx s, int truncation) const;
+
+ private:
+  EvalPlan() = default;
+
+  /// One nonzero ISF harmonic: V~_n sums v * gain(s + j (n - k) w0).
+  struct ChannelWeight {
+    int k;
+    cplx v;
+  };
+
+  struct Scratch;
+  static Scratch& thread_scratch();
+
+  /// Splits a block into planes and (when `need_exp`) computes the
+  /// shared exp(-sT) plane.
+  void load_block(const cplx* s, std::size_t n, bool need_exp,
+                  Scratch& sc) const;
+  /// Exact lambda over a loaded block (requires the exp plane).
+  void exact_lambda_block(std::size_t n, Scratch& sc) const;
+  /// Shifted-gain table for offsets |m| <= mspan over a loaded block.
+  void gains_block(std::size_t n, int mspan, Scratch& sc) const;
+  /// ZOH prefactor plane (1 - exp(-sT)), or all-ones for impulse.
+  void prefactor_block(std::size_t n, Scratch& sc) const;
+  /// V~_band at point i of the loaded block, from the gain table.
+  cplx vtilde_from_gains(const Scratch& sc, std::size_t n, int mspan,
+                         std::size_t i, int band, cplx pre) const;
+
+  double w0_ = 0.0;
+  double t_ = 0.0;      ///< T = 2 pi / w0
+  double c_ = 0.0;      ///< pi / w0
+  double front_ = 0.0;  ///< w0 / (2 pi)
+  PfdShape shape_ = PfdShape::kImpulse;
+
+  // Exact-method tables (empty when !exact_usable_).
+  bool exact_usable_ = false;
+  std::vector<PoleSumTerm> exact_terms_;
+
+  // Truncated / V~ structure.
+  std::vector<ChannelWeight> channels_;
+  int hmax_ = 0;  ///< max |k| over nonzero ISF harmonics
+  CVector hlf_num_, hlf_den_;  ///< H_LF coefficients (ascending)
+};
+
+}  // namespace htmpll

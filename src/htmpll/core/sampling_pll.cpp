@@ -1,7 +1,10 @@
 #include "htmpll/core/sampling_pll.hpp"
 
 #include <algorithm>
+
+#include "htmpll/core/eval_plan.hpp"
 #include <cmath>
+#include <memory>
 #include <numbers>
 
 #include "htmpll/obs/metrics.hpp"
@@ -75,6 +78,8 @@ SamplingPllModel::SamplingPllModel(PllParameters params,
                                         opts_.pfd_shape),
                     params_.w0)});
   }
+
+  if (opts_.use_eval_plan) plan_ = EvalPlan::build(*this);
 }
 
 cplx SamplingPllModel::shape_factor(cplx s_m) const {
@@ -96,37 +101,83 @@ cplx SamplingPllModel::shifted_gain(cplx s_m) const {
   return hlf_(s_m) * shape_factor(s_m);
 }
 
+namespace {
+
+/// Reusable backing store for a ShiftedGainCache.  Grid sweeps construct
+/// one cache per evaluation point; without pooling that is two heap
+/// allocations per point, which dominates the cache's own benefit on
+/// small tables.  Each thread keeps a small free list of retired
+/// buffers, so steady-state sweeps allocate nothing: a cache borrows a
+/// buffer in its constructor and returns it in its destructor.  The
+/// free list is thread_local, so buffers never migrate between threads
+/// and no locking is involved.
+struct GainScratch {
+  std::vector<cplx> value;
+  std::vector<char> ready;
+};
+
+std::vector<std::unique_ptr<GainScratch>>& gain_scratch_free_list() {
+  thread_local std::vector<std::unique_ptr<GainScratch>> free_list;
+  return free_list;
+}
+
+std::unique_ptr<GainScratch> acquire_gain_scratch(std::size_t slots) {
+  auto& free_list = gain_scratch_free_list();
+  std::unique_ptr<GainScratch> s;
+  if (!free_list.empty()) {
+    s = std::move(free_list.back());
+    free_list.pop_back();
+  } else {
+    s = std::make_unique<GainScratch>();
+  }
+  s->value.assign(slots, cplx{0.0});
+  s->ready.assign(slots, 0);
+  return s;
+}
+
+void release_gain_scratch(std::unique_ptr<GainScratch> s) {
+  gain_scratch_free_list().push_back(std::move(s));
+}
+
+}  // namespace
+
 /// Lazily fills shifted_gain values for harmonic offsets |m| <= mmax of
 /// one evaluation point.  Reusing a memoized value is bit-identical to
 /// recomputing it (same inputs, same code path), so the grid APIs that
 /// share this table match the scalar APIs exactly.  One table serves one
-/// grid point and is touched by a single thread only.
+/// grid point and is touched by a single thread only; the backing
+/// buffers come from a per-thread free list (see GainScratch) so a
+/// sweep's point loop performs no steady-state heap allocation.
 struct SamplingPllModel::ShiftedGainCache {
   ShiftedGainCache(const SamplingPllModel& model, cplx s, int mmax)
       : model_(model),
         s_(s),
         mmax_(mmax),
-        value_(2 * static_cast<std::size_t>(mmax) + 1),
-        ready_(value_.size(), 0) {}
+        scratch_(acquire_gain_scratch(
+            2 * static_cast<std::size_t>(mmax) + 1)) {}
+
+  ~ShiftedGainCache() { release_gain_scratch(std::move(scratch_)); }
+
+  ShiftedGainCache(const ShiftedGainCache&) = delete;
+  ShiftedGainCache& operator=(const ShiftedGainCache&) = delete;
 
   cplx get(int m) {
     const cplx sm =
         s_ + cplx{0.0, static_cast<double>(m) * model_.params_.w0};
     if (m < -mmax_ || m > mmax_) return model_.shifted_gain(sm);
     const auto i = static_cast<std::size_t>(m + mmax_);
-    if (!ready_[i]) {
-      value_[i] = model_.shifted_gain(sm);
-      ready_[i] = 1;
+    if (!scratch_->ready[i]) {
+      scratch_->value[i] = model_.shifted_gain(sm);
+      scratch_->ready[i] = 1;
     }
-    return value_[i];
+    return scratch_->value[i];
   }
 
  private:
   const SamplingPllModel& model_;
   cplx s_;
   int mmax_;
-  std::vector<cplx> value_;
-  std::vector<char> ready_;
+  std::unique_ptr<GainScratch> scratch_;
 };
 
 cplx SamplingPllModel::lambda(cplx s) const {
@@ -192,6 +243,7 @@ cplx SamplingPllModel::vtilde_element(int n, cplx s) const {
 }
 
 CVector SamplingPllModel::vtilde(cplx s, int truncation) const {
+  if (plan_) return plan_->vtilde(s, truncation);
   CVector v(2 * static_cast<std::size_t>(truncation) + 1);
   for (int n = -truncation; n <= truncation; ++n) {
     v[static_cast<std::size_t>(n + truncation)] = vtilde_element(n, s);
@@ -224,8 +276,11 @@ CVector SamplingPllModel::lambda_grid(const CVector& s_grid,
                                       LambdaMethod method,
                                       int truncation) const {
   HTMPLL_TRACE_SPAN("core.lambda_grid");
+  if (plan_ && plan_->supports(method)) {
+    return plan_->lambda_grid(s_grid, method, truncation);
+  }
   CVector out(s_grid.size());
-  ThreadPool::global().parallel_for(s_grid.size(), [&](std::size_t i) {
+  ThreadPool::global().for_each_index(s_grid.size(), [&](std::size_t i) {
     if (method == LambdaMethod::kTruncated) {
       ShiftedGainCache cache(*this, s_grid[i],
                              truncation + isf_.max_harmonic());
@@ -241,8 +296,13 @@ CVector SamplingPllModel::baseband_transfer_grid(const CVector& s_grid) const {
   HTMPLL_TRACE_SPAN("core.baseband_transfer_grid");
   const LambdaMethod method = opts_.lambda_method;
   const int truncation = opts_.truncation;
+  if (plan_ && plan_->supports(method)) {
+    std::vector<CVector> rows =
+        plan_->closed_loop_grid({0}, s_grid, method, truncation);
+    return std::move(rows[0]);
+  }
   CVector out(s_grid.size());
-  ThreadPool::global().parallel_for(s_grid.size(), [&](std::size_t i) {
+  ThreadPool::global().for_each_index(s_grid.size(), [&](std::size_t i) {
     const cplx s = s_grid[i];
     if (method == LambdaMethod::kTruncated && !isf_.is_dc_only()) {
       // One gain table serves the V~_0 numerator and all 2K+1 terms of
@@ -262,7 +322,7 @@ CVector SamplingPllModel::baseband_transfer_grid(const CVector& s_grid) const {
 CVector SamplingPllModel::lti_baseband_transfer_grid(
     const CVector& s_grid) const {
   CVector out(s_grid.size());
-  ThreadPool::global().parallel_for(s_grid.size(), [&](std::size_t i) {
+  ThreadPool::global().for_each_index(s_grid.size(), [&](std::size_t i) {
     out[i] = lti_baseband_transfer(s_grid[i]);
   });
   return out;
@@ -280,6 +340,9 @@ std::vector<CVector> SamplingPllModel::closed_loop_grid(
   HTMPLL_TRACE_SPAN("core.closed_loop_grid");
   const LambdaMethod method = opts_.lambda_method;
   const int truncation = opts_.truncation;
+  if (plan_ && plan_->supports(method)) {
+    return plan_->closed_loop_grid(bands, s_grid, method, truncation);
+  }
   int band_max = 0;
   for (int n : bands) band_max = std::max(band_max, std::abs(n));
   const int table_span =
@@ -288,7 +351,7 @@ std::vector<CVector> SamplingPllModel::closed_loop_grid(
       isf_.max_harmonic();
 
   std::vector<CVector> out(bands.size(), CVector(s_grid.size()));
-  ThreadPool::global().parallel_for(s_grid.size(), [&](std::size_t i) {
+  ThreadPool::global().for_each_index(s_grid.size(), [&](std::size_t i) {
     const cplx s = s_grid[i];
     // The shifted gains overlap between bands (offsets n - k), so one
     // lazily filled table serves every band and the truncated lambda.

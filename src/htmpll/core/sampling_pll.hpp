@@ -19,6 +19,7 @@
 // to arbitrary ... behavior" the paper mentions.
 #pragma once
 
+#include <memory>
 #include <vector>
 
 #include "htmpll/core/aliasing_sum.hpp"
@@ -53,7 +54,14 @@ struct SamplingPllOptions {
   LambdaMethod lambda_method = LambdaMethod::kExact;
   int truncation = 16;  ///< K for kTruncated lambda and HTM assembly
   PfdShape pfd_shape = PfdShape::kImpulse;
+  /// Compile an EvalPlan at construction and serve the grid APIs
+  /// through its batch kernels (<= 1e-12 relative agreement with the
+  /// scalar paths).  False forces the scalar per-point loops, whose
+  /// grid results are bit-identical to the point-wise calls.
+  bool use_eval_plan = true;
 };
+
+class EvalPlan;
 
 class SamplingPllModel {
  public:
@@ -75,6 +83,8 @@ class SamplingPllModel {
   const HarmonicCoefficients& isf() const { return isf_; }
   double w0() const { return params_.w0; }
   bool time_invariant_vco() const { return isf_.is_dc_only(); }
+  /// True when a compiled evaluation plan backs the grid APIs.
+  bool has_eval_plan() const { return plan_ != nullptr; }
 
   /// Continuous-time LTI open-loop gain A(s) (eq. 35), with
   /// v0 = kvco * isf_0 (includes any extra loop dynamics).
@@ -90,14 +100,18 @@ class SamplingPllModel {
   // ---- batched grid evaluation (parallel sweep engine) ----
   //
   // Every *_grid method evaluates its scalar counterpart over a grid of
-  // s points on the shared thread pool (HTMPLL_THREADS wide), hoisting
-  // per-point loop-invariant work -- the shifted loop-filter gains
-  // H_LF(s + j m w0) * shape(s + j m w0) shared between the truncated
-  // lambda sum and the V~ numerators -- into a per-point table.  Slot i
-  // of the result is BIT-IDENTICAL to the scalar call at s_grid[i] for
-  // every method and PFD shape, and independent of the thread count:
-  // points never share accumulators, so no floating-point operation is
-  // reassociated.
+  // s points on the shared thread pool (HTMPLL_THREADS wide).  With the
+  // default use_eval_plan = true the points stream through the compiled
+  // EvalPlan's structure-of-arrays batch kernels (core/eval_plan.hpp):
+  // slot i agrees with the scalar call at s_grid[i] to <= 1e-12
+  // relative error, and is independent of the thread count (points
+  // never share accumulators).  With use_eval_plan = false the scalar
+  // per-point loop runs instead, hoisting per-point loop-invariant work
+  // -- the shifted loop-filter gains H_LF(s + j m w0) *
+  // shape(s + j m w0) shared between the truncated lambda sum and the
+  // V~ numerators -- into a per-point table; slot i of that path is
+  // BIT-IDENTICAL to the scalar call at s_grid[i] for every method and
+  // PFD shape.
 
   /// lambda over a grid via the configured / an explicit method.
   CVector lambda_grid(const CVector& s_grid) const;
@@ -182,6 +196,12 @@ class SamplingPllModel {
     AliasingSum sum;
   };
   std::vector<HarmonicChannel> channels_;
+  /// Compiled batch-evaluation tables (core/eval_plan.hpp); null when
+  /// opts_.use_eval_plan is false.  Immutable and shared across model
+  /// copies.
+  std::shared_ptr<const EvalPlan> plan_;
+
+  friend class EvalPlan;
 };
 
 }  // namespace htmpll

@@ -90,6 +90,14 @@ cplx PartialFractions::impulse_response(double t) const {
   return acc;
 }
 
+PartialFractions PartialFractions::shifted_argument(cplx shift) const {
+  PartialFractions out;
+  out.direct_ = direct_.shifted_argument(shift);
+  out.terms_ = terms_;
+  for (PoleTerm& t : out.terms_) t.pole -= shift;
+  return out;
+}
+
 RationalFunction PartialFractions::reassemble() const {
   RationalFunction out(direct_, Polynomial::constant(1.0));
   for (const PoleTerm& t : terms_) {

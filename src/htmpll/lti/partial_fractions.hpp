@@ -45,7 +45,15 @@ class PartialFractions {
   /// Reassembles a RationalFunction (for round-trip testing).
   RationalFunction reassemble() const;
 
+  /// Decomposition of f(s + shift): every pole moves to p - shift and
+  /// the residues are unchanged (1/(s + shift - p)^k = 1/(s - (p -
+  /// shift))^k), so shifted evaluation needs no new root finding.  This
+  /// is how the evaluation-plan layer derives the pole/residue tables of
+  /// the aliased copies H(s + j m w0) from one decomposition.
+  PartialFractions shifted_argument(cplx shift) const;
+
  private:
+  PartialFractions() = default;
   Polynomial direct_;
   std::vector<PoleTerm> terms_;
 };

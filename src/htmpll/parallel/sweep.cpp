@@ -15,8 +15,8 @@ std::vector<cplx> SweepRunner::run(
     const std::function<cplx(cplx)>& evaluator) const {
   HTMPLL_TRACE_SPAN("sweep.run");
   std::vector<cplx> out(s_grid.size());
-  pool_->parallel_for(s_grid.size(),
-                      [&](std::size_t i) { out[i] = evaluator(s_grid[i]); });
+  pool_->for_each_index(s_grid.size(),
+                        [&](std::size_t i) { out[i] = evaluator(s_grid[i]); });
   return out;
 }
 
@@ -25,7 +25,7 @@ std::vector<cplx> SweepRunner::run_jw(
     const std::function<cplx(cplx)>& evaluator) const {
   HTMPLL_TRACE_SPAN("sweep.run_jw");
   std::vector<cplx> out(w_grid.size());
-  pool_->parallel_for(w_grid.size(), [&](std::size_t i) {
+  pool_->for_each_index(w_grid.size(), [&](std::size_t i) {
     out[i] = evaluator(cplx{0.0, w_grid[i]});
   });
   return out;

@@ -192,9 +192,19 @@ void ThreadPool::parallel_for(std::size_t n, std::size_t grain,
 
 void ThreadPool::parallel_for(std::size_t n,
                               const std::function<void(std::size_t)>& fn) {
-  const std::size_t target_chunks = 8 * threads();
-  const std::size_t grain = std::max<std::size_t>(1, n / target_chunks);
-  parallel_for(n, grain, fn);
+  parallel_for(n, auto_grain(n), fn);
+}
+
+bool ThreadPool::would_run_inline(std::size_t n, std::size_t grain) const {
+  return workers_.empty() || n <= grain || t_inside_worker;
+}
+
+void ThreadPool::note_inline_job(std::size_t n) {
+  if (obs::enabled()) {
+    PoolMetrics& m = pool_metrics();
+    m.jobs_inline.add();
+    m.indices.add(n);
+  }
 }
 
 namespace {

@@ -21,6 +21,7 @@
 // HTMPLL_THREADS=1 runs every parallel_for inline on the calling thread.
 #pragma once
 
+#include <algorithm>
 #include <atomic>
 #include <condition_variable>
 #include <cstddef>
@@ -30,6 +31,8 @@
 #include <mutex>
 #include <thread>
 #include <vector>
+
+#include "htmpll/util/check.hpp"
 
 namespace htmpll {
 
@@ -64,6 +67,68 @@ class ThreadPool {
   /// parallel_for with an automatic grain (targets ~8 chunks per thread).
   void parallel_for(std::size_t n, const std::function<void(std::size_t)>& fn);
 
+  /// True when a (n, grain) job would run inline on the calling thread
+  /// with no worker handoff: single-thread pool, job no larger than one
+  /// chunk, or a nested call from inside a pool worker.
+  bool would_run_inline(std::size_t n, std::size_t grain) const;
+
+  /// Templated parallel_for: identical semantics, but when the job runs
+  /// inline (always true on a width-1 pool) `fn` is invoked directly --
+  /// no std::function construction, no type-erased call per index, no
+  /// chunk bookkeeping -- so a 1-core grid sweep pays exactly the cost
+  /// of the plain scalar loop.
+  template <class F>
+  void for_each_index(std::size_t n, std::size_t grain, F&& fn) {
+    HTMPLL_REQUIRE(grain >= 1, "parallel_for grain must be >= 1");
+    if (n == 0) return;
+    if (would_run_inline(n, grain)) {
+      note_inline_job(n);
+      for (std::size_t i = 0; i < n; ++i) fn(i);
+      return;
+    }
+    const std::function<void(std::size_t)> erased =
+        [&fn](std::size_t i) { fn(i); };
+    parallel_for(n, grain, erased);
+  }
+
+  /// for_each_index with the automatic grain of parallel_for(n, fn).
+  template <class F>
+  void for_each_index(std::size_t n, F&& fn) {
+    const std::size_t grain = auto_grain(n);
+    for_each_index(n, grain, static_cast<F&&>(fn));
+  }
+
+  /// Chunk-level map: body(begin, end) over a partition of [0, n) into
+  /// blocks of `grain` indices (the last block may be short).  This is
+  /// the plan-aware entry point: batch kernels want whole contiguous
+  /// blocks, not single indices, so per-thread scratch planes stay hot
+  /// across one block and SoA inner loops see long runs.  The inline
+  /// path walks the same block partition directly (same boundaries, so
+  /// identical per-block behavior at every pool width).
+  template <class F>
+  void for_each_chunk(std::size_t n, std::size_t grain, F&& body) {
+    HTMPLL_REQUIRE(grain >= 1, "for_each_chunk grain must be >= 1");
+    if (n == 0) return;
+    if (would_run_inline(n, grain)) {
+      note_inline_job(n);
+      for (std::size_t b = 0; b < n; b += grain) {
+        body(b, std::min(n, b + grain));
+      }
+      return;
+    }
+    const std::size_t n_chunks = (n + grain - 1) / grain;
+    const std::function<void(std::size_t)> erased = [&](std::size_t ci) {
+      const std::size_t b = ci * grain;
+      body(b, std::min(n, b + grain));
+    };
+    parallel_for(n_chunks, 1, erased);
+  }
+
+  /// The grain parallel_for(n, fn) would pick (~8 chunks per thread).
+  std::size_t auto_grain(std::size_t n) const {
+    return std::max<std::size_t>(1, n / (8 * threads()));
+  }
+
   /// Process-wide pool sized by configured_thread_count(), created on
   /// first use.
   static ThreadPool& global();
@@ -72,6 +137,9 @@ class ThreadPool {
   void worker_loop();
   /// Claims and runs chunks of the current job; records the first error.
   void run_chunks();
+  /// Metrics hook for the templated inline paths (counts the job and its
+  /// indices like the type-erased inline path does).
+  static void note_inline_job(std::size_t n);
 
   std::vector<std::thread> workers_;
 

@@ -1,0 +1,434 @@
+// Tests for the compiled evaluation-plan layer (core/eval_plan) and the
+// batch kernels beneath it (linalg/batch_kernels).
+//
+// The contract under test: with use_eval_plan = true (the default) every
+// grid API agrees with its scalar counterpart to <= 1e-12 relative
+// error, for randomized loop parameters, random ISF harmonics, both PFD
+// shapes, every batched lambda method, and evaluation points pushed
+// arbitrarily close to the aliasing poles s = p + j n w0.  The scalar
+// paths (use_eval_plan = false) are the oracle.
+//
+// Built as its own executable so it also runs under
+// -DHTMPLL_SANITIZE=thread, covering the per-thread scratch planes and
+// the shifted-gain free list under concurrent sweeps.
+#include <algorithm>
+#include <cmath>
+#include <numbers>
+#include <random>
+#include <thread>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "htmpll/core/aliasing_sum.hpp"
+#include "htmpll/core/eval_plan.hpp"
+#include "htmpll/core/sampling_pll.hpp"
+#include "htmpll/linalg/batch_kernels.hpp"
+#include "htmpll/obs/metrics.hpp"
+#include "htmpll/parallel/sweep.hpp"
+#include "htmpll/util/grid.hpp"
+
+namespace htmpll {
+namespace {
+
+constexpr double kTol = 1e-12;
+
+double rel_err(cplx got, cplx want) {
+  const double scale = std::max(1.0e-300, std::abs(want));
+  return std::abs(got - want) / scale;
+}
+
+/// Two models over identical parameters: `plan` (default) and `scalar`
+/// (forced scalar paths -- the oracle).
+struct ModelPair {
+  SamplingPllModel plan;
+  SamplingPllModel scalar;
+};
+
+ModelPair make_pair(const PllParameters& params,
+                    const HarmonicCoefficients& isf,
+                    SamplingPllOptions opts,
+                    const RationalFunction& extra =
+                        RationalFunction::constant(1.0)) {
+  SamplingPllOptions scalar_opts = opts;
+  opts.use_eval_plan = true;
+  scalar_opts.use_eval_plan = false;
+  return ModelPair{SamplingPllModel(params, isf, opts, extra),
+                   SamplingPllModel(params, isf, scalar_opts, extra)};
+}
+
+/// Random evaluation points: mostly jw-axis sweep points, plus points
+/// off the axis and points a few parts in 1e8..1e12 away from the
+/// aliasing poles s = j n w0 (where the factorized exponential must
+/// fall back to the scalar operation sequence).
+CVector random_points(std::mt19937& rng, double w0, std::size_t n) {
+  std::uniform_real_distribution<double> frac(1e-3, 0.49);
+  std::uniform_real_distribution<double> sign(-1.0, 1.0);
+  std::uniform_int_distribution<int> harmonic(1, 3);
+  std::uniform_real_distribution<double> eps_exp(-12.0, -8.0);
+  CVector pts;
+  for (std::size_t i = 0; i < n; ++i) {
+    switch (i % 4) {
+      case 0:  // jw-axis
+        pts.push_back(cplx{0.0, frac(rng) * w0});
+        break;
+      case 1:  // off-axis (damped)
+        pts.push_back(cplx{sign(rng) * 0.2 * w0, frac(rng) * w0});
+        break;
+      case 2: {  // near an aliasing pole s = j n w0
+        const double eps = std::pow(10.0, eps_exp(rng)) * w0;
+        pts.push_back(cplx{eps, harmonic(rng) * w0 + eps});
+        break;
+      }
+      default:  // near the coth-zero band (Im u ~ pi/2 mod pi)
+        pts.push_back(cplx{sign(rng) * 0.05 * w0,
+                           (harmonic(rng) - 0.5) * w0 + sign(rng) * 1e-9});
+        break;
+    }
+  }
+  return pts;
+}
+
+class EvalPlanMethods
+    : public ::testing::TestWithParam<std::tuple<LambdaMethod, PfdShape>> {
+};
+
+TEST_P(EvalPlanMethods, GridsMatchScalarWithinTolerance) {
+  const auto [method, shape] = GetParam();
+  std::mt19937 rng(20260806u);
+  std::uniform_real_distribution<double> ug(0.02, 0.25);
+
+  for (int trial = 0; trial < 4; ++trial) {
+    const double w0 = 2.0 * std::numbers::pi * (trial + 1);
+    SamplingPllOptions opts;
+    opts.lambda_method = method;
+    opts.truncation = 10;
+    opts.pfd_shape = shape;
+
+    const HarmonicCoefficients isf =
+        trial % 2 == 0
+            ? HarmonicCoefficients(cplx{1.0})
+            : HarmonicCoefficients::real_waveform(
+                  1.0, {cplx{0.25, 0.1}, cplx{0.04, -0.07}});
+    const ModelPair m =
+        make_pair(make_typical_loop(ug(rng) * w0, w0), isf, opts);
+    ASSERT_TRUE(m.plan.has_eval_plan());
+    ASSERT_FALSE(m.scalar.has_eval_plan());
+
+    const CVector s_grid = random_points(rng, w0, 128);
+
+    const CVector lam = m.plan.lambda_grid(s_grid);
+    const CVector h00 = m.plan.baseband_transfer_grid(s_grid);
+    const std::vector<int> bands = {-2, 0, 1, 3};
+    const std::vector<CVector> cl = m.plan.closed_loop_grid(bands, s_grid);
+
+    for (std::size_t i = 0; i < s_grid.size(); ++i) {
+      const cplx s = s_grid[i];
+      EXPECT_LE(rel_err(lam[i], m.scalar.lambda(s)), kTol)
+          << "lambda at s=" << s << " trial " << trial;
+      EXPECT_LE(rel_err(h00[i], m.scalar.baseband_transfer(s)), kTol)
+          << "H00 at s=" << s << " trial " << trial;
+      for (std::size_t b = 0; b < bands.size(); ++b) {
+        EXPECT_LE(rel_err(cl[b][i], m.scalar.closed_loop(bands[b], s)),
+                  kTol)
+            << "H_{n,0} n=" << bands[b] << " at s=" << s;
+      }
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    BatchedMethodsAndShapes, EvalPlanMethods,
+    ::testing::Combine(::testing::Values(LambdaMethod::kExact,
+                                         LambdaMethod::kTruncated),
+                       ::testing::Values(PfdShape::kImpulse,
+                                         PfdShape::kZeroOrderHold)));
+
+TEST(EvalPlan, AdaptiveMethodFallsBackToScalarBits) {
+  // kAdaptive keeps its per-point stopping rule: the plan-enabled model
+  // must produce bit-identical results to the scalar-forced model.
+  const double w0 = 2.0 * std::numbers::pi;
+  SamplingPllOptions opts;
+  opts.lambda_method = LambdaMethod::kAdaptive;
+  const ModelPair m = make_pair(make_typical_loop(0.12 * w0, w0),
+                                HarmonicCoefficients(cplx{1.0}), opts);
+  const CVector s_grid = jw_grid(logspace(1e-3 * w0, 0.49 * w0, 64));
+  const CVector lam = m.plan.lambda_grid(s_grid);
+  for (std::size_t i = 0; i < s_grid.size(); ++i) {
+    EXPECT_EQ(lam[i], m.scalar.lambda(s_grid[i]));
+  }
+}
+
+TEST(EvalPlan, VtildeMatchesScalarWithinTolerance) {
+  std::mt19937 rng(7u);
+  const double w0 = 2.0 * std::numbers::pi;
+  const HarmonicCoefficients isf = HarmonicCoefficients::real_waveform(
+      1.0, {cplx{0.2, 0.05}, cplx{-0.03, 0.08}});
+  for (PfdShape shape : {PfdShape::kImpulse, PfdShape::kZeroOrderHold}) {
+    SamplingPllOptions opts;
+    opts.pfd_shape = shape;
+    const ModelPair m =
+        make_pair(make_typical_loop(0.08 * w0, w0), isf, opts);
+    for (const cplx s : random_points(rng, w0, 32)) {
+      const int trunc = 8;
+      const CVector got = m.plan.vtilde(s, trunc);
+      const CVector want = m.scalar.vtilde(s, trunc);
+      ASSERT_EQ(got.size(), want.size());
+      for (std::size_t j = 0; j < got.size(); ++j) {
+        EXPECT_LE(rel_err(got[j], want[j]), kTol)
+            << "V~_" << (static_cast<int>(j) - trunc) << " at s=" << s;
+      }
+    }
+  }
+}
+
+TEST(EvalPlan, ExtraLoopDynamicsAndRepeatedPoles) {
+  // A parasitic pole pushes the channel transfer to higher relative
+  // degree and (with the ZOH 1/s factor) multiplicity-3 poles at the
+  // origin -- exercising the S_3/S_4 kernel branches.
+  const double w0 = 2.0 * std::numbers::pi;
+  const RationalFunction parasitic(
+      Polynomial::constant(cplx{1.0}),
+      Polynomial(CVector{cplx{1.0}, cplx{1.0 / (0.7 * w0)}}));
+  std::mt19937 rng(99u);
+  for (LambdaMethod method :
+       {LambdaMethod::kExact, LambdaMethod::kTruncated}) {
+    SamplingPllOptions opts;
+    opts.lambda_method = method;
+    opts.truncation = 8;
+    opts.pfd_shape = PfdShape::kZeroOrderHold;
+    const ModelPair m =
+        make_pair(make_typical_loop(0.1 * w0, w0),
+                  HarmonicCoefficients(cplx{1.0}), opts, parasitic);
+    const CVector s_grid = random_points(rng, w0, 64);
+    const CVector lam = m.plan.lambda_grid(s_grid);
+    for (std::size_t i = 0; i < s_grid.size(); ++i) {
+      EXPECT_LE(rel_err(lam[i], m.scalar.lambda(s_grid[i])), kTol)
+          << "method " << static_cast<int>(method) << " s=" << s_grid[i];
+    }
+  }
+}
+
+TEST(EvalPlan, ExplicitMethodOverridesUseThePlanToo) {
+  const double w0 = 2.0 * std::numbers::pi;
+  SamplingPllOptions opts;
+  opts.lambda_method = LambdaMethod::kAdaptive;  // default stays scalar
+  const ModelPair m = make_pair(make_typical_loop(0.1 * w0, w0),
+                                HarmonicCoefficients(cplx{1.0}), opts);
+  const CVector s_grid = jw_grid(logspace(1e-2 * w0, 0.4 * w0, 40));
+  const CVector lam =
+      m.plan.lambda_grid(s_grid, LambdaMethod::kExact, 0);
+  for (std::size_t i = 0; i < s_grid.size(); ++i) {
+    EXPECT_LE(rel_err(lam[i],
+                      m.scalar.lambda(s_grid[i], LambdaMethod::kExact, 0)),
+              kTol);
+  }
+}
+
+TEST(EvalPlan, CountersRecordBuildsAndGridPoints) {
+  obs::enable();
+  const auto before = obs::snapshot();
+  const double w0 = 2.0 * std::numbers::pi;
+  SamplingPllOptions opts;
+  const SamplingPllModel model(make_typical_loop(0.1 * w0, w0),
+                               HarmonicCoefficients(cplx{1.0}), opts);
+  const CVector s_grid = jw_grid(logspace(1e-3 * w0, 0.45 * w0, 77));
+  (void)model.lambda_grid(s_grid);
+  const auto after = obs::snapshot();
+  obs::disable();
+  EXPECT_GE(after.counter_value("core.plan_builds") -
+                before.counter_value("core.plan_builds"),
+            1u);
+  EXPECT_GE(after.counter_value("core.plan_grid_points") -
+                before.counter_value("core.plan_grid_points"),
+            77u);
+}
+
+TEST(EvalPlan, ConcurrentSweepsShareOnePlanSafely) {
+  // Several threads sweep the same plan-backed model at once; the
+  // per-thread scratch planes must keep them independent (verified
+  // bit-exactly here, and for data races under TSan).
+  const double w0 = 2.0 * std::numbers::pi;
+  const HarmonicCoefficients isf =
+      HarmonicCoefficients::real_waveform(1.0, {cplx{0.15, 0.02}});
+  SamplingPllOptions opts;
+  opts.lambda_method = LambdaMethod::kExact;
+  const SamplingPllModel model(make_typical_loop(0.1 * w0, w0), isf, opts);
+  // <= one chunk per sweep, so each thread's sweep runs inline on that
+  // thread instead of contending for the shared pool.
+  const CVector s_grid = jw_grid(logspace(1e-3 * w0, 0.49 * w0, 200));
+  const CVector reference = model.lambda_grid(s_grid);
+
+  std::vector<CVector> results(4);
+  std::vector<std::thread> threads;
+  for (auto& slot : results) {
+    threads.emplace_back(
+        [&, out = &slot] { *out = model.lambda_grid(s_grid); });
+  }
+  for (auto& t : threads) t.join();
+  for (const CVector& r : results) {
+    ASSERT_EQ(r.size(), reference.size());
+    for (std::size_t i = 0; i < r.size(); ++i) {
+      EXPECT_EQ(r[i], reference[i]) << "i=" << i;
+    }
+  }
+}
+
+TEST(EvalPlan, ConcurrentScalarSweepsReuseGainScratchSafely) {
+  // The scalar-forced truncated path borrows its shifted-gain tables
+  // from a per-thread free list; concurrent sweeps must not share
+  // buffers (TSan-visible if they do).
+  const double w0 = 2.0 * std::numbers::pi;
+  const HarmonicCoefficients isf =
+      HarmonicCoefficients::real_waveform(1.0, {cplx{0.1, -0.04}});
+  SamplingPllOptions opts;
+  opts.lambda_method = LambdaMethod::kTruncated;
+  opts.truncation = 8;
+  opts.use_eval_plan = false;
+  const SamplingPllModel model(make_typical_loop(0.1 * w0, w0), isf, opts);
+  const CVector s_grid = jw_grid(logspace(1e-2 * w0, 0.45 * w0, 64));
+  const std::vector<int> bands = {-1, 0, 2};
+  const std::vector<CVector> reference =
+      model.closed_loop_grid(bands, s_grid);
+
+  std::vector<std::vector<CVector>> results(4);
+  std::vector<std::thread> threads;
+  for (auto& slot : results) {
+    threads.emplace_back(
+        [&, out = &slot] { *out = model.closed_loop_grid(bands, s_grid); });
+  }
+  for (auto& t : threads) t.join();
+  for (const auto& r : results) {
+    ASSERT_EQ(r.size(), reference.size());
+    for (std::size_t b = 0; b < r.size(); ++b) {
+      for (std::size_t i = 0; i < r[b].size(); ++i) {
+        EXPECT_EQ(r[b][i], reference[b][i]);
+      }
+    }
+  }
+}
+
+// ---- batch-kernel unit coverage ---------------------------------------
+
+TEST(BatchKernels, HornerMatchesPolynomialBitwise) {
+  std::mt19937 rng(3u);
+  std::uniform_real_distribution<double> coeff(-2.0, 2.0);
+  const Polynomial p(CVector{cplx{coeff(rng), coeff(rng)},
+                             cplx{coeff(rng), coeff(rng)},
+                             cplx{coeff(rng), coeff(rng)},
+                             cplx{coeff(rng), coeff(rng)}});
+  const std::size_t n = 64;
+  std::vector<double> s_re(n), s_im(n), out_re(n), out_im(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    s_re[i] = coeff(rng);
+    s_im[i] = coeff(rng);
+  }
+  batch_horner(p.coefficients().data(), p.coefficients().size(),
+               s_re.data(), s_im.data(), n, out_re.data(), out_im.data());
+  for (std::size_t i = 0; i < n; ++i) {
+    const cplx want = p(cplx{s_re[i], s_im[i]});
+    EXPECT_EQ(cplx(out_re[i], out_im[i]), want) << "i=" << i;
+  }
+}
+
+TEST(BatchKernels, RationalMatchesScalarWithinTolerance) {
+  std::mt19937 rng(4u);
+  std::uniform_real_distribution<double> coeff(-2.0, 2.0);
+  const Polynomial num(CVector{cplx{1.0, 0.5}, cplx{0.3, -0.2},
+                               cplx{coeff(rng), coeff(rng)}});
+  const Polynomial den(CVector{cplx{0.7, -0.1}, cplx{coeff(rng)},
+                               cplx{1.0}});
+  const RationalFunction f(num, den);
+  const std::size_t n = 64;
+  std::vector<double> s_re(n), s_im(n), out_re(n), out_im(n), t_re(n),
+      t_im(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    s_re[i] = 3.0 * coeff(rng);
+    s_im[i] = 3.0 * coeff(rng);
+  }
+  batch_rational(num.coefficients().data(), num.coefficients().size(),
+                 den.coefficients().data(), den.coefficients().size(),
+                 s_re.data(), s_im.data(), n, out_re.data(), out_im.data(),
+                 t_re.data(), t_im.data());
+  for (std::size_t i = 0; i < n; ++i) {
+    const cplx want = f(cplx{s_re[i], s_im[i]});
+    EXPECT_LE(rel_err(cplx(out_re[i], out_im[i]), want), kTol);
+  }
+}
+
+TEST(BatchKernels, PoleSumsMatchHarmonicPoleSums) {
+  // accumulate_pole_sums vs the scalar closed form, including points
+  // driven to within 1e-12 w0 of the aliasing poles of S_k.
+  std::mt19937 rng(5u);
+  const double w0 = 2.0 * std::numbers::pi;
+  const double t = 2.0 * std::numbers::pi / w0;
+  const double c = std::numbers::pi / w0;
+  std::uniform_real_distribution<double> re(-1.5, 1.5);
+
+  PoleSumTerm term;
+  term.pole = cplx{-0.3 * w0, 0.2 * w0};
+  term.exp_pole_t = std::exp(term.pole * t);
+  term.kmax = 4;
+  term.residues[0] = cplx{0.4, -0.2};
+  term.residues[1] = cplx{-1.1, 0.6};
+  term.residues[2] = cplx{0.2, 0.9};
+  term.residues[3] = cplx{-0.05, 0.3};
+
+  const std::size_t n = 96;
+  std::vector<double> s_re(n), s_im(n), e_re(n), e_im(n), acc_re(n, 0.0),
+      acc_im(n, 0.0);
+  for (std::size_t i = 0; i < n; ++i) {
+    cplx s;
+    if (i % 3 == 2) {
+      // within ~1e-12 w0 of the pole's aliased copies
+      const int harmonic = static_cast<int>(i % 5) - 2;
+      s = term.pole + cplx{1e-12 * w0, harmonic * w0 + 1e-12 * w0};
+    } else {
+      s = cplx{re(rng) * w0, re(rng) * w0};
+    }
+    s_re[i] = s.real();
+    s_im[i] = s.imag();
+    const cplx e = std::exp(-t * s);
+    e_re[i] = e.real();
+    e_im[i] = e.imag();
+  }
+  accumulate_pole_sums(term, c, s_re.data(), s_im.data(), e_re.data(),
+                       e_im.data(), n, acc_re.data(), acc_im.data());
+  for (std::size_t i = 0; i < n; ++i) {
+    cplx sums[4];
+    harmonic_pole_sums(cplx{s_re[i], s_im[i]} - term.pole, w0, 4, sums);
+    cplx want{0.0};
+    for (int j = 0; j < 4; ++j) want += term.residues[j] * sums[j];
+    EXPECT_LE(rel_err(cplx(acc_re[i], acc_im[i]), want), kTol)
+        << "i=" << i << " s=(" << s_re[i] << "," << s_im[i] << ")";
+  }
+}
+
+TEST(BatchKernels, HarmonicPoleSumsBatchIsBitIdenticalToScalarCalls) {
+  std::mt19937 rng(6u);
+  const double w0 = 3.0;
+  std::uniform_real_distribution<double> re(-2.0, 2.0);
+  for (int trial = 0; trial < 200; ++trial) {
+    const cplx x{re(rng), re(rng)};
+    for (int kmax = 1; kmax <= 4; ++kmax) {
+      cplx batch[4];
+      harmonic_pole_sums(x, w0, kmax, batch);
+      for (int k = 1; k <= kmax; ++k) {
+        EXPECT_EQ(batch[k - 1], harmonic_pole_sum(x, w0, k))
+            << "x=" << x << " k=" << k << " kmax=" << kmax;
+      }
+    }
+  }
+}
+
+TEST(BatchKernels, SplitJoinRoundTrips) {
+  const CVector z = {cplx{1.5, -2.0}, cplx{0.0, 3.25}, cplx{-7.0, 0.5}};
+  std::vector<double> re(z.size()), im(z.size());
+  CVector back(z.size());
+  split_planes(z.data(), z.size(), re.data(), im.data());
+  join_planes(re.data(), im.data(), z.size(), back.data());
+  EXPECT_EQ(back, z);
+}
+
+}  // namespace
+}  // namespace htmpll

@@ -191,6 +191,10 @@ TEST_P(GridApiTest, GridsMatchScalarExactly) {
   opts.lambda_method = method;
   opts.truncation = 12;
   opts.pfd_shape = shape;
+  // This suite pins the scalar-forced contract: grid slot i is
+  // bit-identical to the point-wise call.  The default eval-plan path
+  // has a tolerance contract instead (tests/test_eval_plan.cpp).
+  opts.use_eval_plan = false;
   const SamplingPllModel model(make_typical_loop(0.1 * w0, w0),
                                HarmonicCoefficients(cplx{1.0}), opts);
 
@@ -235,6 +239,7 @@ TEST(GridApi, LptvVcoGridsMatchScalar) {
   SamplingPllOptions opts;
   opts.lambda_method = LambdaMethod::kTruncated;
   opts.truncation = 10;
+  opts.use_eval_plan = false;  // scalar-forced bitwise contract
   const SamplingPllModel model(make_typical_loop(0.1 * w0, w0), isf, opts);
 
   const CVector s_grid = jw_grid(logspace(1e-2 * w0, 0.45 * w0, 60));
