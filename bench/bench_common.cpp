@@ -1,5 +1,6 @@
 #include "bench_common.hpp"
 
+#include <algorithm>
 #include <cstdio>
 #include <fstream>
 #include <iostream>
@@ -20,6 +21,20 @@ double time_best_of(int reps, const std::function<void()>& fn) {
     if (r == 0 || t < best) best = t;
   }
   return best;
+}
+
+double time_median_of(int reps, const std::function<void()>& fn) {
+  HTMPLL_REQUIRE(reps >= 1, "time_median_of needs at least one repetition");
+  std::vector<double> times(static_cast<std::size_t>(reps));
+  for (int r = 0; r < reps; ++r) {
+    WallTimer timer;
+    fn();
+    times[static_cast<std::size_t>(r)] = timer.seconds();
+  }
+  std::sort(times.begin(), times.end());
+  const std::size_t mid = times.size() / 2;
+  return times.size() % 2 == 1 ? times[mid]
+                               : 0.5 * (times[mid - 1] + times[mid]);
 }
 
 void maybe_write_csv(const Table& t, int argc, char** argv, int index) {

@@ -37,6 +37,13 @@ class WallTimer {
 /// machine.
 double time_best_of(int reps, const std::function<void()>& fn);
 
+/// Runs `fn` `reps` times and returns the median wall time in seconds
+/// (mean of the two middle samples for even `reps`).  Use for
+/// difference estimates such as instrumentation overhead, where
+/// min-of-N is biased: the minimum of each side can land on different
+/// machine states and the subtraction then under- or over-shoots.
+double time_median_of(int reps, const std::function<void()>& fn);
+
 /// If argv[index] names a file, writes the table there as CSV and
 /// prints a confirmation; the shared tail of every figure driver.
 void maybe_write_csv(const Table& t, int argc, char** argv, int index = 1);

@@ -28,6 +28,7 @@
 #include "htmpll/core/aliasing_sum.hpp"
 #include "htmpll/core/sampling_pll.hpp"
 #include "htmpll/linalg/batch_kernels.hpp"
+#include "htmpll/linalg/simd.hpp"
 #include "htmpll/lti/polynomial.hpp"
 #include "htmpll/lti/rational.hpp"
 #include "htmpll/obs/metrics.hpp"
@@ -195,6 +196,31 @@ int main(int argc, char** argv) {
     }
   });
 
+  // --- 3. SIMD dispatch: vector vs forced-scalar batch_cexp -------------
+  // The cexp-dominated grid is where the AVX2 kernels earn their keep;
+  // time the dispatched path against the same public entry point pinned
+  // to the scalar ISA (exactly the pre-SIMD kernel).
+  const simd::Isa resolved_isa = simd::active_isa();
+  const bool simd_active = resolved_isa == simd::Isa::kAvx2Fma;
+  double t_cexp_simd = 0.0;
+  double t_cexp_forced_scalar = 0.0;
+  bench::run_phase(phases, "cexp_simd_dispatch", [&] {
+    t_cexp_simd = time_best_of(reps, [&] {
+      batch_cexp(arg_re.data(), arg_im.data(), n, e_re.data(), e_im.data());
+    });
+  });
+  {
+    simd::set_isa(simd::Isa::kScalar);
+    bench::run_phase(phases, "cexp_forced_scalar", [&] {
+      t_cexp_forced_scalar = time_best_of(reps, [&] {
+        batch_cexp(arg_re.data(), arg_im.data(), n, e_re.data(),
+                   e_im.data());
+      });
+    });
+    simd::set_isa(resolved_isa);
+  }
+  const double simd_speedup = t_cexp_forced_scalar / t_cexp_simd;
+
   // --- console summary --------------------------------------------------
   Table table({"kernel", "batch_s", "scalar_s", "speedup"});
   auto row = [&table](const std::string& name, double batch, double scalar) {
@@ -206,12 +232,18 @@ int main(int argc, char** argv) {
   row("horner deg-6", t_horner_batch, t_horner_scalar);
   row("rational 6/5", t_rational_batch, t_rational_scalar);
   row("pole_sums kmax=4", t_polesum_batch, t_polesum_scalar);
+  row("cexp simd vs forced-scalar", t_cexp_simd, t_cexp_forced_scalar);
   table.print(std::cout);
   std::cout << "\nplan max relative error vs scalar grid: " << plan_err
             << "\n";
   const bool within_tol = plan_err <= 1e-12;
   std::cout << "plan speedup " << speedup << "x (target >= 1.5), within "
             << "1e-12: " << (within_tol ? "yes" : "NO") << "\n";
+  std::cout << "simd dispatch: " << simd::isa_name(resolved_isa) << " ("
+            << simd::lane_width(resolved_isa) << " lanes), cexp speedup "
+            << simd_speedup << "x"
+            << (simd_active ? " (target >= 1.8)" : " (scalar fallback)")
+            << "\n";
 
   // --- report -----------------------------------------------------------
   Json report = Json::object();
@@ -237,6 +269,25 @@ int main(int argc, char** argv) {
   kernels.set("rational", kernel_entry(t_rational_batch, t_rational_scalar));
   kernels.set("pole_sums", kernel_entry(t_polesum_batch, t_polesum_scalar));
   report.set("kernels", kernels);
+  Json simd_section = Json::object();
+  simd_section.set("compiled", Json::boolean(simd::compiled()));
+  simd_section.set("cpu_has_avx2_fma",
+                   Json::boolean(simd::cpu_has_avx2_fma()));
+  simd_section.set("isa", Json::string(simd::isa_name(resolved_isa)));
+  simd_section.set(
+      "lane_width",
+      Json::number(static_cast<double>(simd::lane_width(resolved_isa))));
+  simd_section.set("active", Json::boolean(simd_active));
+  simd_section.set("cexp_simd_s", Json::number(t_cexp_simd));
+  simd_section.set("cexp_forced_scalar_s",
+                   Json::number(t_cexp_forced_scalar));
+  simd_section.set("cexp_speedup", Json::number(simd_speedup));
+  // The 1.8x gate only binds when the vector path is live; a scalar
+  // dispatch (no AVX2, HTMPLL_SIMD=0, -DHTMPLL_SIMD=OFF) trivially
+  // passes with speedup ~1.
+  simd_section.set("gate_pass",
+                   Json::boolean(!simd_active || simd_speedup >= 1.8));
+  report.set("simd", simd_section);
   report.set("telemetry", bench::telemetry_json(phases));
   report.write_file(out_path);
   std::cout << "wrote " << out_path << "\n";
@@ -262,6 +313,12 @@ int main(int argc, char** argv) {
   if (check && speedup < 1.5) {
     std::cerr << "FAIL: eval-plan lambda_grid speedup " << speedup
               << "x below the 1.5x target\n";
+    return 1;
+  }
+  if (check && simd_active && simd_speedup < 1.8) {
+    std::cerr << "FAIL: SIMD batch_cexp speedup " << simd_speedup
+              << "x below the 1.8x target (isa "
+              << simd::isa_name(resolved_isa) << ")\n";
     return 1;
   }
   return 0;

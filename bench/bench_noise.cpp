@@ -1,0 +1,208 @@
+// Batched noise-analysis benchmark: the grid PSD surface vs the
+// pointwise folding loops.
+//
+//   1. headline: output_psd_grid over a 2000-point log grid with 16
+//      fold harmonics vs output_psd_total called per point.  Contract:
+//      speedup >= 3x and <= 1e-10 max relative error -- on the SIMD,
+//      forced-scalar (HTMPLL_SIMD=0) and instrumented (HTMPLL_OBS=1)
+//      paths alike.
+//   2. derived surfaces: spur_map_grid (noise skirt under the first
+//      reference spurs) and integrated_jitter vs the pointwise
+//      integrated_rms functional.
+//
+// Writes a machine-readable report (default BENCH_noise.json).
+//
+// Usage: bench_noise [output.json] [--check]
+//   --check: additionally exit non-zero if the grid speedup drops
+//            below 3x the pointwise loop.
+#include <algorithm>
+#include <cmath>
+#include <iostream>
+#include <limits>
+#include <numbers>
+#include <string>
+#include <vector>
+
+#include "bench_common.hpp"
+#include "htmpll/core/sampling_pll.hpp"
+#include "htmpll/linalg/simd.hpp"
+#include "htmpll/noise/noise.hpp"
+#include "htmpll/obs/metrics.hpp"
+#include "htmpll/obs/trace.hpp"
+#include "htmpll/util/grid.hpp"
+#include "htmpll/util/table.hpp"
+
+namespace {
+
+using namespace htmpll;
+using bench::Json;
+using bench::time_best_of;
+
+double max_rel_err(const std::vector<double>& got,
+                   const std::vector<double>& want) {
+  double worst = got.size() == want.size()
+                     ? 0.0
+                     : std::numeric_limits<double>::infinity();
+  for (std::size_t i = 0; i < got.size() && i < want.size(); ++i) {
+    const double scale = std::max(1e-300, std::abs(want[i]));
+    worst = std::max(worst, std::abs(got[i] - want[i]) / scale);
+  }
+  return worst;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::string out_path = "BENCH_noise.json";
+  bool check = false;
+  for (int i = 1; i < argc; ++i) {
+    if (std::string(argv[i]) == "--check") {
+      check = true;
+    } else {
+      out_path = argv[i];
+    }
+  }
+
+  const double w0 = 2.0 * std::numbers::pi;
+  const SamplingPllModel model(make_typical_loop(0.1 * w0, w0));
+  const int fold = 16;
+  const NoiseAnalysis na(model, fold);
+  const PowerLawPsd s_ref{1e-14, 1e-13, 0.0};
+  const PowerLawPsd s_vco{0.0, 0.0, 1e-8};
+  const PowerLawPsd s_icp{1e-20, 1e-21, 0.0};
+
+  const std::size_t n = 2000;
+  const std::vector<double> w_grid = logspace(1e-3 * w0, 0.49 * w0, n);
+  // Single-digit-millisecond measurements on a shared box: best-of-9
+  // keeps one preempted rep from sinking the speedup gate.
+  const int reps = 9;
+
+  std::cout << "=== Noise-grid benchmark: " << n << " grid points x "
+            << (2 * fold + 1) << " fold harmonics ===\n";
+  std::cout << "simd dispatch: " << simd::isa_name(simd::active_isa())
+            << "\n\n";
+
+  const bool obs_was_enabled = obs::enabled();
+  obs::enable();
+  obs::reset_counters();
+  obs::clear_trace();
+  std::vector<std::pair<std::string, double>> phases;
+
+  // --- 1. headline: output_psd_grid vs pointwise output_psd_total ------
+  std::vector<double> psd_pointwise(n);
+  double t_pointwise = 0.0;
+  bench::run_phase(phases, "psd_pointwise", [&] {
+    t_pointwise = time_best_of(reps, [&] {
+      for (std::size_t i = 0; i < n; ++i) {
+        psd_pointwise[i] =
+            na.output_psd_total(w_grid[i], s_ref, s_vco, s_icp);
+      }
+    });
+  });
+  std::vector<double> psd_grid;
+  double t_grid = 0.0;
+  bench::run_phase(phases, "psd_grid", [&] {
+    t_grid = time_best_of(reps, [&] {
+      psd_grid = na.output_psd_grid(w_grid, s_ref, s_vco, s_icp);
+    });
+  });
+  const double speedup = t_pointwise / t_grid;
+  const double rel_err = max_rel_err(psd_grid, psd_pointwise);
+  const bool within_tol = rel_err <= 1e-10;
+
+  // --- 2. derived surfaces ----------------------------------------------
+  const std::vector<double> offsets = logspace(1e-3 * w0, 0.4 * w0, 100);
+  double t_spur_map = 0.0;
+  std::vector<std::vector<double>> spur_map;
+  bench::run_phase(phases, "spur_map_grid", [&] {
+    t_spur_map = time_best_of(reps, [&] {
+      spur_map = na.spur_map_grid(offsets, 5, s_ref, s_vco, s_icp);
+    });
+  });
+
+  const double w_lo = 1e-3 * w0;
+  const double w_hi = 0.49 * w0;
+  double jitter_batched = 0.0;
+  double t_jitter_batched = 0.0;
+  bench::run_phase(phases, "integrated_jitter", [&] {
+    t_jitter_batched = time_best_of(reps, [&] {
+      jitter_batched =
+          na.integrated_jitter(w_lo, w_hi, s_ref, s_vco, s_icp, 400);
+    });
+  });
+  double jitter_pointwise = 0.0;
+  const double t_jitter_pointwise = time_best_of(reps, [&] {
+    jitter_pointwise = na.integrated_rms(
+        [&](double w) {
+          return na.output_psd_total(w, s_ref, s_vco, s_icp);
+        },
+        w_lo, w_hi, 400);
+  });
+  const double jitter_err =
+      std::abs(jitter_batched - jitter_pointwise) /
+      std::max(1e-300, std::abs(jitter_pointwise));
+
+  // --- console summary --------------------------------------------------
+  Table table({"surface", "grid_s", "pointwise_s", "speedup"});
+  table.add_row({"output_psd 2000pt", std::to_string(t_grid),
+                 std::to_string(t_pointwise), std::to_string(speedup)});
+  table.add_row({"integrated_jitter 400pt", std::to_string(t_jitter_batched),
+                 std::to_string(t_jitter_pointwise),
+                 std::to_string(t_jitter_pointwise / t_jitter_batched)});
+  table.print(std::cout);
+  std::cout << "\nspur_map_grid 5x100: " << t_spur_map << " s\n";
+  std::cout << "grid max relative error vs pointwise: " << rel_err << "\n";
+  std::cout << "grid speedup " << speedup << "x (target >= 3), within "
+            << "1e-10: " << (within_tol ? "yes" : "NO") << "\n";
+  std::cout << "integrated_jitter rel err: " << jitter_err << "\n";
+
+  // --- report -----------------------------------------------------------
+  Json report = Json::object();
+  report.set("benchmark", Json::string("bench_noise"));
+  report.set("grid_points", Json::number(static_cast<double>(n)));
+  report.set("fold_harmonics", Json::number(static_cast<double>(fold)));
+  report.set("simd_isa", Json::string(simd::isa_name(simd::active_isa())));
+  Json psd = Json::object();
+  psd.set("grid_s", Json::number(t_grid));
+  psd.set("pointwise_s", Json::number(t_pointwise));
+  psd.set("grid_speedup_vs_pointwise", Json::number(speedup));
+  psd.set("grid_max_rel_err", Json::number(rel_err));
+  psd.set("grid_within_tolerance", Json::boolean(within_tol));
+  report.set("output_psd", psd);
+  Json surfaces = Json::object();
+  surfaces.set("spur_map_grid_s", Json::number(t_spur_map));
+  surfaces.set("integrated_jitter_s", Json::number(t_jitter_batched));
+  surfaces.set("integrated_rms_pointwise_s",
+               Json::number(t_jitter_pointwise));
+  surfaces.set("integrated_jitter_rel_err", Json::number(jitter_err));
+  report.set("surfaces", surfaces);
+  report.set("telemetry", bench::telemetry_json(phases));
+  report.write_file(out_path);
+  std::cout << "wrote " << out_path << "\n";
+
+  const std::string trace_path = out_path + ".trace.json";
+  obs::write_chrome_trace(trace_path);
+  std::cout << "wrote " << trace_path << "\n";
+
+  obs::RunReport manifest = bench::make_manifest("bench_noise", phases);
+  manifest.set_config("grid_points", static_cast<double>(n));
+  manifest.set_config("fold_harmonics", static_cast<double>(fold));
+  manifest.set_config("reps", static_cast<double>(reps));
+  const std::string manifest_path = out_path + ".manifest.json";
+  manifest.write_json(manifest_path);
+  std::cout << "wrote " << manifest_path << "\n";
+
+  if (!obs_was_enabled) obs::disable();
+
+  if (!within_tol) {
+    std::cerr << "FAIL: output_psd_grid differs from the pointwise loop "
+                 "by " << rel_err << " (> 1e-10 relative)\n";
+    return 1;
+  }
+  if (check && speedup < 3.0) {
+    std::cerr << "FAIL: output_psd_grid speedup " << speedup
+              << "x below the 3x target\n";
+    return 1;
+  }
+  return 0;
+}

@@ -20,23 +20,42 @@
 #    downstream tooling reads (bit-identity verdicts, telemetry,
 #    obs_overhead); a missing field fails with the gate name and the
 #    expected vs actual value instead of a silent pass.
+#  * bench_noise: output_psd_grid must agree with the pointwise
+#    output_psd_total loop to <= 1e-10 relative error and run at >= 3x
+#    its speed -- on the default (SIMD-dispatched), the scalar-forced
+#    (HTMPLL_SIMD=0) and the instrumented (HTMPLL_OBS=1) paths alike.
+#  * forced-scalar dispatch: bench_kernels and bench_noise re-run with
+#    HTMPLL_SIMD=0, so the portable kernels keep their own gates even
+#    when the AVX2 path exists.
+#  * -DHTMPLL_SIMD=OFF: a separate configure/build in "$BUILD-nosimd"
+#    proves the stub TU links and the same noise/kernel gates hold when
+#    the vector variants are compiled out entirely.
 #  * instrumentation overhead: scripts/check_overhead.sh gates the
 #    obs_overhead section of the sweep report.
 #
-# Usage: scripts/bench_check.sh [build-dir] [sweep-report.json] [transient-report.json] [kernels-report.json]
+# Usage: scripts/bench_check.sh [build-dir] [sweep-report.json] [transient-report.json] [kernels-report.json] [noise-report.json]
 set -euo pipefail
 
 BUILD="${1:-build-release}"
 REPORT="${2:-BENCH_sweep.json}"
 TREPORT="${3:-BENCH_transient.json}"
 KREPORT="${4:-BENCH_kernels.json}"
+NREPORT="${5:-BENCH_noise.json}"
 
 cmake -B "$BUILD" -S . -DCMAKE_BUILD_TYPE=Release > /dev/null
-cmake --build "$BUILD" --target bench_sweep bench_transient bench_kernels -j > /dev/null
+cmake --build "$BUILD" --target bench_sweep bench_transient bench_kernels \
+      bench_noise -j > /dev/null
 
 "$BUILD/bench/bench_sweep" "$REPORT" --check
 "$BUILD/bench/bench_transient" "$TREPORT" --check
 "$BUILD/bench/bench_kernels" "$KREPORT" --check
+"$BUILD/bench/bench_noise" "$NREPORT" --check
+
+# The same gates must hold with the SIMD dispatch forced to the
+# portable scalar kernels and with the obs layer live.
+HTMPLL_SIMD=0 "$BUILD/bench/bench_kernels" "${KREPORT%.json}_scalar.json" --check
+HTMPLL_SIMD=0 "$BUILD/bench/bench_noise" "${NREPORT%.json}_scalar.json" --check
+HTMPLL_OBS=1 "$BUILD/bench/bench_noise" "${NREPORT%.json}_obs.json" --check
 
 FAILURES=0
 
@@ -98,7 +117,7 @@ require_le() {
   fi
 }
 
-for f in "$REPORT" "$TREPORT" "$KREPORT"; do
+for f in "$REPORT" "$TREPORT" "$KREPORT" "$NREPORT"; do
   if [ ! -f "$f" ]; then
     fail "report-exists" "$f" "file written by the bench" "no such file"
   fi
@@ -129,6 +148,17 @@ if [ -f "$TREPORT" ]; then
   require_section transient-probe-sweep "$TREPORT" probe_sweep
 fi
 
+for nf in "$NREPORT" "${NREPORT%.json}_scalar.json" "${NREPORT%.json}_obs.json"; do
+  if [ -f "$nf" ]; then
+    require_true noise-grid-tolerance "$nf" grid_within_tolerance
+    require_ge noise-grid-speedup "$nf" grid_speedup_vs_pointwise 3
+    require_le noise-grid-rel-err "$nf" grid_max_rel_err 1e-10
+    require_section noise-output-psd "$nf" output_psd
+    require_section noise-surfaces "$nf" surfaces
+    require_section noise-telemetry "$nf" telemetry
+  fi
+done
+
 if [ "$FAILURES" -gt 0 ]; then
   echo "bench_check: $FAILURES gate(s) failed" >&2
   exit 1
@@ -136,4 +166,13 @@ fi
 
 "$(dirname "$0")/check_overhead.sh" "$BUILD" "$REPORT" --no-run
 
-echo "bench_check: OK ($REPORT, $TREPORT, $KREPORT)"
+# A build with the vector kernel TU compiled out entirely: the stub
+# path must link and the portable kernels must clear the same gates.
+NOSIMD_BUILD="$BUILD-nosimd"
+cmake -B "$NOSIMD_BUILD" -S . -DCMAKE_BUILD_TYPE=Release \
+      -DHTMPLL_SIMD=OFF > /dev/null
+cmake --build "$NOSIMD_BUILD" --target bench_kernels bench_noise -j > /dev/null
+"$NOSIMD_BUILD/bench/bench_kernels" "${KREPORT%.json}_nosimd.json" --check
+"$NOSIMD_BUILD/bench/bench_noise" "${NREPORT%.json}_nosimd.json" --check
+
+echo "bench_check: OK ($REPORT, $TREPORT, $KREPORT, $NREPORT)"

@@ -3,24 +3,28 @@
 #include <cmath>
 #include <complex>
 
+#include "htmpll/linalg/batch_kernels_detail.hpp"
+#include "htmpll/linalg/batch_kernels_simd.hpp"
+#include "htmpll/linalg/simd.hpp"
 #include "htmpll/util/check.hpp"
 
 namespace htmpll {
 
-void split_planes(const cplx* z, std::size_t n, double* re, double* im) {
-  for (std::size_t i = 0; i < n; ++i) {
-    re[i] = z[i].real();
-    im[i] = z[i].imag();
-  }
+namespace {
+
+/// One-time runtime dispatch decision (linalg/simd.hpp): AVX2 lanes
+/// when compiled in, supported by the CPU and not vetoed by
+/// HTMPLL_SIMD=0; the portable scalar loops otherwise.
+inline bool use_avx2() {
+  return simd::active_isa() == simd::Isa::kAvx2Fma;
 }
 
-void join_planes(const double* re, const double* im, std::size_t n,
-                 cplx* z) {
-  for (std::size_t i = 0; i < n; ++i) z[i] = cplx{re[i], im[i]};
-}
+}  // namespace
 
-void batch_cexp(const double* z_re, const double* z_im, std::size_t n,
-                double* out_re, double* out_im) {
+namespace detail {
+
+void batch_cexp_scalar(const double* z_re, const double* z_im,
+                       std::size_t n, double* out_re, double* out_im) {
   for (std::size_t i = 0; i < n; ++i) {
     const double m = std::exp(z_re[i]);
     out_re[i] = m * std::cos(z_im[i]);
@@ -28,10 +32,9 @@ void batch_cexp(const double* z_re, const double* z_im, std::size_t n,
   }
 }
 
-void batch_horner(const cplx* coeff, std::size_t n_coeff,
-                  const double* s_re, const double* s_im, std::size_t n,
-                  double* out_re, double* out_im) {
-  HTMPLL_ASSERT(n_coeff >= 1);
+void batch_horner_scalar(const cplx* coeff, std::size_t n_coeff,
+                         const double* s_re, const double* s_im,
+                         std::size_t n, double* out_re, double* out_im) {
   const double tr = coeff[n_coeff - 1].real();
   const double ti = coeff[n_coeff - 1].imag();
   for (std::size_t i = 0; i < n; ++i) {
@@ -54,123 +57,93 @@ void batch_horner(const cplx* coeff, std::size_t n_coeff,
   }
 }
 
+void batch_rational_scalar(const cplx* num, std::size_t n_num,
+                           const cplx* den, std::size_t n_den,
+                           const double* s_re, const double* s_im,
+                           std::size_t n, double* out_re, double* out_im,
+                           double* tmp_re, double* tmp_im) {
+  batch_horner_scalar(num, n_num, s_re, s_im, n, out_re, out_im);
+  batch_horner_scalar(den, n_den, s_re, s_im, n, tmp_re, tmp_im);
+  for (std::size_t i = 0; i < n; ++i) {
+    rational_div_point(out_re[i], out_im[i], tmp_re[i], tmp_im[i]);
+  }
+}
+
+void accumulate_pole_sums_scalar(const PoleSumTerm& term, double c,
+                                 const double* s_re, const double* s_im,
+                                 const double* e_re, const double* e_im,
+                                 std::size_t n, double* acc_re,
+                                 double* acc_im) {
+  const bool factored = term.factored;
+  for (std::size_t i = 0; i < n; ++i) {
+    const cplx s{s_re[i], s_im[i]};
+    const cplx e = factored ? cplx{e_re[i], e_im[i]} : cplx{0.0};
+    pole_point_accumulate(term, c, s, e, acc_re[i], acc_im[i]);
+  }
+}
+
+}  // namespace detail
+
+void split_planes(const cplx* z, std::size_t n, double* re, double* im) {
+  for (std::size_t i = 0; i < n; ++i) {
+    re[i] = z[i].real();
+    im[i] = z[i].imag();
+  }
+}
+
+void join_planes(const double* re, const double* im, std::size_t n,
+                 cplx* z) {
+  for (std::size_t i = 0; i < n; ++i) z[i] = cplx{re[i], im[i]};
+}
+
+void batch_cexp(const double* z_re, const double* z_im, std::size_t n,
+                double* out_re, double* out_im) {
+  if (use_avx2()) {
+    detail::batch_cexp_avx2(z_re, z_im, n, out_re, out_im);
+  } else {
+    detail::batch_cexp_scalar(z_re, z_im, n, out_re, out_im);
+  }
+}
+
+void batch_horner(const cplx* coeff, std::size_t n_coeff,
+                  const double* s_re, const double* s_im, std::size_t n,
+                  double* out_re, double* out_im) {
+  HTMPLL_ASSERT(n_coeff >= 1);
+  if (use_avx2()) {
+    detail::batch_horner_avx2(coeff, n_coeff, s_re, s_im, n, out_re,
+                              out_im);
+  } else {
+    detail::batch_horner_scalar(coeff, n_coeff, s_re, s_im, n, out_re,
+                                out_im);
+  }
+}
+
 void batch_rational(const cplx* num, std::size_t n_num, const cplx* den,
                     std::size_t n_den, const double* s_re,
                     const double* s_im, std::size_t n, double* out_re,
                     double* out_im, double* tmp_re, double* tmp_im) {
-  batch_horner(num, n_num, s_re, s_im, n, out_re, out_im);
-  batch_horner(den, n_den, s_re, s_im, n, tmp_re, tmp_im);
-  for (std::size_t i = 0; i < n; ++i) {
-    const double nr = out_re[i];
-    const double ni = out_im[i];
-    const double dr = tmp_re[i];
-    const double di = tmp_im[i];
-    const double d2 = dr * dr + di * di;
-    if (d2 >= 1e-290 && d2 <= 1e290) {
-      const double inv = 1.0 / d2;
-      out_re[i] = (nr * dr + ni * di) * inv;
-      out_im[i] = (ni * dr - nr * di) * inv;
-    } else {
-      // |den|^2 outside the safely representable range: defer to the
-      // scaled std::complex division (matches the scalar path).
-      const cplx q = cplx{nr, ni} / cplx{dr, di};
-      out_re[i] = q.real();
-      out_im[i] = q.imag();
-    }
+  HTMPLL_ASSERT(n_num >= 1 && n_den >= 1);
+  if (use_avx2()) {
+    detail::batch_horner_avx2(num, n_num, s_re, s_im, n, out_re, out_im);
+    detail::batch_horner_avx2(den, n_den, s_re, s_im, n, tmp_re, tmp_im);
+    detail::batch_complex_div_avx2(n, out_re, out_im, tmp_re, tmp_im);
+  } else {
+    detail::batch_rational_scalar(num, n_num, den, n_den, s_re, s_im, n,
+                                  out_re, out_im, tmp_re, tmp_im);
   }
 }
-
-namespace {
-
-// The coth/csch^2 building blocks, kept expression-for-expression
-// identical to core/aliasing_sum.cpp (stable_coth / stable_csch2): when
-// the kernel recomputes exp(-2u) directly, the derived values match the
-// scalar path bit for bit.
-
-inline cplx coth_from_e(cplx e) { return (1.0 + e) / (1.0 - e); }
-
-inline cplx csch2_from_e(cplx e) {
-  const cplx d = 1.0 - e;
-  return 4.0 * e / (d * d);
-}
-
-inline cplx coth_series(cplx z) {
-  const cplx z2 = z * z;
-  return 1.0 / z + z * (1.0 / 3.0 - z2 / 45.0);
-}
-
-inline cplx csch2_series(cplx z) {
-  const cplx z2 = z * z;
-  return 1.0 / z2 - 1.0 / 3.0 + z2 / 15.0;
-}
-
-inline bool finite(cplx z) {
-  return std::isfinite(z.real()) && std::isfinite(z.imag());
-}
-
-}  // namespace
 
 void accumulate_pole_sums(const PoleSumTerm& term, double c,
                           const double* s_re, const double* s_im,
                           const double* e_re, const double* e_im,
                           std::size_t n, double* acc_re, double* acc_im) {
   HTMPLL_ASSERT(term.kmax >= 1 && term.kmax <= 4);
-  const cplx p = term.pole;
-  const cplx pt = term.exp_pole_t;
-  const int kmax = term.kmax;
-  const cplx r0 = term.residues[0];
-  const cplx r1 = term.residues[1];
-  const cplx r2 = term.residues[2];
-  const cplx r3 = term.residues[3];
-  const double c2 = c * c;
-  const double c3 = c * c * c;
-  const double c4 = c * c * c * c / 3.0;
-
-  for (std::size_t i = 0; i < n; ++i) {
-    const cplx s{s_re[i], s_im[i]};
-    const cplx u = c * (s - p);
-    cplx ct{0.0};   // coth(u)
-    cplx cs2{0.0};  // csch^2(u); computed only when kmax >= 2
-    if (std::norm(u) < 1e-6) {
-      // |u| < 1e-3 within rounding of the scalar predicate; both sides
-      // of the boundary agree to the series truncation error (~1e-15).
-      ct = coth_series(u);
-      if (kmax >= 2) cs2 = csch2_series(u);
-    } else if (u.real() < 0.0) {
-      // Rare branch (left of every pole's abscissa): evaluate exactly
-      // like the scalar path, exp and all.
-      const cplx zp = -u;
-      const cplx e2 = std::exp(-2.0 * zp);
-      ct = -coth_from_e(e2);
-      if (kmax >= 2) cs2 = csch2_from_e(e2);
-    } else {
-      // Fast path: exp(-2u) = exp(-sT) exp(pT) from the shared plane.
-      // Guard the cancellation-sensitive uses (coth pole at e2 = 1,
-      // coth zero at e2 = -1) and non-finite products: there, fall back
-      // to the scalar operation sequence so the agreement contract
-      // holds arbitrarily close to the aliasing poles.
-      cplx e2;
-      bool direct = !term.factored;
-      if (!direct) {
-        e2 = cplx{e_re[i], e_im[i]} * pt;
-        const cplx d1 = 1.0 - e2;
-        const cplx d2 = 1.0 + e2;
-        direct = !finite(e2) || std::norm(d1) < 1e-4 ||
-                 std::norm(d2) < 1e-4;
-      }
-      if (direct) e2 = std::exp(-2.0 * u);
-      ct = coth_from_e(e2);
-      if (kmax >= 2) cs2 = csch2_from_e(e2);
-    }
-    // S_k assembled with the same expressions as harmonic_pole_sums;
-    // accumulation order matches the scalar residue loop.
-    cplx acc{acc_re[i], acc_im[i]};
-    acc += r0 * (c * ct);
-    if (kmax >= 2) acc += r1 * (c2 * cs2);
-    if (kmax >= 3) acc += r2 * (c3 * cs2 * ct);
-    if (kmax >= 4) acc += r3 * (c4 * (2.0 * cs2 * ct * ct + cs2 * cs2));
-    acc_re[i] = acc.real();
-    acc_im[i] = acc.imag();
+  if (use_avx2()) {
+    detail::accumulate_pole_sums_avx2(term, c, s_re, s_im, e_re, e_im, n,
+                                      acc_re, acc_im);
+  } else {
+    detail::accumulate_pole_sums_scalar(term, c, s_re, s_im, e_re, e_im,
+                                        n, acc_re, acc_im);
   }
 }
 

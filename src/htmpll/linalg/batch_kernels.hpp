@@ -20,6 +20,11 @@
 // directly with the exact operation sequence of the scalar path, so the
 // agreement holds even approaching the aliasing poles s = p + j n w0.
 //
+// Each kernel below dispatches once per process between the portable
+// scalar loops and 4-lane AVX2+FMA variants -- see linalg/simd.hpp for
+// the selection policy (compile option, HTMPLL_SIMD env override, CPUID
+// probe) and the vector-path accuracy contract.
+//
 // The layer is pure math: no model knowledge, no allocation (callers
 // own the planes), no locking (kernels write only caller-owned output).
 #pragma once

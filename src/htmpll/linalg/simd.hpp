@@ -1,0 +1,65 @@
+// Runtime SIMD dispatch for the structure-of-arrays batch kernels.
+//
+// The batch kernels (linalg/batch_kernels.hpp) bottom out in complex
+// exponentials and complex mul/add chains over dense grids -- exactly
+// the shape a vector unit eats.  This header exposes the one-time
+// runtime dispatch that selects between
+//  * kScalar: the portable loops in batch_kernels.cpp, unchanged from
+//    the pre-SIMD kernels (bit-identical to them by construction), and
+//  * kAvx2Fma: 4-lane AVX2+FMA kernels (batch_kernels_simd.cpp) with
+//    polynomial exp/sincos, selected only when the CPU reports both
+//    feature bits.
+//
+// Selection policy (resolved once, on first use):
+//  1. builds configured with -DHTMPLL_SIMD=OFF never compile the vector
+//     kernels -- dispatch is pinned to kScalar;
+//  2. HTMPLL_SIMD=0 (or "off"/"scalar") in the environment forces
+//     kScalar at runtime; any other value keeps auto-detection (an
+//     unrecognized value warns to stderr, like HTMPLL_THREADS);
+//  3. otherwise the CPUID probe decides.
+// Tests and benches may override the resolved ISA with set_isa().
+//
+// Numerical contract: the scalar kernels are the reference.  The vector
+// kernels agree with them to <= 1e-12 relative error on every finite
+// grid (in practice ~1e-15); arguments outside the ranges the vector
+// polynomials cover (|Re z| > 708, |Im z| > 1e5, non-finite values,
+// |den|^2 outside 1e+-290, pole-sum guard regions) are evaluated with
+// the exact scalar operation sequence lane by lane, so NaN/Inf
+// propagation and the near-pole cancellation guards behave identically
+// to the scalar path.  Block tails shorter than the lane width always
+// run the scalar loop.
+#pragma once
+
+#include <cstddef>
+
+namespace htmpll::simd {
+
+enum class Isa {
+  kScalar,   ///< portable loops; the numerical reference
+  kAvx2Fma,  ///< 4 x f64 lanes via AVX2 + FMA
+};
+
+/// True when the vector kernels were compiled in (HTMPLL_SIMD=ON at
+/// configure time on an x86-64 GCC/Clang build).
+bool compiled();
+
+/// Raw CPUID probe for AVX2 and FMA, independent of the environment
+/// override and of compiled().
+bool cpu_has_avx2_fma();
+
+/// The ISA the batch kernels dispatch to.  Resolved once on first call
+/// (policy above) and cached; set_isa() replaces the cached value.
+Isa active_isa();
+
+/// Overrides the dispatch (tests/benches: force-scalar vs vector
+/// comparisons).  Throws std::invalid_argument when asked for a vector
+/// ISA that is not compiled in or not supported by this CPU.
+void set_isa(Isa isa);
+
+/// Human-readable ISA name: "scalar" / "avx2-fma".
+const char* isa_name(Isa isa);
+
+/// f64 lanes per vector op: 1 for kScalar, 4 for kAvx2Fma.
+std::size_t lane_width(Isa isa);
+
+}  // namespace htmpll::simd

@@ -24,6 +24,7 @@
 #include "htmpll/core/eval_plan.hpp"
 #include "htmpll/core/sampling_pll.hpp"
 #include "htmpll/linalg/batch_kernels.hpp"
+#include "htmpll/linalg/simd.hpp"
 #include "htmpll/obs/metrics.hpp"
 #include "htmpll/parallel/sweep.hpp"
 #include "htmpll/util/grid.hpp"
@@ -311,6 +312,11 @@ TEST(EvalPlan, ConcurrentScalarSweepsReuseGainScratchSafely) {
 // ---- batch-kernel unit coverage ---------------------------------------
 
 TEST(BatchKernels, HornerMatchesPolynomialBitwise) {
+  // The bitwise contract is a property of the scalar dispatch path; the
+  // vector path promises <= 1e-12 relative (covered in
+  // test_simd_kernels).  Pin the ISA for the duration of the test.
+  const simd::Isa prev = simd::active_isa();
+  simd::set_isa(simd::Isa::kScalar);
   std::mt19937 rng(3u);
   std::uniform_real_distribution<double> coeff(-2.0, 2.0);
   const Polynomial p(CVector{cplx{coeff(rng), coeff(rng)},
@@ -329,6 +335,7 @@ TEST(BatchKernels, HornerMatchesPolynomialBitwise) {
     const cplx want = p(cplx{s_re[i], s_im[i]});
     EXPECT_EQ(cplx(out_re[i], out_im[i]), want) << "i=" << i;
   }
+  simd::set_isa(prev);
 }
 
 TEST(BatchKernels, RationalMatchesScalarWithinTolerance) {

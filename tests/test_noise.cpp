@@ -140,7 +140,138 @@ TEST(Noise, IntegratedRmsOfFlatPsd) {
 
 TEST(Noise, ValidatesConstruction) {
   const SamplingPllModel m = make_model(0.2);
-  EXPECT_THROW(NoiseAnalysis(m, 0), std::invalid_argument);
+  // fold_harmonics = 0 is a valid (unfolded) analysis; only negative
+  // counts are rejected.
+  EXPECT_NO_THROW(NoiseAnalysis(m, 0));
+  EXPECT_THROW(NoiseAnalysis(m, -1), std::invalid_argument);
+  EXPECT_THROW(NoiseAnalysis(m, -16), std::invalid_argument);
+}
+
+TEST(Noise, ZeroFoldKeepsOnlyBasebandTerm) {
+  const SamplingPllModel m = make_model(0.2);
+  const NoiseAnalysis na(m, 0);
+  const PowerLawPsd vco{0.0, 0.0, 1e-8};
+  const double w = 0.07 * kW0;
+  const cplx h00 = m.baseband_transfer(j * w);
+  EXPECT_NEAR(na.output_psd_from_vco(w, vco),
+              std::norm(1.0 - h00) * vco(w),
+              1e-12 * std::norm(1.0 - h00) * vco(w));
+}
+
+TEST(Noise, GridApisValidateInputs) {
+  const SamplingPllModel m = make_model(0.2);
+  const NoiseAnalysis na(m, 4);
+  const PowerLawPsd psd{1e-14, 0.0, 0.0};
+  const std::vector<double> w{0.05 * kW0, 0.1 * kW0};
+  const std::vector<double> empty;
+  const PsdFunction null_psd;
+  EXPECT_THROW(na.output_psd_from_reference_grid(empty, psd),
+               std::invalid_argument);
+  EXPECT_THROW(na.output_psd_from_reference_grid(w, null_psd),
+               std::invalid_argument);
+  EXPECT_THROW(na.output_psd_from_vco_grid(empty, psd),
+               std::invalid_argument);
+  EXPECT_THROW(na.output_psd_from_vco_grid(w, null_psd),
+               std::invalid_argument);
+  EXPECT_THROW(na.output_psd_from_charge_pump_grid(empty, psd),
+               std::invalid_argument);
+  EXPECT_THROW(na.output_psd_from_charge_pump_grid(w, null_psd),
+               std::invalid_argument);
+  EXPECT_THROW(na.output_psd_grid(empty, psd, psd, psd),
+               std::invalid_argument);
+  EXPECT_THROW(na.output_psd_grid(w, null_psd, psd, psd),
+               std::invalid_argument);
+  EXPECT_THROW(na.output_psd_grid(w, psd, null_psd, psd),
+               std::invalid_argument);
+  EXPECT_THROW(na.output_psd_grid(w, psd, psd, null_psd),
+               std::invalid_argument);
+  EXPECT_THROW(na.spur_map_grid(empty, 3, psd, psd, psd),
+               std::invalid_argument);
+  EXPECT_THROW(na.spur_map_grid(w, 0, psd, psd, psd),
+               std::invalid_argument);
+  EXPECT_THROW(na.integrated_jitter(1.0, 10.0, psd, psd, psd, 1),
+               std::invalid_argument);
+}
+
+TEST(Noise, GridMatchesPointwisePerSource) {
+  const SamplingPllModel m = make_model(0.2);
+  const NoiseAnalysis na(m, 8);
+  const PowerLawPsd ref{1e-14, 1e-13, 0.0};
+  const PowerLawPsd vco{0.0, 0.0, 1e-8};
+  const PowerLawPsd icp{1e-20, 1e-21, 0.0};
+  std::vector<double> w;
+  for (int i = 0; i < 60; ++i) {
+    w.push_back((0.01 + 0.013 * i) * kW0);
+  }
+  const auto g_ref = na.output_psd_from_reference_grid(w, ref);
+  const auto g_vco = na.output_psd_from_vco_grid(w, vco);
+  const auto g_icp = na.output_psd_from_charge_pump_grid(w, icp);
+  ASSERT_EQ(g_ref.size(), w.size());
+  for (std::size_t i = 0; i < w.size(); ++i) {
+    const double p_ref = na.output_psd_from_reference(w[i], ref);
+    const double p_vco = na.output_psd_from_vco(w[i], vco);
+    const double p_icp = na.output_psd_from_charge_pump(w[i], icp);
+    EXPECT_NEAR(g_ref[i], p_ref, 1e-10 * p_ref) << "i=" << i;
+    EXPECT_NEAR(g_vco[i], p_vco, 1e-10 * p_vco) << "i=" << i;
+    EXPECT_NEAR(g_icp[i], p_icp, 1e-10 * p_icp) << "i=" << i;
+  }
+}
+
+TEST(Noise, TotalGridMatchesPointwiseTotal) {
+  const SamplingPllModel m = make_model(0.25);
+  const NoiseAnalysis na(m, 16);
+  const PowerLawPsd ref{1e-14, 0.0, 0.0};
+  const PowerLawPsd vco{0.0, 0.0, 1e-8};
+  const PowerLawPsd icp{1e-20, 0.0, 0.0};
+  std::vector<double> w;
+  for (int i = 0; i < 40; ++i) {
+    // Spans fractions of w0 up past the first harmonics, including
+    // points whose folds land near reference multiples.
+    w.push_back((0.02 + 0.09 * i) * kW0);
+  }
+  const auto grid = na.output_psd_grid(w, ref, vco, icp);
+  for (std::size_t i = 0; i < w.size(); ++i) {
+    const double want = na.output_psd_total(w[i], ref, vco, icp);
+    EXPECT_NEAR(grid[i], want, 1e-10 * want) << "i=" << i;
+  }
+}
+
+TEST(Noise, SpurMapGridMatchesPsdRows) {
+  const SamplingPllModel m = make_model(0.2);
+  const NoiseAnalysis na(m, 4);
+  const PowerLawPsd ref{1e-14, 0.0, 0.0};
+  const PowerLawPsd vco{0.0, 0.0, 1e-8};
+  const PowerLawPsd icp{1e-20, 0.0, 0.0};
+  const std::vector<double> offsets{-0.1 * kW0, -0.03 * kW0, 0.03 * kW0,
+                                    0.1 * kW0};
+  const int harmonics = 3;
+  const auto map = na.spur_map_grid(offsets, harmonics, ref, vco, icp);
+  ASSERT_EQ(map.size(), static_cast<std::size_t>(harmonics));
+  for (int k = 1; k <= harmonics; ++k) {
+    ASSERT_EQ(map[k - 1].size(), offsets.size());
+    for (std::size_t i = 0; i < offsets.size(); ++i) {
+      const double w = k * kW0 + offsets[i];
+      const double want = na.output_psd_total(w, ref, vco, icp);
+      EXPECT_NEAR(map[k - 1][i], want, 1e-10 * want)
+          << "k=" << k << " i=" << i;
+    }
+  }
+}
+
+TEST(Noise, IntegratedJitterMatchesIntegratedRmsOfTotal) {
+  const SamplingPllModel m = make_model(0.2);
+  const NoiseAnalysis na(m, 6);
+  const PowerLawPsd ref{1e-14, 0.0, 0.0};
+  const PowerLawPsd vco{0.0, 0.0, 1e-8};
+  const PowerLawPsd icp{1e-20, 0.0, 0.0};
+  const double w_lo = 0.01 * kW0;
+  const double w_hi = 0.45 * kW0;
+  const double batched =
+      na.integrated_jitter(w_lo, w_hi, ref, vco, icp, 200);
+  const double pointwise = na.integrated_rms(
+      [&](double w) { return na.output_psd_total(w, ref, vco, icp); },
+      w_lo, w_hi, 200);
+  EXPECT_NEAR(batched, pointwise, 1e-9 * pointwise);
 }
 
 }  // namespace

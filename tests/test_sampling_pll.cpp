@@ -45,7 +45,10 @@ TEST(SamplingPll, VtildeElementsAreShiftedA) {
   }
   const CVector v = m.vtilde(s, 3);
   ASSERT_EQ(v.size(), 7u);
-  EXPECT_EQ(v[3], m.vtilde_element(0, s));
+  // The batched vector path agrees with pointwise evaluation to the
+  // kernel contract (<= 1e-12 relative), not bit for bit.
+  EXPECT_NEAR(std::abs(v[3] - m.vtilde_element(0, s)), 0.0,
+              1e-12 * std::abs(v[3]));
 }
 
 TEST(SamplingPll, BasebandTransferIsEq38) {
