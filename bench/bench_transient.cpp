@@ -1,21 +1,33 @@
 // Transient-engine benchmark: measures the time-domain performance
-// layer (keyed propagator cache, settled-state warm starts, batched
-// probes) against the seed behavior and verifies its contracts:
+// layer (spectral step propagators, keyed propagator cache, settled-
+// state warm starts, batched probes) against the seed behavior and
+// verifies its contracts:
 //
 //   1. Multi-frequency probe sweep, single thread: the seed baseline
-//      (single-entry propagator cache, full per-point settle) vs the
-//      default cold path (multi-entry cache; must be BIT-IDENTICAL to
-//      the seed) vs the warm-start path (shared settled checkpoint;
-//      must agree within the probe's small-signal tolerance).
-//   2. Raw event rate and expm-evaluations-saved of a locked loop.
+//      (single-entry propagator cache, Pade propagators, full per-point
+//      settle) vs the cold Pade path (multi-entry cache; must be
+//      BIT-IDENTICAL to the seed) vs the cold default path (spectral
+//      propagators when enabled; must agree within 1e-10 and run >= 2x
+//      the seed under --check) vs the warm-start path (shared settled
+//      checkpoint; must agree within the probe's small-signal
+//      tolerance).
+//   2. Raw event rate and propagator-build savings of a locked loop.
 //   3. Thread scaling of the batched probe on the global pool.
+//   4. Instrumented pass: with spectral propagators enabled, the probe
+//      sweep's "linalg.expm_evals" must collapse to ~0 (the engine
+//      factors each state matrix once instead of running one Van Loan
+//      expm per distinct step length).
 //
 // Writes a machine-readable report (default BENCH_transient.json).
+// HTMPLL_SPECTRAL=0 forces the Pade path everywhere; the spectral
+// sections/gates are then skipped and recorded as disabled.
 //
 // Usage: bench_transient [output.json] [--check]
-//   --check: exit non-zero if the cold path is not bit-identical to the
-//            seed behavior, if warm-start disagrees beyond tolerance, or
-//            if caching + warm start fail to beat the seed baseline.
+//   --check: exit non-zero if the cold Pade path is not bit-identical
+//            to the seed behavior, if the spectral path disagrees
+//            beyond tolerance or fails its speed/expm gates, if
+//            warm-start disagrees beyond tolerance, or if caching +
+//            warm start fail to beat the seed baseline.
 #include <cmath>
 #include <cstring>
 #include <iostream>
@@ -25,6 +37,7 @@
 #include <vector>
 
 #include "bench_common.hpp"
+#include "htmpll/linalg/spectral.hpp"
 #include "htmpll/obs/metrics.hpp"
 #include "htmpll/obs/report.hpp"
 #include "htmpll/obs/trace.hpp"
@@ -39,12 +52,12 @@ using namespace htmpll;
 using bench::Json;
 using bench::time_best_of;
 
-/// Replica of the probe measurement loop with a configurable propagator
-/// cache capacity.  Capacity 1 reproduces the seed's single-entry cache
-/// behavior exactly; the arithmetic is identical to run_probe's, so the
-/// default cold probe must match its output bit-for-bit.
-cplx probe_with_cache(const PllParameters& params, double omega_m,
-                      const ProbeOptions& opts, std::size_t capacity) {
+/// Replica of the probe measurement loop with the seed's configuration:
+/// single-entry propagator cache and Pade (Van Loan expm) propagators.
+/// The arithmetic is identical to run_probe's with the same settings, so
+/// the cold Pade probe must match its output bit-for-bit.
+cplx probe_seed_replica(const PllParameters& params, double omega_m,
+                        const ProbeOptions& opts) {
   const double t_period = params.period();
   const double tm = 2.0 * std::numbers::pi / omega_m;
 
@@ -59,7 +72,8 @@ cplx probe_with_cache(const PllParameters& params, double omega_m,
                 t_period / 8.0,
                 2.0 * std::numbers::pi / (16.0 * omega_m)});
   cfg.record = false;
-  cfg.propagator_cache = capacity;
+  cfg.propagator_cache = 1;
+  cfg.use_spectral_propagators = false;
 
   PllTransientSim sim(params, mod, cfg);
   const double settle = std::max(opts.settle_periods * t_period, 4.0 * tm);
@@ -74,6 +88,15 @@ cplx probe_with_cache(const PllParameters& params, double omega_m,
 bool bit_identical(const std::vector<cplx>& a, const std::vector<cplx>& b) {
   return a.size() == b.size() &&
          std::memcmp(a.data(), b.data(), a.size() * sizeof(cplx)) == 0;
+}
+
+double max_rel_err(const std::vector<cplx>& test,
+                   const std::vector<cplx>& ref) {
+  double worst = 0.0;
+  for (std::size_t i = 0; i < ref.size(); ++i) {
+    worst = std::max(worst, std::abs(test[i] - ref[i]) / std::abs(ref[i]));
+  }
+  return worst;
 }
 
 std::vector<cplx> values_of(const std::vector<TransferMeasurement>& ms) {
@@ -104,30 +127,51 @@ int main(int argc, char** argv) {
   ProbeOptions opts;
   opts.settle_periods = 300.0;
 
+  // Honors HTMPLL_SPECTRAL: when forced off, the spectral sections and
+  // gates are skipped and the default path IS the Pade path.
+  const bool spectral_on = spectral::enabled();
+
   const std::size_t hw = std::thread::hardware_concurrency();
   const std::size_t pool_width = ThreadPool::global().threads();
   std::cout << "=== Transient-engine benchmark: " << n_points
             << "-point probe sweep, pool width " << pool_width
-            << " (hardware " << hw << ") ===\n\n";
+            << " (hardware " << hw << "), spectral propagators "
+            << (spectral_on ? "ON" : "OFF") << " ===\n\n";
 
   const int reps = 2;
   ThreadPool serial_pool(1);
 
-  // --- 1. probe sweep: seed baseline vs cached cold vs warm start -----
+  // --- 1. probe sweep: seed vs cold Pade vs cold default vs warm ------
   std::vector<cplx> r_seed(n_points);
   const double t_seed = time_best_of(reps, [&] {
     for (std::size_t i = 0; i < n_points; ++i) {
-      r_seed[i] = probe_with_cache(params, omegas[i], opts, 1);
+      r_seed[i] = probe_seed_replica(params, omegas[i], opts);
     }
   });
 
+  // Cold run with the keyed cache but the seed's Pade numerics: the
+  // bit-identity contract lives here.
+  std::vector<TransferMeasurement> m_pade;
+  spectral::set_enabled(false);
+  const double t_pade = time_best_of(reps, [&] {
+    m_pade = measure_baseband_transfer_many(params, omegas, opts,
+                                            serial_pool);
+  });
+  spectral::set_enabled(spectral_on);
+  const std::vector<cplx> r_pade = values_of(m_pade);
+  const bool default_identical = bit_identical(r_seed, r_pade);
+
+  // Cold run on the default backend (spectral when enabled).
   std::vector<TransferMeasurement> m_cold;
   const double t_cold = time_best_of(reps, [&] {
     m_cold = measure_baseband_transfer_many(params, omegas, opts,
                                             serial_pool);
   });
   const std::vector<cplx> r_cold = values_of(m_cold);
-  const bool default_identical = bit_identical(r_seed, r_cold);
+  const double spectral_rel_err =
+      spectral_on ? max_rel_err(r_cold, r_pade) : 0.0;
+  const double spectral_tol = 1e-10;
+  const bool spectral_ok = !spectral_on || spectral_rel_err < spectral_tol;
 
   ProbeOptions warm_opts = opts;
   warm_opts.warm_start = true;
@@ -136,22 +180,18 @@ int main(int argc, char** argv) {
     m_warm = measure_baseband_transfer_many(params, omegas, warm_opts,
                                             serial_pool);
   });
-  double warm_max_rel_err = 0.0;
-  for (std::size_t i = 0; i < n_points; ++i) {
-    warm_max_rel_err = std::max(
-        warm_max_rel_err,
-        std::abs(m_warm[i].value - r_cold[i]) / std::abs(r_cold[i]));
-  }
+  double warm_max_rel_err = max_rel_err(values_of(m_warm), r_cold);
   // The probe itself is only trusted to the paper's few-percent level;
   // warm and cold runs differ by the (settled-out) modulation onset
   // transient and must agree far inside that.
   const double warm_tol = 1e-2;
   const bool warm_ok = warm_max_rel_err < warm_tol;
 
-  const double speedup_cache = t_seed / t_cold;
+  const double speedup_cache = t_seed / t_pade;
+  const double speedup_spectral = t_seed / t_cold;
   const double speedup_warm = t_seed / t_warm;
 
-  // --- 2. event rate and expm savings of a locked loop ----------------
+  // --- 2. event rate and propagator savings of a locked loop ----------
   TransientConfig lock_cfg;
   lock_cfg.record = false;
   PllTransientSim lock_sim(params, {}, lock_cfg);
@@ -161,10 +201,7 @@ int main(int argc, char** argv) {
   const double events_per_sec =
       static_cast<double>(lock_sim.event_count()) / t_lock;
   const PropagatorCacheStats& st = lock_sim.propagator_cache_stats();
-  const double saved_fraction =
-      st.lookups == 0
-          ? 0.0
-          : static_cast<double>(st.hits()) / static_cast<double>(st.lookups);
+  const double saved_fraction = st.hit_rate();
 
   // --- 3. thread scaling of the batched probe -------------------------
   std::vector<TransferMeasurement> m_pool;
@@ -176,7 +213,8 @@ int main(int argc, char** argv) {
   // --- 4. instrumented telemetry pass ----------------------------------
   // One clean warm probe batch plus a locked-loop run with obs enabled;
   // what they count becomes the report's "telemetry" section, the
-  // Chrome trace and the run manifest.
+  // Chrome trace and the run manifest.  With spectral propagators on,
+  // the probe batch must drive linalg.expm_evals to ~zero.
   const bool obs_was_enabled = obs::enabled();
   obs::enable();
   obs::reset_counters();
@@ -185,34 +223,62 @@ int main(int argc, char** argv) {
   bench::run_phase(phases, "probe_batch", [&] {
     m_pool = measure_baseband_transfer_many(params, omegas, warm_opts);
   });
+  const double probe_expm_evals =
+      static_cast<double>(obs::counter("linalg.expm_evals").value());
+  const double probe_eig_factorizations =
+      static_cast<double>(obs::counter("linalg.eig_factorizations").value());
   bench::run_phase(phases, "locked_loop", [&] {
     PllTransientSim sim(params, {}, lock_cfg);
     sim.run_periods(500.0);
   });
+  // With the spectral engine, a whole probe sweep performs at most a
+  // handful of Van Loan exponentials (none in steady operation); the
+  // seed performed one per cache miss (~10^4 - 10^5 per sweep).
+  const double expm_evals_budget = 32.0;
+  const bool expm_ok = !spectral_on || probe_expm_evals <= expm_evals_budget;
 
   // --- report ----------------------------------------------------------
   Table t({"case", "time_s", "vs_seed", "note"});
-  t.add_row({"seed (1-entry cache, cold)", Table::fmt(t_seed),
+  t.add_row({"seed (1-entry cache, Pade, cold)", Table::fmt(t_seed),
              Table::fmt(1.0), "baseline"});
-  t.add_row({"cold, keyed cache", Table::fmt(t_cold),
+  t.add_row({"cold, keyed cache, Pade", Table::fmt(t_pade),
              Table::fmt(speedup_cache),
              default_identical ? "bit-identical" : "NOT IDENTICAL"});
+  t.add_row({"cold, default backend", Table::fmt(t_cold),
+             Table::fmt(speedup_spectral),
+             spectral_on
+                 ? (spectral_ok ? "spectral, within tolerance"
+                                : "spectral, OUT OF TOLERANCE")
+                 : "spectral disabled (Pade)"});
   t.add_row({"warm start", Table::fmt(t_warm), Table::fmt(speedup_warm),
              warm_ok ? "within tolerance" : "OUT OF TOLERANCE"});
   t.add_row({"cold, global pool", Table::fmt(t_pool),
              Table::fmt(t_seed / t_pool),
              pool_identical ? "bit-identical" : "NOT IDENTICAL"});
   t.print(std::cout);
+  if (spectral_on) {
+    std::cout << "\nspectral cold max relative error vs Pade: "
+              << spectral_rel_err << " (tolerance " << spectral_tol
+              << ")\ninstrumented probe sweep: " << probe_expm_evals
+              << " expm evals, " << probe_eig_factorizations
+              << " eig factorizations\n";
+  }
   std::cout << "\nwarm-start max relative error vs cold: "
             << warm_max_rel_err << " (tolerance " << warm_tol << ")\n";
-  std::cout << "locked loop: " << events_per_sec << " events/s, expm "
-            << st.misses << " of " << st.lookups << " lookups ("
-            << 100.0 * saved_fraction << "% saved by the cache)\n";
+  std::cout << "locked loop: " << events_per_sec
+            << " events/s, propagator builds " << st.misses << " of "
+            << st.lookups << " lookups (" << 100.0 * saved_fraction
+            << "% saved by the cache)\n";
 
   const std::string verdict =
       std::string(default_identical
-                      ? "default path bit-identical"
-                      : "DEFAULT PATH NOT BIT-IDENTICAL") +
+                      ? "Pade path bit-identical"
+                      : "PADE PATH NOT BIT-IDENTICAL") +
+      ", " +
+      (spectral_on
+           ? (spectral_ok ? "spectral within tolerance"
+                          : "SPECTRAL OUT OF TOLERANCE")
+           : "spectral disabled") +
       ", " +
       (warm_ok ? "warm-start within tolerance"
                : "WARM-START OUT OF TOLERANCE");
@@ -225,7 +291,8 @@ int main(int argc, char** argv) {
   Json sweep = Json::object();
   sweep.set("points", Json::number(static_cast<double>(n_points)))
       .set("seed_single_entry_s", Json::number(t_seed))
-      .set("cold_keyed_cache_s", Json::number(t_cold))
+      .set("cold_keyed_cache_s", Json::number(t_pade))
+      .set("cold_default_s", Json::number(t_cold))
       .set("warm_start_s", Json::number(t_warm))
       .set("pool_cold_s", Json::number(t_pool))
       .set("speedup_cache_only", Json::number(speedup_cache))
@@ -244,6 +311,14 @@ int main(int argc, char** argv) {
   report.set("default_bit_identical",
              Json::boolean(default_identical && pool_identical));
   report.set("warm_within_tolerance", Json::boolean(warm_ok));
+  report.set("spectral_enabled", Json::boolean(spectral_on));
+  report.set("spectral_within_tolerance", Json::boolean(spectral_ok));
+  report.set("spectral_max_rel_err", Json::number(spectral_rel_err));
+  report.set("spectral_cold_speedup_vs_seed",
+             Json::number(speedup_spectral));
+  report.set("probe_sweep_expm_evals", Json::number(probe_expm_evals));
+  report.set("probe_sweep_eig_factorizations",
+             Json::number(probe_eig_factorizations));
   report.set("verdict", Json::string(verdict));
   report.write_file(out_path);
   std::cout << "wrote " << out_path << "\n";
@@ -257,6 +332,7 @@ int main(int argc, char** argv) {
   manifest.set_config("settle_periods", opts.settle_periods);
   manifest.set_config("locked_loop_periods", 500.0);
   manifest.set_config("pool_threads", static_cast<double>(pool_width));
+  manifest.set_config("spectral_enabled", spectral_on ? 1.0 : 0.0);
   const std::string manifest_path = out_path + ".manifest.json";
   manifest.write_json(manifest_path);
   std::cout << "wrote " << manifest_path << "\n";
@@ -264,8 +340,13 @@ int main(int argc, char** argv) {
   if (!obs_was_enabled) obs::disable();
 
   if (!default_identical || !pool_identical) {
-    std::cerr << "FAIL: default probe path is not bit-identical to the "
+    std::cerr << "FAIL: cold Pade probe path is not bit-identical to the "
                  "seed behavior\n";
+    return 1;
+  }
+  if (!spectral_ok) {
+    std::cerr << "FAIL: spectral probe disagrees with the Pade probe "
+                 "beyond tolerance (" << spectral_rel_err << ")\n";
     return 1;
   }
   if (!warm_ok) {
@@ -276,6 +357,17 @@ int main(int argc, char** argv) {
   if (check && speedup_warm < 1.2) {
     std::cerr << "FAIL: caching + warm start only " << speedup_warm
               << "x vs the seed baseline\n";
+    return 1;
+  }
+  if (check && spectral_on && speedup_spectral < 2.0) {
+    std::cerr << "FAIL: spectral cold sweep only " << speedup_spectral
+              << "x vs the seed baseline\n";
+    return 1;
+  }
+  if (check && !expm_ok) {
+    std::cerr << "FAIL: instrumented probe sweep performed "
+              << probe_expm_evals << " expm evals (budget "
+              << expm_evals_budget << ") with spectral propagators on\n";
     return 1;
   }
   return 0;

@@ -11,11 +11,17 @@
 #  * bench_kernels: the compiled eval plan must evaluate the exact-method
 #    2000-point lambda sweep at >= 1.5x the scalar-forced grid with
 #    <= 1e-12 max relative error.
-#  * bench_transient: the default (cold) transient probe path must be
-#    bit-identical to the seed behavior (single-entry propagator cache),
-#    warm-start measurements must agree with cold ones within the probe
-#    tolerance, and caching + warm start must beat the seed baseline
-#    (verdict field in BENCH_transient.json).
+#  * bench_transient: the cold Pade probe path must be bit-identical to
+#    the seed behavior (single-entry propagator cache, Van Loan expm
+#    propagators), the spectral default must agree with the Pade path to
+#    <= 1e-10, run the cold sweep >= 2x faster than the seed and drive
+#    the probe sweep's expm evaluations to ~zero, warm-start
+#    measurements must agree with cold ones within the probe tolerance,
+#    and caching + warm start must beat the seed baseline (verdict field
+#    in BENCH_transient.json).
+#  * forced-Pade transient: bench_transient re-runs with
+#    HTMPLL_SPECTRAL=0, so the seed bit-identity contract is also gated
+#    with the spectral engine compiled in but switched off.
 #  * report shape: both BENCH_*.json files must carry the fields the
 #    downstream tooling reads (bit-identity verdicts, telemetry,
 #    obs_overhead); a missing field fails with the gate name and the
@@ -56,6 +62,12 @@ cmake --build "$BUILD" --target bench_sweep bench_transient bench_kernels \
 HTMPLL_SIMD=0 "$BUILD/bench/bench_kernels" "${KREPORT%.json}_scalar.json" --check
 HTMPLL_SIMD=0 "$BUILD/bench/bench_noise" "${NREPORT%.json}_scalar.json" --check
 HTMPLL_OBS=1 "$BUILD/bench/bench_noise" "${NREPORT%.json}_obs.json" --check
+
+# Forced-Pade transient run: with the spectral engine switched off the
+# default path IS the seed path, and the bit-identity gates must still
+# hold (the spectral speed gates are skipped by the bench itself).
+HTMPLL_SPECTRAL=0 "$BUILD/bench/bench_transient" \
+  "${TREPORT%.json}_nospectral.json" --check
 
 FAILURES=0
 
@@ -146,6 +158,34 @@ if [ -f "$TREPORT" ]; then
   require_true transient-warm-tolerance "$TREPORT" warm_within_tolerance
   require_section transient-telemetry "$TREPORT" telemetry
   require_section transient-probe-sweep "$TREPORT" probe_sweep
+  # Spectral gates apply only when the engine is live (HTMPLL_SPECTRAL
+  # may force it off for the whole environment).
+  if [ "$(field "$TREPORT" spectral_enabled)" = "true" ]; then
+    require_true transient-spectral-tolerance "$TREPORT" \
+      spectral_within_tolerance
+    require_le transient-spectral-rel-err "$TREPORT" spectral_max_rel_err 1e-10
+    require_ge transient-spectral-speedup "$TREPORT" \
+      spectral_cold_speedup_vs_seed 2
+    require_le transient-spectral-expm-evals "$TREPORT" \
+      probe_sweep_expm_evals 32
+  fi
+fi
+
+# The forced-Pade re-run must report the engine off and still clear the
+# seed bit-identity and warm-start contracts.
+TNOSPEC="${TREPORT%.json}_nospectral.json"
+if [ -f "$TNOSPEC" ]; then
+  require_true transient-nospectral-bit-identical "$TNOSPEC" \
+    default_bit_identical
+  require_true transient-nospectral-warm-tolerance "$TNOSPEC" \
+    warm_within_tolerance
+  v="$(field "$TNOSPEC" spectral_enabled)"
+  if [ "$v" != "false" ]; then
+    fail transient-nospectral-disabled "$TNOSPEC" \
+      "\"spectral_enabled\": false" "\"spectral_enabled\": ${v:-missing}"
+  fi
+else
+  fail report-exists "$TNOSPEC" "file written by the bench" "no such file"
 fi
 
 for nf in "$NREPORT" "${NREPORT%.json}_scalar.json" "${NREPORT%.json}_obs.json"; do

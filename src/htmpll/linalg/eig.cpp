@@ -1,0 +1,350 @@
+#include "htmpll/linalg/eig.hpp"
+
+#include <cmath>
+#include <limits>
+#include <stdexcept>
+
+#include "htmpll/linalg/lu.hpp"
+#include "htmpll/obs/metrics.hpp"
+#include "htmpll/util/check.hpp"
+
+namespace htmpll {
+
+namespace {
+
+constexpr double kEps = std::numeric_limits<double>::epsilon();
+
+double sign_like(double magnitude, double sign_of) {
+  return sign_of >= 0.0 ? std::abs(magnitude) : -std::abs(magnitude);
+}
+
+/// In-place Householder reduction to upper Hessenberg form.  The
+/// orthogonal factor is discarded: eigenvectors are later recovered by
+/// inverse iteration on the *original* matrix, which is both simpler
+/// and more accurate than accumulating the similarity transforms.
+void hessenberg_reduce(RMatrix& h) {
+  const std::size_t n = h.rows();
+  if (n < 3) return;
+  std::vector<double> v(n, 0.0);
+  for (std::size_t k = 0; k + 2 < n; ++k) {
+    double norm2_col = 0.0;
+    for (std::size_t i = k + 1; i < n; ++i) norm2_col += h(i, k) * h(i, k);
+    if (norm2_col == 0.0) continue;
+    double alpha = std::sqrt(norm2_col);
+    if (h(k + 1, k) > 0.0) alpha = -alpha;
+    v[k + 1] = h(k + 1, k) - alpha;
+    for (std::size_t i = k + 2; i < n; ++i) v[i] = h(i, k);
+    double vtv = 0.0;
+    for (std::size_t i = k + 1; i < n; ++i) vtv += v[i] * v[i];
+    if (vtv == 0.0) continue;
+    const double beta = 2.0 / vtv;
+    // H <- P H with P = I - beta v v^T (rows k+1..n-1).
+    for (std::size_t j = 0; j < n; ++j) {
+      double s = 0.0;
+      for (std::size_t i = k + 1; i < n; ++i) s += v[i] * h(i, j);
+      s *= beta;
+      for (std::size_t i = k + 1; i < n; ++i) h(i, j) -= v[i] * s;
+    }
+    // H <- H P (columns k+1..n-1).
+    for (std::size_t i = 0; i < n; ++i) {
+      double s = 0.0;
+      for (std::size_t j = k + 1; j < n; ++j) s += h(i, j) * v[j];
+      s *= beta;
+      for (std::size_t j = k + 1; j < n; ++j) h(i, j) -= s * v[j];
+    }
+    h(k + 1, k) = alpha;
+    for (std::size_t i = k + 2; i < n; ++i) h(i, k) = 0.0;
+  }
+}
+
+/// Francis implicitly shifted double QR on an upper Hessenberg matrix
+/// (destroys `h`).  Returns false if any eigenvalue failed to deflate
+/// within the per-eigenvalue sweep budget.  Classic hqr organization:
+/// deflate from the bottom, exceptional ad-hoc shifts every 10 sweeps.
+bool hessenberg_qr(RMatrix& h, CVector& out) {
+  const int n = static_cast<int>(h.rows());
+  out.assign(static_cast<std::size_t>(n), cplx{0.0, 0.0});
+  double anorm = 0.0;
+  for (int i = 0; i < n; ++i) {
+    for (int j = std::max(0, i - 1); j < n; ++j) anorm += std::abs(h(i, j));
+  }
+  if (anorm == 0.0) anorm = 1.0;
+  int nn = n - 1;
+  double t = 0.0;  // accumulated exceptional-shift offset
+  while (nn >= 0) {
+    int its = 0;
+    int l = 0;
+    do {
+      for (l = nn; l >= 1; --l) {
+        double s = std::abs(h(l - 1, l - 1)) + std::abs(h(l, l));
+        if (s == 0.0) s = anorm;
+        if (std::abs(h(l, l - 1)) <= kEps * s) {
+          h(l, l - 1) = 0.0;
+          break;
+        }
+      }
+      double x = h(nn, nn);
+      if (l == nn) {  // 1x1 block deflated
+        out[static_cast<std::size_t>(nn)] = cplx{x + t, 0.0};
+        --nn;
+        break;
+      }
+      double y = h(nn - 1, nn - 1);
+      double w = h(nn, nn - 1) * h(nn - 1, nn);
+      if (l == nn - 1) {  // 2x2 block deflated
+        double p = 0.5 * (y - x);
+        const double q = p * p + w;
+        double z = std::sqrt(std::abs(q));
+        x += t;
+        if (q >= 0.0) {  // real pair
+          z = p + sign_like(z, p);
+          double lam1 = x + z;
+          double lam2 = lam1;
+          if (z != 0.0) lam2 = x - w / z;
+          out[static_cast<std::size_t>(nn - 1)] = cplx{lam1, 0.0};
+          out[static_cast<std::size_t>(nn)] = cplx{lam2, 0.0};
+        } else {  // complex conjugate pair, +imag first
+          out[static_cast<std::size_t>(nn - 1)] = cplx{x + p, z};
+          out[static_cast<std::size_t>(nn)] = cplx{x + p, -z};
+        }
+        nn -= 2;
+        break;
+      }
+      // No deflation yet: one double QR sweep on rows l..nn.
+      if (its == 30) return false;
+      if (its == 10 || its == 20) {  // exceptional shift
+        t += x;
+        for (int i = 0; i <= nn; ++i) h(i, i) -= x;
+        const double s =
+            std::abs(h(nn, nn - 1)) + std::abs(h(nn - 1, nn - 2));
+        y = x = 0.75 * s;
+        w = -0.4375 * s * s;
+      }
+      ++its;
+      int m = 0;
+      double p = 0.0, q = 0.0, r = 0.0, z = 0.0;
+      for (m = nn - 2; m >= l; --m) {
+        z = h(m, m);
+        r = x - z;
+        double s = y - z;
+        p = (r * s - w) / h(m + 1, m) + h(m, m + 1);
+        q = h(m + 1, m + 1) - z - r - s;
+        r = h(m + 2, m + 1);
+        s = std::abs(p) + std::abs(q) + std::abs(r);
+        p /= s;
+        q /= s;
+        r /= s;
+        if (m == l) break;
+        const double u = std::abs(h(m, m - 1)) * (std::abs(q) + std::abs(r));
+        const double v = std::abs(p) * (std::abs(h(m - 1, m - 1)) +
+                                        std::abs(z) +
+                                        std::abs(h(m + 1, m + 1)));
+        if (u <= kEps * v) break;
+      }
+      for (int i = m + 2; i <= nn; ++i) {
+        h(i, i - 2) = 0.0;
+        if (i != m + 2) h(i, i - 3) = 0.0;
+      }
+      for (int k = m; k <= nn - 1; ++k) {
+        if (k != m) {
+          p = h(k, k - 1);
+          q = h(k + 1, k - 1);
+          r = (k != nn - 1) ? h(k + 2, k - 1) : 0.0;
+          x = std::abs(p) + std::abs(q) + std::abs(r);
+          if (x != 0.0) {
+            p /= x;
+            q /= x;
+            r /= x;
+          }
+        }
+        double s = sign_like(std::sqrt(p * p + q * q + r * r), p);
+        if (s == 0.0) continue;
+        if (k == m) {
+          if (l != m) h(k, k - 1) = -h(k, k - 1);
+        } else {
+          h(k, k - 1) = -s * x;
+        }
+        p += s;
+        x = p / s;
+        double yy = q / s;
+        z = r / s;
+        q /= p;
+        r /= p;
+        for (int j = k; j <= nn; ++j) {  // row transform
+          double pp = h(k, j) + q * h(k + 1, j);
+          if (k != nn - 1) {
+            pp += r * h(k + 2, j);
+            h(k + 2, j) -= pp * z;
+          }
+          h(k + 1, j) -= pp * yy;
+          h(k, j) -= pp * x;
+        }
+        const int mmin = std::min(nn, k + 3);
+        for (int i = l; i <= mmin; ++i) {  // column transform
+          double pp = x * h(i, k) + yy * h(i, k + 1);
+          if (k != nn - 1) {
+            pp += z * h(i, k + 2);
+            h(i, k + 2) -= pp * r;
+          }
+          h(i, k + 1) -= pp * q;
+          h(i, k) -= pp;
+        }
+      }
+    } while (l < nn - 1);
+  }
+  return true;
+}
+
+/// Normalizes a complex vector to unit 2-norm with its largest-modulus
+/// component rotated onto the positive real axis.  The phase fix makes
+/// the vector deterministic (inverse iteration only defines it up to a
+/// complex scale) and keeps eigenvectors of real eigenvalues real.
+void normalize_phase(CVector& v) {
+  std::size_t imax = 0;
+  double amax = -1.0;
+  for (std::size_t i = 0; i < v.size(); ++i) {
+    const double a = std::abs(v[i]);
+    if (a > amax) {
+      amax = a;
+      imax = i;
+    }
+  }
+  if (amax <= 0.0) return;
+  const cplx pivot = v[imax] / amax;  // unit-modulus phase
+  double nrm2 = 0.0;
+  for (const cplx& x : v) nrm2 += std::norm(x);
+  const double inv = 1.0 / std::sqrt(nrm2);
+  for (cplx& x : v) x = (x / pivot) * inv;
+}
+
+/// One right eigenvector of `a` for (approximate) eigenvalue `lam` by
+/// inverse iteration with a complex shifted LU.  Exactly singular
+/// shifts are perturbed by a growing relative offset until the
+/// factorization succeeds.
+CVector inverse_iteration_vector(const RMatrix& a, cplx lam, double scale) {
+  const std::size_t n = a.rows();
+  CMatrix shifted(n, n);
+  CVector v(n);
+  for (double delta : {0.0, 1e-13, 1e-10, 1e-7}) {
+    const cplx mu = lam + cplx{delta * scale, 0.0};
+    for (std::size_t i = 0; i < n; ++i) {
+      for (std::size_t j = 0; j < n; ++j) {
+        shifted(i, j) = cplx{a(i, j), 0.0};
+      }
+      shifted(i, i) -= mu;
+    }
+    try {
+      const CLu lu(shifted);
+      // Deterministic start with unequal components: a flat start can
+      // be (nearly) orthogonal to the wanted eigenvector.
+      for (std::size_t i = 0; i < n; ++i) {
+        v[i] = cplx{1.0 + 0.25 * static_cast<double>(i), 0.0};
+      }
+      v = lu.solve(std::move(v));
+      normalize_phase(v);
+      v = lu.solve(std::move(v));
+      normalize_phase(v);
+      return v;
+    } catch (const std::domain_error&) {
+      // (A - mu I) numerically singular: retry with a larger shift.
+    }
+  }
+  // Every shift failed (pathological input); return the start vector so
+  // the caller's conditioning check rejects the factorization.
+  for (std::size_t i = 0; i < n; ++i) v[i] = cplx{1.0, 0.0};
+  normalize_phase(v);
+  return v;
+}
+
+}  // namespace
+
+CVector eigenvalues(const RMatrix& a, bool* converged) {
+  HTMPLL_REQUIRE(a.is_square(), "eigenvalues requires a square matrix");
+  CVector vals;
+  if (a.rows() == 0) {
+    if (converged != nullptr) *converged = true;
+    return vals;
+  }
+  RMatrix h = a;
+  hessenberg_reduce(h);
+  const bool ok = hessenberg_qr(h, vals);
+  if (converged != nullptr) *converged = ok;
+  return vals;
+}
+
+EigenDecomposition eig(const RMatrix& a) {
+  static obs::Counter& c_factor = obs::counter("linalg.eig_factorizations");
+  c_factor.add();
+  HTMPLL_REQUIRE(a.is_square(), "eig requires a square matrix");
+  for (double x : a.data()) {
+    HTMPLL_REQUIRE(std::isfinite(x), "eig requires finite matrix entries");
+  }
+
+  EigenDecomposition d;
+  const std::size_t n = a.rows();
+  if (n == 0) {
+    d.qr_converged = true;
+    d.diagonalizable = true;
+    d.vector_condition = 1.0;
+    return d;
+  }
+
+  d.values = eigenvalues(a, &d.qr_converged);
+  if (!d.qr_converged) {
+    d.vector_condition = std::numeric_limits<double>::infinity();
+    return d;
+  }
+
+  const double scale = std::max(a.norm_inf(), 1e-300);
+  d.vectors = CMatrix(n, n);
+  // Twin detection must compare the *unpolished* QR values: the polish
+  // below rewrites d.values in place.
+  const CVector qr_values = d.values;
+  CVector col;
+  for (std::size_t idx = 0; idx < n; ++idx) {
+    const cplx lam = qr_values[idx];
+    const bool is_conjugate_twin =
+        idx > 0 && lam.imag() != 0.0 && qr_values[idx - 1] == std::conj(lam);
+    if (is_conjugate_twin) {
+      for (std::size_t i = 0; i < n; ++i) {
+        d.vectors(i, idx) = std::conj(d.vectors(i, idx - 1));
+      }
+      d.values[idx] = std::conj(d.values[idx - 1]);
+      continue;
+    }
+    col = inverse_iteration_vector(a, lam, scale);
+    // Rayleigh-quotient polish: the QR eigenvalue is accurate to
+    // ~eps*||A|| absolutely; with the (much more accurate) inverse
+    // iteration vector, v^H A v recovers small eigenvalues to full
+    // relative precision.
+    cplx num{0.0, 0.0};
+    for (std::size_t i = 0; i < n; ++i) {
+      cplx av{0.0, 0.0};
+      for (std::size_t j = 0; j < n; ++j) av += a(i, j) * col[j];
+      num += std::conj(col[i]) * av;
+    }
+    // col has unit 2-norm, so the Rayleigh quotient is just `num`.  A
+    // real eigenvalue keeps an exactly real polish (its vector is real).
+    cplx polished = num;
+    if (lam.imag() == 0.0) polished = cplx{num.real(), 0.0};
+    d.values[idx] = polished;
+    for (std::size_t i = 0; i < n; ++i) d.vectors(i, idx) = col[i];
+  }
+
+  try {
+    d.inverse_vectors = CLu(d.vectors).inverse();
+    d.diagonalizable = true;
+    d.vector_condition =
+        d.vectors.norm_inf() * d.inverse_vectors.norm_inf();
+    if (!std::isfinite(d.vector_condition)) {
+      d.diagonalizable = false;
+      d.vector_condition = std::numeric_limits<double>::infinity();
+    }
+  } catch (const std::domain_error&) {
+    d.diagonalizable = false;
+    d.vector_condition = std::numeric_limits<double>::infinity();
+  }
+  return d;
+}
+
+}  // namespace htmpll

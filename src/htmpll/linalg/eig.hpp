@@ -1,0 +1,59 @@
+// Dense real nonsymmetric eigensolver for the small state matrices of
+// the time-domain layer.
+//
+// The spectral step propagators (linalg/spectral.hpp) trade the per-step
+// Pade matrix exponential for a one-time modal factorization
+// A = V diag(lambda) V^{-1}: every step length afterwards costs only n
+// scalar exponentials.  This module supplies that factorization for
+// dense real matrices of modest order (loop filters have n <= ~8):
+// Householder Hessenberg reduction followed by the Francis implicitly
+// shifted double QR iteration for the eigenvalues, then inverse
+// iteration on the original matrix (complex shifted LU) for the right
+// eigenvectors, a Rayleigh-quotient polish of each eigenvalue, and a
+// kappa_inf(V) conditioning estimate that callers use to decide whether
+// the modal form is trustworthy.
+//
+// Complex eigenvalues come in conjugate pairs; the twin of a pair
+// reuses the conjugated eigenvector, so reconstructions
+// V f(diag(lambda)) V^{-1} of real matrix functions are real up to
+// rounding.  Defective (or merely ill-conditioned) eigenbases are not
+// an error: the decomposition reports usable(max_condition) == false
+// and callers fall back to the Pade path.
+#pragma once
+
+#include "htmpll/linalg/matrix.hpp"
+
+namespace htmpll {
+
+/// Result of eig().  `values[i]` pairs with column i of `vectors`;
+/// `inverse_vectors` is V^{-1} when it exists.
+struct EigenDecomposition {
+  CVector values;           ///< eigenvalues, conjugate pairs adjacent
+  CMatrix vectors;          ///< right eigenvectors (columns, unit norm)
+  CMatrix inverse_vectors;  ///< V^{-1} (empty when not diagonalizable)
+  bool qr_converged = false;   ///< Francis iteration found all eigenvalues
+  bool diagonalizable = false; ///< V was numerically invertible
+  /// kappa_inf(V) = ||V||_inf ||V^{-1}||_inf; +inf when V is singular.
+  /// Near-defective matrices show up here as a huge condition number
+  /// rather than a hard failure.
+  double vector_condition = 0.0;
+
+  /// True when the modal form can be trusted for reconstructing
+  /// functions of the matrix to ~ eps * max_condition accuracy.
+  bool usable(double max_condition) const {
+    return qr_converged && diagonalizable &&
+           vector_condition <= max_condition;
+  }
+};
+
+/// Full modal decomposition of a square real matrix.  Increments the
+/// "linalg.eig_factorizations" counter.  Throws std::invalid_argument
+/// for non-square or non-finite input.
+EigenDecomposition eig(const RMatrix& a);
+
+/// Eigenvalues only (Hessenberg + Francis QR, no eigenvectors).
+/// `converged`, when non-null, receives false if the QR iteration hit
+/// its sweep limit (the returned values are then partial garbage).
+CVector eigenvalues(const RMatrix& a, bool* converged = nullptr);
+
+}  // namespace htmpll

@@ -43,6 +43,9 @@ RMatrix expm(const RMatrix& a) {
   static obs::Counter& c_evals = obs::counter("linalg.expm_evals");
   c_evals.add();
   HTMPLL_REQUIRE(a.is_square(), "expm requires a square matrix");
+  for (const double v : a.data()) {
+    HTMPLL_REQUIRE(std::isfinite(v), "expm: input has non-finite entries");
+  }
   if (a.rows() == 0) return a;
   const double nrm = a.norm_inf();
   int s = 0;
@@ -116,6 +119,33 @@ RVector StepPropagator::advance(const RVector& x0, const RVector& u0,
     }
   }
   return x;
+}
+
+void StepPropagator::advance_into(const RVector& x0, double u0, double u1,
+                                  double h, RVector& out) const {
+  HTMPLL_ASSERT(gamma1.empty() || gamma1.cols() == 1);
+  const std::size_t n = phi0.rows();
+  out.resize(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    const double* arow = phi0.row(i);
+    double acc = 0.0;
+    for (std::size_t j = 0; j < n; ++j) acc += arow[j] * x0[j];
+    out[i] = acc;
+  }
+  if (!gamma1.empty()) {
+    // The leading 0.0 + matches the zero-initialized accumulator of the
+    // matrix-vector product in advance(); without it a -0.0 product
+    // would flip the sign bit of a -0.0 state entry.
+    for (std::size_t i = 0; i < n; ++i) {
+      out[i] += 0.0 + gamma1.row(i)[0] * u0;
+    }
+    const double du = (u1 - u0) / h;
+    if (du != 0.0) {
+      for (std::size_t i = 0; i < n; ++i) {
+        out[i] += 0.0 + gamma2.row(i)[0] * du;
+      }
+    }
+  }
 }
 
 }  // namespace htmpll

@@ -16,7 +16,10 @@
 namespace htmpll {
 
 /// Matrix exponential by scaling-and-squaring with a (6,6) Pade
-/// approximant.  Requires a square matrix.
+/// approximant.  Requires a square matrix with finite entries; a NaN or
+/// infinity anywhere raises std::invalid_argument instead of silently
+/// poisoning the scaling heuristic (norm_inf propagates NaN, which used
+/// to skip scaling entirely and return an all-NaN matrix).
 RMatrix expm(const RMatrix& a);
 
 /// Exact discrete propagator over a step of length h for
@@ -30,6 +33,14 @@ struct StepPropagator {
   /// piecewise-constant input pass u1 == u0.
   RVector advance(const RVector& x0, const RVector& u0, const RVector& u1,
                   double h) const;
+
+  /// Scalar-input (m == 1) variant writing into caller-owned storage:
+  /// no temporaries, so hot per-step callers (integrator peeks, Newton
+  /// edge solves) stop allocating three vectors per call.  Arithmetic is
+  /// bit-identical to advance(x0, {u0}, {u1}, h).  `out` is resized to
+  /// the state order and must not alias x0.
+  void advance_into(const RVector& x0, double u0, double u1, double h,
+                    RVector& out) const;
 };
 
 /// Builds the propagator for step length h.  B may be empty (autonomous

@@ -1,0 +1,278 @@
+#include "htmpll/linalg/spectral.hpp"
+
+#include <atomic>
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <limits>
+
+#include "htmpll/linalg/batch_kernels.hpp"
+#include "htmpll/linalg/eig.hpp"
+#include "htmpll/util/check.hpp"
+
+namespace htmpll {
+
+namespace spectral {
+
+namespace {
+
+/// HTMPLL_SPECTRAL environment policy: true means "force Pade".
+bool env_forces_pade() {
+  const char* e = std::getenv("HTMPLL_SPECTRAL");
+  if (e == nullptr || *e == '\0') return false;
+  if (std::strcmp(e, "0") == 0 || std::strcmp(e, "off") == 0 ||
+      std::strcmp(e, "pade") == 0) {
+    return true;
+  }
+  if (std::strcmp(e, "1") == 0 || std::strcmp(e, "on") == 0 ||
+      std::strcmp(e, "auto") == 0) {
+    return false;
+  }
+  std::fprintf(stderr,
+               "htmpll: warning: HTMPLL_SPECTRAL='%s' is not recognized "
+               "(use 0/off/pade or 1/on/auto); keeping spectral "
+               "propagators enabled\n",
+               e);
+  return false;
+}
+
+/// Cached policy: -1 unresolved, else 0/1.  Relaxed atomics suffice
+/// because the environment read is idempotent.
+std::atomic<int> g_enabled{-1};
+
+}  // namespace
+
+bool enabled() {
+  int v = g_enabled.load(std::memory_order_relaxed);
+  if (v < 0) {
+    v = env_forces_pade() ? 0 : 1;
+    g_enabled.store(v, std::memory_order_relaxed);
+  }
+  return v != 0;
+}
+
+void set_enabled(bool on) {
+  g_enabled.store(on ? 1 : 0, std::memory_order_relaxed);
+}
+
+}  // namespace spectral
+
+namespace {
+
+/// phi1..phi3 of one complex argument, given e^z computed elsewhere.
+/// Downward the recurrence phi_k = z phi_{k+1} + 1/k! is a stable
+/// multiplication; the direct quotients (e^z - 1)/z ... are used only
+/// for |z| >= 0.5 where no leading digits cancel.
+struct PhiSet {
+  cplx phi1, phi2, phi3;
+};
+
+PhiSet phi_functions(cplx z, cplx ez) {
+  PhiSet p;
+  if (std::abs(z) < 0.5) {
+    // phi3(z) = sum_{j>=0} z^j / (j+3)!; 16 terms reach full double
+    // precision at |z| = 0.5 (0.5^16 / 19! ~ 1e-22).
+    static constexpr int kTerms = 16;
+    double inv_fact[kTerms + 1];  // 1/(j+3)! for j = 0..kTerms
+    double f = 6.0;               // 3!
+    for (int j = 0; j <= kTerms; ++j) {
+      inv_fact[j] = 1.0 / f;
+      f *= static_cast<double>(j + 4);
+    }
+    cplx acc{0.0, 0.0};
+    for (int j = kTerms; j >= 0; --j) acc = acc * z + inv_fact[j];
+    p.phi3 = acc;
+    p.phi2 = z * p.phi3 + 0.5;
+    p.phi1 = z * p.phi2 + 1.0;
+  } else {
+    p.phi1 = (ez - 1.0) / z;
+    p.phi2 = (p.phi1 - 1.0) / z;
+    p.phi3 = (p.phi2 - 0.5) / z;
+  }
+  return p;
+}
+
+/// acc(i,j) += Re(w * m(i,j)) over the leading rows x cols block.
+void accumulate_real(RMatrix& acc, const CMatrix& m, cplx w,
+                     std::size_t rows, std::size_t cols) {
+  for (std::size_t i = 0; i < rows; ++i) {
+    for (std::size_t j = 0; j < cols; ++j) {
+      const cplx& v = m(i, j);
+      acc(i, j) += w.real() * v.real() - w.imag() * v.imag();
+    }
+  }
+}
+
+}  // namespace
+
+PropagatorFactory::PropagatorFactory(RMatrix a, RMatrix b,
+                                     bool allow_spectral,
+                                     double max_condition)
+    : a_(std::move(a)), b_(std::move(b)) {
+  HTMPLL_REQUIRE(a_.is_square(), "PropagatorFactory: A must be square");
+  m_ = b_.empty() ? 0 : b_.cols();
+  if (m_ > 0) {
+    HTMPLL_REQUIRE(b_.rows() == a_.rows(),
+                   "PropagatorFactory: B row count mismatch");
+  }
+  cond_ = std::numeric_limits<double>::infinity();
+  requested_ = allow_spectral && spectral::enabled();
+  if (requested_ && a_.rows() > 0) try_spectral(max_condition);
+}
+
+void PropagatorFactory::try_spectral(double max_condition) {
+  const std::size_t n = a_.rows();
+
+  // Phase-augmented structure: a trailing all-zero column means the
+  // last state is a pure integral of the others (theta).  Split it off
+  // FIRST -- the full matrix then carries a defective repeated
+  // eigenvalue whenever the filter block has a pole at s = 0, and a
+  // near-defective basis can slip under the condition threshold while
+  // reconstructing garbage.
+  bool trailing_zero_column = n >= 2;
+  for (std::size_t i = 0; i < n && trailing_zero_column; ++i) {
+    trailing_zero_column = a_(i, n - 1) == 0.0;
+  }
+
+  if (trailing_zero_column) {
+    const std::size_t nf = n - 1;
+    RMatrix block(nf, nf);
+    for (std::size_t i = 0; i < nf; ++i) {
+      for (std::size_t j = 0; j < nf; ++j) block(i, j) = a_(i, j);
+    }
+    if (!factor_block(block, max_condition)) return;
+    // Theta-row contractions c^T P_i and c^T G_i.
+    cproj_.assign(nf_, CVector(nf_, cplx{0.0, 0.0}));
+    cgmode_.assign(nf_, CVector(m_, cplx{0.0, 0.0}));
+    for (std::size_t k = 0; k < nf_; ++k) {
+      for (std::size_t j = 0; j < nf_; ++j) {
+        cplx s{0.0, 0.0};
+        for (std::size_t i = 0; i < nf_; ++i) {
+          s += a_(n - 1, i) * proj_[k](i, j);
+        }
+        cproj_[k][j] = s;
+      }
+      for (std::size_t j = 0; j < m_; ++j) {
+        cplx s{0.0, 0.0};
+        for (std::size_t i = 0; i < nf_; ++i) {
+          s += a_(n - 1, i) * gmode_[k](i, j);
+        }
+        cgmode_[k][j] = s;
+      }
+    }
+    btheta_.assign(m_, 0.0);
+    for (std::size_t j = 0; j < m_; ++j) btheta_[j] = b_(n - 1, j);
+    mode_ = Mode::kSpectralAugmented;
+    return;
+  }
+
+  if (factor_block(a_, max_condition)) mode_ = Mode::kSpectral;
+}
+
+bool PropagatorFactory::factor_block(const RMatrix& block,
+                                     double max_condition) {
+  const EigenDecomposition d = eig(block);
+  cond_ = d.vector_condition;
+  if (!d.usable(max_condition)) return false;
+
+  nf_ = block.rows();
+  lambda_ = d.values;
+  proj_.assign(nf_, CMatrix(nf_, nf_));
+  gmode_.assign(nf_, CMatrix(nf_, m_));
+  for (std::size_t k = 0; k < nf_; ++k) {
+    // P_k = v_k w_k^T with w_k^T = row k of V^{-1}.
+    for (std::size_t i = 0; i < nf_; ++i) {
+      const cplx vk = d.vectors(i, k);
+      for (std::size_t j = 0; j < nf_; ++j) {
+        proj_[k](i, j) = vk * d.inverse_vectors(k, j);
+      }
+    }
+    for (std::size_t i = 0; i < nf_; ++i) {
+      for (std::size_t j = 0; j < m_; ++j) {
+        cplx s{0.0, 0.0};
+        for (std::size_t l = 0; l < nf_; ++l) {
+          s += proj_[k](i, l) * b_(l, j);
+        }
+        gmode_[k](i, j) = s;
+      }
+    }
+  }
+  for (const auto& p : proj_) {
+    for (const cplx& v : p.data()) {
+      if (!std::isfinite(v.real()) || !std::isfinite(v.imag())) {
+        return false;
+      }
+    }
+  }
+  zre_.resize(nf_);
+  zim_.resize(nf_);
+  ere_.resize(nf_);
+  eim_.resize(nf_);
+  return true;
+}
+
+StepPropagator PropagatorFactory::make(double h) const {
+  HTMPLL_REQUIRE(h > 0.0, "PropagatorFactory: step must be positive");
+  if (mode_ == Mode::kPade) return make_propagator(a_, b_, h);
+  return make_spectral(h);
+}
+
+StepPropagator PropagatorFactory::make_spectral(double h) const {
+  const std::size_t n = a_.rows();
+  const bool augmented = mode_ == Mode::kSpectralAugmented;
+
+  // n scalar exponentials through the SIMD batch kernel.
+  for (std::size_t k = 0; k < nf_; ++k) {
+    zre_[k] = lambda_[k].real() * h;
+    zim_[k] = lambda_[k].imag() * h;
+  }
+  batch_cexp(zre_.data(), zim_.data(), nf_, ere_.data(), eim_.data());
+
+  StepPropagator p;
+  p.phi0 = RMatrix(n, n);
+  if (m_ > 0) {
+    p.gamma1 = RMatrix(n, m_);
+    p.gamma2 = RMatrix(n, m_);
+  }
+  const double h2 = h * h;
+  const double h3 = h2 * h;
+
+  for (std::size_t k = 0; k < nf_; ++k) {
+    const cplx z{zre_[k], zim_[k]};
+    const cplx ez{ere_[k], eim_[k]};
+    const PhiSet f = phi_functions(z, ez);
+
+    accumulate_real(p.phi0, proj_[k], ez, nf_, nf_);
+    if (m_ > 0) {
+      accumulate_real(p.gamma1, gmode_[k], h * f.phi1, nf_, m_);
+      accumulate_real(p.gamma2, gmode_[k], h2 * f.phi2, nf_, m_);
+    }
+    if (augmented) {
+      const cplx w1 = h * f.phi1;
+      for (std::size_t j = 0; j < nf_; ++j) {
+        const cplx& v = cproj_[k][j];
+        p.phi0(n - 1, j) += w1.real() * v.real() - w1.imag() * v.imag();
+      }
+      if (m_ > 0) {
+        const cplx w2 = h2 * f.phi2;
+        const cplx w3 = h3 * f.phi3;
+        for (std::size_t j = 0; j < m_; ++j) {
+          const cplx& v = cgmode_[k][j];
+          p.gamma1(n - 1, j) += w2.real() * v.real() - w2.imag() * v.imag();
+          p.gamma2(n - 1, j) += w3.real() * v.real() - w3.imag() * v.imag();
+        }
+      }
+    }
+  }
+  if (augmented) {
+    p.phi0(n - 1, n - 1) = 1.0;  // theta carries itself
+    for (std::size_t j = 0; j < m_; ++j) {
+      p.gamma1(n - 1, j) += h * btheta_[j];
+      p.gamma2(n - 1, j) += 0.5 * h2 * btheta_[j];
+    }
+  }
+  return p;
+}
+
+}  // namespace htmpll

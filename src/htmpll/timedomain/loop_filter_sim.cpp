@@ -1,5 +1,7 @@
 #include "htmpll/timedomain/loop_filter_sim.hpp"
 
+#include <cstring>
+
 #include "htmpll/obs/metrics.hpp"
 #include "htmpll/util/check.hpp"
 
@@ -13,11 +15,32 @@ struct PropagatorMetrics {
   obs::Counter& lookups = obs::counter("timedomain.propagator_lookups");
   obs::Counter& misses = obs::counter("timedomain.propagator_misses");
   obs::Counter& evictions = obs::counter("timedomain.propagator_evictions");
+  obs::Counter& spectral = obs::counter("timedomain.spectral_propagators");
+  obs::Counter& pade_fallbacks = obs::counter("timedomain.pade_fallbacks");
 };
 
 PropagatorMetrics& propagator_metrics() {
   static PropagatorMetrics m;
   return m;
+}
+
+/// splitmix64 finalizer over the bit pattern of h.  Step lengths differ
+/// only in a few mantissa bits (Newton edge refinements), so the key
+/// needs full avalanche to spread over a small table.
+std::uint64_t hash_step(double h) {
+  std::uint64_t z;
+  std::memcpy(&z, &h, sizeof z);
+  z += 0x9e3779b97f4a7c15ULL;
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+  return z ^ (z >> 31);
+}
+
+std::size_t table_size_for(std::size_t capacity) {
+  // Load factor <= 0.5 keeps linear-probe chains short.
+  std::size_t n = 4;
+  while (n < 2 * capacity) n *= 2;
+  return n;
 }
 
 }  // namespace
@@ -42,8 +65,11 @@ StateSpace augment_with_phase(const StateSpace& filter, double kvco) {
 }
 
 PiecewiseExactIntegrator::PiecewiseExactIntegrator(StateSpace ss,
-                                                   std::size_t cache_capacity)
-    : ss_(std::move(ss)), x_(ss_.order(), 0.0) {
+                                                   std::size_t cache_capacity,
+                                                   bool use_spectral)
+    : ss_(std::move(ss)),
+      factory_(ss_.a, ss_.b, use_spectral),
+      x_(ss_.order(), 0.0) {
   set_cache_capacity(cache_capacity);
 }
 
@@ -60,26 +86,85 @@ void PiecewiseExactIntegrator::set_cache_capacity(std::size_t capacity) {
     next_slot_ = 0;
   }
   cache_.reserve(cache_capacity_);
+  slots_.assign(table_size_for(cache_capacity_), -1);
+  slot_mask_ = slots_.size() - 1;
+  rebuild_index();
+}
+
+std::size_t PiecewiseExactIntegrator::slot_home(double h) const {
+  return static_cast<std::size_t>(hash_step(h)) & slot_mask_;
+}
+
+void PiecewiseExactIntegrator::index_insert(double h,
+                                            std::int32_t entry) const {
+  std::size_t i = slot_home(h);
+  while (slots_[i] >= 0) i = (i + 1) & slot_mask_;
+  slots_[i] = entry;
+}
+
+void PiecewiseExactIntegrator::index_erase(double h) const {
+  std::size_t i = slot_home(h);
+  while (true) {
+    const std::int32_t e = slots_[i];
+    HTMPLL_ASSERT(e >= 0);  // evicted keys are always indexed
+    if (cache_[static_cast<std::size_t>(e)].h == h) break;
+    i = (i + 1) & slot_mask_;
+  }
+  // Backward-shift deletion: pull every displaced follower of the probe
+  // chain into the hole so later lookups never hit a tombstone.
+  slots_[i] = -1;
+  std::size_t j = i;
+  while (true) {
+    j = (j + 1) & slot_mask_;
+    const std::int32_t e = slots_[j];
+    if (e < 0) break;
+    const std::size_t home = slot_home(cache_[static_cast<std::size_t>(e)].h);
+    if (((j - home) & slot_mask_) >= ((j - i) & slot_mask_)) {
+      slots_[i] = e;
+      slots_[j] = -1;
+      i = j;
+    }
+  }
+}
+
+void PiecewiseExactIntegrator::rebuild_index() const {
+  for (std::size_t e = 0; e < cache_.size(); ++e) {
+    index_insert(cache_[e].h, static_cast<std::int32_t>(e));
+  }
 }
 
 const StepPropagator& PiecewiseExactIntegrator::propagator(double h) const {
   ++stats_.lookups;
   propagator_metrics().lookups.add();
-  for (const CacheEntry& e : cache_) {
-    if (e.h == h) return e.prop;
+  std::size_t i = slot_home(h);
+  while (true) {
+    const std::int32_t e = slots_[i];
+    if (e < 0) break;
+    const CacheEntry& entry = cache_[static_cast<std::size_t>(e)];
+    if (entry.h == h) return entry.prop;
+    i = (i + 1) & slot_mask_;
   }
   ++stats_.misses;
   propagator_metrics().misses.add();
+  if (factory_.is_spectral()) {
+    propagator_metrics().spectral.add();
+  } else if (factory_.spectral_requested()) {
+    propagator_metrics().pade_fallbacks.add();
+  }
   if (cache_.size() < cache_capacity_) {
-    cache_.push_back({h, make_propagator(ss_.a, ss_.b, h)});
+    cache_.push_back({h, factory_.make(h)});
+    index_insert(h, static_cast<std::int32_t>(cache_.size() - 1));
     return cache_.back().prop;
   }
   ++stats_.evictions;
   propagator_metrics().evictions.add();
   CacheEntry& slot = cache_[next_slot_];
+  const std::int32_t entry = static_cast<std::int32_t>(next_slot_);
   next_slot_ = (next_slot_ + 1) % cache_capacity_;
+  index_erase(slot.h);
   slot.h = h;
-  slot.prop = make_propagator(ss_.a, ss_.b, h);
+  slot.prop = factory_.make(h);
+  index_insert(h, entry);
   return slot.prop;
 }
 
@@ -90,12 +175,24 @@ RVector PiecewiseExactIntegrator::peek(double h, double u) const {
   return propagator(h).advance(x_, uu, uu, h);
 }
 
+void PiecewiseExactIntegrator::peek_into(double h, double u,
+                                         RVector& out) const {
+  HTMPLL_REQUIRE(h >= 0.0, "cannot propagate backwards");
+  if (h == 0.0) {
+    out = x_;
+    return;
+  }
+  propagator(h).advance_into(x_, u, u, h, out);
+}
+
 double PiecewiseExactIntegrator::peek_output(double h, double u) const {
-  return ss_.output(peek(h, u), u);
+  peek_into(h, u, scratch_);
+  return ss_.output(scratch_, u);
 }
 
 void PiecewiseExactIntegrator::advance(double h, double u) {
-  x_ = peek(h, u);
+  peek_into(h, u, scratch_);
+  x_.swap(scratch_);
 }
 
 }  // namespace htmpll

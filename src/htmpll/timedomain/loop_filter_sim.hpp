@@ -2,15 +2,18 @@
 // piecewise-constant input (the charge-pump current between PFD events).
 //
 // There is no ODE-solver step error anywhere in the transient simulator:
-// each segment is advanced with the matrix exponential of the augmented
-// Van Loan system, so the comparison against the HTM model (the paper's
-// "within 2%" claim) measures modeling error, not integration error.
+// each segment is advanced with the exact discrete propagator of the
+// state matrix (spectral when the matrix admits a well-conditioned modal
+// factorization, Van Loan expm otherwise), so the comparison against the
+// HTM model (the paper's "within 2%" claim) measures modeling error, not
+// integration error.
 #pragma once
 
 #include <cstdint>
 #include <vector>
 
 #include "htmpll/linalg/expm.hpp"
+#include "htmpll/linalg/spectral.hpp"
 #include "htmpll/lti/state_space.hpp"
 
 namespace htmpll {
@@ -21,17 +24,24 @@ namespace htmpll {
 StateSpace augment_with_phase(const StateSpace& filter, double kvco);
 
 /// Hit/miss counters of a PiecewiseExactIntegrator's propagator cache.
-/// Every miss costs one Van Loan matrix exponential; `misses` therefore
-/// equals the number of expm evaluations performed so far and
-/// `lookups - misses` the number saved by caching.  This is a thin
-/// per-integrator view; when instrumentation is enabled (HTMPLL_OBS=1)
-/// the same events also feed the process-wide obs counters
-/// "timedomain.propagator_{lookups,misses,evictions}".
+/// Every miss costs one propagator construction (a Van Loan matrix
+/// exponential on the Pade path, n scalar exponentials on the spectral
+/// path) and `lookups - misses` is the number saved by caching.  This is
+/// a thin per-integrator view; when instrumentation is enabled
+/// (HTMPLL_OBS=1) the same events also feed the process-wide obs
+/// counters "timedomain.propagator_{lookups,misses,evictions}".
 struct PropagatorCacheStats {
   std::uint64_t lookups = 0;
   std::uint64_t misses = 0;
   std::uint64_t evictions = 0;  ///< cache-full slot replacements
   std::uint64_t hits() const { return lookups - misses; }
+  /// hits / lookups; 0 before the first lookup.
+  double hit_rate() const {
+    return lookups == 0
+               ? 0.0
+               : static_cast<double>(lookups - misses) /
+                     static_cast<double>(lookups);
+  }
 };
 
 class PiecewiseExactIntegrator {
@@ -42,11 +52,20 @@ class PiecewiseExactIntegrator {
   /// dozen entries capture essentially all reuse.
   static constexpr std::size_t kDefaultCacheCapacity = 32;
 
+  /// `use_spectral` false forces the Van Loan expm path for every
+  /// propagator build (bit-identical to the pre-spectral engine)
+  /// regardless of the global spectral::enabled() switch.
   explicit PiecewiseExactIntegrator(
-      StateSpace ss, std::size_t cache_capacity = kDefaultCacheCapacity);
+      StateSpace ss, std::size_t cache_capacity = kDefaultCacheCapacity,
+      bool use_spectral = true);
 
   std::size_t order() const { return ss_.order(); }
   const StateSpace& system() const { return ss_; }
+
+  /// True when cache misses are served by the one-time modal
+  /// factorization instead of a per-step expm.
+  bool spectral_propagators() const { return factory_.is_spectral(); }
+  const PropagatorFactory& propagator_factory() const { return factory_; }
 
   const RVector& state() const { return x_; }
   void set_state(RVector x);
@@ -57,6 +76,11 @@ class PiecewiseExactIntegrator {
   /// State after holding input `u` for `h` seconds, without committing.
   RVector peek(double h, double u) const;
 
+  /// Allocation-free peek: writes the peeked state into `out` (resized
+  /// to order()).  Bit-identical to peek(); `out` must not alias the
+  /// internal state.
+  void peek_into(double h, double u, RVector& out) const;
+
   /// Output at the peeked state.
   double peek_output(double h, double u) const;
 
@@ -66,30 +90,42 @@ class PiecewiseExactIntegrator {
   // --- propagator cache ---
   /// Caps the number of cached step propagators (>= 1).  Shrinking
   /// discards existing entries; results never depend on the capacity,
-  /// only the expm count does.
+  /// only the propagator-build count does.
   void set_cache_capacity(std::size_t capacity);
   std::size_t cache_capacity() const { return cache_capacity_; }
   const PropagatorCacheStats& cache_stats() const { return stats_; }
 
  private:
   const StepPropagator& propagator(double h) const;
+  std::size_t slot_home(double h) const;
+  void index_insert(double h, std::int32_t entry) const;
+  void index_erase(double h) const;
+  void rebuild_index() const;
 
   StateSpace ss_;
+  PropagatorFactory factory_;
   RVector x_;
 
   // Keyed propagator cache (exact h match).  Each distinct step length
-  // costs one Van Loan expm; edge searches, sampler peeks and commits
-  // then reuse the entry.  The cache is per-integrator (no sharing, no
-  // locking) and bounded: eviction is round-robin over the slots, which
-  // is enough because a locked loop cycles through few distinct lengths.
+  // costs one propagator build; edge searches, sampler peeks and
+  // commits then reuse the entry.  Entries live in a slab with
+  // round-robin eviction; an open-addressed index (hash of the bit
+  // pattern of h, linear probing, backward-shift deletion) makes the
+  // lookup O(1) instead of a scan over the capacity -- the scan showed
+  // up in profiles once warm-started sweeps pushed capacities past a
+  // few dozen.  The cache is per-integrator (no sharing, no locking)
+  // and bounded; results never depend on hits vs misses.
   struct CacheEntry {
     double h;
     StepPropagator prop;
   };
   std::size_t cache_capacity_;
   mutable std::vector<CacheEntry> cache_;
+  mutable std::vector<std::int32_t> slots_;  ///< index into cache_, -1 empty
+  mutable std::size_t slot_mask_ = 0;        ///< slots_.size() - 1 (pow2)
   mutable std::size_t next_slot_ = 0;  ///< round-robin eviction cursor
   mutable PropagatorCacheStats stats_;
+  mutable RVector scratch_;  ///< advance() staging, swapped into x_
 };
 
 }  // namespace htmpll

@@ -47,7 +47,7 @@ PllTransientSim::PllTransientSim(const PllParameters& params,
       // folded into the system too.
       aug_(augment_with_phase(to_state_space(params.filter.impedance()),
                               params.kvco),
-           cfg.propagator_cache),
+           cfg.propagator_cache, cfg.use_spectral_propagators),
       theta_index_(aug_.order() - 1) {
   HTMPLL_REQUIRE(std::abs(mod_.amplitude) < 0.25 * t_period_,
                  "reference modulation must stay small-signal (< T/4)");
@@ -187,7 +187,8 @@ double PllTransientSim::next_vco_edge(double target, double current) const {
   bool converged = false;
   for (int it = 0; it < 60; ++it) {
     const double h = std::max(0.0, t - t_);
-    const RVector x = aug_.peek(h, current);
+    aug_.peek_into(h, current, peek_scratch_);
+    const RVector& x = peek_scratch_;
     const double g = t + x[theta_index_] - target;
     const double y = aug_.system().output(x, current);
     double gp = 1.0 + kvco_ * y;
@@ -206,19 +207,20 @@ double PllTransientSim::next_vco_edge(double target, double current) const {
     // Bisection fallback on g(t) = t + theta(t) - target over an
     // expanding bracket; g is continuous and eventually positive.
     double lo = t_;
-    double g_lo = lo + aug_.peek(0.0, current)[theta_index_] - target;
+    aug_.peek_into(0.0, current, peek_scratch_);
+    double g_lo = lo + peek_scratch_[theta_index_] - target;
     if (g_lo >= 0.0) return t_;  // edge is (numerically) overdue
     double hi = t_ + t_period_;
     for (int grow = 0; grow < 64; ++grow) {
-      const double g_hi =
-          hi + aug_.peek(hi - t_, current)[theta_index_] - target;
+      aug_.peek_into(hi - t_, current, peek_scratch_);
+      const double g_hi = hi + peek_scratch_[theta_index_] - target;
       if (g_hi >= 0.0) break;
       hi = t_ + 2.0 * (hi - t_);
     }
     for (int it = 0; it < 200; ++it) {
       const double mid = 0.5 * (lo + hi);
-      const double g_mid =
-          mid + aug_.peek(mid - t_, current)[theta_index_] - target;
+      aug_.peek_into(mid - t_, current, peek_scratch_);
+      const double g_mid = mid + peek_scratch_[theta_index_] - target;
       if (g_mid < 0.0) {
         lo = mid;
       } else {
@@ -242,9 +244,9 @@ void PllTransientSim::record_range(double t_begin, double t_end,
     const double ts = static_cast<double>(next_sample_) * cfg_.sample_interval;
     if (ts > t_end) break;
     if (ts >= t_begin) {
-      const RVector x = aug_.peek(ts - t_begin, current);
+      aug_.peek_into(ts - t_begin, current, peek_scratch_);
       sample_t_.push_back(ts);
-      sample_theta_.push_back(x[theta_index_]);
+      sample_theta_.push_back(peek_scratch_[theta_index_]);
       sample_theta_ref_.push_back(mod_.value(ts));
     }
     ++next_sample_;

@@ -43,9 +43,15 @@ struct TransientConfig {
   /// Newton convergence tolerance for edge times, relative to T.
   double edge_tolerance = 1e-13;
   /// Step-propagator cache capacity of the exact integrator (>= 1).
-  /// Affects only how often expm is recomputed, never the results.
+  /// Affects only how often propagators are rebuilt, never the results.
   std::size_t propagator_cache =
       PiecewiseExactIntegrator::kDefaultCacheCapacity;
+  /// Serve cache misses from the one-time spectral factorization of the
+  /// state matrix instead of a per-step Van Loan expm (see
+  /// linalg/spectral.hpp).  False forces the expm path, bit-identical
+  /// to the pre-spectral engine; the HTMPLL_SPECTRAL environment switch
+  /// can force the same globally.
+  bool use_spectral_propagators = true;
 };
 
 /// Complete dynamic state of a PllTransientSim at one instant: the
@@ -141,10 +147,12 @@ class PllTransientSim {
   // --- diagnostics ---
   std::size_t event_count() const { return events_; }
   /// Step-propagator cache counters of the exact integrator; misses
-  /// equal expm evaluations performed, hits are expm evaluations saved.
+  /// equal propagator constructions performed, hits constructions saved.
   const PropagatorCacheStats& propagator_cache_stats() const {
     return aug_.cache_stats();
   }
+  /// True when cache misses use the spectral (modal) propagator path.
+  bool spectral_propagators() const { return aug_.spectral_propagators(); }
   /// Largest |charge-pump pulse width| among the last few pulses, in
   /// seconds; ~0 when phase-locked with no modulation.
   double max_recent_pulse_width() const;
@@ -166,6 +174,7 @@ class PllTransientSim {
 
   PiecewiseExactIntegrator aug_;  ///< filter states + theta (last state)
   std::size_t theta_index_;
+  mutable RVector peek_scratch_;  ///< edge-solver / sampler peek staging
 
   TriStatePfd pfd_;
   std::int64_t n_ref_ = 1;

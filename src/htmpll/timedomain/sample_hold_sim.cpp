@@ -17,7 +17,8 @@ SampleHoldPllSim::SampleHoldPllSim(const PllParameters& params,
       t_period_(params.period()),
       icp_(params.icp),
       aug_(augment_with_phase(to_state_space(params.filter.impedance()),
-                              params.kvco)),
+                              params.kvco),
+           cfg.propagator_cache, cfg.use_spectral_propagators),
       theta_index_(aug_.order() - 1) {
   HTMPLL_REQUIRE(std::abs(mod_.amplitude) < 0.25 * t_period_,
                  "reference modulation must stay small-signal (< T/4)");
@@ -51,9 +52,9 @@ void SampleHoldPllSim::record_range(double t_begin, double t_end) {
                       cfg_.sample_interval;
     if (ts > t_end) break;
     if (ts >= t_begin) {
-      const RVector x = aug_.peek(ts - t_begin, current_);
+      aug_.peek_into(ts - t_begin, current_, peek_scratch_);
       sample_t_.push_back(ts);
-      sample_theta_.push_back(x[theta_index_]);
+      sample_theta_.push_back(peek_scratch_[theta_index_]);
       sample_theta_ref_.push_back(mod_.value(ts));
     }
     ++next_sample_;

@@ -1,0 +1,193 @@
+// Dense real eigensolver: residual property tests on random matrices,
+// exact small cases, conjugate-pair structure, and the failure modes the
+// spectral propagator factory relies on (defective matrices must report
+// usable() == false, never garbage).
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <complex>
+#include <random>
+#include <stdexcept>
+#include <vector>
+
+#include "htmpll/linalg/eig.hpp"
+#include "htmpll/obs/metrics.hpp"
+
+namespace htmpll {
+namespace {
+
+double residual(const RMatrix& a, const EigenDecomposition& d,
+                std::size_t k) {
+  const std::size_t n = a.rows();
+  double r = 0.0;
+  for (std::size_t i = 0; i < n; ++i) {
+    cplx av{0.0, 0.0};
+    for (std::size_t j = 0; j < n; ++j) av += a(i, j) * d.vectors(j, k);
+    r = std::max(r, std::abs(av - d.values[k] * d.vectors(i, k)));
+  }
+  return r;
+}
+
+/// max |(V diag(lambda) V^{-1} - A)_{ij}|.
+double reconstruction_error(const RMatrix& a, const EigenDecomposition& d) {
+  const std::size_t n = a.rows();
+  double err = 0.0;
+  for (std::size_t i = 0; i < n; ++i) {
+    for (std::size_t j = 0; j < n; ++j) {
+      cplx s{0.0, 0.0};
+      for (std::size_t k = 0; k < n; ++k) {
+        s += d.vectors(i, k) * d.values[k] * d.inverse_vectors(k, j);
+      }
+      err = std::max(err, std::abs(s - a(i, j)));
+    }
+  }
+  return err;
+}
+
+TEST(Eig, ScalarMatrix) {
+  const RMatrix a{{-3.5}};
+  const EigenDecomposition d = eig(a);
+  ASSERT_TRUE(d.usable(1e3));
+  EXPECT_NEAR(d.values[0].real(), -3.5, 1e-15);
+  EXPECT_NEAR(d.values[0].imag(), 0.0, 1e-15);
+  EXPECT_NEAR(std::abs(d.vectors(0, 0)), 1.0, 1e-15);
+}
+
+TEST(Eig, RealDistinctTwoByTwo) {
+  // Triangular, so the eigenvalues are exactly the diagonal.
+  const RMatrix a{{-1.0, 2.0}, {0.0, -4.0}};
+  const EigenDecomposition d = eig(a);
+  ASSERT_TRUE(d.usable(1e6));
+  std::vector<double> re{d.values[0].real(), d.values[1].real()};
+  std::sort(re.begin(), re.end());
+  EXPECT_NEAR(re[0], -4.0, 1e-13);
+  EXPECT_NEAR(re[1], -1.0, 1e-13);
+  EXPECT_LT(residual(a, d, 0), 1e-13);
+  EXPECT_LT(residual(a, d, 1), 1e-13);
+}
+
+TEST(Eig, PureRotationGivesConjugatePair) {
+  const double w = 3.0;
+  const RMatrix a{{0.0, w}, {-w, 0.0}};
+  const EigenDecomposition d = eig(a);
+  ASSERT_TRUE(d.usable(1e6));
+  // Conjugate pair adjacent, +imag first.
+  EXPECT_NEAR(d.values[0].real(), 0.0, 1e-13);
+  EXPECT_NEAR(std::abs(d.values[0].imag()), w, 1e-13);
+  EXPECT_EQ(d.values[1], std::conj(d.values[0]));
+  // The twin's eigenvector is the conjugate of its partner's, so real
+  // reconstructions come out real.
+  for (std::size_t i = 0; i < 2; ++i) {
+    EXPECT_EQ(d.vectors(i, 1), std::conj(d.vectors(i, 0)));
+  }
+  EXPECT_LT(residual(a, d, 0), 1e-13);
+  EXPECT_LT(reconstruction_error(a, d), 1e-12);
+}
+
+TEST(Eig, DampedOscillatorPair) {
+  // Companion form of s^2 + 2 zeta wn s + wn^2 with zeta < 1.
+  const double wn = 2.0, zeta = 0.25;
+  const RMatrix a{{0.0, 1.0}, {-wn * wn, -2.0 * zeta * wn}};
+  const EigenDecomposition d = eig(a);
+  ASSERT_TRUE(d.usable(1e6));
+  EXPECT_NEAR(d.values[0].real(), -zeta * wn, 1e-12);
+  EXPECT_NEAR(std::abs(d.values[0].imag()), wn * std::sqrt(1 - zeta * zeta),
+              1e-12);
+  EXPECT_LT(reconstruction_error(a, d), 1e-12);
+}
+
+TEST(Eig, RandomStableMatricesResidualProperty) {
+  std::mt19937 rng(20260807u);
+  std::uniform_real_distribution<double> entry(-1.0, 1.0);
+  for (int trial = 0; trial < 200; ++trial) {
+    const std::size_t n = 1 + static_cast<std::size_t>(rng() % 6);
+    RMatrix a(n, n);
+    for (std::size_t i = 0; i < n; ++i) {
+      for (std::size_t j = 0; j < n; ++j) a(i, j) = entry(rng);
+      a(i, i) -= 2.0;  // diagonal shift biases the spectrum leftward
+    }
+    const EigenDecomposition d = eig(a);
+    ASSERT_TRUE(d.qr_converged) << "trial " << trial;
+    for (std::size_t k = 0; k < n; ++k) {
+      EXPECT_LT(residual(a, d, k), 1e-10) << "trial " << trial << " k " << k;
+    }
+    if (d.usable(1e8)) {
+      EXPECT_LT(reconstruction_error(a, d),
+                1e-13 * std::max(1.0, d.vector_condition))
+          << "trial " << trial;
+    }
+    // Complex eigenvalues must appear as adjacent conjugate pairs.
+    for (std::size_t k = 0; k < n; ++k) {
+      if (d.values[k].imag() > 0.0) {
+        ASSERT_LT(k + 1, n);
+        EXPECT_EQ(d.values[k + 1], std::conj(d.values[k]));
+        ++k;
+      }
+    }
+  }
+}
+
+TEST(Eig, DefectiveJordanBlockIsNotUsable) {
+  const RMatrix a{{0.0, 1.0}, {0.0, 0.0}};
+  const EigenDecomposition d = eig(a);
+  EXPECT_TRUE(d.qr_converged);
+  EXPECT_FALSE(d.usable(1e12));
+}
+
+TEST(Eig, NearDefectiveReportsHugeCondition) {
+  // Eigenvalues split by delta: kappa(V) ~ 1/delta, far above any sane
+  // threshold, so the spectral factory falls back instead of building
+  // a catastrophically amplified modal form.
+  const double delta = 1e-9;
+  const RMatrix a{{0.0, 1.0}, {0.0, -delta}};
+  const EigenDecomposition d = eig(a);
+  ASSERT_TRUE(d.qr_converged);
+  if (d.diagonalizable) {
+    EXPECT_GT(d.vector_condition, 1e7);
+  }
+  EXPECT_FALSE(d.usable(1e6));
+}
+
+TEST(Eig, EigenvaluesOnlyMatchesFullDecomposition) {
+  const RMatrix a{{0.0, 1.0, 0.0},
+                  {0.0, -2.5, 0.0},
+                  {1.5, 3.0, -0.5}};
+  bool converged = false;
+  const CVector vals = eigenvalues(a, &converged);
+  ASSERT_TRUE(converged);
+  const EigenDecomposition d = eig(a);
+  auto key = [](const cplx& z) {
+    return std::make_pair(z.real(), z.imag());
+  };
+  std::vector<std::pair<double, double>> lhs, rhs;
+  for (const cplx& z : vals) lhs.push_back(key(z));
+  for (const cplx& z : d.values) rhs.push_back(key(z));
+  std::sort(lhs.begin(), lhs.end());
+  std::sort(rhs.begin(), rhs.end());
+  for (std::size_t k = 0; k < lhs.size(); ++k) {
+    EXPECT_NEAR(lhs[k].first, rhs[k].first, 1e-10);
+    EXPECT_NEAR(lhs[k].second, rhs[k].second, 1e-10);
+  }
+}
+
+TEST(Eig, RejectsBadInput) {
+  EXPECT_THROW(eig(RMatrix(2, 3)), std::invalid_argument);
+  RMatrix nan2{{1.0, 0.0}, {0.0, std::nan("")}};
+  EXPECT_THROW(eig(nan2), std::invalid_argument);
+  RMatrix inf2{{std::numeric_limits<double>::infinity(), 0.0}, {0.0, 1.0}};
+  EXPECT_THROW(eig(inf2), std::invalid_argument);
+}
+
+TEST(Eig, CountsFactorizations) {
+  const bool was = obs::enabled();
+  obs::enable();
+  obs::Counter& c = obs::counter("linalg.eig_factorizations");
+  const std::uint64_t before = c.value();
+  eig(RMatrix{{-1.0, 0.0}, {0.0, -2.0}});
+  EXPECT_EQ(c.value(), before + 1);
+  if (!was) obs::disable();
+}
+
+}  // namespace
+}  // namespace htmpll

@@ -1,4 +1,9 @@
 #include <cmath>
+#include <cstring>
+#include <limits>
+#include <stdexcept>
+#include <utility>
+#include <vector>
 
 #include <gtest/gtest.h>
 
@@ -114,6 +119,56 @@ TEST(Propagator, RejectsNonPositiveStep) {
                std::invalid_argument);
   EXPECT_THROW(make_propagator(RMatrix{{0.0}}, RMatrix{{1.0}}, -1.0),
                std::invalid_argument);
+}
+
+TEST(Expm, RejectsNonFiniteInput) {
+  // NaN used to flow through norm_inf silently, skip the scaling stage
+  // and return an all-NaN matrix; now it is an argument error.
+  RMatrix nan2{{0.0, 1.0}, {std::nan(""), 0.0}};
+  EXPECT_THROW(expm(nan2), std::invalid_argument);
+  RMatrix inf2{{0.0, std::numeric_limits<double>::infinity()}, {0.0, 0.0}};
+  EXPECT_THROW(expm(inf2), std::invalid_argument);
+  RMatrix neg_inf1{{-std::numeric_limits<double>::infinity()}};
+  EXPECT_THROW(expm(neg_inf1), std::invalid_argument);
+}
+
+TEST(Propagator, AdvanceIntoMatchesAdvanceBitwise) {
+  const RMatrix am{{0.0, 1.0}, {-2.0, -0.7}};
+  const RMatrix bm{{0.0}, {1.0}};
+  const double h = 0.37;
+  const StepPropagator p = make_propagator(am, bm, h);
+  const RVector x0{0.25, -1.5};
+  for (const auto& [u0, u1] : std::vector<std::pair<double, double>>{
+           {0.8, 0.8}, {0.8, -0.3}, {0.0, 0.0}, {-1.0, 1.0}}) {
+    const RVector a = p.advance(x0, {u0}, {u1}, h);
+    RVector b;
+    p.advance_into(x0, u0, u1, h, b);
+    ASSERT_EQ(a.size(), b.size());
+    for (std::size_t i = 0; i < a.size(); ++i) {
+      // Bit-level equality, not EXPECT_DOUBLE_EQ: the transient engine's
+      // seed-identity contract depends on the exact same rounding.
+      EXPECT_EQ(std::memcmp(&a[i], &b[i], sizeof(double)), 0) << i;
+    }
+  }
+}
+
+TEST(Propagator, AdvanceIntoReusesScratchAcrossCalls) {
+  const RMatrix am{{-1.0}};
+  const RMatrix bm{{1.0}};
+  const StepPropagator p = make_propagator(am, bm, 1.0);
+  RVector scratch(7, 123.0);  // wrong size on purpose
+  p.advance_into({2.0}, 0.5, 0.5, 1.0, scratch);
+  ASSERT_EQ(scratch.size(), 1u);
+  const RVector ref = p.advance({2.0}, {0.5}, {0.5}, 1.0);
+  EXPECT_EQ(scratch[0], ref[0]);
+}
+
+TEST(Propagator, AdvanceIntoAutonomous) {
+  const RMatrix am{{-1.0}};
+  const StepPropagator p = make_propagator(am, RMatrix(), 1.0);
+  RVector out;
+  p.advance_into({1.0}, 0.0, 0.0, 1.0, out);
+  EXPECT_NEAR(out[0], std::exp(-1.0), 1e-12);
 }
 
 }  // namespace

@@ -1,4 +1,6 @@
 #include <cmath>
+#include <cstring>
+#include <random>
 
 #include <gtest/gtest.h>
 
@@ -83,6 +85,95 @@ TEST(Integrator, IntegratorPlusPhaseChain) {
   sim.advance(3.0, 1.0);
   EXPECT_NEAR(sim.state()[0], 3.0, 1e-12);
   EXPECT_NEAR(sim.state()[1], 2.0 * 9.0 / 2.0, 1e-11);
+}
+
+TEST(Integrator, PeekIntoMatchesPeekBitwise) {
+  PiecewiseExactIntegrator sim(lowpass(2.0));
+  sim.advance(0.17, 0.9);
+  RVector out;
+  for (double h : {0.0, 1e-6, 0.03, 0.5, 2.0}) {
+    const RVector ref = sim.peek(h, 0.4);
+    sim.peek_into(h, 0.4, out);
+    ASSERT_EQ(ref.size(), out.size());
+    EXPECT_EQ(std::memcmp(ref.data(), out.data(),
+                          ref.size() * sizeof(double)),
+              0)
+        << "h = " << h;
+  }
+}
+
+TEST(Integrator, CacheIndexSurvivesEvictionChurn) {
+  // Push 10x the capacity of distinct step lengths through the cache,
+  // interleaved with re-lookups of a pinned subset: the open-addressed
+  // index must keep serving exact results through the round-robin
+  // eviction (backward-shift deletion leaves no tombstones).  Pade is
+  // forced so every peek can be compared bit-exactly against a direct
+  // make_propagator call.
+  PiecewiseExactIntegrator sim(lowpass(1.5), /*cache_capacity=*/8,
+                               /*use_spectral=*/false);
+  std::mt19937 rng(5u);
+  std::uniform_real_distribution<double> step(0.01, 1.0);
+  std::vector<double> pinned{0.125, 0.25, 0.5};
+  for (int k = 0; k < 80; ++k) {
+    const double h = step(rng);
+    const double direct =
+        make_propagator(sim.system().a, sim.system().b, h)
+            .advance(sim.state(), {0.3}, {0.3}, h)[0];
+    EXPECT_EQ(sim.peek(h, 0.3)[0], direct);
+    for (double hp : pinned) {
+      const double want =
+          make_propagator(sim.system().a, sim.system().b, hp)
+              .advance(sim.state(), {0.3}, {0.3}, hp)[0];
+      EXPECT_EQ(sim.peek(hp, 0.3)[0], want);
+    }
+  }
+  const PropagatorCacheStats& st = sim.cache_stats();
+  EXPECT_EQ(st.lookups, 80u * 4u);
+  EXPECT_GT(st.evictions, 0u);
+  EXPECT_GT(st.hits(), 0u);
+}
+
+TEST(Integrator, CacheHitRate) {
+  PiecewiseExactIntegrator sim(lowpass(1.0), 4);
+  EXPECT_DOUBLE_EQ(sim.cache_stats().hit_rate(), 0.0);  // no lookups yet
+  sim.peek(0.5, 1.0);  // miss
+  EXPECT_DOUBLE_EQ(sim.cache_stats().hit_rate(), 0.0);
+  sim.peek(0.5, 1.0);  // hit
+  sim.peek(0.5, 2.0);  // hit (key is h only)
+  EXPECT_DOUBLE_EQ(sim.cache_stats().hit_rate(), 2.0 / 3.0);
+  sim.peek(0.25, 1.0);  // miss
+  EXPECT_DOUBLE_EQ(sim.cache_stats().hit_rate(), 0.5);
+}
+
+TEST(Integrator, ShrinkingCacheKeepsResultsIdentical) {
+  PiecewiseExactIntegrator a(lowpass(2.0), 16);
+  PiecewiseExactIntegrator b(lowpass(2.0), 16);
+  for (int k = 0; k < 12; ++k) a.advance(0.01 * (k + 1), 1.0);
+  for (int k = 0; k < 12; ++k) b.advance(0.01 * (k + 1), 1.0);
+  b.set_cache_capacity(1);  // drops all entries, forces rebuilds
+  for (int k = 0; k < 12; ++k) {
+    a.advance(0.01 * (k + 1), 0.5);
+    b.advance(0.01 * (k + 1), 0.5);
+  }
+  EXPECT_EQ(a.state()[0], b.state()[0]);
+}
+
+TEST(Integrator, SpectralOffIsAvailablePerInstance) {
+  // use_spectral = false must force the Pade path even while the global
+  // switch is on, and both paths must agree on a well-scaled system.
+  PiecewiseExactIntegrator on(lowpass(2.0),
+                              PiecewiseExactIntegrator::kDefaultCacheCapacity,
+                              /*use_spectral=*/true);
+  PiecewiseExactIntegrator off(lowpass(2.0),
+                               PiecewiseExactIntegrator::kDefaultCacheCapacity,
+                               /*use_spectral=*/false);
+  EXPECT_FALSE(off.spectral_propagators());
+  for (int k = 0; k < 10; ++k) {
+    const double h = 0.05 + 0.02 * k;
+    on.advance(h, 1.0);
+    off.advance(h, 1.0);
+  }
+  EXPECT_NEAR(on.state()[0], off.state()[0], 1e-13);
 }
 
 }  // namespace

@@ -1,0 +1,268 @@
+// Spectral propagator factory: agreement with the Van Loan/Pade path
+// across step-length decades, structured handling of the phase-augmented
+// (defective) PLL state matrix, and the fallback + kill-switch contracts
+// the transient engine depends on.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstring>
+#include <numbers>
+#include <random>
+#include <stdexcept>
+
+#include "htmpll/linalg/eig.hpp"
+#include "htmpll/linalg/spectral.hpp"
+#include "htmpll/lti/loop_filter.hpp"
+#include "htmpll/timedomain/loop_filter_sim.hpp"
+
+namespace htmpll {
+namespace {
+
+/// Pins the process-wide spectral switch for the duration of a test.
+struct ScopedSpectral {
+  bool was = spectral::enabled();
+  explicit ScopedSpectral(bool on) { spectral::set_enabled(on); }
+  ~ScopedSpectral() { spectral::set_enabled(was); }
+};
+
+double max_abs_diff(const RMatrix& a, const RMatrix& b) {
+  EXPECT_EQ(a.rows(), b.rows());
+  EXPECT_EQ(a.cols(), b.cols());
+  double m = 0.0;
+  for (std::size_t i = 0; i < a.rows(); ++i) {
+    for (std::size_t j = 0; j < a.cols(); ++j) {
+      m = std::max(m, std::abs(a(i, j) - b(i, j)));
+    }
+  }
+  return m;
+}
+
+bool bitwise_equal(const RMatrix& a, const RMatrix& b) {
+  if (a.rows() != b.rows() || a.cols() != b.cols()) return false;
+  return a.empty() ||
+         std::memcmp(a.data().data(), b.data().data(),
+                     a.data().size() * sizeof(double)) == 0;
+}
+
+/// Worst absolute propagator-block difference between the factory and
+/// the direct Van Loan path, normalized per block by its max magnitude.
+double worst_block_error(const PropagatorFactory& f, const RMatrix& a,
+                         const RMatrix& b, double h) {
+  const StepPropagator s = f.make(h);
+  const StepPropagator p = make_propagator(a, b, h);
+  double worst = max_abs_diff(s.phi0, p.phi0) /
+                 std::max(1.0, p.phi0.max_abs());
+  if (!p.gamma1.empty()) {
+    worst = std::max(worst, max_abs_diff(s.gamma1, p.gamma1) /
+                                std::max(1e-300, p.gamma1.max_abs()));
+    worst = std::max(worst, max_abs_diff(s.gamma2, p.gamma2) /
+                                std::max(1e-300, p.gamma2.max_abs()));
+  }
+  return worst;
+}
+
+TEST(SpectralPropagator, MatchesPadeAcrossFourDecades) {
+  ScopedSpectral pin(true);
+  // Well-scaled stable system with one real pole and a complex pair.
+  const RMatrix a{{-0.4, 1.0, 0.0},
+                  {-1.0, -0.4, 0.2},
+                  {0.0, 0.0, -2.0}};
+  const RMatrix b{{0.0}, {1.0}, {0.5}};
+  PropagatorFactory f(a, b);
+  ASSERT_EQ(f.mode(), PropagatorFactory::Mode::kSpectral);
+  EXPECT_LT(f.vector_condition(), 100.0);
+  for (double h = 1e-3; h <= 10.0 + 1e-9; h *= 10.0) {
+    EXPECT_LT(worst_block_error(f, a, b, h), 1e-12) << "h = " << h;
+  }
+}
+
+TEST(SpectralPropagator, MatchesPadeOnRandomStableSystems) {
+  ScopedSpectral pin(true);
+  std::mt19937 rng(77u);
+  std::uniform_real_distribution<double> entry(-1.0, 1.0);
+  int spectral_seen = 0;
+  for (int trial = 0; trial < 60; ++trial) {
+    const std::size_t n = 1 + static_cast<std::size_t>(rng() % 4);
+    RMatrix a(n, n);
+    for (std::size_t i = 0; i < n; ++i) {
+      for (std::size_t j = 0; j < n; ++j) a(i, j) = entry(rng);
+      a(i, i) -= 2.0;
+    }
+    RMatrix b(n, 1);
+    for (std::size_t i = 0; i < n; ++i) b(i, 0) = entry(rng);
+    PropagatorFactory f(a, b);
+    if (!f.is_spectral()) continue;  // rare ill-conditioned draws
+    ++spectral_seen;
+    for (double h : {1e-2, 1e-1, 1.0, 4.0}) {
+      EXPECT_LT(worst_block_error(f, a, b, h), 1e-12)
+          << "trial " << trial << " h " << h;
+    }
+  }
+  EXPECT_GT(spectral_seen, 40);
+}
+
+TEST(SpectralPropagator, StructuredModeMatchesPadeAcrossFourDecades) {
+  ScopedSpectral pin(true);
+  // Trailing zero column (integrated last state) on a WELL-SCALED
+  // system, so the Pade reference is trustworthy and directly validates
+  // the structured theta-row formulas (the h^2 phi2 / h^3 phi3 modal
+  // sums) to full precision.
+  const RMatrix a{{-0.3, 1.0, 0.0},
+                  {-1.0, -0.5, 0.0},
+                  {0.7, 0.2, 0.0}};
+  const RMatrix b{{0.1}, {1.0}, {0.4}};
+  PropagatorFactory f(a, b);
+  ASSERT_EQ(f.mode(), PropagatorFactory::Mode::kSpectralAugmented);
+  for (double h = 1e-3; h <= 10.0 + 1e-9; h *= 10.0) {
+    EXPECT_LT(worst_block_error(f, a, b, h), 1e-12) << "h = " << h;
+  }
+}
+
+TEST(SpectralPropagator, AugmentedLoopUsesStructuredMode) {
+  ScopedSpectral pin(true);
+  const double w0 = 2.0 * std::numbers::pi * 2e9;
+  const PllParameters p = make_typical_loop(0.1 * w0, w0);
+  const StateSpace aug =
+      augment_with_phase(to_state_space(p.filter.impedance()), p.kvco);
+  PropagatorFactory f(aug.a, aug.b);
+  EXPECT_EQ(f.mode(), PropagatorFactory::Mode::kSpectralAugmented);
+  EXPECT_TRUE(f.is_spectral());
+  EXPECT_TRUE(f.spectral_requested());
+  EXPECT_LT(f.vector_condition(), PropagatorFactory::kDefaultMaxCondition);
+}
+
+TEST(SpectralPropagator, AugmentedLoopMatchesExactTriangularEntries) {
+  // The typical loop's filter block is triangular, so several propagator
+  // entries have closed forms.  The spectral path must hit them to full
+  // precision; the Pade reference CANNOT be used here, because the
+  // Van Loan matrix has entries ~1e18 and scaling-and-squaring leaves an
+  // absolute error floor of ~eps * ||M|| ~ 1e-8 in its O(1) entries.
+  ScopedSpectral pin(true);
+  const double w0 = 2.0 * std::numbers::pi * 2e9;
+  const PllParameters p = make_typical_loop(0.1 * w0, w0);
+  const StateSpace aug =
+      augment_with_phase(to_state_space(p.filter.impedance()), p.kvco);
+  ASSERT_EQ(aug.a(0, 1), 1.0);  // companion structure assumed below
+  const double wp = -aug.a(1, 1);
+  PropagatorFactory f(aug.a, aug.b);
+  ASSERT_TRUE(f.is_spectral());
+  for (double h : {1e-12, 1e-11, 1e-10, 1e-9}) {
+    const StepPropagator s = f.make(h);
+    // x1' = -wp x1 decouples: phi0(1,1) = e^{-wp h} exactly.
+    EXPECT_NEAR(s.phi0(1, 1), std::exp(-wp * h), 1e-13 * std::exp(-wp * h))
+        << "h = " << h;
+    // theta never feeds back: last column is the unit vector e_theta.
+    EXPECT_EQ(s.phi0(0, 2), 0.0);
+    EXPECT_EQ(s.phi0(1, 2), 0.0);
+    EXPECT_EQ(s.phi0(2, 2), 1.0);
+  }
+}
+
+TEST(SpectralPropagator, AugmentedLoopSatisfiesSemigroupProperty) {
+  // Numerics check at the real PLL scale (state-matrix entries ~1e18):
+  // one spectral step of length h must equal 64 spectral steps of h/64
+  // composed in state space, with the piecewise-linear input sampled at
+  // the slice boundaries.  The exact solution satisfies this semigroup
+  // identity; a wrong phi coefficient anywhere breaks it at O(h^3)
+  // because the defect scales differently with the slice length.
+  ScopedSpectral pin(true);
+  const double w0 = 2.0 * std::numbers::pi * 2e9;
+  const PllParameters p = make_typical_loop(0.1 * w0, w0);
+  const StateSpace aug =
+      augment_with_phase(to_state_space(p.filter.impedance()), p.kvco);
+  PropagatorFactory f(aug.a, aug.b);
+  ASSERT_TRUE(f.is_spectral());
+  const double h = 5e-10;
+  const int slices = 64;
+  const StepPropagator fine = f.make(h / slices);
+  const StepPropagator coarse = f.make(h);
+  const double u0 = 1e-3, u1 = -0.5e-3;  // ramping charge-pump current
+  RVector x(aug.a.rows(), 0.0);
+  x[0] = 1e-9;  // charge on the integrating capacitor
+  RVector x_fine = x;
+  for (int i = 0; i < slices; ++i) {
+    const double ua = u0 + (u1 - u0) * i / slices;
+    const double ub = u0 + (u1 - u0) * (i + 1) / slices;
+    x_fine = fine.advance(x_fine, RVector{ua}, RVector{ub}, h / slices);
+  }
+  const RVector x_coarse =
+      coarse.advance(x, RVector{u0}, RVector{u1}, h);
+  for (std::size_t i = 0; i < x.size(); ++i) {
+    const double scale = std::max(std::abs(x_fine[i]), 1e-300);
+    EXPECT_LT(std::abs(x_coarse[i] - x_fine[i]) / scale, 1e-12)
+        << "state " << i;
+  }
+}
+
+TEST(SpectralPropagator, DefectiveMatrixFallsBackToPadeBitwise) {
+  ScopedSpectral pin(true);
+  // Jordan block: not diagonalizable, and no trailing zero column to
+  // split off (the second column is nonzero).
+  const RMatrix a{{0.0, 1.0}, {0.0, 0.0}};
+  const RMatrix b{{0.0}, {1.0}};
+  PropagatorFactory f(a, b);
+  EXPECT_EQ(f.mode(), PropagatorFactory::Mode::kPade);
+  EXPECT_TRUE(f.spectral_requested());
+  const double h = 0.25;
+  const StepPropagator s = f.make(h);
+  const StepPropagator p = make_propagator(a, b, h);
+  EXPECT_TRUE(bitwise_equal(s.phi0, p.phi0));
+  EXPECT_TRUE(bitwise_equal(s.gamma1, p.gamma1));
+  EXPECT_TRUE(bitwise_equal(s.gamma2, p.gamma2));
+}
+
+TEST(SpectralPropagator, AllowSpectralFalseForcesPadeBitwise) {
+  ScopedSpectral pin(true);
+  const RMatrix a{{-1.0, 0.5}, {0.0, -2.0}};
+  const RMatrix b{{1.0}, {0.0}};
+  PropagatorFactory f(a, b, /*allow_spectral=*/false);
+  EXPECT_EQ(f.mode(), PropagatorFactory::Mode::kPade);
+  EXPECT_FALSE(f.spectral_requested());
+  for (double h : {1e-3, 0.1, 2.0}) {
+    const StepPropagator s = f.make(h);
+    const StepPropagator p = make_propagator(a, b, h);
+    EXPECT_TRUE(bitwise_equal(s.phi0, p.phi0));
+    EXPECT_TRUE(bitwise_equal(s.gamma1, p.gamma1));
+    EXPECT_TRUE(bitwise_equal(s.gamma2, p.gamma2));
+  }
+}
+
+TEST(SpectralPropagator, GlobalKillSwitchForcesPade) {
+  ScopedSpectral pin(false);
+  const RMatrix a{{-1.0, 0.5}, {0.0, -2.0}};
+  const RMatrix b{{1.0}, {0.0}};
+  PropagatorFactory f(a, b);
+  EXPECT_EQ(f.mode(), PropagatorFactory::Mode::kPade);
+  EXPECT_FALSE(f.spectral_requested());
+  const StepPropagator s = f.make(0.5);
+  const StepPropagator p = make_propagator(a, b, 0.5);
+  EXPECT_TRUE(bitwise_equal(s.phi0, p.phi0));
+}
+
+TEST(SpectralPropagator, AutonomousSystem) {
+  ScopedSpectral pin(true);
+  const RMatrix a{{-0.5, 1.0}, {-1.0, -0.5}};
+  PropagatorFactory f(a, RMatrix{});
+  ASSERT_TRUE(f.is_spectral());
+  for (double h : {1e-2, 1.0}) {
+    const StepPropagator s = f.make(h);
+    const StepPropagator p = make_propagator(a, RMatrix{}, h);
+    EXPECT_LT(max_abs_diff(s.phi0, p.phi0), 1e-13);
+    EXPECT_TRUE(s.gamma1.empty());
+    EXPECT_TRUE(s.gamma2.empty());
+  }
+}
+
+TEST(SpectralPropagator, RejectsBadArguments) {
+  ScopedSpectral pin(true);
+  EXPECT_THROW(PropagatorFactory(RMatrix(2, 3), RMatrix{}),
+               std::invalid_argument);
+  EXPECT_THROW(PropagatorFactory(RMatrix(2, 2), RMatrix(3, 1)),
+               std::invalid_argument);
+  PropagatorFactory f(RMatrix{{-1.0}}, RMatrix{{1.0}});
+  EXPECT_THROW(f.make(0.0), std::invalid_argument);
+  EXPECT_THROW(f.make(-1.0), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace htmpll

@@ -8,6 +8,8 @@
 
 #include <gtest/gtest.h>
 
+#include "htmpll/linalg/spectral.hpp"
+#include "htmpll/obs/metrics.hpp"
 #include "htmpll/parallel/thread_pool.hpp"
 #include "htmpll/timedomain/montecarlo.hpp"
 #include "htmpll/timedomain/probe.hpp"
@@ -16,6 +18,13 @@ namespace htmpll {
 namespace {
 
 constexpr double kW0 = 2.0 * std::numbers::pi;  // T = 1
+
+/// Pins the process-wide spectral switch for the duration of a test.
+struct ScopedSpectral {
+  bool was = spectral::enabled();
+  explicit ScopedSpectral(bool on) { spectral::set_enabled(on); }
+  ~ScopedSpectral() { spectral::set_enabled(was); }
+};
 
 TEST(PropagatorCache, CountsHitsAndMisses) {
   const PllParameters p = make_typical_loop(0.1 * kW0, kW0);
@@ -80,6 +89,85 @@ TEST(PropagatorCache, SimulationIndependentOfCapacity) {
   // The keyed cache must actually save expm work on the same workload.
   EXPECT_LT(s64.propagator_cache_stats().misses,
             s1.propagator_cache_stats().misses);
+}
+
+TEST(SpectralEngine, SimulationAgreesWithPadeWithinTolerance) {
+  // Full transient runs with the two propagator backends: the recorded
+  // theta trajectories must agree to the 1e-10 relative level of the
+  // bench contract.  (T = 1 normalization keeps the Van Loan matrix
+  // well scaled, so the Pade reference itself is trustworthy here.)
+  ScopedSpectral pin(true);
+  const PllParameters p = make_typical_loop(0.15 * kW0, kW0);
+  ReferenceModulation mod;
+  mod.amplitude = 2e-3;
+  mod.omega = 0.21 * kW0;
+  auto run = [&](bool use_spectral) {
+    TransientConfig cfg;
+    cfg.use_spectral_propagators = use_spectral;
+    PllTransientSim sim(p, mod, cfg);
+    sim.run_periods(60.0);
+    return sim;
+  };
+  const PllTransientSim s = run(true);
+  const PllTransientSim q = run(false);
+  EXPECT_TRUE(s.spectral_propagators());
+  EXPECT_FALSE(q.spectral_propagators());
+  ASSERT_EQ(s.theta_samples().size(), q.theta_samples().size());
+  double scale = 0.0;
+  for (double th : q.theta_samples()) scale = std::max(scale, std::abs(th));
+  ASSERT_GT(scale, 0.0);
+  for (std::size_t i = 0; i < s.theta_samples().size(); ++i) {
+    EXPECT_LT(std::abs(s.theta_samples()[i] - q.theta_samples()[i]) / scale,
+              1e-10)
+        << "sample " << i;
+  }
+}
+
+TEST(SpectralEngine, ConfigOffMatchesGlobalOffBitwise) {
+  // TransientConfig::use_spectral_propagators = false and the global
+  // kill switch must select the same (Pade) numerics exactly.
+  const PllParameters p = make_typical_loop(0.12 * kW0, kW0);
+  ReferenceModulation mod;
+  mod.amplitude = 1e-3;
+  mod.omega = 0.3 * kW0;
+  std::vector<double> via_config, via_global;
+  {
+    ScopedSpectral pin(true);
+    TransientConfig cfg;
+    cfg.use_spectral_propagators = false;
+    PllTransientSim sim(p, mod, cfg);
+    sim.run_periods(30.0);
+    via_config = sim.theta_samples();
+  }
+  {
+    ScopedSpectral pin(false);
+    PllTransientSim sim(p, mod, {});
+    EXPECT_FALSE(sim.spectral_propagators());
+    sim.run_periods(30.0);
+    via_global = sim.theta_samples();
+  }
+  ASSERT_EQ(via_config.size(), via_global.size());
+  for (std::size_t i = 0; i < via_config.size(); ++i) {
+    EXPECT_EQ(via_config[i], via_global[i]) << "sample " << i;
+  }
+}
+
+TEST(SpectralEngine, CountsSpectralBuilds) {
+  ScopedSpectral pin(true);
+  const bool was = obs::enabled();
+  obs::enable();
+  obs::Counter& spectral_builds =
+      obs::counter("timedomain.spectral_propagators");
+  obs::Counter& fallbacks = obs::counter("timedomain.pade_fallbacks");
+  const std::uint64_t s0 = spectral_builds.value();
+  const std::uint64_t f0 = fallbacks.value();
+  const PllParameters p = make_typical_loop(0.1 * kW0, kW0);
+  PllTransientSim sim(p);
+  sim.set_recording(false);
+  sim.run_periods(10.0);
+  EXPECT_GT(spectral_builds.value(), s0);
+  EXPECT_EQ(fallbacks.value(), f0);  // typical loop never falls back
+  if (!was) obs::disable();
 }
 
 TEST(Checkpoint, RoundTripReproducesTrajectoryBitForBit) {
