@@ -31,6 +31,7 @@
 #include "htmpll/linalg/simd.hpp"
 #include "htmpll/lti/polynomial.hpp"
 #include "htmpll/lti/rational.hpp"
+#include "htmpll/obs/diag.hpp"
 #include "htmpll/obs/metrics.hpp"
 #include "htmpll/obs/trace.hpp"
 #include "htmpll/parallel/sweep.hpp"
@@ -237,6 +238,8 @@ int main(int argc, char** argv) {
   std::cout << "\nplan max relative error vs scalar grid: " << plan_err
             << "\n";
   const bool within_tol = plan_err <= 1e-12;
+  // Feed the plan-vs-scalar spot check into the manifest health gauges.
+  obs::diag_gauge_max(obs::HealthGauge::kMaxPlanSpotCheckError, plan_err);
   std::cout << "plan speedup " << speedup << "x (target >= 1.5), within "
             << "1e-12: " << (within_tol ? "yes" : "NO") << "\n";
   std::cout << "simd dispatch: " << simd::isa_name(resolved_isa) << " ("

@@ -17,6 +17,7 @@
 //            below 3x the pointwise loop.
 #include <algorithm>
 #include <cmath>
+#include <cstring>
 #include <iostream>
 #include <limits>
 #include <numbers>
@@ -27,6 +28,7 @@
 #include "htmpll/core/sampling_pll.hpp"
 #include "htmpll/linalg/simd.hpp"
 #include "htmpll/noise/noise.hpp"
+#include "htmpll/obs/diag.hpp"
 #include "htmpll/obs/metrics.hpp"
 #include "htmpll/obs/trace.hpp"
 #include "htmpll/util/grid.hpp"
@@ -109,6 +111,9 @@ int main(int argc, char** argv) {
   const double speedup = t_pointwise / t_grid;
   const double rel_err = max_rel_err(psd_grid, psd_pointwise);
   const bool within_tol = rel_err <= 1e-10;
+  // The grid-vs-pointwise spot check is this bench's contribution to the
+  // manifest's "health" gauges.
+  obs::diag_gauge_max(obs::HealthGauge::kMaxPlanSpotCheckError, rel_err);
 
   // --- 2. derived surfaces ----------------------------------------------
   const std::vector<double> offsets = logspace(1e-3 * w0, 0.4 * w0, 100);
@@ -142,6 +147,30 @@ int main(int argc, char** argv) {
       std::abs(jitter_batched - jitter_pointwise) /
       std::max(1e-300, std::abs(jitter_pointwise));
 
+  // --- 3. instrumentation overhead --------------------------------------
+  // Same grid workload, obs off vs obs on; scripts/check_overhead.sh
+  // gates the disabled-path cost at < 1%.  Median-of-N because the
+  // overhead is a difference of two small timings (see bench_sweep).
+  const int overhead_reps = 15;
+  obs::disable();
+  std::vector<double> psd_obs;
+  psd_obs = na.output_psd_grid(w_grid, s_ref, s_vco, s_icp);  // warm-up
+  const double t_obs_off = bench::time_median_of(overhead_reps, [&] {
+    psd_obs = na.output_psd_grid(w_grid, s_ref, s_vco, s_icp);
+  });
+  obs::enable();
+  psd_obs = na.output_psd_grid(w_grid, s_ref, s_vco, s_icp);  // warm-up
+  const double t_obs_on = bench::time_median_of(overhead_reps, [&] {
+    psd_obs = na.output_psd_grid(w_grid, s_ref, s_vco, s_icp);
+  });
+  const double obs_delta = t_obs_on - t_obs_off;
+  const double obs_fraction = obs_delta / t_obs_off;
+  // Instrumentation must not change a single bit of the PSD surface.
+  const bool obs_identical =
+      psd_obs.size() == psd_grid.size() &&
+      std::memcmp(psd_obs.data(), psd_grid.data(),
+                  psd_grid.size() * sizeof(double)) == 0;
+
   // --- console summary --------------------------------------------------
   Table table({"surface", "grid_s", "pointwise_s", "speedup"});
   table.add_row({"output_psd 2000pt", std::to_string(t_grid),
@@ -155,6 +184,10 @@ int main(int argc, char** argv) {
   std::cout << "grid speedup " << speedup << "x (target >= 3), within "
             << "1e-10: " << (within_tol ? "yes" : "NO") << "\n";
   std::cout << "integrated_jitter rel err: " << jitter_err << "\n";
+  std::cout << "instrumentation: off " << t_obs_off << " s, on " << t_obs_on
+            << " s (delta " << obs_delta << " s, " << 100.0 * obs_fraction
+            << "%), bit-identical: " << (obs_identical ? "yes" : "NO")
+            << "\n";
 
   // --- report -----------------------------------------------------------
   Json report = Json::object();
@@ -176,6 +209,16 @@ int main(int argc, char** argv) {
                Json::number(t_jitter_pointwise));
   surfaces.set("integrated_jitter_rel_err", Json::number(jitter_err));
   report.set("surfaces", surfaces);
+  Json overhead = Json::object();
+  overhead.set("workload", Json::string("output_psd_grid"))
+      .set("reps", Json::number(static_cast<double>(overhead_reps)))
+      .set("estimator", Json::string("median"))
+      .set("disabled_s", Json::number(t_obs_off))
+      .set("enabled_s", Json::number(t_obs_on))
+      .set("delta_s", Json::number(obs_delta))
+      .set("fraction", Json::number(obs_fraction));
+  report.set("obs_overhead", overhead);
+  report.set("bit_identical", Json::boolean(obs_identical));
   report.set("telemetry", bench::telemetry_json(phases));
   report.write_file(out_path);
   std::cout << "wrote " << out_path << "\n";
@@ -197,6 +240,11 @@ int main(int argc, char** argv) {
   if (!within_tol) {
     std::cerr << "FAIL: output_psd_grid differs from the pointwise loop "
                  "by " << rel_err << " (> 1e-10 relative)\n";
+    return 1;
+  }
+  if (!obs_identical) {
+    std::cerr << "FAIL: output_psd_grid with instrumentation disabled is "
+                 "not bit-identical to the instrumented run\n";
     return 1;
   }
   if (check && speedup < 3.0) {

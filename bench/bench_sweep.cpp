@@ -34,6 +34,7 @@
 #include "htmpll/core/sampling_pll.hpp"
 #include "htmpll/linalg/lu.hpp"
 #include "htmpll/linalg/matrix.hpp"
+#include "htmpll/obs/diag.hpp"
 #include "htmpll/obs/metrics.hpp"
 #include "htmpll/obs/report.hpp"
 #include "htmpll/obs/trace.hpp"
@@ -309,6 +310,9 @@ int main(int argc, char** argv) {
   const double plan_err =
       std::max({exact_plan_err, trunc_plan_err, cl_plan_err});
   const bool plan_within_tol = plan_err <= 1e-12;
+  // The worst plan-vs-scalar spot check feeds the manifest's "health"
+  // gauges (after the telemetry-pass reset, before capture).
+  obs::diag_gauge_max(obs::HealthGauge::kMaxPlanSpotCheckError, plan_err);
   std::cout << "\nscalar-forced paths bit-identical: "
             << (all_identical ? "yes" : "NO")
             << ", plan within 1e-12: " << (plan_within_tol ? "yes" : "NO")

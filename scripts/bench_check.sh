@@ -37,7 +37,15 @@
 #    proves the stub TU links and the same noise/kernel gates hold when
 #    the vector variants are compiled out entirely.
 #  * instrumentation overhead: scripts/check_overhead.sh gates the
-#    obs_overhead section of the sweep report.
+#    obs_overhead sections of the sweep AND noise reports.
+#  * health manifests: every bench's .manifest.json must carry the
+#    "health" section (diagnostic event tallies, gauges, span
+#    aggregates), and the reference-loop transient manifest must report
+#    zero spectral->Pade fallback events when the spectral engine is
+#    live.
+#  * bench history: scripts/bench_history.py must ingest the reports
+#    against a fresh baseline (exit 0), then again against itself (no
+#    regression, exit 0); the run is also appended to bench/history.jsonl.
 #
 # Usage: scripts/bench_check.sh [build-dir] [sweep-report.json] [transient-report.json] [kernels-report.json] [noise-report.json]
 set -euo pipefail
@@ -198,13 +206,52 @@ for nf in "$NREPORT" "${NREPORT%.json}_scalar.json" "${NREPORT%.json}_obs.json";
     require_section noise-telemetry "$nf" telemetry
   fi
 done
+require_true noise-obs-bit-identical "$NREPORT" bit_identical
+require_section noise-obs-overhead "$NREPORT" obs_overhead
+
+# Every bench manifest must carry the diagnostics/health section.
+for f in "$REPORT" "$TREPORT" "$KREPORT" "$NREPORT"; do
+  m="$f.manifest.json"
+  if [ -f "$m" ]; then
+    require_section manifest-health "$m" health
+    require_section manifest-health-gauges "$m" gauges
+  else
+    fail manifest-exists "$m" "manifest written by the bench" "no such file"
+  fi
+done
+
+# On the reference loop with the spectral engine live, every propagator
+# factorization must succeed: any spectral->Pade fallback event in the
+# transient manifest is unexpected.
+if [ "$(field "$TREPORT" spectral_enabled)" = "true" ]; then
+  TM="$TREPORT.manifest.json"
+  if [ -f "$TM" ]; then
+    require_le transient-no-pade-defective "$TM" pade_fallback.defective 0
+    require_le transient-no-pade-not-converged "$TM" \
+      pade_fallback.not_converged 0
+    require_le transient-no-pade-ill-conditioned "$TM" \
+      pade_fallback.ill_conditioned 0
+  fi
+fi
 
 if [ "$FAILURES" -gt 0 ]; then
   echo "bench_check: $FAILURES gate(s) failed" >&2
   exit 1
 fi
 
-"$(dirname "$0")/check_overhead.sh" "$BUILD" "$REPORT" --no-run
+"$(dirname "$0")/check_overhead.sh" "$BUILD" "$REPORT" "$NREPORT" --no-run
+
+# Bench history: a fresh baseline must ingest cleanly (exit 0), and an
+# immediate re-run of the same reports must not register a regression.
+HISTORY_TMP="$(mktemp)"
+trap 'rm -f "$HISTORY_TMP"' EXIT
+python3 "$(dirname "$0")/bench_history.py" --history "$HISTORY_TMP" \
+  "$REPORT" "$TREPORT" "$KREPORT" "$NREPORT"
+python3 "$(dirname "$0")/bench_history.py" --history "$HISTORY_TMP" \
+  "$REPORT" "$TREPORT" "$KREPORT" "$NREPORT"
+# Record this run in the persistent history keyed by git describe.
+python3 "$(dirname "$0")/bench_history.py" \
+  "$REPORT" "$TREPORT" "$KREPORT" "$NREPORT"
 
 # A build with the vector kernel TU compiled out entirely: the stub
 # path must link and the portable kernels must clear the same gates.

@@ -1,22 +1,25 @@
 #!/usr/bin/env bash
-# Gates the cost of the instrumentation layer: bench_sweep measures its
-# reference workload (the exact baseband_transfer_grid sweep) with obs
-# disabled and enabled and records both in the report's "obs_overhead"
-# section; this script fails if the measured overhead exceeds the
+# Gates the cost of the instrumentation layer: bench_sweep and
+# bench_noise each measure a reference workload (the exact
+# baseband_transfer_grid sweep; the output_psd_grid surface) with obs
+# disabled and enabled and record both in their report's "obs_overhead"
+# section; this script fails if either measured overhead exceeds the
 # budget.
 #
-# Pass criteria (either suffices):
+# Pass criteria per report (either suffices):
 #  * fraction  < 1%   -- relative overhead of the instrumented build
 #  * delta_s < 0.0002 -- absolute overhead too small to resolve against
 #                        scheduler noise on a sub-millisecond workload
 #
-# Usage: scripts/check_overhead.sh [build-dir] [sweep-report.json] [--no-run]
-#   --no-run: gate an existing report instead of building and running
-#             bench_sweep (used by bench_check.sh, which just ran it).
+# Usage: scripts/check_overhead.sh [build-dir] [sweep-report.json] \
+#                                  [noise-report.json] [--no-run]
+#   --no-run: gate existing reports instead of building and running the
+#             benches (used by bench_check.sh, which just ran them).
 set -euo pipefail
 
 BUILD="build-release"
-REPORT="BENCH_sweep.json"
+SWEEP_REPORT="BENCH_sweep.json"
+NOISE_REPORT="BENCH_noise.json"
 RUN=1
 POS=()
 for arg in "$@"; do
@@ -27,55 +30,73 @@ for arg in "$@"; do
   fi
 done
 if [ "${#POS[@]}" -ge 1 ]; then BUILD="${POS[0]}"; fi
-if [ "${#POS[@]}" -ge 2 ]; then REPORT="${POS[1]}"; fi
+if [ "${#POS[@]}" -ge 2 ]; then SWEEP_REPORT="${POS[1]}"; fi
+if [ "${#POS[@]}" -ge 3 ]; then NOISE_REPORT="${POS[2]}"; fi
 
 if [ "$RUN" = 1 ]; then
   cmake -B "$BUILD" -S . -DCMAKE_BUILD_TYPE=Release > /dev/null
-  cmake --build "$BUILD" --target bench_sweep -j > /dev/null
-  "$BUILD/bench/bench_sweep" "$REPORT" > /dev/null
-fi
-
-if [ ! -f "$REPORT" ]; then
-  echo "check_overhead: FAIL: report '$REPORT' does not exist" >&2
-  exit 1
-fi
-
-# Extract "key": value numbers from the obs_overhead object.
-extract() {
-  awk -v key="\"$1\"" '
-    /"obs_overhead"/ { in_obj = 1 }
-    in_obj && $1 == key ":" { gsub(/[",]/, "", $2); print $2; exit }
-    in_obj && /^  \}/ { exit }
-  ' "$REPORT"
-}
-
-FRACTION="$(extract fraction)"
-DELTA="$(extract delta_s)"
-DISABLED="$(extract disabled_s)"
-ENABLED="$(extract enabled_s)"
-
-if [ -z "$FRACTION" ] || [ -z "$DELTA" ]; then
-  echo "check_overhead: FAIL: $REPORT has no obs_overhead.fraction /" \
-       "obs_overhead.delta_s (is bench_sweep up to date?)" >&2
-  exit 1
+  cmake --build "$BUILD" --target bench_sweep bench_noise -j > /dev/null
+  "$BUILD/bench/bench_sweep" "$SWEEP_REPORT" > /dev/null
+  "$BUILD/bench/bench_noise" "$NOISE_REPORT" > /dev/null
 fi
 
 MAX_FRACTION=0.01
 MAX_DELTA=0.0002
-PASS="$(awk -v f="$FRACTION" -v d="$DELTA" \
-            -v mf="$MAX_FRACTION" -v md="$MAX_DELTA" \
-            'BEGIN { print (f < mf || d < md) ? 1 : 0 }')"
+FAIL=0
 
-if [ "$PASS" != 1 ]; then
-  {
-    echo "check_overhead: FAIL: instrumentation overhead over budget"
-    echo "  workload:  exact baseband_transfer_grid (bench_sweep)"
-    echo "  disabled:  ${DISABLED}s   enabled: ${ENABLED}s"
-    echo "  delta:     ${DELTA}s      (budget < ${MAX_DELTA}s)"
-    echo "  fraction:  ${FRACTION}    (budget < ${MAX_FRACTION})"
-  } >&2
-  exit 1
-fi
+# gate <label> <report>: check the obs_overhead section of one report.
+gate() {
+  local label="$1" report="$2"
+  if [ ! -f "$report" ]; then
+    echo "check_overhead: FAIL: $label report '$report' does not exist" >&2
+    FAIL=1
+    return
+  fi
 
-echo "check_overhead: OK (delta ${DELTA}s, fraction ${FRACTION} vs" \
-     "budget ${MAX_FRACTION} rel / ${MAX_DELTA}s abs)"
+  # Extract "key": value numbers from the obs_overhead object.
+  local fraction delta disabled enabled workload
+  extract() {
+    awk -v key="\"$1\"" '
+      /"obs_overhead"/ { in_obj = 1 }
+      in_obj && $1 == key ":" { gsub(/[",]/, "", $2); print $2; exit }
+      in_obj && /^  \}/ { exit }
+    ' "$report"
+  }
+  fraction="$(extract fraction)"
+  delta="$(extract delta_s)"
+  disabled="$(extract disabled_s)"
+  enabled="$(extract enabled_s)"
+  workload="$(extract workload)"
+
+  if [ -z "$fraction" ] || [ -z "$delta" ]; then
+    echo "check_overhead: FAIL: $report has no obs_overhead.fraction /" \
+         "obs_overhead.delta_s (is $label up to date?)" >&2
+    FAIL=1
+    return
+  fi
+
+  local pass
+  pass="$(awk -v f="$fraction" -v d="$delta" \
+              -v mf="$MAX_FRACTION" -v md="$MAX_DELTA" \
+              'BEGIN { print (f < mf || d < md) ? 1 : 0 }')"
+
+  if [ "$pass" != 1 ]; then
+    {
+      echo "check_overhead: FAIL: instrumentation overhead over budget"
+      echo "  workload:  ${workload} (${label})"
+      echo "  disabled:  ${disabled}s   enabled: ${enabled}s"
+      echo "  delta:     ${delta}s      (budget < ${MAX_DELTA}s)"
+      echo "  fraction:  ${fraction}    (budget < ${MAX_FRACTION})"
+    } >&2
+    FAIL=1
+    return
+  fi
+
+  echo "check_overhead: OK $label (delta ${delta}s, fraction ${fraction}" \
+       "vs budget ${MAX_FRACTION} rel / ${MAX_DELTA}s abs)"
+}
+
+gate bench_sweep "$SWEEP_REPORT"
+gate bench_noise "$NOISE_REPORT"
+
+exit "$FAIL"

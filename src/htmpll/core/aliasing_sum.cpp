@@ -3,6 +3,7 @@
 #include <cmath>
 #include <numbers>
 
+#include "htmpll/obs/diag.hpp"
 #include "htmpll/util/check.hpp"
 
 namespace htmpll {
@@ -153,6 +154,7 @@ cplx AliasingSum::adaptive(cplx s, const AliasingSumOptions& opts) const {
   cplx partial1 = corr1 ? pole_pow(s, k1) : cplx{0.0};
   cplx partial2 = corr2 ? pole_pow(s, k2) : cplx{0.0};
   int quiet = 0;
+  bool settled = false;
   for (int m = 1; m <= opts.max_pairs; ++m) {
     const cplx jm{0.0, static_cast<double>(m) * w0_};
     const cplx pair = a_(s + jm) + a_(s - jm);
@@ -172,10 +174,19 @@ cplx AliasingSum::adaptive(cplx s, const AliasingSumOptions& opts) const {
     }
     if (std::abs(residual) <=
         opts.rel_tol * std::max(1e-300, std::abs(acc))) {
-      if (++quiet >= opts.quiet_pairs) break;
+      if (++quiet >= opts.quiet_pairs) {
+        settled = true;
+        break;
+      }
     } else {
       quiet = 0;
     }
+  }
+  if (!settled) {
+    // Ran out of pairs before the stopping rule fired: the truncation
+    // error at this point is not bounded by rel_tol.
+    obs::diag_event(obs::DiagReason::kHtmTruncationSaturated,
+                    static_cast<double>(opts.max_pairs));
   }
   // Tail corrections: orders k1 and k2 = k1 + 1 share one exp(-2z) when
   // both are active (bit-identical to two standalone calls).

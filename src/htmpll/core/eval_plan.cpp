@@ -4,6 +4,7 @@
 #include <cmath>
 #include <numbers>
 
+#include "htmpll/obs/diag.hpp"
 #include "htmpll/obs/metrics.hpp"
 #include "htmpll/obs/trace.hpp"
 #include "htmpll/parallel/thread_pool.hpp"
@@ -111,11 +112,18 @@ std::shared_ptr<const EvalPlan> EvalPlan::build(
       // directly (still exact, just without the shared plane).
       t.factored = std::isfinite(ept.real()) && std::isfinite(ept.imag()) &&
                    mag > 1e-250 && mag < 1e250;
+      if (!t.factored) {
+        obs::diag_event(obs::DiagReason::kPlanExpOverflowFallback, mag);
+      }
       plan->exact_terms_.push_back(t);
     }
     if (!plan->exact_usable_) break;
   }
-  if (!plan->exact_usable_) plan->exact_terms_.clear();
+  if (!plan->exact_usable_) {
+    obs::diag_event(obs::DiagReason::kPlanScalarFallback,
+                    static_cast<double>(plan->exact_terms_.size()));
+    plan->exact_terms_.clear();
+  }
 
   obs::counter("core.plan_builds").add();
   return plan;

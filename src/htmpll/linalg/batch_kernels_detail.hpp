@@ -15,6 +15,7 @@
 
 #include "htmpll/linalg/batch_kernels.hpp"
 #include "htmpll/linalg/matrix.hpp"
+#include "htmpll/obs/diag.hpp"
 
 namespace htmpll::detail {
 
@@ -99,6 +100,12 @@ inline void pole_point_ct_cs2(const PoleSumTerm& term, cplx u, cplx e,
       const cplx d2 = 1.0 + e2;
       direct = !cplx_finite(e2) || std::norm(d1) < 1e-4 ||
                std::norm(d2) < 1e-4;
+      if (direct) {
+        // A factored term fell back to the direct exp: record how close
+        // to the aliasing pole the guard tripped (payload = |1 - e2|^2).
+        obs::diag_event(obs::DiagReason::kPlanCancellationRecompute,
+                        std::norm(d1));
+      }
     }
     if (direct) e2 = std::exp(-2.0 * u);
     ct = coth_from_e(e2);

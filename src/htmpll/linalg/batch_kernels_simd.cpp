@@ -29,6 +29,7 @@
 #include <stdexcept>
 
 #include "htmpll/linalg/batch_kernels_detail.hpp"
+#include "htmpll/obs/diag.hpp"
 
 #if defined(HTMPLL_SIMD_COMPILED) && defined(__x86_64__) && \
     (defined(__GNUC__) || defined(__clang__))
@@ -171,7 +172,22 @@ HTMPLL_TGT void batch_cexp_avx2(const double* z_re, const double* z_im,
     const __m256d ok =
         _mm256_and_pd(_mm256_cmp_pd(vabs(zr), re_max, _CMP_LE_OQ),
                       _mm256_cmp_pd(vabs(zi), im_max, _CMP_LE_OQ));
-    if (_mm256_movemask_pd(ok) != 0xF) {
+    const int ok_mask = _mm256_movemask_pd(ok);
+    if (ok_mask != 0xF) {
+      if (obs::enabled()) {
+        // Tag the whole-block bailout with why its lanes failed:
+        // non-finite input beats merely out-of-range when both occur.
+        bool non_finite = false;
+        for (std::size_t j = i; j < i + 4; ++j) {
+          non_finite = non_finite || !std::isfinite(z_re[j]) ||
+                       !std::isfinite(z_im[j]);
+        }
+        obs::diag_event(non_finite
+                            ? obs::DiagReason::kSimdBailoutNonFinite
+                            : obs::DiagReason::kSimdBailoutOutOfRange,
+                        static_cast<double>(
+                            4 - __builtin_popcount(ok_mask & 0xF)));
+      }
       for (std::size_t j = i; j < i + 4; ++j) {
         scalar_cexp_point(z_re[j], z_im[j], out_re[j], out_im[j]);
       }
@@ -243,7 +259,11 @@ HTMPLL_TGT void batch_complex_div_avx2(std::size_t n, double* out_re,
     // exactly like the scalar loop.
     const __m256d ok = _mm256_and_pd(_mm256_cmp_pd(d2, lo, _CMP_GE_OQ),
                                      _mm256_cmp_pd(d2, hi, _CMP_LE_OQ));
-    if (_mm256_movemask_pd(ok) != 0xF) {
+    const int ok_mask = _mm256_movemask_pd(ok);
+    if (ok_mask != 0xF) {
+      obs::diag_event(
+          obs::DiagReason::kSimdBailoutGuardTrip,
+          static_cast<double>(4 - __builtin_popcount(ok_mask & 0xF)));
       for (std::size_t j = i; j < i + 4; ++j) {
         rational_div_point(out_re[j], out_im[j], den_re[j], den_im[j]);
       }
@@ -329,7 +349,11 @@ HTMPLL_TGT void accumulate_pole_sums_avx2(const PoleSumTerm& term, double c,
                          _mm256_cmp_pd(nd1, _mm256_set1_pd(1e-4), _CMP_GE_OQ));
     fast = _mm256_and_pd(fast,
                          _mm256_cmp_pd(nd2, _mm256_set1_pd(1e-4), _CMP_GE_OQ));
-    if (_mm256_movemask_pd(fast) != 0xF) {
+    const int fast_mask = _mm256_movemask_pd(fast);
+    if (fast_mask != 0xF) {
+      obs::diag_event(
+          obs::DiagReason::kSimdBailoutGuardTrip,
+          static_cast<double>(4 - __builtin_popcount(fast_mask & 0xF)));
       for (std::size_t j = i; j < i + 4; ++j) {
         pole_point_accumulate(term, c, cplx{s_re[j], s_im[j]},
                               cplx{e_re[j], e_im[j]}, acc_re[j], acc_im[j]);

@@ -5,6 +5,7 @@
 #include <stdexcept>
 
 #include "htmpll/linalg/lu.hpp"
+#include "htmpll/obs/diag.hpp"
 #include "htmpll/obs/metrics.hpp"
 #include "htmpll/util/check.hpp"
 
@@ -329,6 +330,24 @@ EigenDecomposition eig(const RMatrix& a) {
     if (lam.imag() == 0.0) polished = cplx{num.real(), 0.0};
     d.values[idx] = polished;
     for (std::size_t i = 0; i < n; ++i) d.vectors(i, idx) = col[i];
+  }
+
+  // Health gauge: the worst relative eigenpair residual
+  // max_k ||A v_k - lambda_k v_k||_inf / ||A||_inf of this
+  // factorization.  Computed only while instrumentation records, so the
+  // production path pays one relaxed load.
+  if (obs::enabled()) {
+    double worst = 0.0;
+    for (std::size_t k = 0; k < n; ++k) {
+      for (std::size_t i = 0; i < n; ++i) {
+        cplx av{0.0, 0.0};
+        for (std::size_t j = 0; j < n; ++j) av += a(i, j) * d.vectors(j, k);
+        worst = std::max(worst,
+                         std::abs(av - d.values[k] * d.vectors(i, k)));
+      }
+    }
+    obs::diag_gauge_max(obs::HealthGauge::kMaxEigenpairResidual,
+                        worst / scale);
   }
 
   try {

@@ -9,6 +9,7 @@
 
 #include "htmpll/linalg/batch_kernels.hpp"
 #include "htmpll/linalg/eig.hpp"
+#include "htmpll/obs/diag.hpp"
 #include "htmpll/util/check.hpp"
 
 namespace htmpll {
@@ -172,9 +173,25 @@ void PropagatorFactory::try_spectral(double max_condition) {
 
 bool PropagatorFactory::factor_block(const RMatrix& block,
                                      double max_condition) {
+  // Above ~1/eps the eigenbasis is numerically defective -- V^{-1}
+  // exists in floating point but reconstructs noise -- so the fallback
+  // is tagged "defective" rather than merely "ill_conditioned".
+  constexpr double kNumericallyDefective = 1e14;
+
   const EigenDecomposition d = eig(block);
   cond_ = d.vector_condition;
-  if (!d.usable(max_condition)) return false;
+  if (!d.usable(max_condition)) {
+    obs::DiagReason reason = obs::DiagReason::kPadeFallbackIllConditioned;
+    if (!d.qr_converged) {
+      reason = obs::DiagReason::kPadeFallbackNotConverged;
+    } else if (!d.diagonalizable || !std::isfinite(cond_) ||
+               cond_ > kNumericallyDefective) {
+      reason = obs::DiagReason::kPadeFallbackDefective;
+    }
+    obs::diag_event(reason, cond_);
+    return false;
+  }
+  obs::diag_gauge_max(obs::HealthGauge::kMaxEigenbasisCondition, cond_);
 
   nf_ = block.rows();
   lambda_ = d.values;
@@ -201,6 +218,7 @@ bool PropagatorFactory::factor_block(const RMatrix& block,
   for (const auto& p : proj_) {
     for (const cplx& v : p.data()) {
       if (!std::isfinite(v.real()) || !std::isfinite(v.imag())) {
+        obs::diag_event(obs::DiagReason::kPadeFallbackDefective, cond_);
         return false;
       }
     }

@@ -1,6 +1,8 @@
 #include "htmpll/obs/metrics.hpp"
 
 #include <algorithm>
+
+#include "htmpll/obs/diag.hpp"
 #include <cstdlib>
 #include <map>
 #include <memory>
@@ -164,10 +166,16 @@ MetricsSnapshot snapshot() {
 }
 
 void reset_counters() {
-  std::lock_guard<std::mutex> lock(registry_mutex());
-  Registry& r = registry();
-  for (auto& [name, c] : r.counters) c->reset();
-  for (auto& [name, h] : r.histograms) h->reset();
+  {
+    std::lock_guard<std::mutex> lock(registry_mutex());
+    Registry& r = registry();
+    for (auto& [name, c] : r.counters) c->reset();
+    for (auto& [name, h] : r.histograms) h->reset();
+  }
+  // The diagnostic tallies are counters too: a bench that resets
+  // between phases expects the health section to cover the same window
+  // as the metrics snapshot.
+  diag_reset();
 }
 
 }  // namespace htmpll::obs

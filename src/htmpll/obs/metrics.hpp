@@ -159,7 +159,8 @@ Histogram& histogram(const std::string& name);
 MetricsSnapshot snapshot();
 
 /// Zeroes every counter and histogram (gauges keep their configuration
-/// values).  Benches call this between measurement phases.
+/// values) and resets the diagnostic event log (obs/diag.hpp).  Benches
+/// call this between measurement phases.
 void reset_counters();
 
 }  // namespace htmpll::obs

@@ -10,7 +10,9 @@
 #include <utility>
 #include <vector>
 
+#include "htmpll/obs/diag.hpp"
 #include "htmpll/obs/metrics.hpp"
+#include "htmpll/obs/span_stats.hpp"
 #include "htmpll/obs/trace.hpp"
 
 namespace htmpll::obs {
@@ -30,14 +32,21 @@ class RunReport {
   /// Wall time of one named phase of the run, in seconds.
   void add_phase(const std::string& phase, double seconds);
 
-  /// Captures the current metrics snapshot and span summary.  Call once
+  /// Captures the current metrics snapshot, span summary, span
+  /// aggregates and diagnostic state (the "health" section).  Call once
   /// at the end of the run (a later call overwrites the first).
   void capture();
 
   const MetricsSnapshot& metrics() const { return metrics_; }
   const std::vector<SpanStats>& spans() const { return spans_; }
+  const DiagSnapshot& diagnostics() const { return diag_; }
+  const std::vector<SpanAggregate>& span_aggregates() const {
+    return span_aggregates_;
+  }
 
   std::string to_json() const;
+  /// Writes to_json() to `path`; warns on stderr when trace spans or
+  /// diagnostic events were dropped to ring wrap-around.
   void write_json(const std::string& path) const;
 
  private:
@@ -47,6 +56,8 @@ class RunReport {
   std::vector<std::pair<std::string, double>> phases_;
   MetricsSnapshot metrics_;
   std::vector<SpanStats> spans_;
+  std::vector<SpanAggregate> span_aggregates_;
+  DiagSnapshot diag_;
   std::uint64_t trace_dropped_ = 0;
   bool captured_ = false;
 };

@@ -1,0 +1,92 @@
+#include "htmpll/obs/span_stats.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <map>
+
+namespace htmpll::obs {
+
+namespace {
+
+std::uint64_t nearest_rank(const std::vector<std::uint64_t>& sorted,
+                           double q) {
+  if (sorted.empty()) return 0;
+  const double n = static_cast<double>(sorted.size());
+  std::size_t idx =
+      static_cast<std::size_t>(std::ceil(q * n));
+  if (idx > 0) --idx;
+  if (idx >= sorted.size()) idx = sorted.size() - 1;
+  return sorted[idx];
+}
+
+}  // namespace
+
+std::vector<SpanAggregate> aggregate_spans(
+    std::vector<TraceEventView> events) {
+  // Parents before children: begin ascending, ties by end descending
+  // (the collect_trace() order, re-established for synthetic input).
+  std::sort(events.begin(), events.end(),
+            [](const TraceEventView& a, const TraceEventView& b) {
+              return a.begin_ns != b.begin_ns ? a.begin_ns < b.begin_ns
+                                              : a.end_ns > b.end_ns;
+            });
+
+  // Self time: per-thread nesting stack over the begin-ordered events.
+  // Each event starts owning its whole duration; a directly nested
+  // child gives its duration back to its parent exactly once.
+  std::vector<std::uint64_t> self(events.size());
+  std::map<int, std::vector<std::size_t>> stacks;  // tid -> open spans
+  for (std::size_t i = 0; i < events.size(); ++i) {
+    const TraceEventView& e = events[i];
+    const std::uint64_t dur =
+        e.end_ns >= e.begin_ns ? e.end_ns - e.begin_ns : 0;
+    self[i] = dur;
+    std::vector<std::size_t>& stack = stacks[e.tid];
+    while (!stack.empty() && events[stack.back()].end_ns <= e.begin_ns) {
+      stack.pop_back();
+    }
+    if (!stack.empty()) {
+      // Saturate: a partially overlapping (non-nested) span must not
+      // drive the parent's self time negative.
+      std::uint64_t& parent_self = self[stack.back()];
+      parent_self = parent_self > dur ? parent_self - dur : 0;
+    }
+    stack.push_back(i);
+  }
+
+  struct Working {
+    SpanAggregate agg;
+    std::vector<std::uint64_t> durations;
+  };
+  std::map<std::string, Working> by_name;
+  for (std::size_t i = 0; i < events.size(); ++i) {
+    const TraceEventView& e = events[i];
+    if (e.name == nullptr) continue;
+    const std::uint64_t dur =
+        e.end_ns >= e.begin_ns ? e.end_ns - e.begin_ns : 0;
+    Working& w = by_name[e.name];
+    if (w.agg.count == 0) w.agg.name = e.name;
+    ++w.agg.count;
+    w.agg.total_ns += dur;
+    w.agg.self_ns += self[i];
+    w.durations.push_back(dur);
+  }
+
+  std::vector<SpanAggregate> out;
+  out.reserve(by_name.size());
+  for (auto& [name, w] : by_name) {
+    std::sort(w.durations.begin(), w.durations.end());
+    w.agg.min_ns = w.durations.front();
+    w.agg.max_ns = w.durations.back();
+    w.agg.p50_ns = nearest_rank(w.durations, 0.50);
+    w.agg.p95_ns = nearest_rank(w.durations, 0.95);
+    out.push_back(std::move(w.agg));
+  }
+  return out;
+}
+
+std::vector<SpanAggregate> aggregate_spans() {
+  return aggregate_spans(collect_trace());
+}
+
+}  // namespace htmpll::obs

@@ -4,6 +4,7 @@
 #include <array>
 #include <chrono>
 #include <cstdio>
+#include <cstdlib>
 #include <fstream>
 #include <map>
 #include <memory>
@@ -24,25 +25,26 @@ std::uint64_t now_ns() {
 
 namespace {
 
+constexpr std::size_t kDefaultTraceCapacity = 1 << 14;  // 16384 spans
+
 /// Per-thread span ring.  Single writer (the owning thread); readers
 /// acquire `head` and then load the published slots relaxed, so export
 /// races neither with writes nor with TSan.
 class TraceBuffer {
  public:
-  static constexpr std::size_t kCapacity = 1 << 14;  // 16384 spans
-
   struct Slot {
     std::atomic<const char*> name{nullptr};
     std::atomic<std::uint64_t> begin_ns{0};
     std::atomic<std::uint64_t> end_ns{0};
   };
 
-  explicit TraceBuffer(int tid) : tid_(tid), slots_(kCapacity) {}
+  TraceBuffer(int tid, std::size_t capacity)
+      : tid_(tid), capacity_(capacity), slots_(capacity) {}
 
   void record(const char* name, std::uint64_t begin_ns,
               std::uint64_t end_ns) {
     const std::uint64_t h = head_.load(std::memory_order_relaxed);
-    Slot& s = slots_[h % kCapacity];
+    Slot& s = slots_[h % capacity_];
     s.name.store(name, std::memory_order_relaxed);
     s.begin_ns.store(begin_ns, std::memory_order_relaxed);
     s.end_ns.store(end_ns, std::memory_order_relaxed);
@@ -51,9 +53,9 @@ class TraceBuffer {
 
   void collect_into(std::vector<TraceEventView>& out) const {
     const std::uint64_t h = head_.load(std::memory_order_acquire);
-    const std::uint64_t n = std::min<std::uint64_t>(h, kCapacity);
+    const std::uint64_t n = std::min<std::uint64_t>(h, capacity_);
     for (std::uint64_t i = h - n; i < h; ++i) {
-      const Slot& s = slots_[i % kCapacity];
+      const Slot& s = slots_[i % capacity_];
       TraceEventView e;
       e.name = s.name.load(std::memory_order_relaxed);
       e.begin_ns = s.begin_ns.load(std::memory_order_relaxed);
@@ -65,18 +67,19 @@ class TraceBuffer {
 
   std::uint64_t dropped() const {
     const std::uint64_t h = head_.load(std::memory_order_acquire);
-    return h > kCapacity ? h - kCapacity : 0;
+    return h > capacity_ ? h - capacity_ : 0;
   }
 
   std::uint64_t size() const {
     return std::min<std::uint64_t>(head_.load(std::memory_order_acquire),
-                                   kCapacity);
+                                   capacity_);
   }
 
   void clear() { head_.store(0, std::memory_order_release); }
 
  private:
   int tid_;
+  std::size_t capacity_;
   std::vector<Slot> slots_;
   std::atomic<std::uint64_t> head_{0};
 };
@@ -98,7 +101,7 @@ TraceBuffer& local_buffer() {
   thread_local std::shared_ptr<TraceBuffer> buf = [] {
     std::lock_guard<std::mutex> lock(trace_mutex());
     auto b = std::make_shared<TraceBuffer>(
-        static_cast<int>(buffers().size()));
+        static_cast<int>(buffers().size()), trace_capacity());
     buffers().push_back(b);
     return b;
   }();
@@ -130,7 +133,33 @@ void record_span(const char* name, std::uint64_t begin_ns,
   local_buffer().record(name, begin_ns, end_ns);
 }
 
+std::size_t parse_trace_cap(const char* env, std::size_t fallback) {
+  if (env == nullptr || *env == '\0') return fallback;
+  char* end = nullptr;
+  const unsigned long long v = std::strtoull(env, &end, 10);
+  // strtoull wraps a leading '-' through ULLONG_MAX; reject it as
+  // garbage instead.
+  if (*env == '-' || end == env || *end != '\0' || v == 0) {
+    std::fprintf(stderr,
+                 "htmpll: warning: HTMPLL_TRACE_CAP='%s' is not a "
+                 "positive span count; keeping the default of %zu\n",
+                 env, fallback);
+    return fallback;
+  }
+  constexpr unsigned long long kMin = 64;
+  constexpr unsigned long long kMax = 1ull << 22;  // 4194304 spans
+  if (v < kMin) return static_cast<std::size_t>(kMin);
+  if (v > kMax) return static_cast<std::size_t>(kMax);
+  return static_cast<std::size_t>(v);
+}
+
 }  // namespace detail
+
+std::size_t trace_capacity() {
+  static const std::size_t cap = detail::parse_trace_cap(
+      std::getenv("HTMPLL_TRACE_CAP"), kDefaultTraceCapacity);
+  return cap;
+}
 
 std::vector<TraceEventView> collect_trace() {
   std::vector<TraceEventView> out;
@@ -207,6 +236,14 @@ std::string chrome_trace_json() {
 }
 
 void write_chrome_trace(const std::string& path) {
+  const std::uint64_t lost = trace_dropped();
+  if (lost > 0) {
+    std::fprintf(stderr,
+                 "htmpll: warning: %llu trace span(s) were dropped to "
+                 "ring wrap-around (per-thread capacity %zu); raise "
+                 "HTMPLL_TRACE_CAP to retain them\n",
+                 static_cast<unsigned long long>(lost), trace_capacity());
+  }
   std::ofstream os(path);
   HTMPLL_REQUIRE(os.good(), "cannot open trace output file: " + path);
   os << chrome_trace_json();

@@ -11,7 +11,9 @@
 // begin, end in steady-clock nanoseconds).  The owning thread is the
 // only writer; slot fields are relaxed atomics published by a release
 // store of the ring head, so concurrent export is TSan-clean.  When a
-// ring wraps, the oldest spans are overwritten and counted as dropped.
+// ring wraps, the oldest spans are overwritten and counted as dropped
+// (write_chrome_trace and run manifests warn when that happened; raise
+// HTMPLL_TRACE_CAP to size the rings for longer runs).
 //
 // Spans share the obs::enabled() switch with the metrics registry: a
 // TraceSpan constructed while disabled records nothing and costs one
@@ -34,7 +36,16 @@ namespace detail {
 /// Appends one completed span to the calling thread's ring buffer.
 void record_span(const char* name, std::uint64_t begin_ns,
                  std::uint64_t end_ns);
+
+/// Parses an HTMPLL_TRACE_CAP value.  Returns `fallback` (with a
+/// stderr warning) for null/empty/garbage/zero input; valid values are
+/// clamped to [64, 4194304] spans.
+std::size_t parse_trace_cap(const char* env, std::size_t fallback);
 }  // namespace detail
+
+/// Per-thread span-ring capacity: HTMPLL_TRACE_CAP when set (resolved
+/// once, at the first ring registration), 16384 spans otherwise.
+std::size_t trace_capacity();
 
 /// RAII span: times the enclosing scope when obs is enabled, does
 /// nothing otherwise.  `name` must be a string literal (or any pointer

@@ -2,6 +2,7 @@
 
 #include <cstring>
 
+#include "htmpll/obs/diag.hpp"
 #include "htmpll/obs/metrics.hpp"
 #include "htmpll/util/check.hpp"
 
@@ -158,6 +159,7 @@ const StepPropagator& PiecewiseExactIntegrator::propagator(double h) const {
   }
   ++stats_.evictions;
   propagator_metrics().evictions.add();
+  obs::diag_event(obs::DiagReason::kPropagatorCacheEviction, h);
   CacheEntry& slot = cache_[next_slot_];
   const std::int32_t entry = static_cast<std::int32_t>(next_slot_);
   next_slot_ = (next_slot_ + 1) % cache_capacity_;

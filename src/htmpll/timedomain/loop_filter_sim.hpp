@@ -36,11 +36,17 @@ struct PropagatorCacheStats {
   std::uint64_t evictions = 0;  ///< cache-full slot replacements
   std::uint64_t hits() const { return lookups - misses; }
   /// hits / lookups; 0 before the first lookup.
-  double hit_rate() const {
-    return lookups == 0
-               ? 0.0
-               : static_cast<double>(lookups - misses) /
-                     static_cast<double>(lookups);
+  double hit_rate() const { return ratio(lookups - misses); }
+  /// misses / lookups; 0 before the first lookup.
+  double miss_rate() const { return ratio(misses); }
+  /// evictions / lookups; 0 before the first lookup.
+  double eviction_rate() const { return ratio(evictions); }
+
+ private:
+  double ratio(std::uint64_t part) const {
+    return lookups == 0 ? 0.0
+                        : static_cast<double>(part) /
+                              static_cast<double>(lookups);
   }
 };
 
