@@ -1,0 +1,433 @@
+// Batched stability / pole-search benchmark: the design-space sweep
+// engine (grid-first crossover hunts + masked lockstep Newton through
+// the compiled eval plan) against the scalar reference paths.
+//
+//   1. headline: a 64-point (w_UG/w0, gamma) design-space map, batched
+//      vs scalar-forced (use_eval_plan = false everywhere).  Contract:
+//      speedup >= 3x, crossover and pole parity <= 1e-9 relative, with
+//      core.lambda_evals counted on both sides to show where the scalar
+//      work went.
+//   2. derivative contract: lambda_derivative_grid through the plan vs
+//      the scalar analytic lambda_derivative, <= 1e-12 max relative
+//      error on impulse and ZOH shapes; a central-difference
+//      cross-check of the analytic derivative itself is recorded
+//      informationally (finite differencing bottoms out near 1e-8).
+//   3. scalar-fallback pin: the scalar-forced effective_margins and
+//      closed_loop_poles must be bit-identical to in-bench replicas of
+//      the original sequential implementations.
+//
+// Writes a machine-readable report (default BENCH_stability.json).
+//
+// Usage: bench_stability [output.json] [--check] [--smoke]
+//   --check: additionally exit non-zero if the batched sweep speedup
+//            drops below 3x the scalar-forced sweep.
+//   --smoke: single-rep timing, parity/contract gates only (the 3x
+//            speedup gate is skipped even with --check).
+#include <algorithm>
+#include <cmath>
+#include <complex>
+#include <cstring>
+#include <iostream>
+#include <limits>
+#include <numbers>
+#include <string>
+#include <vector>
+
+#include "bench_common.hpp"
+#include "htmpll/core/pole_search.hpp"
+#include "htmpll/core/sampling_pll.hpp"
+#include "htmpll/core/stability.hpp"
+#include "htmpll/core/symbolic.hpp"
+#include "htmpll/design/design_sweep.hpp"
+#include "htmpll/lti/bode.hpp"
+#include "htmpll/obs/metrics.hpp"
+#include "htmpll/obs/trace.hpp"
+#include "htmpll/parallel/sweep.hpp"
+#include "htmpll/util/grid.hpp"
+#include "htmpll/util/table.hpp"
+#include "htmpll/ztrans/zdomain.hpp"
+
+namespace {
+
+using namespace htmpll;
+using bench::Json;
+using bench::time_best_of;
+
+double rel_diff(double got, double want) {
+  return std::abs(got - want) / std::max(1e-300, std::abs(want));
+}
+
+double rel_diff(cplx got, cplx want) {
+  return std::abs(got - want) / std::max(1e-300, std::abs(want));
+}
+
+double max_rel_err(const CVector& got, const CVector& want) {
+  double worst = got.size() == want.size()
+                     ? 0.0
+                     : std::numeric_limits<double>::infinity();
+  for (std::size_t i = 0; i < got.size() && i < want.size(); ++i) {
+    worst = std::max(worst, rel_diff(got[i], want[i]));
+  }
+  return worst;
+}
+
+bool bits_equal(double a, double b) {
+  return std::memcmp(&a, &b, sizeof(double)) == 0;
+}
+
+bool bits_equal(cplx a, cplx b) {
+  return bits_equal(a.real(), b.real()) && bits_equal(a.imag(), b.imag());
+}
+
+/// The seed's effective_margins, replicated verbatim on the public
+/// search API: scalar crossover probing on A and on lambda.
+EffectiveMargins seed_effective_margins(const SamplingPllModel& model) {
+  EffectiveMargins out;
+  const double w0 = model.w0();
+  const RationalFunction& a = model.open_loop_gain();
+  const FrequencyResponse lti = [&a](double w) { return a(cplx{0.0, w}); };
+  if (const auto c = find_gain_crossover(lti, w0 * 1e-5, w0 * 1e3)) {
+    out.lti_found = true;
+    out.lti_crossover = c->frequency;
+    out.lti_phase_margin_deg = c->phase_margin_deg;
+  }
+  const FrequencyResponse eff = [&model](double w) {
+    return model.lambda(cplx{0.0, w});
+  };
+  if (const auto c = find_gain_crossover(eff, w0 * 1e-5, 0.5 * w0)) {
+    out.eff_found = true;
+    out.eff_crossover = c->frequency;
+    out.eff_phase_margin_deg = c->phase_margin_deg;
+  }
+  return out;
+}
+
+/// The seed's closed_loop_poles, replicated verbatim: z-root seeds,
+/// one sequential symbolic Newton chain per seed, sort by frequency.
+std::vector<ClosedLoopPole> seed_closed_loop_poles(
+    const SamplingPllModel& model, const PoleSearchOptions& opts) {
+  const double w0 = model.w0();
+  const double t = 2.0 * std::numbers::pi / w0;
+  const ImpulseInvariantModel zm(model.open_loop_gain(), w0);
+  std::vector<cplx> seeds;
+  for (const cplx& z : zm.closed_loop_poles()) {
+    if (std::abs(z) < 1e-12) continue;
+    seeds.push_back(std::log(z) / t);
+  }
+  const LambdaExpression lambda(model.open_loop_gain(), w0);
+  std::vector<ClosedLoopPole> out;
+  out.reserve(seeds.size());
+  for (const cplx& seed : seeds) {
+    out.push_back(refine_closed_loop_pole(lambda, seed, opts));
+  }
+  std::sort(out.begin(), out.end(),
+            [](const ClosedLoopPole& a, const ClosedLoopPole& b) {
+              return a.frequency < b.frequency;
+            });
+  return out;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::string out_path = "BENCH_stability.json";
+  bool check = false;
+  bool smoke = false;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--check") {
+      check = true;
+    } else if (arg == "--smoke") {
+      smoke = true;
+    } else {
+      out_path = arg;
+    }
+  }
+
+  const double w0 = 2.0 * std::numbers::pi;
+  const int reps = smoke ? 1 : 3;
+
+  // 64-point design space: 16 crossover ratios x 4 zero-placement
+  // factors, all inside the sampled loop's stable-searchable range.
+  const std::vector<double> ratios = linspace(0.02, 0.25, 16);
+  const std::vector<double> gammas = {2.0, 3.0, 4.0, 6.0};
+  DesignSpec spec;
+  spec.w0 = w0;
+  spec.target_w_ug = 0.1 * w0;
+  spec.target_pm_deg = typical_loop_lti_phase_margin_deg();
+
+  DesignSweepOptions batched_opts;  // defaults: plan + batched engines
+  DesignSweepOptions scalar_opts;
+  scalar_opts.use_eval_plan = false;
+
+  const std::size_t n_points = ratios.size() * gammas.size();
+  std::cout << "=== Batched stability engine benchmark: " << n_points
+            << "-point design sweep ===\n\n";
+
+  const bool obs_was_enabled = obs::enabled();
+  obs::enable();
+  obs::reset_counters();
+  obs::clear_trace();
+  std::vector<std::pair<std::string, double>> phases;
+
+  // --- 1. headline: design-space map, scalar vs batched -----------------
+  // Counting passes first (one run each, counters isolated), then the
+  // timing passes.
+  obs::reset_counters();
+  const DesignSpaceMap scalar_map =
+      design_space_map(spec, ratios, gammas, scalar_opts);
+  const double evals_scalar = static_cast<double>(
+      obs::counter("core.lambda_evals").value());
+
+  obs::reset_counters();
+  const DesignSpaceMap batched_map =
+      design_space_map(spec, ratios, gammas, batched_opts);
+  const double evals_batched = static_cast<double>(
+      obs::counter("core.lambda_evals").value());
+  const double plan_points_batched = static_cast<double>(
+      obs::counter("core.plan_grid_points").value());
+
+  double t_scalar = 0.0;
+  bench::run_phase(phases, "design_sweep_scalar", [&] {
+    t_scalar = time_best_of(reps, [&] {
+      design_space_map(spec, ratios, gammas, scalar_opts);
+    });
+  });
+  double t_batched = 0.0;
+  bench::run_phase(phases, "design_sweep_batched", [&] {
+    t_batched = time_best_of(reps, [&] {
+      design_space_map(spec, ratios, gammas, batched_opts);
+    });
+  });
+  const double speedup = t_scalar / t_batched;
+
+  // Parity: crossovers / margins / poles of the two maps.
+  double crossover_err = 0.0;
+  double margin_err = 0.0;
+  double pole_err = 0.0;
+  bool parity_shape_ok = true;
+  for (std::size_t i = 0; i < n_points; ++i) {
+    const DesignPoint& b = batched_map.points[i];
+    const DesignPoint& s = scalar_map.points[i];
+    if (b.design.margins.eff_found != s.design.margins.eff_found ||
+        b.poles.size() != s.poles.size()) {
+      parity_shape_ok = false;
+      continue;
+    }
+    if (s.design.margins.eff_found) {
+      crossover_err = std::max(
+          crossover_err, rel_diff(b.design.margins.eff_crossover,
+                                  s.design.margins.eff_crossover));
+      margin_err = std::max(
+          margin_err, rel_diff(b.design.margins.eff_phase_margin_deg,
+                               s.design.margins.eff_phase_margin_deg));
+    }
+    if (s.design.margins.lti_found) {
+      crossover_err = std::max(
+          crossover_err, rel_diff(b.design.margins.lti_crossover,
+                                  s.design.margins.lti_crossover));
+      margin_err = std::max(
+          margin_err, rel_diff(b.design.margins.lti_phase_margin_deg,
+                               s.design.margins.lti_phase_margin_deg));
+    }
+    // Conjugate pairs share |s|, so the frequency sort leaves their
+    // relative order unspecified: match each scalar pole to the nearest
+    // batched one instead of by index.
+    for (const ClosedLoopPole& sp : s.poles) {
+      double best = std::numeric_limits<double>::infinity();
+      for (const ClosedLoopPole& bp : b.poles) {
+        if (!bp.converged) parity_shape_ok = false;
+        best = std::min(best, rel_diff(bp.s, sp.s));
+      }
+      pole_err = std::max(pole_err, best);
+    }
+  }
+  const bool parity_ok = parity_shape_ok && crossover_err <= 1e-9 &&
+                         margin_err <= 1e-9 && pole_err <= 1e-9;
+
+  // --- 2. derivative contract -------------------------------------------
+  const std::size_t n_deriv = 1000;
+  const CVector s_grid =
+      jw_grid(logspace(1e-3 * w0, 0.49 * w0, n_deriv));
+  double deriv_err_impulse = 0.0;
+  double deriv_err_zoh = 0.0;
+  double central_diff_err = 0.0;
+  bench::run_phase(phases, "derivative_contract", [&] {
+    for (const PfdShape shape :
+         {PfdShape::kImpulse, PfdShape::kZeroOrderHold}) {
+      SamplingPllOptions mopts;
+      mopts.pfd_shape = shape;
+      const SamplingPllModel model(make_typical_loop(0.1 * w0, w0),
+                                   HarmonicCoefficients(cplx{1.0}), mopts);
+      const CVector got = model.lambda_derivative_grid(s_grid);
+      CVector want(n_deriv);
+      for (std::size_t i = 0; i < n_deriv; ++i) {
+        want[i] = model.lambda_derivative(s_grid[i]);
+      }
+      const double err = max_rel_err(got, want);
+      (shape == PfdShape::kImpulse ? deriv_err_impulse : deriv_err_zoh) =
+          err;
+      if (shape == PfdShape::kImpulse) {
+        // Central-difference cross-check of the analytic derivative
+        // itself, on a thinned grid; informational (truncation +
+        // cancellation floor the agreement near 1e-8).
+        const double h = 1e-6 * w0;
+        for (std::size_t i = 0; i < n_deriv; i += 25) {
+          const cplx fd = (model.lambda(s_grid[i] + h) -
+                           model.lambda(s_grid[i] - h)) /
+                          (2.0 * h);
+          central_diff_err =
+              std::max(central_diff_err, rel_diff(fd, want[i]));
+        }
+      }
+    }
+  });
+  const double deriv_err = std::max(deriv_err_impulse, deriv_err_zoh);
+  const bool deriv_ok = deriv_err <= 1e-12;
+
+  // --- 3. scalar-fallback pin vs seed replicas --------------------------
+  bool margins_bit_identical = true;
+  bool poles_bit_identical = true;
+  bench::run_phase(phases, "scalar_fallback_pin", [&] {
+    SamplingPllOptions mopts;
+    mopts.use_eval_plan = false;
+    PoleSearchOptions popts;
+    popts.use_eval_plan = false;
+    for (const double ratio : {0.1, 0.25}) {
+      const SamplingPllModel model(make_typical_loop(ratio * w0, w0),
+                                   HarmonicCoefficients(cplx{1.0}), mopts);
+      const EffectiveMargins got = effective_margins(model);
+      const EffectiveMargins want = seed_effective_margins(model);
+      margins_bit_identical =
+          margins_bit_identical && got.eff_found == want.eff_found &&
+          bits_equal(got.eff_crossover, want.eff_crossover) &&
+          bits_equal(got.eff_phase_margin_deg, want.eff_phase_margin_deg) &&
+          bits_equal(got.lti_crossover, want.lti_crossover) &&
+          bits_equal(got.lti_phase_margin_deg, want.lti_phase_margin_deg);
+      const std::vector<ClosedLoopPole> got_p =
+          closed_loop_poles(model, popts);
+      const std::vector<ClosedLoopPole> want_p =
+          seed_closed_loop_poles(model, popts);
+      poles_bit_identical =
+          poles_bit_identical && got_p.size() == want_p.size();
+      for (std::size_t k = 0;
+           poles_bit_identical && k < want_p.size(); ++k) {
+        poles_bit_identical = bits_equal(got_p[k].s, want_p[k].s) &&
+                              bits_equal(got_p[k].residual,
+                                         want_p[k].residual) &&
+                              got_p[k].iterations == want_p[k].iterations;
+      }
+    }
+  });
+
+  // --- console summary --------------------------------------------------
+  Table table({"section", "metric", "value"});
+  table.add_row({"design_sweep", "batched_s", std::to_string(t_batched)});
+  table.add_row({"design_sweep", "scalar_s", std::to_string(t_scalar)});
+  table.add_row({"design_sweep", "speedup", std::to_string(speedup)});
+  table.add_row({"design_sweep", "lambda_evals scalar",
+                 std::to_string(static_cast<long long>(evals_scalar))});
+  table.add_row({"design_sweep", "lambda_evals batched",
+                 std::to_string(static_cast<long long>(evals_batched))});
+  table.add_row({"design_sweep", "plan_grid_points batched",
+                 std::to_string(
+                     static_cast<long long>(plan_points_batched))});
+  table.add_row({"parity", "crossover max rel err",
+                 std::to_string(crossover_err)});
+  table.add_row({"parity", "margin max rel err",
+                 std::to_string(margin_err)});
+  table.add_row({"parity", "pole max rel err", std::to_string(pole_err)});
+  table.add_row({"derivative", "plan vs scalar (impulse)",
+                 std::to_string(deriv_err_impulse)});
+  table.add_row({"derivative", "plan vs scalar (ZOH)",
+                 std::to_string(deriv_err_zoh)});
+  table.add_row({"derivative", "central-diff cross-check",
+                 std::to_string(central_diff_err)});
+  table.add_row({"scalar_fallback", "margins bit-identical",
+                 margins_bit_identical ? "yes" : "NO"});
+  table.add_row({"scalar_fallback", "poles bit-identical",
+                 poles_bit_identical ? "yes" : "NO"});
+  table.print(std::cout);
+  std::cout << "\nbatched sweep speedup " << speedup
+            << "x (target >= 3), parity <= 1e-9: "
+            << (parity_ok ? "yes" : "NO") << ", derivative <= 1e-12: "
+            << (deriv_ok ? "yes" : "NO") << "\n";
+
+  // --- report -----------------------------------------------------------
+  Json report = Json::object();
+  report.set("benchmark", Json::string("bench_stability"));
+  report.set("smoke", Json::boolean(smoke));
+  Json sweep = Json::object();
+  sweep.set("ratios", Json::number(static_cast<double>(ratios.size())));
+  sweep.set("gammas", Json::number(static_cast<double>(gammas.size())));
+  sweep.set("points", Json::number(static_cast<double>(n_points)));
+  sweep.set("batched_s", Json::number(t_batched));
+  sweep.set("scalar_s", Json::number(t_scalar));
+  sweep.set("batched_speedup_vs_scalar", Json::number(speedup));
+  sweep.set("lambda_evals_scalar", Json::number(evals_scalar));
+  sweep.set("lambda_evals_batched", Json::number(evals_batched));
+  sweep.set("plan_grid_points_batched", Json::number(plan_points_batched));
+  sweep.set("crossover_max_rel_err", Json::number(crossover_err));
+  sweep.set("margin_max_rel_err", Json::number(margin_err));
+  sweep.set("pole_max_rel_err", Json::number(pole_err));
+  sweep.set("parity_pass", Json::boolean(parity_ok));
+  report.set("design_sweep", sweep);
+  Json deriv = Json::object();
+  deriv.set("grid_points", Json::number(static_cast<double>(n_deriv)));
+  deriv.set("impulse_max_rel_err", Json::number(deriv_err_impulse));
+  deriv.set("zoh_max_rel_err", Json::number(deriv_err_zoh));
+  deriv.set("within_tolerance", Json::boolean(deriv_ok));
+  deriv.set("central_diff_max_rel_err", Json::number(central_diff_err));
+  report.set("derivative", deriv);
+  Json fallback = Json::object();
+  fallback.set("margins_bit_identical",
+               Json::boolean(margins_bit_identical));
+  fallback.set("poles_bit_identical", Json::boolean(poles_bit_identical));
+  report.set("scalar_fallback", fallback);
+  report.set("telemetry", bench::telemetry_json(phases));
+  report.write_file(out_path);
+  std::cout << "wrote " << out_path << "\n";
+
+  const std::string trace_path = out_path + ".trace.json";
+  obs::write_chrome_trace(trace_path);
+  std::cout << "wrote " << trace_path << "\n";
+
+  obs::RunReport manifest = bench::make_manifest("bench_stability", phases);
+  manifest.set_config("sweep_points", static_cast<double>(n_points));
+  manifest.set_config("derivative_grid_points",
+                      static_cast<double>(n_deriv));
+  manifest.set_config("reps", static_cast<double>(reps));
+  const std::string manifest_path = out_path + ".manifest.json";
+  manifest.write_json(manifest_path);
+  std::cout << "wrote " << manifest_path << "\n";
+
+  if (!obs_was_enabled) obs::disable();
+
+  bool failed = false;
+  if (!parity_ok) {
+    std::cerr << "FAIL: batched/scalar parity (crossover " << crossover_err
+              << ", margin " << margin_err << ", pole " << pole_err
+              << ", shape " << (parity_shape_ok ? "ok" : "MISMATCH")
+              << ") exceeds 1e-9 relative\n";
+    failed = true;
+  }
+  if (!deriv_ok) {
+    std::cerr << "FAIL: lambda_derivative_grid differs from the scalar "
+                 "analytic derivative by " << deriv_err
+              << " (> 1e-12 relative)\n";
+    failed = true;
+  }
+  if (!margins_bit_identical || !poles_bit_identical) {
+    std::cerr << "FAIL: scalar-forced results are not bit-identical to "
+                 "the seed implementations (margins "
+              << (margins_bit_identical ? "ok" : "DIFFER") << ", poles "
+              << (poles_bit_identical ? "ok" : "DIFFER") << ")\n";
+    failed = true;
+  }
+  if (check && !smoke && speedup < 3.0) {
+    std::cerr << "FAIL: batched design-sweep speedup " << speedup
+              << "x below the 3x target\n";
+    failed = true;
+  }
+  return failed ? 1 : 0;
+}

@@ -10,6 +10,10 @@
 // print the hard stability boundary (where |lambda| no longer crosses 1
 // below w0/2 and lambda(j w0/2) <= -1) and the z-domain verdict.
 //
+// The ratio sweep runs through the design-space map: one batched
+// crossover hunt per ratio through the compiled eval plan, all ratios
+// concurrent on the pool.
+//
 // Usage: fig7_stability [output.csv]
 #include <iostream>
 #include <numbers>
@@ -17,9 +21,8 @@
 
 #include "bench_common.hpp"
 #include "htmpll/core/stability.hpp"
-#include "htmpll/parallel/sweep.hpp"
+#include "htmpll/design/design_sweep.hpp"
 #include "htmpll/util/table.hpp"
-#include "htmpll/ztrans/zdomain.hpp"
 
 int main(int argc, char** argv) {
   using namespace htmpll;
@@ -34,26 +37,21 @@ int main(int argc, char** argv) {
   const std::vector<double> ratios = {0.01, 0.02, 0.04, 0.06, 0.08,
                                       0.10, 0.125, 0.15, 0.175, 0.20,
                                       0.225, 0.25, 0.27};
-  // The margin searches per ratio are independent crossover hunts --
-  // run one per pool slot.
-  struct RatioResult {
-    EffectiveMargins em;
-    double half_rate;
-    bool z_stable;
-  };
-  const std::vector<RatioResult> results = parallel_map<RatioResult>(
-      ratios.size(), [&](std::size_t i) {
-        const SamplingPllModel model(make_typical_loop(ratios[i] * w0, w0));
-        const ImpulseInvariantModel zm(model.open_loop_gain(), w0);
-        return RatioResult{effective_margins(model), half_rate_lambda(model),
-                           zm.is_stable()};
-      });
+  DesignSpec spec;
+  spec.w0 = w0;
+  spec.target_w_ug = 0.1 * w0;
+  spec.target_pm_deg = lti_pm;
+  DesignSweepOptions sweep_opts;
+  sweep_opts.include_poles = false;  // this figure reads margins only
+  const DesignSpaceMap map = design_space_map(spec, ratios, {4.0},
+                                              sweep_opts);
 
   Table t({"w_UG/w0", "wUGeff/wUG", "PM_eff_deg", "PM_lti_deg",
            "PM_loss_%", "lambda(jw0/2)", "z_stable"});
   t.reserve(ratios.size());
   for (std::size_t i = 0; i < ratios.size(); ++i) {
-    const EffectiveMargins& em = results[i].em;
+    const DesignPoint& pt = map.at(i, 0);
+    const EffectiveMargins& em = pt.design.margins;
     const double loss =
         100.0 * (em.lti_phase_margin_deg - em.eff_phase_margin_deg) /
         em.lti_phase_margin_deg;
@@ -64,8 +62,8 @@ int main(int argc, char** argv) {
                em.eff_found ? Table::fmt(em.eff_phase_margin_deg) : "-",
                Table::fmt(em.lti_phase_margin_deg),
                em.eff_found ? Table::fmt(loss) : "-",
-               Table::fmt(results[i].half_rate),
-               results[i].z_stable ? "yes" : "NO"});
+               Table::fmt(pt.half_rate_lambda),
+               pt.design.z_domain_stable ? "yes" : "NO"});
   }
   t.print(std::cout);
 

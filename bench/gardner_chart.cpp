@@ -10,60 +10,32 @@
 //   * the Schur-Cohn/Jury test.
 // Classical LTI analysis puts the entire chart at "stable".
 //
+// The per-gamma boundary hunts run through the design-sweep engine
+// (gardner_stability_rows), one row per pool slot.
+//
 // Usage: gardner_chart [output.csv]
 #include <iostream>
 #include <numbers>
+#include <vector>
 
-#include "htmpll/core/stability.hpp"
+#include "htmpll/design/design_sweep.hpp"
 #include "htmpll/util/table.hpp"
-#include "htmpll/ztrans/jury.hpp"
-#include "htmpll/ztrans/zdomain.hpp"
-
-namespace {
-
-using namespace htmpll;
-
-// The 2nd-order family keeps gaining margin with gamma; cap the search
-// at 0.9 (a crossover nearly at the reference rate is academic anyway).
-template <typename MakeLoop>
-double boundary_lambda(MakeLoop make, double w0, double gamma) {
-  double lo = 0.02, hi = 0.9;
-  for (int it = 0; it < 45; ++it) {
-    const double mid = 0.5 * (lo + hi);
-    const SamplingPllModel m(make(mid * w0, w0, gamma));
-    (half_rate_lambda(m) > -1.0 ? lo : hi) = mid;
-  }
-  return 0.5 * (lo + hi);
-}
-
-template <typename MakeLoop>
-double boundary_zdomain(MakeLoop make, double w0, double gamma) {
-  double lo = 0.02, hi = 0.9;
-  for (int it = 0; it < 45; ++it) {
-    const double mid = 0.5 * (lo + hi);
-    const ImpulseInvariantModel zm(
-        make(mid * w0, w0, gamma).open_loop_gain(), w0);
-    (zm.is_stable() ? lo : hi) = mid;
-  }
-  return 0.5 * (lo + hi);
-}
-
-}  // namespace
 
 int main(int argc, char** argv) {
+  using namespace htmpll;
   const double w0 = 2.0 * std::numbers::pi;
 
   std::cout << "=== Stability chart: max stable w_UG/w0 vs gamma ===\n\n";
   Table t({"gamma", "2nd-order (lambda)", "2nd-order (z-poles)",
            "3rd-order (lambda)", "3rd-order (z-poles)"});
   // gamma > 1 required for the 3rd-order loop (zero below the pole).
-  for (double gamma : {1.5, 2.0, 3.0, 4.0, 6.0, 8.0, 12.0}) {
+  const std::vector<double> gammas = {1.5, 2.0, 3.0, 4.0, 6.0, 8.0, 12.0};
+  const std::vector<GardnerRow> rows = gardner_stability_rows(w0, gammas);
+  for (const GardnerRow& row : rows) {
     t.add_row(std::vector<double>{
-        gamma,
-        boundary_lambda(make_second_order_loop, w0, gamma),
-        boundary_zdomain(make_second_order_loop, w0, gamma),
-        boundary_lambda(make_typical_loop, w0, gamma),
-        boundary_zdomain(make_typical_loop, w0, gamma)});
+        row.gamma, row.second_order.lambda_ratio,
+        row.second_order.zdomain_ratio, row.third_order.lambda_ratio,
+        row.third_order.zdomain_ratio});
   }
   t.print(std::cout);
 

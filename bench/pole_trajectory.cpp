@@ -1,8 +1,10 @@
 // Companion to Fig. 7: closed-loop pole trajectories of the sampled
 // loop versus w_UG/w0.
 //
-// Solves 1 + lambda(s) = 0 by Newton on the symbolic coth closed form
-// (seeded from the impulse-invariant z-characteristic).  The dominant
+// Solves 1 + lambda(s) = 0 by Newton (seeded from the impulse-invariant
+// z-characteristic), batched through the design-space sweep engine: all
+// ratios evaluate concurrently and each model's Newton iterations
+// advance in lockstep through its compiled eval plan.  The dominant
 // complex pair marches toward the imaginary axis near Im(s) = w0/2 as
 // the ratio grows -- the pole-domain picture behind the phase-margin
 // collapse -- and crosses into the right half plane at the boundary
@@ -16,7 +18,7 @@
 
 #include "bench_common.hpp"
 #include "htmpll/core/pole_search.hpp"
-#include "htmpll/parallel/sweep.hpp"
+#include "htmpll/design/design_sweep.hpp"
 #include "htmpll/util/table.hpp"
 
 int main(int argc, char** argv) {
@@ -35,17 +37,17 @@ int main(int argc, char** argv) {
 
   const std::vector<double> ratios = {0.05, 0.1, 0.15, 0.2,
                                       0.25, 0.27, 0.28, 0.3};
-  // Each ratio's Newton pole hunt is independent -- run them all
-  // concurrently, then print in ratio order.
-  const auto per_ratio = parallel_map<std::vector<ClosedLoopPole>>(
-      ratios.size(), [&](std::size_t i) {
-        const SamplingPllModel model(make_typical_loop(ratios[i] * w0, w0));
-        return closed_loop_poles(model);
-      });
+  // One design-space row at the typical loop's gamma = 4: every ratio's
+  // pole hunt runs concurrently, batched through the eval plan.
+  DesignSpec spec;
+  spec.w0 = w0;
+  spec.target_w_ug = 0.1 * w0;
+  spec.target_pm_deg = typical_loop_lti_phase_margin_deg();
+  const DesignSpaceMap map = design_space_map(spec, ratios, {4.0});
 
   Table t({"w_UG/w0", "Re(s)/w0", "Im(s)/w0", "zeta", "|1+lambda|"});
   for (std::size_t i = 0; i < ratios.size(); ++i) {
-    for (const ClosedLoopPole& p : per_ratio[i]) {
+    for (const ClosedLoopPole& p : map.at(i, 0).poles) {
       // Report the fundamental-strip poles with non-negative Im.
       if (p.s.imag() < -1e-9) continue;
       t.add_row(std::vector<double>{ratios[i], p.s.real() / w0,

@@ -47,35 +47,67 @@
 #    against a fresh baseline (exit 0), then again against itself (no
 #    regression, exit 0); the run is also appended to bench/history.jsonl.
 #
-# Usage: scripts/bench_check.sh [build-dir] [sweep-report.json] [transient-report.json] [kernels-report.json] [noise-report.json]
+#  * bench_stability: the batched design-space sweep (grid-first
+#    crossover + masked lockstep Newton through the eval plan) must run
+#    >= 3x the scalar probe chains on the 64-point sweep with pole /
+#    crossover parity <= 1e-9 relative, lambda_derivative_grid must
+#    agree with the scalar analytic derivative to <= 1e-12, and the
+#    scalar-forced (use_eval_plan=false) margins/poles must be
+#    bit-identical to the seed implementation.
+#
+# Usage: scripts/bench_check.sh [--smoke] [build-dir] [sweep-report.json] [transient-report.json] [kernels-report.json] [noise-report.json] [stability-report.json]
+#   --smoke: end-to-end bench-shape check for PRs -- reduced reps where
+#            supported, gates relaxed to parity / tolerance /
+#            bit-identity only (no timing gates, no overhead check, no
+#            history ingestion, no -DHTMPLL_SIMD=OFF rebuild).
 set -euo pipefail
 
-BUILD="${1:-build-release}"
-REPORT="${2:-BENCH_sweep.json}"
-TREPORT="${3:-BENCH_transient.json}"
-KREPORT="${4:-BENCH_kernels.json}"
-NREPORT="${5:-BENCH_noise.json}"
+SMOKE=0
+POS=()
+for arg in "$@"; do
+  if [ "$arg" = "--smoke" ]; then
+    SMOKE=1
+  else
+    POS+=("$arg")
+  fi
+done
+BUILD="${POS[0]:-build-release}"
+REPORT="${POS[1]:-BENCH_sweep.json}"
+TREPORT="${POS[2]:-BENCH_transient.json}"
+KREPORT="${POS[3]:-BENCH_kernels.json}"
+NREPORT="${POS[4]:-BENCH_noise.json}"
+SREPORT="${POS[5]:-BENCH_stability.json}"
+
+# The benches enforce parity / tolerance / bit-identity unconditionally;
+# --check adds their timing gates, which smoke mode leaves out.
+CHECK="--check"
+if [ "$SMOKE" = 1 ]; then CHECK=""; fi
 
 cmake -B "$BUILD" -S . -DCMAKE_BUILD_TYPE=Release > /dev/null
 cmake --build "$BUILD" --target bench_sweep bench_transient bench_kernels \
-      bench_noise -j > /dev/null
+      bench_noise bench_stability -j > /dev/null
 
-"$BUILD/bench/bench_sweep" "$REPORT" --check
-"$BUILD/bench/bench_transient" "$TREPORT" --check
-"$BUILD/bench/bench_kernels" "$KREPORT" --check
-"$BUILD/bench/bench_noise" "$NREPORT" --check
+"$BUILD/bench/bench_sweep" "$REPORT" $CHECK
+"$BUILD/bench/bench_transient" "$TREPORT" $CHECK
+"$BUILD/bench/bench_kernels" "$KREPORT" $CHECK
+"$BUILD/bench/bench_noise" "$NREPORT" $CHECK
+if [ "$SMOKE" = 1 ]; then
+  "$BUILD/bench/bench_stability" "$SREPORT" --check --smoke
+else
+  "$BUILD/bench/bench_stability" "$SREPORT" --check
+fi
 
 # The same gates must hold with the SIMD dispatch forced to the
 # portable scalar kernels and with the obs layer live.
-HTMPLL_SIMD=0 "$BUILD/bench/bench_kernels" "${KREPORT%.json}_scalar.json" --check
-HTMPLL_SIMD=0 "$BUILD/bench/bench_noise" "${NREPORT%.json}_scalar.json" --check
-HTMPLL_OBS=1 "$BUILD/bench/bench_noise" "${NREPORT%.json}_obs.json" --check
+HTMPLL_SIMD=0 "$BUILD/bench/bench_kernels" "${KREPORT%.json}_scalar.json" $CHECK
+HTMPLL_SIMD=0 "$BUILD/bench/bench_noise" "${NREPORT%.json}_scalar.json" $CHECK
+HTMPLL_OBS=1 "$BUILD/bench/bench_noise" "${NREPORT%.json}_obs.json" $CHECK
 
 # Forced-Pade transient run: with the spectral engine switched off the
 # default path IS the seed path, and the bit-identity gates must still
 # hold (the spectral speed gates are skipped by the bench itself).
 HTMPLL_SPECTRAL=0 "$BUILD/bench/bench_transient" \
-  "${TREPORT%.json}_nospectral.json" --check
+  "${TREPORT%.json}_nospectral.json" $CHECK
 
 FAILURES=0
 
@@ -137,7 +169,7 @@ require_le() {
   fi
 }
 
-for f in "$REPORT" "$TREPORT" "$KREPORT" "$NREPORT"; do
+for f in "$REPORT" "$TREPORT" "$KREPORT" "$NREPORT" "$SREPORT"; do
   if [ ! -f "$f" ]; then
     fail "report-exists" "$f" "file written by the bench" "no such file"
   fi
@@ -146,7 +178,9 @@ done
 if [ -f "$REPORT" ]; then
   require_true sweep-bit-identical "$REPORT" bit_identical
   require_true sweep-plan-tolerance "$REPORT" plan_within_tolerance
-  require_ge sweep-plan-speedup "$REPORT" grid_speedup_vs_pointwise 0.97
+  if [ "$SMOKE" = 0 ]; then
+    require_ge sweep-plan-speedup "$REPORT" grid_speedup_vs_pointwise 0.97
+  fi
   require_section sweep-telemetry "$REPORT" telemetry
   require_section sweep-obs-overhead "$REPORT" obs_overhead
   require_section sweep-baseband "$REPORT" baseband_sweep
@@ -154,11 +188,34 @@ fi
 
 if [ -f "$KREPORT" ]; then
   require_true kernels-plan-tolerance "$KREPORT" plan_within_tolerance
-  require_ge kernels-plan-speedup "$KREPORT" plan_speedup_vs_scalar 1.5
+  if [ "$SMOKE" = 0 ]; then
+    require_ge kernels-plan-speedup "$KREPORT" plan_speedup_vs_scalar 1.5
+  fi
   require_le kernels-plan-rel-err "$KREPORT" plan_max_rel_err 1e-12
   require_section kernels-eval-plan "$KREPORT" eval_plan
   require_section kernels-micro "$KREPORT" kernels
   require_section kernels-telemetry "$KREPORT" telemetry
+fi
+
+if [ -f "$SREPORT" ]; then
+  require_true stability-parity "$SREPORT" parity_pass
+  require_le stability-crossover-rel-err "$SREPORT" crossover_max_rel_err 1e-9
+  require_le stability-margin-rel-err "$SREPORT" margin_max_rel_err 1e-9
+  require_le stability-pole-rel-err "$SREPORT" pole_max_rel_err 1e-9
+  require_true stability-derivative-tolerance "$SREPORT" within_tolerance
+  require_le stability-derivative-impulse "$SREPORT" impulse_max_rel_err 1e-12
+  require_le stability-derivative-zoh "$SREPORT" zoh_max_rel_err 1e-12
+  require_true stability-margins-bit-identical "$SREPORT" \
+    margins_bit_identical
+  require_true stability-poles-bit-identical "$SREPORT" poles_bit_identical
+  if [ "$SMOKE" = 0 ]; then
+    require_ge stability-batched-speedup "$SREPORT" \
+      batched_speedup_vs_scalar 3
+  fi
+  require_section stability-design-sweep "$SREPORT" design_sweep
+  require_section stability-derivative "$SREPORT" derivative
+  require_section stability-scalar-fallback "$SREPORT" scalar_fallback
+  require_section stability-telemetry "$SREPORT" telemetry
 fi
 
 if [ -f "$TREPORT" ]; then
@@ -172,8 +229,10 @@ if [ -f "$TREPORT" ]; then
     require_true transient-spectral-tolerance "$TREPORT" \
       spectral_within_tolerance
     require_le transient-spectral-rel-err "$TREPORT" spectral_max_rel_err 1e-10
-    require_ge transient-spectral-speedup "$TREPORT" \
-      spectral_cold_speedup_vs_seed 2
+    if [ "$SMOKE" = 0 ]; then
+      require_ge transient-spectral-speedup "$TREPORT" \
+        spectral_cold_speedup_vs_seed 2
+    fi
     require_le transient-spectral-expm-evals "$TREPORT" \
       probe_sweep_expm_evals 32
   fi
@@ -199,7 +258,9 @@ fi
 for nf in "$NREPORT" "${NREPORT%.json}_scalar.json" "${NREPORT%.json}_obs.json"; do
   if [ -f "$nf" ]; then
     require_true noise-grid-tolerance "$nf" grid_within_tolerance
-    require_ge noise-grid-speedup "$nf" grid_speedup_vs_pointwise 3
+    if [ "$SMOKE" = 0 ]; then
+      require_ge noise-grid-speedup "$nf" grid_speedup_vs_pointwise 3
+    fi
     require_le noise-grid-rel-err "$nf" grid_max_rel_err 1e-10
     require_section noise-output-psd "$nf" output_psd
     require_section noise-surfaces "$nf" surfaces
@@ -210,7 +271,7 @@ require_true noise-obs-bit-identical "$NREPORT" bit_identical
 require_section noise-obs-overhead "$NREPORT" obs_overhead
 
 # Every bench manifest must carry the diagnostics/health section.
-for f in "$REPORT" "$TREPORT" "$KREPORT" "$NREPORT"; do
+for f in "$REPORT" "$TREPORT" "$KREPORT" "$NREPORT" "$SREPORT"; do
   m="$f.manifest.json"
   if [ -f "$m" ]; then
     require_section manifest-health "$m" health
@@ -239,6 +300,11 @@ if [ "$FAILURES" -gt 0 ]; then
   exit 1
 fi
 
+if [ "$SMOKE" = 1 ]; then
+  echo "bench_check: OK [smoke] ($REPORT, $TREPORT, $KREPORT, $NREPORT, $SREPORT)"
+  exit 0
+fi
+
 "$(dirname "$0")/check_overhead.sh" "$BUILD" "$REPORT" "$NREPORT" --no-run
 
 # Bench history: a fresh baseline must ingest cleanly (exit 0), and an
@@ -246,12 +312,12 @@ fi
 HISTORY_TMP="$(mktemp)"
 trap 'rm -f "$HISTORY_TMP"' EXIT
 python3 "$(dirname "$0")/bench_history.py" --history "$HISTORY_TMP" \
-  "$REPORT" "$TREPORT" "$KREPORT" "$NREPORT"
+  "$REPORT" "$TREPORT" "$KREPORT" "$NREPORT" "$SREPORT"
 python3 "$(dirname "$0")/bench_history.py" --history "$HISTORY_TMP" \
-  "$REPORT" "$TREPORT" "$KREPORT" "$NREPORT"
+  "$REPORT" "$TREPORT" "$KREPORT" "$NREPORT" "$SREPORT"
 # Record this run in the persistent history keyed by git describe.
 python3 "$(dirname "$0")/bench_history.py" \
-  "$REPORT" "$TREPORT" "$KREPORT" "$NREPORT"
+  "$REPORT" "$TREPORT" "$KREPORT" "$NREPORT" "$SREPORT"
 
 # A build with the vector kernel TU compiled out entirely: the stub
 # path must link and the portable kernels must clear the same gates.
@@ -262,4 +328,4 @@ cmake --build "$NOSIMD_BUILD" --target bench_kernels bench_noise -j > /dev/null
 "$NOSIMD_BUILD/bench/bench_kernels" "${KREPORT%.json}_nosimd.json" --check
 "$NOSIMD_BUILD/bench/bench_noise" "${NREPORT%.json}_nosimd.json" --check
 
-echo "bench_check: OK ($REPORT, $TREPORT, $KREPORT, $NREPORT)"
+echo "bench_check: OK ($REPORT, $TREPORT, $KREPORT, $NREPORT, $SREPORT)"

@@ -75,8 +75,15 @@ gate() {
     return
   fi
 
-  local pass
-  pass="$(awk -v f="$fraction" -v d="$delta" \
+  # A negative measurement means the instrumented run beat the plain one
+  # -- pure scheduler noise.  Clamp to max(0, x) for the comparison so a
+  # large negative value cannot trivially satisfy the budget, but keep
+  # echoing the raw numbers so the noise magnitude stays on record.
+  local clamped_fraction clamped_delta pass
+  clamped_fraction="$(awk -v f="$fraction" \
+                          'BEGIN { print (f < 0) ? 0 : f }')"
+  clamped_delta="$(awk -v d="$delta" 'BEGIN { print (d < 0) ? 0 : d }')"
+  pass="$(awk -v f="$clamped_fraction" -v d="$clamped_delta" \
               -v mf="$MAX_FRACTION" -v md="$MAX_DELTA" \
               'BEGIN { print (f < mf || d < md) ? 1 : 0 }')"
 
@@ -85,14 +92,17 @@ gate() {
       echo "check_overhead: FAIL: instrumentation overhead over budget"
       echo "  workload:  ${workload} (${label})"
       echo "  disabled:  ${disabled}s   enabled: ${enabled}s"
-      echo "  delta:     ${delta}s      (budget < ${MAX_DELTA}s)"
-      echo "  fraction:  ${fraction}    (budget < ${MAX_FRACTION})"
+      echo "  delta:     ${delta}s      (gated as ${clamped_delta}s," \
+           "budget < ${MAX_DELTA}s)"
+      echo "  fraction:  ${fraction}    (gated as ${clamped_fraction}," \
+           "budget < ${MAX_FRACTION})"
     } >&2
     FAIL=1
     return
   fi
 
-  echo "check_overhead: OK $label (delta ${delta}s, fraction ${fraction}" \
+  echo "check_overhead: OK $label (raw delta ${delta}s, raw fraction" \
+       "${fraction}; gated as ${clamped_delta}s / ${clamped_fraction}" \
        "vs budget ${MAX_FRACTION} rel / ${MAX_DELTA}s abs)"
 }
 

@@ -35,8 +35,8 @@ struct EvalPlan::Scratch {
   std::vector<double> s_re, s_im;
   // Argument and value planes of the shared exp(-sT) pass.
   std::vector<double> arg_re, arg_im, e_re, e_im;
-  // Pole-sum accumulators (exact lambda).
-  std::vector<double> acc_re, acc_im;
+  // Pole-sum accumulators (exact lambda) and their derivative twins.
+  std::vector<double> acc_re, acc_im, dacc_re, dacc_im;
   // Rational-evaluation temporaries (denominator planes, shifted
   // imaginary plane).
   std::vector<double> den_re, den_im, im_shift;
@@ -54,6 +54,8 @@ struct EvalPlan::Scratch {
     e_im.resize(n);
     acc_re.resize(n);
     acc_im.resize(n);
+    dacc_re.resize(n);
+    dacc_im.resize(n);
     den_re.resize(n);
     den_im.resize(n);
     im_shift.resize(n);
@@ -124,6 +126,27 @@ std::shared_ptr<const EvalPlan> EvalPlan::build(
                     static_cast<double>(plan->exact_terms_.size()));
     plan->exact_terms_.clear();
   }
+
+  // Derivative tables: d/ds sum_k r_k S_k(c(s-p)) = sum_k -k r_k
+  // S_{k+1}(c(s-p)), so every exact term differentiates to a second
+  // PoleSumTerm with the same pole / exp(pT) / factored flag and the
+  // residue table shifted one order up.  Requires headroom for the
+  // order bump: multiplicity <= 3.
+  plan->deriv_usable_ = plan->exact_usable_;
+  for (const PoleSumTerm& t : plan->exact_terms_) {
+    if (t.kmax > 3) {
+      plan->deriv_usable_ = false;
+      break;
+    }
+    PoleSumTerm d = t;
+    d.kmax = t.kmax + 1;
+    d.residues[0] = cplx{0.0};
+    for (int k = 1; k <= t.kmax; ++k) {
+      d.residues[k] = -static_cast<double>(k) * t.residues[k - 1];
+    }
+    plan->deriv_terms_.push_back(d);
+  }
+  if (!plan->deriv_usable_) plan->deriv_terms_.clear();
 
   obs::counter("core.plan_builds").add();
   return plan;
@@ -249,6 +272,50 @@ CVector EvalPlan::lambda_grid(const CVector& s_grid, LambdaMethod method,
           }
         }
         std::copy_n(sc.lam.data(), n, out.data() + b);
+      });
+  return out;
+}
+
+CVector EvalPlan::lambda_derivative_grid(const CVector& s_grid) const {
+  HTMPLL_ASSERT(supports_derivative());
+  HTMPLL_TRACE_SPAN("core.plan_grid");
+  plan_points_counter().add(s_grid.size());
+  const bool zoh = shape_ == PfdShape::kZeroOrderHold;
+  CVector out(s_grid.size());
+  ThreadPool::global().for_each_chunk(
+      s_grid.size(), kBlock, [&](std::size_t b, std::size_t e) {
+        Scratch& sc = thread_scratch();
+        const std::size_t n = e - b;
+        load_block(s_grid.data() + b, n, /*need_exp=*/true, sc);
+        std::fill_n(sc.dacc_re.data(), n, 0.0);
+        std::fill_n(sc.dacc_im.data(), n, 0.0);
+        for (const PoleSumTerm& term : deriv_terms_) {
+          accumulate_pole_sums(term, c_, sc.s_re.data(), sc.s_im.data(),
+                               sc.e_re.data(), sc.e_im.data(), n,
+                               sc.dacc_re.data(), sc.dacc_im.data());
+        }
+        if (!zoh) {
+          for (std::size_t i = 0; i < n; ++i) {
+            out[b + i] = cplx{sc.dacc_re[i], sc.dacc_im[i]};
+          }
+          return;
+        }
+        // Product rule: lambda = (1 - e^{-sT}) acc, so
+        // lambda' = T e^{-sT} acc + (1 - e^{-sT}) acc'.
+        std::fill_n(sc.acc_re.data(), n, 0.0);
+        std::fill_n(sc.acc_im.data(), n, 0.0);
+        for (const PoleSumTerm& term : exact_terms_) {
+          accumulate_pole_sums(term, c_, sc.s_re.data(), sc.s_im.data(),
+                               sc.e_re.data(), sc.e_im.data(), n,
+                               sc.acc_re.data(), sc.acc_im.data());
+        }
+        prefactor_block(n, sc);
+        for (std::size_t i = 0; i < n; ++i) {
+          const cplx es{sc.e_re[i], sc.e_im[i]};
+          const cplx acc{sc.acc_re[i], sc.acc_im[i]};
+          const cplx dacc{sc.dacc_re[i], sc.dacc_im[i]};
+          out[b + i] = t_ * es * acc + sc.pre[i] * dacc;
+        }
       });
   return out;
 }

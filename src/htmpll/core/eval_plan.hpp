@@ -53,6 +53,11 @@ class EvalPlan {
   /// rule and stays scalar.
   bool supports(LambdaMethod method) const;
 
+  /// True when derivative tables were compiled: the exact method is
+  /// usable AND every pole multiplicity is <= 3 (d/ds S_k = -k S_{k+1}
+  /// raises each order by one, and S_k is implemented through k = 4).
+  bool supports_derivative() const { return deriv_usable_; }
+
   /// Batched counterparts of the SamplingPllModel grid APIs.  Results
   /// match the scalar evaluations to <= 1e-12 relative error; per-point
   /// domain errors (integrator poles, ZOH on a harmonic of w0) throw
@@ -63,6 +68,15 @@ class EvalPlan {
                                         const CVector& s_grid,
                                         LambdaMethod method,
                                         int truncation) const;
+
+  /// d lambda / ds of the exact closed form, streamed through the same
+  /// block machinery as lambda_grid.  Each pole term differentiates via
+  /// a second residue table (d/ds sum_k r_k S_k = sum_k -k r_k S_{k+1},
+  /// sharing pole, exp(pT) and the factored/cancellation guards); the
+  /// ZOH prefactor adds the product-rule term T exp(-sT) * acc from the
+  /// shared exp plane.  Requires supports_derivative(); agrees with the
+  /// scalar SamplingPllModel::lambda_derivative to <= 1e-12 relative.
+  CVector lambda_derivative_grid(const CVector& s_grid) const;
 
   /// V~_{-K..K}(s) with the harmonic offsets themselves as the SoA
   /// "grid": one batched rational pass over the 2(K+h)+1 shifted points
@@ -104,6 +118,11 @@ class EvalPlan {
   // Exact-method tables (empty when !exact_usable_).
   bool exact_usable_ = false;
   std::vector<PoleSumTerm> exact_terms_;
+  // Differentiated twins of exact_terms_ (empty when !deriv_usable_):
+  // same pole / exp(pT) / factored flag, residue table shifted one
+  // order up with -k scaling.
+  bool deriv_usable_ = false;
+  std::vector<PoleSumTerm> deriv_terms_;
 
   // Truncated / V~ structure.
   std::vector<ChannelWeight> channels_;

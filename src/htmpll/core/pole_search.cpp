@@ -4,10 +4,40 @@
 #include <cmath>
 #include <numbers>
 
+#include "htmpll/obs/diag.hpp"
 #include "htmpll/util/check.hpp"
 #include "htmpll/ztrans/zdomain.hpp"
 
 namespace htmpll {
+
+namespace {
+
+bool finite(cplx z) {
+  return std::isfinite(z.real()) && std::isfinite(z.imag());
+}
+
+/// Fold Im(s) into the fundamental strip (-w0/2, w0/2].
+cplx fold_to_strip(cplx s, double w0) {
+  const double half = 0.5 * w0;
+  double im = s.imag();
+  while (im > half) im -= w0;
+  while (im <= -half) im += w0;
+  return cplx{s.real(), im};
+}
+
+ClosedLoopPole finish_pole(cplx s, double residual, int iterations,
+                           bool converged) {
+  ClosedLoopPole p;
+  p.s = s;
+  p.frequency = std::abs(s);
+  p.damping = p.frequency > 0.0 ? -s.real() / p.frequency : 1.0;
+  p.residual = residual;
+  p.iterations = iterations;
+  p.converged = converged;
+  return p;
+}
+
+}  // namespace
 
 ClosedLoopPole refine_closed_loop_pole(const LambdaExpression& lambda,
                                        cplx seed,
@@ -24,20 +54,82 @@ ClosedLoopPole refine_closed_loop_pole(const LambdaExpression& lambda,
     s -= step;
     if (std::abs(step) <= opts.tolerance * w0) break;
   }
-  // Fold into the fundamental strip.
-  const double half = 0.5 * w0;
-  double im = s.imag();
-  while (im > half) im -= w0;
-  while (im <= -half) im += w0;
-  s = cplx{s.real(), im};
+  s = fold_to_strip(s, w0);
+  return finish_pole(s, std::abs(1.0 + lambda(s)), it, /*converged=*/true);
+}
 
-  ClosedLoopPole p;
-  p.s = s;
-  p.frequency = std::abs(s);
-  p.damping = p.frequency > 0.0 ? -s.real() / p.frequency : 1.0;
-  p.residual = std::abs(1.0 + lambda(s));
-  p.iterations = it;
-  return p;
+std::vector<ClosedLoopPole> refine_closed_loop_poles(
+    const SamplingPllModel& model, const std::vector<cplx>& seeds,
+    const PoleSearchOptions& opts) {
+  const double w0 = model.w0();
+  const std::size_t n = seeds.size();
+  std::vector<cplx> s(seeds);
+  std::vector<int> iters(n, opts.max_iterations);
+  std::vector<char> active(n, 1), dropped(n, 0);
+
+  // Lockstep Newton: one batched lambda / lambda-derivative pair per
+  // round advances every still-active lane.  Lanes retire on
+  // convergence (|step| <= tol * w0), on a degenerate/non-finite
+  // derivative, or when the proposed iterate leaves the finite plane --
+  // the last two drop the lane with a diag event, keeping its final
+  // finite iterate.
+  std::vector<std::size_t> lanes;
+  CVector pts;
+  for (int it = 0; it < opts.max_iterations; ++it) {
+    lanes.clear();
+    for (std::size_t i = 0; i < n; ++i) {
+      if (active[i]) lanes.push_back(i);
+    }
+    if (lanes.empty()) break;
+    pts.resize(lanes.size());
+    for (std::size_t j = 0; j < lanes.size(); ++j) pts[j] = s[lanes[j]];
+    const CVector lam = model.lambda_grid(pts, LambdaMethod::kExact, 0);
+    const CVector dlam = model.lambda_derivative_grid(pts);
+    for (std::size_t j = 0; j < lanes.size(); ++j) {
+      const std::size_t i = lanes[j];
+      const cplx f = 1.0 + lam[j];
+      const cplx df = dlam[j];
+      if (!finite(df) || !finite(f) || std::abs(df) == 0.0) {
+        obs::diag_event(obs::DiagReason::kPoleSearchDegenerateStep,
+                        std::abs(df));
+        active[i] = 0;
+        dropped[i] = 1;
+        iters[i] = it;
+        continue;
+      }
+      const cplx step = f / df;
+      const cplx next = s[i] - step;
+      if (!finite(next)) {
+        obs::diag_event(obs::DiagReason::kPoleSearchDiverged,
+                        std::abs(step));
+        active[i] = 0;
+        dropped[i] = 1;
+        iters[i] = it;
+        continue;
+      }
+      s[i] = next;
+      if (std::abs(step) <= opts.tolerance * w0) {
+        active[i] = 0;
+        iters[i] = it;
+      }
+    }
+  }
+
+  // One batched residual pass over the folded representatives.
+  CVector folded(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    s[i] = fold_to_strip(s[i], w0);
+    folded[i] = s[i];
+  }
+  std::vector<ClosedLoopPole> out;
+  out.reserve(n);
+  if (n == 0) return out;
+  const CVector res = model.lambda_grid(folded, LambdaMethod::kExact, 0);
+  for (std::size_t i = 0; i < n; ++i) {
+    out.push_back(finish_pole(s[i], std::abs(1.0 + res[i]), iters[i],
+                              !dropped[i]));
+  }
+  return out;
 }
 
 std::vector<ClosedLoopPole> closed_loop_poles(const SamplingPllModel& model,
@@ -48,15 +140,24 @@ std::vector<ClosedLoopPole> closed_loop_poles(const SamplingPllModel& model,
                  "pole search implemented for the impulse PFD shape");
   const double w0 = model.w0();
   const double t = 2.0 * std::numbers::pi / w0;
-  const LambdaExpression lambda(model.open_loop_gain(), w0);
 
   // Seeds: z-domain characteristic roots mapped through s = ln(z)/T.
   const ImpulseInvariantModel zm(model.open_loop_gain(), w0);
-  std::vector<ClosedLoopPole> out;
+  std::vector<cplx> seeds;
   for (const cplx& z : zm.closed_loop_poles()) {
     if (std::abs(z) < 1e-12) continue;  // z = 0 maps to Re(s) = -inf
-    const cplx seed = std::log(z) / t;
-    out.push_back(refine_closed_loop_pole(lambda, seed, opts));
+    seeds.push_back(std::log(z) / t);
+  }
+
+  std::vector<ClosedLoopPole> out;
+  if (opts.use_eval_plan && model.has_eval_plan()) {
+    out = refine_closed_loop_poles(model, seeds, opts);
+  } else {
+    const LambdaExpression lambda(model.open_loop_gain(), w0);
+    out.reserve(seeds.size());
+    for (const cplx& seed : seeds) {
+      out.push_back(refine_closed_loop_pole(lambda, seed, opts));
+    }
   }
   std::sort(out.begin(), out.end(),
             [](const ClosedLoopPole& a, const ClosedLoopPole& b) {

@@ -7,9 +7,18 @@
 //
 // Strategy: seed from the z-domain characteristic roots mapped through
 // s = ln(z)/T (exact by the Poisson identity), then polish with Newton
-// on 1 + lambda(s) using the analytic derivative from the symbolic
-// closed form.  The Newton residual doubles as a numerical proof that
-// the two descriptions agree.
+// on 1 + lambda(s) using the analytic derivative.  Two engines:
+//  * batched (default with a compiled eval plan): every seed advances
+//    one iteration per lambda_grid / lambda_derivative_grid pair, with
+//    active-lane masks and per-lane convergence / divergence /
+//    iteration-cap bookkeeping.  A lane whose derivative degenerates
+//    (zero or non-finite) is dropped with a diag event
+//    (pole_search.degenerate_step) instead of throwing.
+//  * scalar (use_eval_plan = false, or no compiled plan): the symbolic
+//    coth closed form, one Newton chain per seed -- bit-identical to
+//    the original sequential implementation.
+// The Newton residual doubles as a numerical proof that the z-domain
+// and frequency-domain descriptions agree.
 #pragma once
 
 #include <vector>
@@ -25,17 +34,33 @@ struct ClosedLoopPole {
   double damping;    ///< zeta = -Re(s)/|s|; negative when unstable
   double residual;   ///< |1 + lambda(s)| after polishing
   int iterations;    ///< Newton iterations used
+  /// False when the batched engine dropped the lane (degenerate or
+  /// non-finite Newton step); the reported s is the last finite
+  /// iterate.  The scalar engine throws instead and never clears this.
+  bool converged = true;
 };
 
 struct PoleSearchOptions {
   int max_iterations = 60;
   double tolerance = 1e-12;  ///< on |step| relative to w0
+  /// Route the Newton iterations through the model's compiled EvalPlan
+  /// (batched lockstep over all seeds).  False forces the scalar
+  /// symbolic path, whose results are bit-identical to the original
+  /// per-seed implementation.
+  bool use_eval_plan = true;
 };
 
-/// Newton polish of a single seed on 1 + lambda(s) = 0.
+/// Newton polish of a single seed on 1 + lambda(s) = 0 (scalar engine).
 ClosedLoopPole refine_closed_loop_pole(const LambdaExpression& lambda,
                                        cplx seed,
                                        const PoleSearchOptions& opts = {});
+
+/// Masked lockstep Newton polish of many seeds: all active lanes advance
+/// one iteration per batched lambda / lambda-derivative evaluation.
+/// result[i] corresponds to seeds[i] (no sorting).
+std::vector<ClosedLoopPole> refine_closed_loop_poles(
+    const SamplingPllModel& model, const std::vector<cplx>& seeds,
+    const PoleSearchOptions& opts = {});
 
 /// All closed-loop poles of the model (time-invariant VCO), sorted by
 /// ascending |s|.

@@ -205,6 +205,47 @@ cplx SamplingPllModel::lambda(cplx s, LambdaMethod method,
   throw_assertion_failure("unhandled LambdaMethod", __FILE__, __LINE__);
 }
 
+cplx SamplingPllModel::lambda_derivative(cplx s) const {
+  // d/ds of the exact closed form lambda = pre(s) sum_i sum_k r_ik
+  // S_k(s - p_i): each order-k term differentiates to -k r_ik S_{k+1},
+  // so one harmonic_pole_sums call per pole serves both the value (the
+  // ZOH product rule needs it) and the derivative.
+  lambda_eval_counter().add();
+  cplx acc{0.0};
+  cplx dacc{0.0};
+  for (const HarmonicChannel& ch : channels_) {
+    for (const PoleTerm& term : ch.sum.partial_fractions().terms()) {
+      const int kmax = static_cast<int>(term.residues.size());
+      HTMPLL_REQUIRE(kmax >= 1 && kmax <= 3,
+                     "analytic lambda derivative requires pole "
+                     "multiplicity <= 3 (S_k implemented through k = 4)");
+      cplx sums[4];
+      harmonic_pole_sums(s - term.pole, params_.w0, kmax + 1, sums);
+      for (int k = 1; k <= kmax; ++k) {
+        acc += term.residues[static_cast<std::size_t>(k - 1)] * sums[k - 1];
+        dacc += term.residues[static_cast<std::size_t>(k - 1)] *
+                (-static_cast<double>(k)) * sums[k];
+      }
+    }
+  }
+  if (opts_.pfd_shape == PfdShape::kImpulse) return dacc;
+  const double t = params_.period();
+  const cplx e = std::exp(-s * t);
+  return t * e * acc + (1.0 - e) * dacc;
+}
+
+CVector SamplingPllModel::lambda_derivative_grid(const CVector& s_grid) const {
+  HTMPLL_TRACE_SPAN("core.lambda_grid");
+  if (plan_ && plan_->supports_derivative()) {
+    return plan_->lambda_derivative_grid(s_grid);
+  }
+  CVector out(s_grid.size());
+  ThreadPool::global().for_each_index(s_grid.size(), [&](std::size_t i) {
+    out[i] = lambda_derivative(s_grid[i]);
+  });
+  return out;
+}
+
 cplx SamplingPllModel::lambda_truncated_impl(cplx s, int truncation,
                                              ShiftedGainCache* cache) const {
   // Truncate the HTM row index n (lambda = sum_n V~_n), matching what
@@ -226,13 +267,14 @@ cplx SamplingPllModel::vtilde_element_impl(int n, cplx s,
   const cplx sn = s + cplx{0.0, static_cast<double>(n) * params_.w0};
   HTMPLL_REQUIRE(std::abs(sn) > 0.0,
                  "V~ evaluated on an integrator pole s = -j n w0");
+  // channels_ already holds the non-zero (k, v_k = kvco * isf_k) table
+  // in ascending-k order, so iterating it is bit-identical to walking
+  // the full harmonic range and re-deriving/re-testing each v_k.
   cplx acc{0.0};
-  for (int k = -isf_.max_harmonic(); k <= isf_.max_harmonic(); ++k) {
-    const cplx v_k = params_.kvco * isf_[k];
-    if (v_k == cplx{0.0}) continue;
-    const int m = n - k;
+  for (const HarmonicChannel& ch : channels_) {
+    const int m = n - ch.k;
     const cplx sm = s + cplx{0.0, static_cast<double>(m) * params_.w0};
-    acc += v_k * (cache ? cache->get(m) : shifted_gain(sm));
+    acc += ch.v_k * (cache ? cache->get(m) : shifted_gain(sm));
   }
   return shape_prefactor(s) * acc * params_.w0 /
          (2.0 * std::numbers::pi) / sn;
@@ -402,13 +444,11 @@ Htm SamplingPllModel::closed_loop_htm(cplx s, int truncation) const {
     HTMPLL_REQUIRE(std::abs(sn) > 0.0,
                    "closed_loop_htm evaluated on an integrator pole");
     cplx acc{0.0};
-    for (int k = -isf_.max_harmonic(); k <= isf_.max_harmonic(); ++k) {
-      const cplx v_k = params_.kvco * isf_[k];
-      if (v_k == cplx{0.0}) continue;
-      const int m = n - k;
+    for (const HarmonicChannel& ch : channels_) {
+      const int m = n - ch.k;
       if (m < -truncation || m > truncation) continue;  // HTM truncation
       const cplx sm = s + cplx{0.0, static_cast<double>(m) * params_.w0};
-      acc += v_k * hlf_(sm) * shape_factor(sm);
+      acc += ch.v_k * hlf_(sm) * shape_factor(sm);
     }
     v[proto.index(n)] = shape_prefactor(s) * front * acc / sn;
   }

@@ -16,9 +16,8 @@ double gamma_for_phase_margin(double pm_deg) {
   return std::tan(0.5 * (pm + 0.5 * std::numbers::pi));
 }
 
-namespace {
-
-PllParameters synthesize(const DesignSpec& spec, double w_ug, double gamma) {
+PllParameters synthesize_loop(const DesignSpec& spec, double w_ug,
+                              double gamma) {
   PllParameters p = make_typical_loop(w_ug, spec.w0, gamma);
   // Rescale to the requested physical component budget; A(s) only
   // depends on Icp*Kvco/Ctot, so scale Icp to compensate.
@@ -33,10 +32,11 @@ PllParameters synthesize(const DesignSpec& spec, double w_ug, double gamma) {
   return p;
 }
 
-DesignResult evaluate(const DesignSpec& spec, double w_ug, double gamma) {
+DesignResult evaluate_design(const DesignSpec& spec, double w_ug,
+                             double gamma) {
   DesignResult out;
   out.gamma = gamma;
-  out.params = synthesize(spec, w_ug, gamma);
+  out.params = synthesize_loop(spec, w_ug, gamma);
   const SamplingPllModel model(out.params);
   out.margins = effective_margins(model);
   const ImpulseInvariantModel zmodel(model.open_loop_gain(), spec.w0);
@@ -50,6 +50,12 @@ DesignResult evaluate(const DesignSpec& spec, double w_ug, double gamma) {
       out.margins.eff_phase_margin_deg >=
           spec.target_pm_deg - spec.pm_slack_deg;
   return out;
+}
+
+namespace {
+
+DesignResult evaluate(const DesignSpec& spec, double w_ug, double gamma) {
+  return evaluate_design(spec, w_ug, gamma);
 }
 
 }  // namespace

@@ -43,6 +43,17 @@ struct DesignResult {
 /// phase margin.  Requires 0 < pm < 90 deg.
 double gamma_for_phase_margin(double pm_deg);
 
+/// Classical component synthesis at an explicit (w_ug, gamma) point
+/// under the spec's kvco / ctot budget -- the loop every design_* entry
+/// point (and the design-space sweeps) measures.
+PllParameters synthesize_loop(const DesignSpec& spec, double w_ug,
+                              double gamma);
+
+/// Synthesis plus measurement at one (w_ug, gamma) point: effective
+/// margins of the sampled model, z-domain stability, spec verdicts.
+DesignResult evaluate_design(const DesignSpec& spec, double w_ug,
+                             double gamma);
+
 /// Pure LTI synthesis at the requested crossover.
 DesignResult design_classical(const DesignSpec& spec);
 

@@ -1,0 +1,121 @@
+#include "htmpll/design/design_sweep.hpp"
+
+#include "htmpll/core/stability.hpp"
+#include "htmpll/obs/trace.hpp"
+#include "htmpll/parallel/sweep.hpp"
+#include "htmpll/util/check.hpp"
+#include "htmpll/ztrans/zdomain.hpp"
+
+namespace htmpll {
+
+namespace {
+
+DesignPoint evaluate_point(const DesignSpec& base, double ratio,
+                           double gamma, const DesignSweepOptions& opts) {
+  DesignPoint pt;
+  pt.ratio = ratio;
+  pt.gamma = gamma;
+  pt.design.gamma = gamma;
+  pt.design.params = synthesize_loop(base, ratio * base.w0, gamma);
+
+  SamplingPllOptions mopts;
+  mopts.use_eval_plan = opts.use_eval_plan;
+  const SamplingPllModel model(pt.design.params,
+                               HarmonicCoefficients(cplx{1.0}), mopts);
+  pt.design.margins = effective_margins(model);
+  const ImpulseInvariantModel zmodel(model.open_loop_gain(), base.w0);
+  pt.design.z_domain_stable = zmodel.is_stable();
+  pt.design.meets_spec_lti =
+      pt.design.margins.lti_found &&
+      pt.design.margins.lti_phase_margin_deg >=
+          base.target_pm_deg - base.pm_slack_deg;
+  pt.design.meets_spec_effective =
+      pt.design.margins.eff_found &&
+      pt.design.margins.eff_phase_margin_deg >=
+          base.target_pm_deg - base.pm_slack_deg;
+
+  pt.half_rate_lambda = half_rate_lambda(model);
+  pt.half_rate_stable = pt.half_rate_lambda > -1.0;
+
+  if (opts.include_poles) {
+    PoleSearchOptions ps = opts.pole_search;
+    ps.use_eval_plan = ps.use_eval_plan && opts.use_eval_plan;
+    pt.poles = closed_loop_poles(model, ps);
+  }
+  return pt;
+}
+
+}  // namespace
+
+DesignSpaceMap design_space_map(const DesignSpec& base,
+                                const std::vector<double>& ratios,
+                                const std::vector<double>& gammas,
+                                const DesignSweepOptions& opts) {
+  HTMPLL_REQUIRE(!ratios.empty() && !gammas.empty(),
+                 "design_space_map needs a non-empty grid");
+  for (double r : ratios) {
+    HTMPLL_REQUIRE(r > 0.0 && r < 0.5,
+                   "crossover ratios must lie in (0, 0.5): beyond w0/2 "
+                   "the loop cannot be sampled-stable");
+  }
+  HTMPLL_TRACE_SPAN("design.space_map");
+
+  DesignSpaceMap map;
+  map.ratios = ratios;
+  map.gammas = gammas;
+  const std::size_t n = ratios.size() * gammas.size();
+  // Grid points fan out over the pool; each point's own grid calls run
+  // inline on its worker (nested pool calls never deadlock).
+  map.points = parallel_map<DesignPoint>(n, [&](std::size_t i) {
+    const std::size_t r = i % ratios.size();
+    const std::size_t g = i / ratios.size();
+    return evaluate_point(base, ratios[r], gammas[g], opts);
+  });
+  return map;
+}
+
+StabilityBoundary max_stable_crossover_ratio(LoopBuilder make, double w0,
+                                             double gamma, double ratio_lo,
+                                             double ratio_hi,
+                                             int iterations) {
+  HTMPLL_REQUIRE(make != nullptr, "loop builder must be provided");
+  HTMPLL_REQUIRE(ratio_lo > 0.0 && ratio_hi > ratio_lo,
+                 "boundary search range is empty");
+  StabilityBoundary out;
+  {
+    double lo = ratio_lo, hi = ratio_hi;
+    for (int it = 0; it < iterations; ++it) {
+      const double mid = 0.5 * (lo + hi);
+      const SamplingPllModel m(make(mid * w0, w0, gamma));
+      (half_rate_lambda(m) > -1.0 ? lo : hi) = mid;
+    }
+    out.lambda_ratio = 0.5 * (lo + hi);
+  }
+  {
+    double lo = ratio_lo, hi = ratio_hi;
+    for (int it = 0; it < iterations; ++it) {
+      const double mid = 0.5 * (lo + hi);
+      const ImpulseInvariantModel zm(make(mid * w0, w0, gamma).open_loop_gain(),
+                                     w0);
+      (zm.is_stable() ? lo : hi) = mid;
+    }
+    out.zdomain_ratio = 0.5 * (lo + hi);
+  }
+  return out;
+}
+
+std::vector<GardnerRow> gardner_stability_rows(
+    double w0, const std::vector<double>& gammas) {
+  HTMPLL_TRACE_SPAN("design.gardner_rows");
+  return parallel_map<GardnerRow>(gammas.size(), [&](std::size_t i) {
+    GardnerRow row;
+    row.gamma = gammas[i];
+    row.second_order =
+        max_stable_crossover_ratio(make_second_order_loop, w0, gammas[i]);
+    row.third_order =
+        max_stable_crossover_ratio(make_typical_loop, w0, gammas[i]);
+    return row;
+  });
+}
+
+}  // namespace htmpll

@@ -24,6 +24,9 @@ constexpr const char* kReasonNames[kDiagReasonCount] = {
     "eval_plan.scalar_fallback",    // kPlanScalarFallback
     "propagator_cache.eviction",    // kPropagatorCacheEviction
     "htm.truncation_saturated",     // kHtmTruncationSaturated
+    "pole_search.degenerate_step",  // kPoleSearchDegenerateStep
+    "pole_search.diverged",         // kPoleSearchDiverged
+    "propagator_cache.churn",       // kPropagatorCacheChurn
 };
 static_assert(sizeof(kReasonNames) / sizeof(kReasonNames[0]) ==
               kDiagReasonCount);

@@ -49,6 +49,9 @@ enum class DiagReason : std::uint8_t {
   kPlanScalarFallback,          ///< plan unusable (multiplicity > 4)
   kPropagatorCacheEviction,     ///< step-propagator slot replaced
   kHtmTruncationSaturated,      ///< adaptive aliasing sum hit max_pairs
+  kPoleSearchDegenerateStep,    ///< Newton lane dropped: df zero/non-finite
+  kPoleSearchDiverged,          ///< Newton lane dropped: step left R^2
+  kPropagatorCacheChurn,        ///< cache turned over a full capacity
   kCount,
 };
 

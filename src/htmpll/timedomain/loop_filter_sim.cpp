@@ -160,6 +160,13 @@ const StepPropagator& PiecewiseExactIntegrator::propagator(double h) const {
   ++stats_.evictions;
   propagator_metrics().evictions.add();
   obs::diag_event(obs::DiagReason::kPropagatorCacheEviction, h);
+  // Churn signal: one bounded event per full capacity turnover (payload
+  // = completed turnovers), so an undersized cache shows up in the diag
+  // ring even when per-eviction events have aged out.
+  if (stats_.evictions % cache_capacity_ == 0) {
+    obs::diag_event(obs::DiagReason::kPropagatorCacheChurn,
+                    static_cast<double>(stats_.evictions / cache_capacity_));
+  }
   CacheEntry& slot = cache_[next_slot_];
   const std::int32_t entry = static_cast<std::int32_t>(next_slot_);
   next_slot_ = (next_slot_ + 1) % cache_capacity_;

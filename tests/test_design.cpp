@@ -1,8 +1,10 @@
+#include <cmath>
 #include <numbers>
 
 #include <gtest/gtest.h>
 
 #include "htmpll/design/design.hpp"
+#include "htmpll/design/design_sweep.hpp"
 
 namespace htmpll {
 namespace {
@@ -77,6 +79,51 @@ TEST(Design, AwareDesignKeepsBandwidthWhenSpecAlreadyMet) {
   spec.target_pm_deg = 55.0;
   const DesignResult r = design_time_varying_aware(spec);
   EXPECT_NEAR(r.margins.lti_crossover / spec.target_w_ug, 1.0, 1e-5);
+  // When the target already meets the effective spec the aware design IS
+  // the classical design -- same synthesized components, no backoff.
+  const DesignResult c = design_classical(spec);
+  EXPECT_EQ(r.params.icp, c.params.icp);
+  EXPECT_EQ(r.params.filter.r, c.params.filter.r);
+  EXPECT_EQ(r.params.filter.c1, c.params.filter.c1);
+  EXPECT_EQ(r.params.filter.c2, c.params.filter.c2);
+  EXPECT_EQ(r.margins.eff_phase_margin_deg,
+            c.margins.eff_phase_margin_deg);
+}
+
+TEST(Design, AwareDesignIterationBudgetBoundsRefinement) {
+  // A starved iteration budget must still return a spec-meeting design
+  // (the bisection keeps the last passing point), just a conservative
+  // one; the default budget recovers strictly more bandwidth.
+  DesignSpec spec;
+  spec.w0 = kW0;
+  spec.target_w_ug = 0.3 * kW0;
+  spec.target_pm_deg = 60.0;
+  // Tight slack: the first bisection midpoint still misses the spec, so
+  // a one-iteration budget is exhausted before any midpoint passes and
+  // the result falls back to the conservative bracket bottom.
+  spec.pm_slack_deg = 0.03;
+  AwareDesignOptions starved;
+  starved.max_iterations = 1;
+  const DesignResult coarse = design_time_varying_aware(spec, starved);
+  EXPECT_TRUE(coarse.meets_spec_effective);
+  const DesignResult fine = design_time_varying_aware(spec);
+  EXPECT_TRUE(fine.meets_spec_effective);
+  ASSERT_TRUE(coarse.margins.lti_found && fine.margins.lti_found);
+  EXPECT_LT(coarse.margins.lti_crossover, fine.margins.lti_crossover);
+  // Both still back off below the (unsafe) LTI target.
+  EXPECT_LT(fine.margins.lti_crossover, spec.target_w_ug);
+}
+
+TEST(Design, AwareDesignRejectsUnreachableSpec) {
+  // Negative slack demands MORE effective margin than the LTI target --
+  // the sampled loop always loses margin, so no bandwidth reduction can
+  // ever satisfy it and the 1000x-backoff probe must throw.
+  DesignSpec spec;
+  spec.w0 = kW0;
+  spec.target_w_ug = 0.3 * kW0;
+  spec.target_pm_deg = 60.0;
+  spec.pm_slack_deg = -5.0;
+  EXPECT_THROW(design_time_varying_aware(spec), std::invalid_argument);
 }
 
 TEST(Design, SweepProducesMonotoneEffectiveMargins) {
@@ -92,6 +139,83 @@ TEST(Design, SweepProducesMonotoneEffectiveMargins) {
     EXPECT_LT(results[i].margins.eff_phase_margin_deg,
               results[i - 1].margins.eff_phase_margin_deg);
   }
+}
+
+TEST(Design, DesignSpaceMapMatchesPointwiseEvaluation) {
+  // The pooled (w_ug, gamma) grid must reproduce evaluate_design point
+  // by point: same synthesis, same margins, same verdicts -- the pool
+  // only distributes work, it never changes values.
+  DesignSpec spec;
+  spec.w0 = kW0;
+  spec.target_w_ug = 0.1 * kW0;
+  spec.target_pm_deg = 60.0;
+  const std::vector<double> ratios{0.05, 0.12, 0.2};
+  const std::vector<double> gammas{3.0, 5.0};
+  const DesignSpaceMap map = design_space_map(spec, ratios, gammas);
+  ASSERT_EQ(map.points.size(), ratios.size() * gammas.size());
+  for (std::size_t g = 0; g < gammas.size(); ++g) {
+    for (std::size_t r = 0; r < ratios.size(); ++r) {
+      const DesignPoint& pt = map.at(r, g);
+      EXPECT_EQ(pt.ratio, ratios[r]);
+      EXPECT_EQ(pt.gamma, gammas[g]);
+      const DesignResult ref =
+          evaluate_design(spec, ratios[r] * kW0, gammas[g]);
+      ASSERT_EQ(pt.design.margins.eff_found, ref.margins.eff_found);
+      EXPECT_NEAR(pt.design.margins.eff_phase_margin_deg,
+                  ref.margins.eff_phase_margin_deg,
+                  1e-9 * ref.margins.eff_phase_margin_deg);
+      EXPECT_NEAR(pt.design.margins.lti_crossover,
+                  ref.margins.lti_crossover,
+                  1e-9 * ref.margins.lti_crossover);
+      EXPECT_EQ(pt.design.z_domain_stable, ref.z_domain_stable);
+      EXPECT_EQ(pt.half_rate_stable, pt.half_rate_lambda > -1.0);
+      // Poles included by default, sorted by ascending frequency.
+      ASSERT_FALSE(pt.poles.empty());
+      for (std::size_t i = 1; i < pt.poles.size(); ++i) {
+        EXPECT_LE(pt.poles[i - 1].frequency, pt.poles[i].frequency);
+      }
+    }
+  }
+}
+
+TEST(Design, DesignSpaceMapScalarForcedAgreesWithBatched) {
+  DesignSpec spec;
+  spec.w0 = kW0;
+  spec.target_w_ug = 0.1 * kW0;
+  spec.target_pm_deg = 60.0;
+  const std::vector<double> ratios{0.1, 0.22};
+  DesignSweepOptions scalar;
+  scalar.use_eval_plan = false;
+  const DesignSpaceMap b = design_space_map(spec, ratios, {4.0});
+  const DesignSpaceMap s = design_space_map(spec, ratios, {4.0}, scalar);
+  for (std::size_t r = 0; r < ratios.size(); ++r) {
+    const DesignPoint& bp = b.at(r, 0);
+    const DesignPoint& sp = s.at(r, 0);
+    EXPECT_LT(std::abs(bp.design.margins.eff_crossover -
+                       sp.design.margins.eff_crossover) /
+                  sp.design.margins.eff_crossover,
+              1e-9);
+    EXPECT_EQ(bp.half_rate_lambda, sp.half_rate_lambda);
+    ASSERT_EQ(bp.poles.size(), sp.poles.size());
+    for (const ClosedLoopPole& p : sp.poles) {
+      double best = 1e300;
+      for (const ClosedLoopPole& q : bp.poles) {
+        best = std::min(best, std::abs(q.s - p.s) / std::abs(p.s));
+      }
+      EXPECT_LT(best, 1e-9);
+    }
+  }
+}
+
+TEST(Design, DesignSpaceMapValidatesGrid) {
+  DesignSpec spec;
+  spec.w0 = kW0;
+  spec.target_w_ug = 0.1 * kW0;
+  spec.target_pm_deg = 60.0;
+  EXPECT_THROW(design_space_map(spec, {}, {4.0}), std::invalid_argument);
+  EXPECT_THROW(design_space_map(spec, {0.1}, {}), std::invalid_argument);
+  EXPECT_THROW(design_space_map(spec, {0.6}, {4.0}),
+               std::invalid_argument);
 }
 
 TEST(Design, JitterModelsAgreeForSlowLoops) {

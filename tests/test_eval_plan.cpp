@@ -183,6 +183,52 @@ TEST(EvalPlan, VtildeMatchesScalarWithinTolerance) {
   }
 }
 
+TEST(EvalPlan, LambdaDerivativeGridMatchesScalarAnalytic) {
+  // The plan's derivative tables (order-bump rule per pole term, ZOH
+  // product rule on the prefactor) against the scalar analytic
+  // lambda_derivative -- the bench's 1e-12 contract, here over random
+  // loops, both shapes, and points pushed near the aliasing poles.
+  std::mt19937 rng(20260807u);
+  std::uniform_real_distribution<double> ug(0.02, 0.25);
+  for (PfdShape shape : {PfdShape::kImpulse, PfdShape::kZeroOrderHold}) {
+    for (int trial = 0; trial < 3; ++trial) {
+      const double w0 = 2.0 * std::numbers::pi * (trial + 1);
+      SamplingPllOptions opts;
+      opts.pfd_shape = shape;
+      const ModelPair m = make_pair(make_typical_loop(ug(rng) * w0, w0),
+                                    HarmonicCoefficients(cplx{1.0}), opts);
+      ASSERT_TRUE(m.plan.has_eval_plan());
+      const CVector s_grid = random_points(rng, w0, 96);
+      const CVector dlam = m.plan.lambda_derivative_grid(s_grid);
+      for (std::size_t i = 0; i < s_grid.size(); ++i) {
+        EXPECT_LE(rel_err(dlam[i], m.scalar.lambda_derivative(s_grid[i])),
+                  kTol)
+            << "shape " << static_cast<int>(shape) << " s=" << s_grid[i];
+      }
+    }
+  }
+}
+
+TEST(EvalPlan, LambdaDerivativeAgreesWithCentralDifference) {
+  // Cross-check of the analytic derivative itself (not the batching):
+  // central differences of scalar lambda at well-conditioned jw points.
+  const double w0 = 2.0 * std::numbers::pi;
+  for (PfdShape shape : {PfdShape::kImpulse, PfdShape::kZeroOrderHold}) {
+    SamplingPllOptions opts;
+    opts.pfd_shape = shape;
+    opts.use_eval_plan = false;
+    const SamplingPllModel m(make_typical_loop(0.1 * w0, w0),
+                             HarmonicCoefficients(cplx{1.0}), opts);
+    const double h = 1e-6 * w0;
+    for (double f : {0.03, 0.11, 0.27, 0.42}) {
+      const cplx s{0.0, f * w0};
+      const cplx fd = (m.lambda(s + h) - m.lambda(s - h)) / (2.0 * h);
+      EXPECT_LE(rel_err(m.lambda_derivative(s), fd), 1e-5)
+          << "shape " << static_cast<int>(shape) << " f=" << f;
+    }
+  }
+}
+
 TEST(EvalPlan, ExtraLoopDynamicsAndRepeatedPoles) {
   // A parasitic pole pushes the channel transfer to higher relative
   // degree and (with the ZOH 1/s factor) multiplicity-3 poles at the

@@ -92,6 +92,52 @@ TEST(PoleSearch, RefineFromPerturbedSeedConverges) {
   EXPECT_NEAR(std::abs(refined.s - truth) / std::abs(truth), 0.0, 1e-8);
 }
 
+TEST(PoleSearch, BatchedNewtonMatchesScalarEngine) {
+  // The masked lockstep Newton (eval-plan path) and the symbolic scalar
+  // fallback polish the same seeds against the same mathematical object;
+  // each refined pole must match its scalar twin to well below the
+  // 1e-9-relative bench gate.  Conjugate pairs share |s|, so the sorted
+  // outputs are compared by nearest match rather than by index.
+  for (double ratio : {0.08, 0.15, 0.25}) {
+    const SamplingPllModel m = make_model(ratio);
+    ASSERT_TRUE(m.has_eval_plan());
+    PoleSearchOptions scalar;
+    scalar.use_eval_plan = false;
+    const auto batched = closed_loop_poles(m);
+    const auto reference = closed_loop_poles(m, scalar);
+    ASSERT_EQ(batched.size(), reference.size()) << "ratio " << ratio;
+    for (const ClosedLoopPole& sp : reference) {
+      double best = 1e300;
+      for (const ClosedLoopPole& bp : batched) {
+        best = std::min(best, std::abs(bp.s - sp.s) / std::abs(sp.s));
+      }
+      EXPECT_LT(best, 1e-10) << "ratio " << ratio;
+    }
+    for (const ClosedLoopPole& bp : batched) {
+      EXPECT_TRUE(bp.converged) << "ratio " << ratio;
+      EXPECT_LT(bp.residual, 1e-9) << "ratio " << ratio;
+    }
+  }
+}
+
+TEST(PoleSearch, BatchedRefineTracksScalarFromPerturbedSeeds) {
+  const SamplingPllModel m = make_model(0.18);
+  const LambdaExpression lam(m.open_loop_gain(), kW0);
+  const auto poles = closed_loop_poles(m);
+  ASSERT_GE(poles.size(), 2u);
+  std::vector<cplx> seeds;
+  for (const ClosedLoopPole& p : poles) {
+    seeds.push_back(p.s * cplx{1.01, -0.02});
+  }
+  const auto batched = refine_closed_loop_poles(m, seeds);
+  ASSERT_EQ(batched.size(), seeds.size());
+  for (std::size_t i = 0; i < seeds.size(); ++i) {
+    const ClosedLoopPole ref = refine_closed_loop_pole(lam, seeds[i]);
+    EXPECT_LT(std::abs(batched[i].s - ref.s) / std::abs(ref.s), 1e-9)
+        << "seed " << i;
+  }
+}
+
 TEST(PoleSearch, RequiresTimeInvariantVco) {
   const PllParameters p = make_typical_loop(0.1 * kW0, kW0);
   const SamplingPllModel m(

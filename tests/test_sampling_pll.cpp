@@ -51,6 +51,54 @@ TEST(SamplingPll, VtildeElementsAreShiftedA) {
               1e-12 * std::abs(v[3]));
 }
 
+TEST(SamplingPll, ChannelTableIterationMatchesFullHarmonicWalk) {
+  // Pins the channels_ inner-loop form: iterating the precomputed
+  // non-zero (k, v_k) table must be bit-identical to walking the full
+  // harmonic range and re-deriving v_k = kvco * isf_k with a zero test
+  // per k -- the formula the inner loops used before the table existed.
+  CVector c(5);
+  c[0] = cplx{0.1, 0.0};    // k = -2
+  c[1] = cplx{0.0, 0.0};    // k = -1: zero harmonic exercises the skip
+  c[2] = cplx{1.0, 0.0};    // k = 0
+  c[3] = cplx{0.0, 0.0};    // k = +1
+  c[4] = cplx{0.1, -0.05};  // k = +2
+  const HarmonicCoefficients isf(c);
+  const PllParameters p = make_typical_loop(0.08 * kW0, kW0);
+  for (PfdShape shape : {PfdShape::kImpulse, PfdShape::kZeroOrderHold}) {
+    SamplingPllOptions opts;
+    opts.pfd_shape = shape;
+    const SamplingPllModel m(p, isf, opts);
+    const double t = m.parameters().period();
+    const RationalFunction& hlf = m.loop_filter_tf();
+    for (int n : {-2, -1, 0, 1, 3}) {
+      for (const cplx s : {cplx{0.01 * kW0, 0.2 * kW0},
+                           cplx{-0.05 * kW0, 0.37 * kW0}}) {
+        cplx acc{0.0};
+        for (int k = -isf.max_harmonic(); k <= isf.max_harmonic(); ++k) {
+          const cplx v_k = m.parameters().kvco * isf[k];
+          if (v_k == cplx{0.0}) continue;
+          const cplx sm = s + cplx{0.0, static_cast<double>(n - k) * kW0};
+          const cplx shape_factor = shape == PfdShape::kImpulse
+                                        ? cplx{1.0}
+                                        : 1.0 / (sm * t);
+          acc += v_k * (hlf(sm) * shape_factor);
+        }
+        const cplx prefactor = shape == PfdShape::kImpulse
+                                   ? cplx{1.0}
+                                   : 1.0 - std::exp(-s * t);
+        const cplx sn = s + cplx{0.0, static_cast<double>(n) * kW0};
+        const cplx expected =
+            prefactor * acc * kW0 / (2.0 * std::numbers::pi) / sn;
+        const cplx got = m.vtilde_element(n, s);
+        EXPECT_EQ(got.real(), expected.real())
+            << "n = " << n << " shape " << static_cast<int>(shape);
+        EXPECT_EQ(got.imag(), expected.imag())
+            << "n = " << n << " shape " << static_cast<int>(shape);
+      }
+    }
+  }
+}
+
 TEST(SamplingPll, BasebandTransferIsEq38) {
   const SamplingPllModel m = make_model(0.35);
   const cplx s = j * (0.2 * kW0);

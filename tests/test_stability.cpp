@@ -1,3 +1,4 @@
+#include <cmath>
 #include <numbers>
 
 #include <gtest/gtest.h>
@@ -11,6 +12,55 @@ constexpr double kW0 = 2.0 * std::numbers::pi;
 
 SamplingPllModel make_model(double ratio) {
   return SamplingPllModel(make_typical_loop(ratio * kW0, kW0));
+}
+
+TEST(Stability, BatchedCrossoverMatchesScalarSearch) {
+  // With a compiled plan both crossover hunts (lambda through the batch
+  // kernels, A through the SIMD rational kernel) run grid-first; the
+  // scalar find_gain_crossover chains are the oracle.  Agreement must
+  // beat the 1e-9-relative bench gate at every sweep ratio.
+  for (double ratio : {0.03, 0.1, 0.2, 0.25}) {
+    const SamplingPllModel planned = make_model(ratio);
+    ASSERT_TRUE(planned.has_eval_plan());
+    SamplingPllOptions opts;
+    opts.use_eval_plan = false;
+    const SamplingPllModel scalar(make_typical_loop(ratio * kW0, kW0),
+                                  HarmonicCoefficients(cplx{1.0}), opts);
+    const EffectiveMargins b = effective_margins(planned);
+    const EffectiveMargins s = effective_margins(scalar);
+    ASSERT_EQ(b.lti_found, s.lti_found) << "ratio " << ratio;
+    ASSERT_EQ(b.eff_found, s.eff_found) << "ratio " << ratio;
+    ASSERT_TRUE(b.lti_found && b.eff_found) << "ratio " << ratio;
+    EXPECT_LT(std::abs(b.lti_crossover - s.lti_crossover) / s.lti_crossover,
+              1e-9)
+        << "ratio " << ratio;
+    EXPECT_LT(std::abs(b.eff_crossover - s.eff_crossover) / s.eff_crossover,
+              1e-9)
+        << "ratio " << ratio;
+    EXPECT_LT(std::abs(b.lti_phase_margin_deg - s.lti_phase_margin_deg) /
+                  s.lti_phase_margin_deg,
+              1e-9)
+        << "ratio " << ratio;
+    EXPECT_LT(std::abs(b.eff_phase_margin_deg - s.eff_phase_margin_deg) /
+                  s.eff_phase_margin_deg,
+              1e-9)
+        << "ratio " << ratio;
+  }
+}
+
+TEST(Stability, BatchedCrossoverHandlesUnstableLoop) {
+  // Beyond the stability boundary |lambda| never falls through 1 below
+  // w0/2: the batched hunt must report "not found" exactly like the
+  // scalar search, not fabricate a crossover.
+  const SamplingPllModel fast = make_model(0.32);
+  SamplingPllOptions opts;
+  opts.use_eval_plan = false;
+  const SamplingPllModel scalar(make_typical_loop(0.32 * kW0, kW0),
+                                HarmonicCoefficients(cplx{1.0}), opts);
+  const EffectiveMargins b = effective_margins(fast);
+  const EffectiveMargins s = effective_margins(scalar);
+  EXPECT_EQ(b.eff_found, s.eff_found);
+  EXPECT_EQ(b.lti_found, s.lti_found);
 }
 
 TEST(Stability, LtiMarginsMatchTypicalLoopDesign) {

@@ -5,10 +5,12 @@
 // -DHTMPLL_SANITIZE=thread.
 #include <cmath>
 #include <numbers>
+#include <vector>
 
 #include <gtest/gtest.h>
 
 #include "htmpll/linalg/spectral.hpp"
+#include "htmpll/obs/diag.hpp"
 #include "htmpll/obs/metrics.hpp"
 #include "htmpll/parallel/thread_pool.hpp"
 #include "htmpll/timedomain/montecarlo.hpp"
@@ -24,6 +26,13 @@ struct ScopedSpectral {
   bool was = spectral::enabled();
   explicit ScopedSpectral(bool on) { spectral::set_enabled(on); }
   ~ScopedSpectral() { spectral::set_enabled(was); }
+};
+
+/// Enables obs for one test and restores the prior state after.
+struct ScopedDiagObs {
+  bool was_enabled = obs::enabled();
+  explicit ScopedDiagObs(bool on) { on ? obs::enable() : obs::disable(); }
+  ~ScopedDiagObs() { was_enabled ? obs::enable() : obs::disable(); }
 };
 
 TEST(PropagatorCache, CountsHitsAndMisses) {
@@ -89,6 +98,57 @@ TEST(PropagatorCache, SimulationIndependentOfCapacity) {
   // The keyed cache must actually save expm work on the same workload.
   EXPECT_LT(s64.propagator_cache_stats().misses,
             s1.propagator_cache_stats().misses);
+}
+
+TEST(PropagatorCache, DefaultCapacityAvoidsModulatedChurn) {
+  // Regression for the old 32-entry default: a modulated run makes the
+  // inter-event spacings quasi-continuous, so a small cache thrashes
+  // (probe-sweep hit rate ~0.38 with ~300k evictions before the fix).
+  // The enlarged default must hold the hit rate well above that churn
+  // plateau on the same workload.
+  const PllParameters p = make_typical_loop(0.12 * kW0, kW0);
+  ReferenceModulation mod;
+  mod.amplitude = 1e-3;
+  mod.omega = 0.17 * kW0;
+  auto run = [&](const TransientConfig& cfg) {
+    PllTransientSim sim(p, mod, cfg);
+    sim.run_periods(80.0);
+    return sim.propagator_cache_stats();
+  };
+  TransientConfig old_default;
+  old_default.propagator_cache = 32;
+  const PropagatorCacheStats small = run(old_default);
+  const PropagatorCacheStats big = run({});  // current default capacity
+  EXPECT_GE(PiecewiseExactIntegrator::kDefaultCacheCapacity, 1024u);
+  EXPECT_EQ(big.lookups, small.lookups);  // same workload either way
+  EXPECT_LT(small.hit_rate(), 0.45);      // the old default churns...
+  EXPECT_GE(big.hit_rate(), 0.55);        // ...the new one must not
+  EXPECT_LT(big.evictions, small.evictions / 2);
+}
+
+TEST(PropagatorCache, ChurnDiagEventPerFullTurnover) {
+  // One bounded diag event per full capacity turnover, payload = the
+  // completed turnover count.
+  ScopedDiagObs on(true);
+  const PllParameters p = make_typical_loop(0.1 * kW0, kW0);
+  PiecewiseExactIntegrator integ(
+      augment_with_phase(to_state_space(p.filter.impedance()), p.kvco), 4);
+  obs::diag_reset();
+  for (int i = 1; i <= 12; ++i) (void)integ.peek(0.01 * i, 0.0);
+  EXPECT_EQ(integ.cache_stats().evictions, 8u);  // 12 distinct h, cap 4
+  const obs::DiagSnapshot s = obs::diag_snapshot();
+  EXPECT_EQ(s.tally[static_cast<std::size_t>(
+                obs::DiagReason::kPropagatorCacheChurn)],
+            2u);
+  std::vector<double> payloads;
+  for (const obs::DiagEvent& e : s.events) {
+    if (e.reason == obs::DiagReason::kPropagatorCacheChurn) {
+      payloads.push_back(e.payload);
+    }
+  }
+  ASSERT_EQ(payloads.size(), 2u);
+  EXPECT_DOUBLE_EQ(payloads[0], 1.0);
+  EXPECT_DOUBLE_EQ(payloads[1], 2.0);
 }
 
 TEST(SpectralEngine, SimulationAgreesWithPadeWithinTolerance) {
