@@ -55,7 +55,15 @@
 #    scalar-forced (use_eval_plan=false) margins/poles must be
 #    bit-identical to the seed implementation.
 #
-# Usage: scripts/bench_check.sh [--smoke] [build-dir] [sweep-report.json] [transient-report.json] [kernels-report.json] [noise-report.json] [stability-report.json]
+#  * bench_mc: the lockstep SoA ensemble engine must run the 64-member
+#    held-noise Monte Carlo ensemble >= 2.5x faster than the per-member
+#    scalar chain at equal thread count, and the ensemble NoiseRunStats
+#    / acquisition / step-response outputs must be bitwise identical to
+#    the scalar chain on both the default and the forced-scalar
+#    (use_ensemble_engine=false) paths.  A reduced-horizon HTMPLL_SIMD=0
+#    re-run keeps the same parity gates on the portable kernels.
+#
+# Usage: scripts/bench_check.sh [--smoke] [build-dir] [sweep-report.json] [transient-report.json] [kernels-report.json] [noise-report.json] [stability-report.json] [mc-report.json]
 #   --smoke: end-to-end bench-shape check for PRs -- reduced reps where
 #            supported, gates relaxed to parity / tolerance /
 #            bit-identity only (no timing gates, no overhead check, no
@@ -77,6 +85,7 @@ TREPORT="${POS[2]:-BENCH_transient.json}"
 KREPORT="${POS[3]:-BENCH_kernels.json}"
 NREPORT="${POS[4]:-BENCH_noise.json}"
 SREPORT="${POS[5]:-BENCH_stability.json}"
+MREPORT="${POS[6]:-BENCH_mc.json}"
 
 # The benches enforce parity / tolerance / bit-identity unconditionally;
 # --check adds their timing gates, which smoke mode leaves out.
@@ -85,7 +94,7 @@ if [ "$SMOKE" = 1 ]; then CHECK=""; fi
 
 cmake -B "$BUILD" -S . -DCMAKE_BUILD_TYPE=Release > /dev/null
 cmake --build "$BUILD" --target bench_sweep bench_transient bench_kernels \
-      bench_noise bench_stability -j > /dev/null
+      bench_noise bench_stability bench_mc -j > /dev/null
 
 "$BUILD/bench/bench_sweep" "$REPORT" $CHECK
 "$BUILD/bench/bench_transient" "$TREPORT" $CHECK
@@ -93,14 +102,21 @@ cmake --build "$BUILD" --target bench_sweep bench_transient bench_kernels \
 "$BUILD/bench/bench_noise" "$NREPORT" $CHECK
 if [ "$SMOKE" = 1 ]; then
   "$BUILD/bench/bench_stability" "$SREPORT" --check --smoke
+  "$BUILD/bench/bench_mc" "$MREPORT" --check --smoke
 else
   "$BUILD/bench/bench_stability" "$SREPORT" --check
+  "$BUILD/bench/bench_mc" "$MREPORT" --check
 fi
 
 # The same gates must hold with the SIMD dispatch forced to the
 # portable scalar kernels and with the obs layer live.
 HTMPLL_SIMD=0 "$BUILD/bench/bench_kernels" "${KREPORT%.json}_scalar.json" $CHECK
 HTMPLL_SIMD=0 "$BUILD/bench/bench_noise" "${NREPORT%.json}_scalar.json" $CHECK
+# Ensemble parity must also hold on the portable batch kernels; the
+# reduced-horizon smoke run keeps the bitwise gates without timing the
+# scalar-dispatch engine against the 2.5x target.
+HTMPLL_SIMD=0 "$BUILD/bench/bench_mc" "${MREPORT%.json}_scalar.json" \
+  --check --smoke
 HTMPLL_OBS=1 "$BUILD/bench/bench_noise" "${NREPORT%.json}_obs.json" $CHECK
 
 # Forced-Pade transient run: with the spectral engine switched off the
@@ -169,7 +185,8 @@ require_le() {
   fi
 }
 
-for f in "$REPORT" "$TREPORT" "$KREPORT" "$NREPORT" "$SREPORT"; do
+for f in "$REPORT" "$TREPORT" "$KREPORT" "$NREPORT" "$SREPORT" \
+         "$MREPORT"; do
   if [ ! -f "$f" ]; then
     fail "report-exists" "$f" "file written by the bench" "no such file"
   fi
@@ -216,6 +233,20 @@ if [ -f "$SREPORT" ]; then
   require_section stability-derivative "$SREPORT" derivative
   require_section stability-scalar-fallback "$SREPORT" scalar_fallback
   require_section stability-telemetry "$SREPORT" telemetry
+fi
+
+for mf in "$MREPORT" "${MREPORT%.json}_scalar.json"; do
+  if [ -f "$mf" ]; then
+    require_true mc-noise-bitwise "$mf" noise_parity_bitwise
+    require_true mc-forced-scalar-bitwise "$mf" forced_scalar_bitwise
+    require_true mc-acquisition-bitwise "$mf" acquisition_parity_bitwise
+    require_true mc-step-response-bitwise "$mf" step_response_parity_bitwise
+    require_section mc-section "$mf" mc
+    require_section mc-telemetry "$mf" telemetry
+  fi
+done
+if [ "$SMOKE" = 0 ]; then
+  require_ge mc-ensemble-speedup "$MREPORT" ensemble_speedup_vs_scalar 2.5
 fi
 
 if [ -f "$TREPORT" ]; then
@@ -271,7 +302,8 @@ require_true noise-obs-bit-identical "$NREPORT" bit_identical
 require_section noise-obs-overhead "$NREPORT" obs_overhead
 
 # Every bench manifest must carry the diagnostics/health section.
-for f in "$REPORT" "$TREPORT" "$KREPORT" "$NREPORT" "$SREPORT"; do
+for f in "$REPORT" "$TREPORT" "$KREPORT" "$NREPORT" "$SREPORT" \
+         "$MREPORT"; do
   m="$f.manifest.json"
   if [ -f "$m" ]; then
     require_section manifest-health "$m" health
@@ -301,7 +333,7 @@ if [ "$FAILURES" -gt 0 ]; then
 fi
 
 if [ "$SMOKE" = 1 ]; then
-  echo "bench_check: OK [smoke] ($REPORT, $TREPORT, $KREPORT, $NREPORT, $SREPORT)"
+  echo "bench_check: OK [smoke] ($REPORT, $TREPORT, $KREPORT, $NREPORT, $SREPORT, $MREPORT)"
   exit 0
 fi
 
@@ -312,12 +344,12 @@ fi
 HISTORY_TMP="$(mktemp)"
 trap 'rm -f "$HISTORY_TMP"' EXIT
 python3 "$(dirname "$0")/bench_history.py" --history "$HISTORY_TMP" \
-  "$REPORT" "$TREPORT" "$KREPORT" "$NREPORT" "$SREPORT"
+  "$REPORT" "$TREPORT" "$KREPORT" "$NREPORT" "$SREPORT" "$MREPORT"
 python3 "$(dirname "$0")/bench_history.py" --history "$HISTORY_TMP" \
-  "$REPORT" "$TREPORT" "$KREPORT" "$NREPORT" "$SREPORT"
+  "$REPORT" "$TREPORT" "$KREPORT" "$NREPORT" "$SREPORT" "$MREPORT"
 # Record this run in the persistent history keyed by git describe.
 python3 "$(dirname "$0")/bench_history.py" \
-  "$REPORT" "$TREPORT" "$KREPORT" "$NREPORT" "$SREPORT"
+  "$REPORT" "$TREPORT" "$KREPORT" "$NREPORT" "$SREPORT" "$MREPORT"
 
 # A build with the vector kernel TU compiled out entirely: the stub
 # path must link and the portable kernels must clear the same gates.
@@ -328,4 +360,4 @@ cmake --build "$NOSIMD_BUILD" --target bench_kernels bench_noise -j > /dev/null
 "$NOSIMD_BUILD/bench/bench_kernels" "${KREPORT%.json}_nosimd.json" --check
 "$NOSIMD_BUILD/bench/bench_noise" "${NREPORT%.json}_nosimd.json" --check
 
-echo "bench_check: OK ($REPORT, $TREPORT, $KREPORT, $NREPORT, $SREPORT)"
+echo "bench_check: OK ($REPORT, $TREPORT, $KREPORT, $NREPORT, $SREPORT, $MREPORT)"

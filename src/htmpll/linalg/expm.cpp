@@ -139,10 +139,15 @@ void StepPropagator::advance_into(const RVector& x0, double u0, double u1,
     for (std::size_t i = 0; i < n; ++i) {
       out[i] += 0.0 + gamma1.row(i)[0] * u0;
     }
-    const double du = (u1 - u0) / h;
-    if (du != 0.0) {
-      for (std::size_t i = 0; i < n; ++i) {
-        out[i] += 0.0 + gamma2.row(i)[0] * du;
+    // u1 == u0 makes du a signed zero, so the gamma2 block is skipped
+    // either way; testing the inputs first spares the common
+    // piecewise-constant step the division.
+    if (u1 != u0) {
+      const double du = (u1 - u0) / h;
+      if (du != 0.0) {
+        for (std::size_t i = 0; i < n; ++i) {
+          out[i] += 0.0 + gamma2.row(i)[0] * du;
+        }
       }
     }
   }

@@ -61,6 +61,17 @@ class DenseMatrix {
 
   const std::vector<T>& data() const { return data_; }
 
+  /// Reshapes to rows x cols with every entry zeroed, reusing existing
+  /// storage when the new size fits -- the allocation-free twin of
+  /// assigning a fresh DenseMatrix(rows, cols).  Hot per-step builders
+  /// (spectral propagators into cache slots) call this instead of
+  /// constructing a temporary.
+  void assign_zero(std::size_t rows, std::size_t cols) {
+    rows_ = rows;
+    cols_ = cols;
+    data_.assign(rows * cols, T{});
+  }
+
   /// Raw row pointers (row-major storage) for inner-loop kernels; hoists
   /// the bounds-checked operator() out of hot loops.
   T* row(std::size_t r) {

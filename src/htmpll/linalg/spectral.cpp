@@ -1,5 +1,6 @@
 #include "htmpll/linalg/spectral.hpp"
 
+#include <array>
 #include <atomic>
 #include <cmath>
 #include <cstdio>
@@ -92,6 +93,183 @@ PhiSet phi_functions(cplx z, cplx ez) {
     p.phi3 = (p.phi2 - 0.5) / z;
   }
   return p;
+}
+
+/// phi1/phi2 only, bit-identical to phi_functions: same branch
+/// predicate, same series coefficients (the table below is produced by
+/// the identical loop, evaluated once), same downward recurrence.  The
+/// theta-row fast path needs no phi3, so the quotient branch saves one
+/// complex division and the series table is not rebuilt per call.
+struct Phi12 {
+  cplx phi1, phi2;
+};
+
+/// Branch predicate shared by every phi evaluation below.
+/// hypot(x, +-0) == |x| exactly (IEEE 754), so real arguments -- every
+/// mode of an overdamped loop filter -- skip the libm hypot call
+/// without moving the branch point.
+double phi_branch_magnitude(cplx z) {
+  return z.imag() == 0.0 ? std::fabs(z.real()) : std::abs(z);
+}
+
+/// Series branch (|z| < 0.5).  The loop spells out the exact flop DAG
+/// std::complex emits for `acc = acc * z + c` (C99 naive multiply; the
+/// NaN-recovery call behind it never fires for the finite modal
+/// arguments), so results are bit-identical to the complex Horner while
+/// the per-iteration NaN checks disappear.  Does not need e^z, which
+/// lets callers skip the exponential entirely on this branch.
+static constexpr int kSeriesTerms = 16;
+/// 1/(j+3)! for j = 0..kSeriesTerms, the phi_functions table evaluated
+/// once.
+const std::array<double, kSeriesTerms + 1>& series_inv_fact() {
+  static const auto table = [] {
+    std::array<double, kSeriesTerms + 1> t{};
+    double f = 6.0;  // 3!
+    for (int j = 0; j <= kSeriesTerms; ++j) {
+      t[static_cast<std::size_t>(j)] = 1.0 / f;
+      f *= static_cast<double>(j + 4);
+    }
+    return t;
+  }();
+  return table;
+}
+
+/// General complex-argument series tail.  noinline on purpose: real
+/// modal arguments (every overdamped filter) never reach it, and
+/// keeping it out of line leaves the two callers below small enough to
+/// inline into the build/theta-row hot loops.
+__attribute__((noinline)) Phi12 phi12_series_complex(cplx z) {
+  const auto& inv_fact = series_inv_fact();
+  const double zr = z.real();
+  const double zi = z.imag();
+  double ar = 0.0, ai = 0.0;
+  for (int j = kSeriesTerms; j >= 0; --j) {
+    const double tr = ar * zr - ai * zi;
+    ai = ar * zi + ai * zr;
+    ar = tr + inv_fact[static_cast<std::size_t>(j)];
+  }
+  const double p2r = (zr * ar - zi * ai) + 0.5;
+  const double p2i = zr * ai + zi * ar;
+  const double p1r = (zr * p2r - zi * p2i) + 1.0;
+  const double p1i = zr * p2i + zi * p2r;
+  return {cplx{p1r, p1i}, cplx{p2r, p2i}};
+}
+
+__attribute__((always_inline)) inline Phi12 phi12_series(cplx z) {
+  const double zr = z.real();
+  const double zi = z.imag();
+  if (zi == 0.0 && std::fabs(zr) < 0x1p-60) {
+    // Near-zero real argument -- the integrator pole of every
+    // phase-augmented loop at any step length.  The Horner reals are
+    // pinned: |acc| <= e - 2.5 < 0.25, so |zr * acc| < 2^-62 can move
+    // neither 0.5 (half-ulp 2^-55) nor 1.0 (half-ulp 2^-54), and the
+    // imaginary lane only shuttles signed zeros (acc.re stays positive:
+    // the smallest coefficient 1/19! ~ 8e-18 dominates |zr * acc|).
+    // Their closed form: the 17 zero-products alternate sign only for
+    // zi = -0 with zr negative.  Bit-identical to the full recurrence
+    // (randomized differential coverage in test_spectral), at 1/20 the
+    // dependency-chain latency.
+    const double ai = (std::signbit(zi) && std::signbit(zr)) ? -0.0 : 0.0;
+    const double p2i = zr * ai + zi * 1.0;
+    const double p1i = zr * p2i + zi * 0.5;
+    return {cplx{1.0, p1i}, cplx{0.5, p2i}};
+  }
+  if (zi == 0.0) {
+    // Real-axis series (every mode of an overdamped filter).  With
+    // zi = +-0 the imaginary Horner lane only shuttles signed zeros
+    // whose signs are data-independent, and subtracting a signed zero
+    // from the nonzero real products changes nothing (the accumulator
+    // stays strictly positive: each partial sum lies within 20% of its
+    // leading coefficient, and |zr| >= 2^-60 here keeps every product
+    // normal), so the real lane collapses to a plain real Horner with
+    // the identical rounding sequence.  The final signed zeros keep the
+    // closed form of the fast-out above (same odd-count alternation).
+    // Bit-identical to the full recurrence (randomized differential
+    // coverage in test_spectral) at roughly half the dependency-chain
+    // latency.
+    const auto& inv_fact = series_inv_fact();
+    double a = 0.0;
+    for (int j = kSeriesTerms; j >= 0; --j) {
+      a = a * zr + inv_fact[static_cast<std::size_t>(j)];
+    }
+    const double ai = (std::signbit(zi) && std::signbit(zr)) ? -0.0 : 0.0;
+    const double p2r = zr * a + 0.5;
+    const double p2i = zr * ai + zi * a;
+    const double p1r = zr * p2r + 1.0;
+    const double p1i = zr * p2i + zi * p2r;
+    return {cplx{p1r, p1i}, cplx{p2r, p2i}};
+  }
+  return phi12_series_complex(z);
+}
+
+/// Quotient branch (|z| >= 0.5).  For a real argument (z.imag() a
+/// signed zero) the two complex divisions collapse to the |c| >= |d|
+/// Smith step of libgcc's __divdc3 with no scaling correction -- the
+/// divisor is a normal magnitude in [0.5, |lambda| h] -- which
+/// test_spectral pins bitwise against the library division across
+/// random arguments.
+__attribute__((always_inline)) inline Phi12 phi12_quotient(cplx z, cplx ez) {
+  Phi12 p;
+  // The isfinite guard keeps an overflowed e^z (both quotient parts
+  // NaN) on the library division, whose Annex-G recovery step the
+  // shortcut does not reproduce.
+  if (z.imag() == 0.0 && std::isfinite(ez.real())) {
+    const double c = z.real();
+    const double d = z.imag();
+    const double ratio = d / c;
+    const double a1 = ez.real() - 1.0;
+    const double b1 = ez.imag();
+    const double denom = c + d * ratio;
+    const double p1r = (a1 + b1 * ratio) / denom;
+    const double p1i = (b1 - a1 * ratio) / denom;
+    const double a2 = p1r - 1.0;
+    const double p2r = (a2 + p1i * ratio) / denom;
+    const double p2i = (p1i - a2 * ratio) / denom;
+    p.phi1 = cplx{p1r, p1i};
+    p.phi2 = cplx{p2r, p2i};
+  } else {
+    p.phi1 = (ez - 1.0) / z;
+    p.phi2 = (p.phi1 - 1.0) / z;
+  }
+  return p;
+}
+
+__attribute__((always_inline)) inline Phi12 phi12_functions(cplx z, cplx ez) {
+  return phi_branch_magnitude(z) < 0.5 ? phi12_series(z)
+                                       : phi12_quotient(z, ez);
+}
+
+/// e^{z_k} for the modal arguments, bit-identical to batch_cexp for
+/// n < 4, whose scalar tail evaluates libm exp/cos/sin per lane: a lane
+/// with a +-0 imaginary part collapses to one exp call, since
+/// cos(+-0) == 1 and sin(+-0) == +-0 exactly make m*cos(zi) == m and
+/// m*sin(zi) == m*zi for every m = e^{zr} (the inf*0 -> NaN and NaN
+/// cases round-trip through the product unchanged).  A |zr| below
+/// 2^-60 -- the near-zero integrator pole of every phase-augmented
+/// loop, at any step length -- skips even the exp: the argument is
+/// under half an ulp of 1, so libm returns round(1 + zr) == 1.0
+/// exactly (pinned by randomized differential coverage in
+/// test_spectral).  Four or more modes defer to the shared kernel,
+/// whose vectorized path is the value reference at that width.
+/// Ensemble-exclusive: the scalar chain's full builds keep calling
+/// batch_cexp directly.
+void modal_cexp(const double* zre, const double* zim, std::size_t n,
+                double* ere, double* eim) {
+  if (n >= 4) {
+    batch_cexp(zre, zim, n, ere, eim);
+    return;
+  }
+  for (std::size_t k = 0; k < n; ++k) {
+    const double m =
+        std::fabs(zre[k]) < 0x1p-60 ? 1.0 : std::exp(zre[k]);
+    if (zim[k] == 0.0) {
+      ere[k] = m;
+      eim[k] = m * zim[k];
+    } else {
+      ere[k] = m * std::cos(zim[k]);
+      eim[k] = m * std::sin(zim[k]);
+    }
+  }
 }
 
 /// acc(i,j) += Re(w * m(i,j)) over the leading rows x cols block.
@@ -227,31 +405,65 @@ bool PropagatorFactory::factor_block(const RMatrix& block,
   zim_.resize(nf_);
   ere_.resize(nf_);
   eim_.resize(nf_);
+  trow_.resize(nf_);
   return true;
 }
 
 StepPropagator PropagatorFactory::make(double h) const {
-  HTMPLL_REQUIRE(h > 0.0, "PropagatorFactory: step must be positive");
-  if (mode_ == Mode::kPade) return make_propagator(a_, b_, h);
-  return make_spectral(h);
+  StepPropagator p;
+  make_into(h, p);
+  return p;
 }
 
-StepPropagator PropagatorFactory::make_spectral(double h) const {
+void PropagatorFactory::make_into(double h, StepPropagator& out) const {
+  make_into(h, out, /*want_gamma2=*/true);
+}
+
+void PropagatorFactory::make_into(double h, StepPropagator& out,
+                                  bool want_gamma2) const {
+  HTMPLL_REQUIRE(h > 0.0, "PropagatorFactory: step must be positive");
+  if (mode_ == Mode::kPade) {
+    out = make_propagator(a_, b_, h);
+    return;
+  }
+  make_spectral_into(h, out, want_gamma2);
+}
+
+void PropagatorFactory::make_spectral_into(double h, StepPropagator& out,
+                                           bool want_gamma2) const {
+  if (!want_gamma2 && mode_ == Mode::kSpectralAugmented && m_ == 1) {
+    make_spectral_aug_g2free_into(h, out);
+    return;
+  }
   const std::size_t n = a_.rows();
   const bool augmented = mode_ == Mode::kSpectralAugmented;
 
-  // n scalar exponentials through the SIMD batch kernel.
+  // n scalar exponentials through the SIMD batch kernel.  The
+  // Gamma2-free (ensemble store) build takes the bit-identical
+  // real-argument shortcut; the full build is the preserved scalar
+  // chain and keeps the kernel call.
   for (std::size_t k = 0; k < nf_; ++k) {
     zre_[k] = lambda_[k].real() * h;
     zim_[k] = lambda_[k].imag() * h;
   }
-  batch_cexp(zre_.data(), zim_.data(), nf_, ere_.data(), eim_.data());
+  if (want_gamma2) {
+    batch_cexp(zre_.data(), zim_.data(), nf_, ere_.data(), eim_.data());
+  } else {
+    modal_cexp(zre_.data(), zim_.data(), nf_, ere_.data(), eim_.data());
+  }
 
-  StepPropagator p;
-  p.phi0 = RMatrix(n, n);
+  StepPropagator& p = out;
+  p.phi0.assign_zero(n, n);
   if (m_ > 0) {
-    p.gamma1 = RMatrix(n, m_);
-    p.gamma2 = RMatrix(n, m_);
+    p.gamma1.assign_zero(n, m_);
+    if (want_gamma2) {
+      p.gamma2.assign_zero(n, m_);
+    } else {
+      p.gamma2 = RMatrix();  // empty, not stale: misuse fails loudly
+    }
+  } else {
+    p.gamma1 = RMatrix();
+    p.gamma2 = RMatrix();
   }
   const double h2 = h * h;
   const double h3 = h2 * h;
@@ -259,12 +471,24 @@ StepPropagator PropagatorFactory::make_spectral(double h) const {
   for (std::size_t k = 0; k < nf_; ++k) {
     const cplx z{zre_[k], zim_[k]};
     const cplx ez{ere_[k], eim_[k]};
-    const PhiSet f = phi_functions(z, ez);
+    // phi12_functions is bit-identical on phi1/phi2 and skips the phi3
+    // work the Gamma2-free build never uses.
+    PhiSet f;
+    if (want_gamma2) {
+      f = phi_functions(z, ez);
+    } else {
+      const Phi12 f12 = phi12_functions(z, ez);
+      f.phi1 = f12.phi1;
+      f.phi2 = f12.phi2;
+      f.phi3 = cplx{0.0, 0.0};
+    }
 
     accumulate_real(p.phi0, proj_[k], ez, nf_, nf_);
     if (m_ > 0) {
       accumulate_real(p.gamma1, gmode_[k], h * f.phi1, nf_, m_);
-      accumulate_real(p.gamma2, gmode_[k], h2 * f.phi2, nf_, m_);
+      if (want_gamma2) {
+        accumulate_real(p.gamma2, gmode_[k], h2 * f.phi2, nf_, m_);
+      }
     }
     if (augmented) {
       const cplx w1 = h * f.phi1;
@@ -278,7 +502,9 @@ StepPropagator PropagatorFactory::make_spectral(double h) const {
         for (std::size_t j = 0; j < m_; ++j) {
           const cplx& v = cgmode_[k][j];
           p.gamma1(n - 1, j) += w2.real() * v.real() - w2.imag() * v.imag();
-          p.gamma2(n - 1, j) += w3.real() * v.real() - w3.imag() * v.imag();
+          if (want_gamma2) {
+            p.gamma2(n - 1, j) += w3.real() * v.real() - w3.imag() * v.imag();
+          }
         }
       }
     }
@@ -287,10 +513,129 @@ StepPropagator PropagatorFactory::make_spectral(double h) const {
     p.phi0(n - 1, n - 1) = 1.0;  // theta carries itself
     for (std::size_t j = 0; j < m_; ++j) {
       p.gamma1(n - 1, j) += h * btheta_[j];
-      p.gamma2(n - 1, j) += 0.5 * h2 * btheta_[j];
+      if (want_gamma2) p.gamma2(n - 1, j) += 0.5 * h2 * btheta_[j];
     }
   }
-  return p;
+}
+
+void PropagatorFactory::make_spectral_aug_g2free_into(
+    double h, StepPropagator& out) const {
+  const std::size_t n = a_.rows();
+
+  for (std::size_t k = 0; k < nf_; ++k) {
+    zre_[k] = lambda_[k].real() * h;
+    zim_[k] = lambda_[k].imag() * h;
+  }
+  modal_cexp(zre_.data(), zim_.data(), nf_, ere_.data(), eim_.data());
+
+  StepPropagator& p = out;
+  p.phi0.assign_zero(n, n);
+  p.gamma1.assign_zero(n, 1);
+  p.gamma2 = RMatrix();  // empty, not stale: misuse fails loudly
+  const double h2 = h * h;
+
+  double* trow = p.phi0.row(n - 1);
+  double* g1 = p.gamma1.row(0);  // n x 1: column-stride 1, g1[i] = row i
+  for (std::size_t k = 0; k < nf_; ++k) {
+    const cplx z{zre_[k], zim_[k]};
+    const cplx ez{ere_[k], eim_[k]};
+    const Phi12 f = phi12_functions(z, ez);
+    const double ezr = ez.real();
+    const double ezi = ez.imag();
+    for (std::size_t i = 0; i < nf_; ++i) {
+      double* pr = p.phi0.row(i);
+      const cplx* vr = proj_[k].row(i);
+      for (std::size_t j = 0; j < nf_; ++j) {
+        pr[j] += ezr * vr[j].real() - ezi * vr[j].imag();
+      }
+    }
+    const cplx w1 = h * f.phi1;
+    const double w1r = w1.real();
+    const double w1i = w1.imag();
+    const cplx* gm = gmode_[k].row(0);  // nf x 1, stride 1
+    for (std::size_t i = 0; i < nf_; ++i) {
+      g1[i] += w1r * gm[i].real() - w1i * gm[i].imag();
+    }
+    const cplx* cp = cproj_[k].data();
+    for (std::size_t j = 0; j < nf_; ++j) {
+      trow[j] += w1r * cp[j].real() - w1i * cp[j].imag();
+    }
+    const cplx w2 = h2 * f.phi2;
+    const cplx& v = cgmode_[k][0];
+    g1[n - 1] += w2.real() * v.real() - w2.imag() * v.imag();
+  }
+  trow[n - 1] = 1.0;  // theta carries itself
+  g1[n - 1] += h * btheta_[0];
+}
+
+double PropagatorFactory::propagate_last_row(double h, const double* x,
+                                             double u) const {
+  HTMPLL_REQUIRE(h > 0.0, "PropagatorFactory: step must be positive");
+  HTMPLL_ASSERT(has_last_row_fast_path());
+  const std::size_t n = a_.rows();
+
+  for (std::size_t k = 0; k < nf_; ++k) {
+    zre_[k] = lambda_[k].real() * h;
+    zim_[k] = lambda_[k].imag() * h;
+  }
+  const bool lazy_exp = nf_ < 4;
+  if (!lazy_exp) {
+    // At four or more modes batch_cexp's vectorized path is the value
+    // reference, so every lane must go through the one kernel call.
+    modal_cexp(zre_.data(), zim_.data(), nf_, ere_.data(), eim_.data());
+  }
+
+  // Theta row of phi0 and gamma1, accumulated mode by mode in the same
+  // order as make_spectral_into (starting from the assign_zero +0.0).
+  const double h2 = h * h;
+  double* row = trow_.data();
+  for (std::size_t j = 0; j < nf_; ++j) row[j] = 0.0;
+  double g1 = 0.0;
+  for (std::size_t k = 0; k < nf_; ++k) {
+    const cplx z{zre_[k], zim_[k]};
+    Phi12 f;
+    if (lazy_exp) {
+      // Below four modes the reference e^z is the per-lane libm scalar
+      // tail, and the series branch never reads it: the exponential is
+      // evaluated only on the quotient branch.  Slow modes (|z| < 0.5,
+      // e.g. the near-zero integrator pole at every sampling offset)
+      // skip libm entirely.
+      if (phi_branch_magnitude(z) < 0.5) {
+        f = phi12_series(z);
+      } else {
+        const double m = std::exp(zre_[k]);
+        const cplx ez = zim_[k] == 0.0
+                            ? cplx{m, m * zim_[k]}
+                            : cplx{m * std::cos(zim_[k]),
+                                   m * std::sin(zim_[k])};
+        f = phi12_quotient(z, ez);
+      }
+    } else {
+      f = phi12_functions(z, {ere_[k], eim_[k]});
+    }
+    const cplx w1 = h * f.phi1;
+    for (std::size_t j = 0; j < nf_; ++j) {
+      const cplx& v = cproj_[k][j];
+      row[j] += w1.real() * v.real() - w1.imag() * v.imag();
+    }
+    if (m_ > 0) {
+      const cplx w2 = h2 * f.phi2;
+      const cplx& v = cgmode_[k][0];
+      g1 += w2.real() * v.real() - w2.imag() * v.imag();
+    }
+  }
+
+  // advance_into's row n-1: zero-seeded dot over all n columns (the
+  // theta diagonal entry is exactly 1.0), then the 0.0 + gamma1 * u0
+  // term guarded exactly like the full kernel.
+  double acc = 0.0;
+  for (std::size_t j = 0; j < nf_; ++j) acc += row[j] * x[j];
+  acc += 1.0 * x[n - 1];
+  if (m_ > 0) {
+    g1 += h * btheta_[0];
+    acc += 0.0 + g1 * u;
+  }
+  return acc;
 }
 
 }  // namespace htmpll

@@ -99,15 +99,51 @@ class PropagatorFactory {
   /// kappa_inf of the factored eigenbasis; +inf on the Pade path.
   double vector_condition() const { return cond_; }
   std::size_t order() const { return a_.rows(); }
+  std::size_t inputs() const { return m_; }
 
   /// Propagator for step length h > 0.  Pade mode is bit-identical to
   /// make_propagator(a, b, h).
   StepPropagator make(double h) const;
 
+  /// Allocation-free variant: builds the same propagator (bit-identical
+  /// to make(h)) into `out`, reusing its matrix storage.  On the
+  /// spectral path a warm `out` (same order) performs no allocation at
+  /// all, which is what makes shared propagator stores cheap enough to
+  /// rebuild on every miss.
+  void make_into(double h, StepPropagator& out) const;
+
+  /// `want_gamma2 == false` skips the Gamma2 block on the spectral path
+  /// (out.gamma2 comes back empty): phi0/gamma1 are bit-identical to
+  /// the full build, and consumers with piecewise-constant input
+  /// (u1 == u0, i.e. every transient-sim step) never read Gamma2.  The
+  /// Pade path ignores the flag and always builds all three blocks.
+  void make_into(double h, StepPropagator& out, bool want_gamma2) const;
+
+  /// True when propagate_last_row() is available: phase-augmented modal
+  /// factorization with a scalar input.
+  bool has_last_row_fast_path() const {
+    return mode_ == Mode::kSpectralAugmented && m_ <= 1;
+  }
+
+  /// Last (theta) component of phi0(h) x + gamma1(h) u without building
+  /// the propagator: the augmented theta row is a modal contraction
+  /// (see the header comment), so one batch_cexp plus O(n) accumulation
+  /// replaces the O(n^2) build.  Bit-identical to
+  /// make(h).advance_into(x, u, u, h, out); out[n-1] -- same kernel,
+  /// same mode order, same accumulation order.
+  double propagate_last_row(double h, const double* x, double u) const;
+
  private:
   void try_spectral(double max_condition);
   bool factor_block(const RMatrix& block, double max_condition);
-  StepPropagator make_spectral(double h) const;
+  void make_spectral_into(double h, StepPropagator& out,
+                          bool want_gamma2) const;
+  /// Gamma2-free build of the phase-augmented scalar-input propagator:
+  /// same accumulation order as the generic loop with the row indexing
+  /// hoisted to raw pointers, so the output is bit-identical while the
+  /// per-entry address math disappears from the ensemble store's
+  /// miss-dominated rebuild stream.
+  void make_spectral_aug_g2free_into(double h, StepPropagator& out) const;
 
   RMatrix a_;
   RMatrix b_;
@@ -125,8 +161,9 @@ class PropagatorFactory {
   std::vector<CVector> cgmode_;  ///< c^T G_i (augmented only)  (len m)
   RVector btheta_;               ///< last row of B (augmented only)
 
-  // Scratch for the batch_cexp call (see thread-safety note above).
-  mutable std::vector<double> zre_, zim_, ere_, eim_;
+  // Scratch for the batch_cexp call and the theta-row fast path (see
+  // thread-safety note above).
+  mutable std::vector<double> zre_, zim_, ere_, eim_, trow_;
 };
 
 }  // namespace htmpll

@@ -27,6 +27,7 @@ constexpr const char* kReasonNames[kDiagReasonCount] = {
     "pole_search.degenerate_step",  // kPoleSearchDegenerateStep
     "pole_search.diverged",         // kPoleSearchDiverged
     "propagator_cache.churn",       // kPropagatorCacheChurn
+    "ensemble.lane_divergence",     // kEnsembleLaneDivergence
 };
 static_assert(sizeof(kReasonNames) / sizeof(kReasonNames[0]) ==
               kDiagReasonCount);

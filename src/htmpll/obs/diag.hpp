@@ -52,6 +52,7 @@ enum class DiagReason : std::uint8_t {
   kPoleSearchDegenerateStep,    ///< Newton lane dropped: df zero/non-finite
   kPoleSearchDiverged,          ///< Newton lane dropped: step left R^2
   kPropagatorCacheChurn,        ///< cache turned over a full capacity
+  kEnsembleLaneDivergence,      ///< lockstep round split off scalar lanes
   kCount,
 };
 

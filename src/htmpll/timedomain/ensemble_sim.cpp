@@ -1,0 +1,223 @@
+#include "htmpll/timedomain/ensemble_sim.hpp"
+
+#include <algorithm>
+#include <atomic>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+
+#include "htmpll/linalg/batch_kernels.hpp"
+#include "htmpll/obs/diag.hpp"
+#include "htmpll/obs/metrics.hpp"
+#include "htmpll/util/check.hpp"
+
+namespace htmpll {
+
+namespace mc {
+
+namespace {
+
+/// HTMPLL_ENSEMBLE environment policy: true means "force scalar".
+bool env_forces_scalar() {
+  const char* e = std::getenv("HTMPLL_ENSEMBLE");
+  if (e == nullptr || *e == '\0') return false;
+  if (std::strcmp(e, "0") == 0 || std::strcmp(e, "off") == 0) return true;
+  if (std::strcmp(e, "1") == 0 || std::strcmp(e, "on") == 0) return false;
+  std::fprintf(stderr,
+               "htmpll: warning: HTMPLL_ENSEMBLE='%s' is not recognized "
+               "(use 0/off or 1/on); keeping the ensemble engine "
+               "enabled\n",
+               e);
+  return false;
+}
+
+/// Cached policy: -1 unresolved, else 0/1.  Relaxed atomics suffice
+/// because the environment read is idempotent.
+std::atomic<int> g_enabled{-1};
+
+}  // namespace
+
+bool ensemble_enabled() {
+  int v = g_enabled.load(std::memory_order_relaxed);
+  if (v < 0) {
+    v = env_forces_scalar() ? 0 : 1;
+    g_enabled.store(v, std::memory_order_relaxed);
+  }
+  return v != 0;
+}
+
+void set_ensemble_enabled(bool on) {
+  g_enabled.store(on ? 1 : 0, std::memory_order_relaxed);
+}
+
+}  // namespace mc
+
+namespace {
+
+/// Process-wide lockstep telemetry; Counter::add is a no-op unless
+/// instrumentation is enabled.
+struct EnsembleMetrics {
+  obs::Counter& engines = obs::counter("timedomain.ensemble_engines");
+  obs::Counter& members = obs::counter("timedomain.ensemble_members");
+  obs::Counter& rounds = obs::counter("timedomain.ensemble_rounds");
+  obs::Counter& batched = obs::counter("timedomain.ensemble_batched_steps");
+  obs::Counter& scalar = obs::counter("timedomain.ensemble_scalar_steps");
+};
+
+EnsembleMetrics& ensemble_metrics() {
+  static EnsembleMetrics m;
+  return m;
+}
+
+std::vector<PllTransientSim> make_members(const PllParameters& params,
+                                          std::size_t m,
+                                          const ReferenceModulation& mod,
+                                          const TransientConfig& cfg) {
+  HTMPLL_REQUIRE(m >= 1, "ensemble needs at least one member");
+  std::vector<PllTransientSim> sims;
+  sims.reserve(m);  // never reallocated: the store refs member 0's factory
+  for (std::size_t k = 0; k < m; ++k) sims.emplace_back(params, mod, cfg);
+  return sims;
+}
+
+std::uint64_t h_bits(double h) {
+  std::uint64_t b;
+  std::memcpy(&b, &h, sizeof b);
+  return b;
+}
+
+}  // namespace
+
+EnsembleTransientEngine::EnsembleTransientEngine(const PllParameters& params,
+                                                 std::size_t m,
+                                                 ReferenceModulation mod,
+                                                 TransientConfig cfg)
+    : t_period_(params.period()),
+      sims_(make_members(params, m, mod, cfg)),
+      store_(sims_[0].propagator_factory()) {
+  order_ = sims_[0].state_order();
+  retired_.assign(m, 0);
+  plans_.resize(m);
+  lanes_.reserve(m);
+  active_.assign(m, 0);
+  x_block_.resize(order_ * m);
+  out_block_.resize(order_ * m);
+  u_block_.resize(m);
+  for (PllTransientSim& sim : sims_) {
+    sim.set_shared_propagator_store(&store_);
+  }
+  ensemble_metrics().engines.add();
+  for (std::size_t k = 0; k < m; ++k) ensemble_metrics().members.add();
+}
+
+void EnsembleTransientEngine::run_until(double t_end) {
+  const std::size_t m = sims_.size();
+  const std::size_t n = order_;
+  std::size_t n_active = 0;
+  for (std::size_t k = 0; k < m; ++k) {
+    active_[k] = 0;
+    if (retired_[k]) continue;
+    sims_[k].begin_run(t_end);
+    if (sims_[k].time() < t_end) {
+      active_[k] = 1;
+      ++n_active;
+    }
+  }
+
+  while (n_active > 0) {
+    ++rounds_;
+    ensemble_metrics().rounds.add();
+    lanes_.clear();
+    for (std::size_t k = 0; k < m; ++k) {
+      if (!active_[k]) continue;
+      plans_[k] = sims_[k].plan_step(t_end);
+      const double h = plans_[k].t_evt - sims_[k].time();
+      lanes_.push_back({h_bits(h), h, static_cast<std::uint32_t>(k)});
+    }
+    // Bucket by the exact bit pattern of h; members within a bucket
+    // stay in ascending order for deterministic telemetry (results are
+    // member-local and never depend on the order).
+    std::sort(lanes_.begin(), lanes_.end(),
+              [](const Lane& a, const Lane& b) {
+                return a.h_bits != b.h_bits ? a.h_bits < b.h_bits
+                                            : a.member < b.member;
+              });
+
+    std::size_t scalar_lanes = 0;
+    bool any_batched = false;
+    for (std::size_t i = 0; i < lanes_.size();) {
+      std::size_t j = i;
+      while (j < lanes_.size() && lanes_[j].h_bits == lanes_[i].h_bits) ++j;
+      const std::size_t width = j - i;
+      const double h = lanes_[i].h;
+      if (width >= 2 && h > 0.0) {
+        // One shared propagator advances the whole bucket: gather the
+        // member states into an n x width SoA block, apply
+        // phi0 · X (+ gamma1 u0) through the batch kernel, commit each
+        // member with its precomputed column.
+        any_batched = true;
+        batched_steps_ += width;
+        ensemble_metrics().batched.add(width);
+        const StepPropagator& prop = store_.get(h);
+        for (std::size_t c = 0; c < width; ++c) {
+          const RVector& x = sims_[lanes_[i + c].member].state();
+          for (std::size_t r = 0; r < n; ++r) {
+            x_block_[r * width + c] = x[r];
+          }
+          u_block_[c] = plans_[lanes_[i + c].member].current;
+        }
+        batch_step_advance(prop.phi0.row(0),
+                           prop.gamma1.empty() ? nullptr : prop.gamma1.row(0),
+                           n, x_block_.data(), u_block_.data(), width,
+                           out_block_.data());
+        for (std::size_t c = 0; c < width; ++c) {
+          const std::uint32_t k = lanes_[i + c].member;
+          const bool fired = sims_[k].commit_step_with_state(
+              plans_[k], out_block_.data() + c, width);
+          if (!fired || !(sims_[k].time() < t_end)) {
+            active_[k] = 0;
+            --n_active;
+          }
+        }
+      } else {
+        // Divergent (or zero-length) steps retire to the scalar commit
+        // for this round; the shared store still serves their
+        // propagator lookups.
+        scalar_lanes += width;
+        scalar_steps_ += width;
+        ensemble_metrics().scalar.add(width);
+        for (std::size_t c = 0; c < width; ++c) {
+          const std::uint32_t k = lanes_[i + c].member;
+          const bool fired = sims_[k].commit_step(plans_[k]);
+          if (!fired || !(sims_[k].time() < t_end)) {
+            active_[k] = 0;
+            --n_active;
+          }
+        }
+      }
+      i = j;
+    }
+    if (any_batched && scalar_lanes > 0) {
+      // A split round: some lanes advanced in lockstep, the rest fell
+      // back to scalar commits.  Payload = scalar lane count.
+      obs::diag_event(obs::DiagReason::kEnsembleLaneDivergence,
+                      static_cast<double>(scalar_lanes));
+    }
+  }
+  // Store lookups only bump the local stats struct on the hot path;
+  // publish the accumulated deltas to the obs counters per segment.
+  store_.flush_counters();
+}
+
+void EnsembleTransientEngine::run_periods(double n) {
+  for (std::size_t k = 0; k < sims_.size(); ++k) {
+    if (!retired_[k]) {
+      // Non-retired members always share the same clock (each run_until
+      // completes them all to t_end), so any of them anchors the horizon.
+      run_until(sims_[k].time() + n * t_period_);
+      return;
+    }
+  }
+}
+
+}  // namespace htmpll

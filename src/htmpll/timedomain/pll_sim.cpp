@@ -23,8 +23,6 @@ double ReferenceModulation::slope(double t) const {
 
 namespace {
 
-constexpr std::size_t kPulseHistory = 8;
-
 /// PFD edges processed across all simulators in the process (the
 /// per-instance count stays available via events()).
 obs::Counter& pfd_event_counter() {
@@ -33,6 +31,26 @@ obs::Counter& pfd_event_counter() {
 }
 
 }  // namespace
+
+double PulseHistory::max_abs() const {
+  double m = 0.0;
+  for (std::size_t i = 0; i < size_; ++i) m = std::max(m, std::abs(buf_[i]));
+  return m;
+}
+
+std::deque<double> PulseHistory::to_deque() const {
+  std::deque<double> d;
+  for (std::size_t i = 0; i < size_; ++i) {
+    d.push_back(buf_[(head_ + kCapacity - size_ + i) % kCapacity]);
+  }
+  return d;
+}
+
+void PulseHistory::assign(const std::deque<double>& d) {
+  head_ = 0;
+  size_ = 0;
+  for (double w : d) push(w);
+}
 
 PllTransientSim::PllTransientSim(const PllParameters& params,
                                  ReferenceModulation mod, TransientConfig cfg)
@@ -96,7 +114,7 @@ TransientCheckpoint PllTransientSim::checkpoint() const {
   cp.pfd_down = pfd_.down();
   cp.pulse_start = pulse_start_;
   cp.pulse_active = pulse_active_;
-  cp.recent_pulse_widths = recent_pulse_widths_;
+  cp.recent_pulse_widths = recent_pulse_widths_.to_deque();
   cp.leak_on = leak_on_;
   cp.noise_sigma = noise_sigma_;
   cp.noise_current = noise_current_;
@@ -126,7 +144,7 @@ void PllTransientSim::restore(const TransientCheckpoint& cp) {
   pfd_.restore(cp.pfd_up, cp.pfd_down);
   pulse_start_ = cp.pulse_start;
   pulse_active_ = cp.pulse_active;
-  recent_pulse_widths_ = cp.recent_pulse_widths;
+  recent_pulse_widths_.assign(cp.recent_pulse_widths);
   leak_on_ = cp.leak_on;
   noise_sigma_ = cp.noise_sigma;
   noise_current_ = cp.noise_current;
@@ -244,9 +262,11 @@ void PllTransientSim::record_range(double t_begin, double t_end,
     const double ts = static_cast<double>(next_sample_) * cfg_.sample_interval;
     if (ts > t_end) break;
     if (ts >= t_begin) {
-      aug_.peek_into(ts - t_begin, current, peek_scratch_);
+      // Uniform-grid samples need theta alone; peek_last lets ensemble
+      // members (shared store attached) skip the full propagator build
+      // while the scalar chain keeps its verbatim peek.
       sample_t_.push_back(ts);
-      sample_theta_.push_back(peek_scratch_[theta_index_]);
+      sample_theta_.push_back(aug_.peek_last(ts - t_begin, current));
       sample_theta_ref_.push_back(mod_.value(ts));
     }
     ++next_sample_;
@@ -279,14 +299,11 @@ void PllTransientSim::process_edges(double t_evt, double t_ref, double t_vco) {
     pulse_start_ = t_evt;
   } else if (pulse_active_ && after == TriStatePfd::State::kIdle) {
     pulse_active_ = false;
-    recent_pulse_widths_.push_back(t_evt - pulse_start_);
-    if (recent_pulse_widths_.size() > kPulseHistory) {
-      recent_pulse_widths_.pop_front();
-    }
+    recent_pulse_widths_.push(t_evt - pulse_start_);
   }
 }
 
-void PllTransientSim::run_until(double t_end) {
+void PllTransientSim::begin_run(double t_end) {
   started_ = true;
   if (cfg_.record && t_end > t_) {
     // Reserve the whole recording horizon up front instead of growing
@@ -297,41 +314,62 @@ void PllTransientSim::run_until(double t_end) {
     sample_theta_.reserve(sample_theta_.size() + add);
     sample_theta_ref_.reserve(sample_theta_ref_.size() + add);
   }
+}
+
+TransientStepPlan PllTransientSim::plan_step(double t_end) const {
+  const bool leaking = leak_current_ != 0.0 && leak_window_ > 0.0;
+  TransientStepPlan plan;
+  plan.current = pfd_.pump_current(icp_) +
+                 (leak_on_ ? leak_current_ : 0.0) + noise_current_;
+  plan.t_ref = next_reference_edge(static_cast<double>(n_ref_) * t_period_);
+  plan.t_vco = next_vco_edge(static_cast<double>(n_vco_) * t_period_,
+                             plan.current);
+  plan.t_leak = leaking ? (static_cast<double>(n_leak_) * t_period_ +
+                           (leak_on_ ? leak_window_ : 0.0))
+                        : std::numeric_limits<double>::infinity();
+  plan.t_evt = std::min({plan.t_ref, plan.t_vco, plan.t_leak, t_end});
+  return plan;
+}
+
+bool PllTransientSim::finish_step(const TransientStepPlan& plan) {
   const bool leaking = leak_current_ != 0.0 && leak_window_ > 0.0;
   const double eps = 1e-9 * t_period_;
+  t_ = plan.t_evt;
+  bool fired = false;
+  if (leaking && plan.t_leak <= plan.t_evt + eps) {
+    if (leak_on_) {
+      leak_on_ = false;
+      ++n_leak_;
+    } else {
+      leak_on_ = true;
+    }
+    fired = true;
+  }
+  if (plan.t_ref <= plan.t_evt + eps || plan.t_vco <= plan.t_evt + eps) {
+    process_edges(plan.t_evt, plan.t_ref, plan.t_vco);
+    fired = true;
+  }
+  return fired;
+}
+
+bool PllTransientSim::commit_step(const TransientStepPlan& plan) {
+  record_range(t_, plan.t_evt, plan.current);
+  aug_.advance(plan.t_evt - t_, plan.current);
+  return finish_step(plan);
+}
+
+bool PllTransientSim::commit_step_with_state(const TransientStepPlan& plan,
+                                             const double* x_next,
+                                             std::size_t stride) {
+  record_range(t_, plan.t_evt, plan.current);
+  aug_.set_state_raw(x_next, stride);
+  return finish_step(plan);
+}
+
+void PllTransientSim::run_until(double t_end) {
+  begin_run(t_end);
   while (t_ < t_end) {
-    const double current = pfd_.pump_current(icp_) +
-                           (leak_on_ ? leak_current_ : 0.0) +
-                           noise_current_;
-    const double t_ref =
-        next_reference_edge(static_cast<double>(n_ref_) * t_period_);
-    const double t_vco =
-        next_vco_edge(static_cast<double>(n_vco_) * t_period_, current);
-    const double t_leak =
-        leaking ? (static_cast<double>(n_leak_) * t_period_ +
-                   (leak_on_ ? leak_window_ : 0.0))
-                : std::numeric_limits<double>::infinity();
-    const double t_evt = std::min({t_ref, t_vco, t_leak, t_end});
-
-    record_range(t_, t_evt, current);
-    aug_.advance(t_evt - t_, current);
-    t_ = t_evt;
-
-    bool fired = false;
-    if (leaking && t_leak <= t_evt + eps) {
-      if (leak_on_) {
-        leak_on_ = false;
-        ++n_leak_;
-      } else {
-        leak_on_ = true;
-      }
-      fired = true;
-    }
-    if (t_ref <= t_evt + eps || t_vco <= t_evt + eps) {
-      process_edges(t_evt, t_ref, t_vco);
-      fired = true;
-    }
-    if (!fired) break;  // reached t_end first
+    if (!commit_step(plan_step(t_end))) break;  // reached t_end first
   }
 }
 
@@ -340,13 +378,11 @@ void PllTransientSim::run_periods(double n) {
 }
 
 double PllTransientSim::max_recent_pulse_width() const {
-  double m = 0.0;
-  for (double w : recent_pulse_widths_) m = std::max(m, std::abs(w));
-  return m;
+  return recent_pulse_widths_.max_abs();
 }
 
 bool PllTransientSim::is_locked(double tol) const {
-  if (recent_pulse_widths_.size() < kPulseHistory) return false;
+  if (recent_pulse_widths_.size() < PulseHistory::kCapacity) return false;
   return max_recent_pulse_width() < tol;
 }
 

@@ -54,6 +54,44 @@ struct TransientConfig {
   bool use_spectral_propagators = true;
 };
 
+/// One planned event-loop iteration of PllTransientSim: the held
+/// charge-pump current over the segment and the candidate event times,
+/// with t_evt = min(t_ref, t_vco, t_leak, t_end).  plan_step computes
+/// it without touching any state, so a lockstep ensemble engine can
+/// plan every member, bucket members by step length h = t_evt - time()
+/// and advance whole buckets through one shared propagator before
+/// committing each member.
+struct TransientStepPlan {
+  double current = 0.0;
+  double t_ref = 0.0;
+  double t_vco = 0.0;
+  double t_leak = 0.0;
+  double t_evt = 0.0;
+};
+
+/// Fixed-capacity ring of the last few charge-pump pulse widths (lock
+/// detection).  Replaces a std::deque whose block churn was the last
+/// steady-state allocation in the event loop.
+class PulseHistory {
+ public:
+  static constexpr std::size_t kCapacity = 8;
+
+  void push(double w) {
+    buf_[head_] = w;
+    head_ = (head_ + 1) % kCapacity;
+    if (size_ < kCapacity) ++size_;
+  }
+  std::size_t size() const { return size_; }
+  double max_abs() const;
+  std::deque<double> to_deque() const;          ///< oldest first
+  void assign(const std::deque<double>& d);     ///< keeps the last kCapacity
+
+ private:
+  double buf_[kCapacity] = {};
+  std::size_t head_ = 0;
+  std::size_t size_ = 0;
+};
+
 /// Complete dynamic state of a PllTransientSim at one instant: the
 /// augmented integrator state, PFD flip-flops, edge/leak counters,
 /// lock-detector history and the held-noise RNG stream (serialized, so a
@@ -95,6 +133,40 @@ class PllTransientSim {
   void run_until(double t_end);
   /// Advances by n reference periods.
   void run_periods(double n);
+
+  // --- lockstep step interface (EnsembleTransientEngine) ---
+  // run_until(t_end) is exactly begin_run(t_end) followed by
+  //   while (time() < t_end) if (!commit_step(plan_step(t_end))) break;
+  // The split lets an ensemble engine plan every member, advance
+  // same-h buckets through one shared propagator (batch_step_advance)
+  // and commit the precomputed states, bit-identical to the loop above.
+
+  /// Marks the run started and reserves the recording horizon.
+  void begin_run(double t_end);
+  /// Computes the next event-loop iteration without changing state.
+  TransientStepPlan plan_step(double t_end) const;
+  /// Records, advances the integrator over the planned segment and
+  /// processes the event; false when t_end was reached first.
+  bool commit_step(const TransientStepPlan& plan);
+  /// commit_step with the post-segment integrator state supplied by the
+  /// caller (`order()` doubles spaced `stride` apart): used when a
+  /// lockstep kernel already advanced the member.  The caller's state
+  /// must be bit-identical to what the integrator would compute.
+  bool commit_step_with_state(const TransientStepPlan& plan,
+                              const double* x_next, std::size_t stride = 1);
+
+  /// Serves every propagator lookup from a shared per-worker store
+  /// (nullptr reverts to the private cache).  Results never change.
+  void set_shared_propagator_store(SharedPropagatorStore* store) {
+    aug_.set_shared_store(store);
+  }
+  /// Augmented integrator state [x_filter; theta] at the current time.
+  const RVector& state() const { return aug_.state(); }
+  std::size_t state_order() const { return aug_.order(); }
+  /// The per-(A,B) propagator builder of the integrator.
+  const PropagatorFactory& propagator_factory() const {
+    return aug_.propagator_factory();
+  }
 
   double time() const { return t_; }
   /// Current VCO phase excursion theta(t) in seconds.
@@ -164,6 +236,7 @@ class PllTransientSim {
   double next_vco_edge(double target, double current) const;
   void record_range(double t_begin, double t_end, double current);
   void process_edges(double t_evt, double t_ref, double t_vco);
+  bool finish_step(const TransientStepPlan& plan);
 
   PllParameters params_;
   ReferenceModulation mod_;
@@ -184,7 +257,7 @@ class PllTransientSim {
 
   double pulse_start_ = 0.0;
   bool pulse_active_ = false;
-  std::deque<double> recent_pulse_widths_;
+  PulseHistory recent_pulse_widths_;
 
   double leak_current_ = 0.0;
   double leak_window_ = 0.0;

@@ -1,0 +1,344 @@
+// Lockstep ensemble-engine suite: bit-identity against the sequential
+// scalar chain for every ensemble width and pool width, divergence /
+// retirement behavior, checkpoint interaction, the HTMPLL_ENSEMBLE
+// pin, Monte Carlo input validation and the zero-steady-state-
+// allocation contract.  Own binary (like test_transient_engine) so the
+// whole suite runs under -DHTMPLL_SANITIZE=thread.
+#include <atomic>
+#include <cmath>
+#include <cstdlib>
+#include <new>
+#include <numbers>
+#include <stdexcept>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "htmpll/obs/diag.hpp"
+#include "htmpll/obs/metrics.hpp"
+#include "htmpll/parallel/thread_pool.hpp"
+#include "htmpll/timedomain/ensemble_sim.hpp"
+#include "htmpll/timedomain/montecarlo.hpp"
+
+// --- global allocation counter (zero-steady-state-allocation test) ---
+namespace {
+std::atomic<std::uint64_t> g_allocations{0};
+}
+
+void* operator new(std::size_t size) {
+  g_allocations.fetch_add(1, std::memory_order_relaxed);
+  if (void* p = std::malloc(size)) return p;
+  throw std::bad_alloc();
+}
+
+void* operator new(std::size_t size, const std::nothrow_t&) noexcept {
+  g_allocations.fetch_add(1, std::memory_order_relaxed);
+  return std::malloc(size);
+}
+
+void operator delete(void* p) noexcept { std::free(p); }
+void operator delete(void* p, std::size_t) noexcept { std::free(p); }
+void operator delete(void* p, const std::nothrow_t&) noexcept {
+  std::free(p);
+}
+
+namespace htmpll {
+namespace {
+
+constexpr double kW0 = 2.0 * std::numbers::pi;  // T = 1
+
+/// Pins the process-wide ensemble switch for one test.
+struct ScopedEnsemble {
+  bool was = mc::ensemble_enabled();
+  explicit ScopedEnsemble(bool on) { mc::set_ensemble_enabled(on); }
+  ~ScopedEnsemble() { mc::set_ensemble_enabled(was); }
+};
+
+/// Enables obs for one test and restores the prior state after.
+struct ScopedObs {
+  bool was_enabled = obs::enabled();
+  explicit ScopedObs(bool on) { on ? obs::enable() : obs::disable(); }
+  ~ScopedObs() { was_enabled ? obs::enable() : obs::disable(); }
+};
+
+void expect_same_run(const PllTransientSim& a, const PllTransientSim& b) {
+  EXPECT_EQ(a.time(), b.time());
+  EXPECT_EQ(a.event_count(), b.event_count());
+  ASSERT_EQ(a.state().size(), b.state().size());
+  for (std::size_t i = 0; i < a.state().size(); ++i) {
+    EXPECT_EQ(a.state()[i], b.state()[i]) << "state " << i;
+  }
+  ASSERT_EQ(a.theta_samples().size(), b.theta_samples().size());
+  for (std::size_t i = 0; i < a.theta_samples().size(); ++i) {
+    ASSERT_EQ(a.theta_samples()[i], b.theta_samples()[i]) << "sample " << i;
+  }
+}
+
+// The engine must reproduce sequential per-member runs bit for bit at
+// every ensemble width, including noisy members whose event times
+// diverge between lockstep buckets.
+TEST(EnsembleEngine, BitIdenticalToSequentialScalarRuns) {
+  const PllParameters p = make_typical_loop(0.1 * kW0, kW0);
+  const double sigma = 1e-4 * p.icp;
+  for (std::size_t m : {1u, 3u, 8u, 64u}) {
+    TransientConfig cfg;
+    cfg.record = true;
+    EnsembleTransientEngine eng(p, m, {}, cfg);
+    std::vector<PllTransientSim> ref;
+    ref.reserve(m);
+    for (std::size_t k = 0; k < m; ++k) {
+      const auto seed = static_cast<unsigned>(mc_stream_seed(77, k));
+      eng.member(k).set_noise_current(sigma, seed);
+      ref.emplace_back(p, ReferenceModulation{}, cfg);
+      ref.back().set_noise_current(sigma, seed);
+    }
+    eng.run_periods(40.0);
+    eng.run_periods(25.0);  // second leg: re-entry from a warm state
+    for (std::size_t k = 0; k < m; ++k) {
+      ref[k].run_periods(40.0);
+      ref[k].run_periods(25.0);
+      expect_same_run(eng.member(k), ref[k]);
+    }
+    EXPECT_GT(eng.rounds(), 0u);
+  }
+}
+
+// Noise-free identical members never diverge: every step after the
+// first round should advance through the SoA kernel.
+TEST(EnsembleEngine, IdenticalMembersStayBatched) {
+  const PllParameters p = make_typical_loop(0.15 * kW0, kW0);
+  TransientConfig cfg;
+  cfg.record = false;
+  EnsembleTransientEngine eng(p, 8, {}, cfg);
+  for (std::size_t k = 0; k < eng.size(); ++k) {
+    eng.member(k).set_initial_theta(0.01);
+  }
+  eng.run_periods(50.0);
+  EXPECT_GT(eng.batched_member_steps(), 0u);
+  EXPECT_EQ(eng.scalar_member_steps(), 0u);
+  EXPECT_GT(eng.store_stats().lookups, 0u);
+}
+
+// Members with different initial offsets produce divergent step
+// lengths; the engine must mix batched and scalar lanes and emit the
+// lane-divergence diagnostic, while staying bit-identical (covered
+// above) and re-admitting members when their edges re-align.
+TEST(EnsembleEngine, DivergentMembersFallBackAndEmitDiagnostics) {
+  ScopedObs obs_on(true);
+  obs::diag_reset();
+  const PllParameters p = make_typical_loop(0.1 * kW0, kW0);
+  TransientConfig cfg;
+  cfg.record = false;
+  EnsembleTransientEngine eng(p, 4, {}, cfg);
+  eng.member(0).set_initial_frequency_offset(0.01);  // acquiring
+  // members 1..3 start locked and identical
+  eng.run_periods(30.0);
+  EXPECT_GT(eng.batched_member_steps(), 0u);
+  EXPECT_GT(eng.scalar_member_steps(), 0u);
+  const obs::DiagSnapshot snap = obs::diag_snapshot();
+  EXPECT_GT(snap.tally[static_cast<std::size_t>(
+                obs::DiagReason::kEnsembleLaneDivergence)],
+            0u);
+}
+
+// retire() drops a member from subsequent rounds without touching it.
+TEST(EnsembleEngine, RetiredMembersStopAdvancing) {
+  const PllParameters p = make_typical_loop(0.1 * kW0, kW0);
+  TransientConfig cfg;
+  cfg.record = false;
+  EnsembleTransientEngine eng(p, 3, {}, cfg);
+  eng.run_periods(10.0);
+  const double t_retired = eng.member(1).time();
+  eng.retire(1);
+  EXPECT_TRUE(eng.retired(1));
+  eng.run_periods(10.0);
+  EXPECT_EQ(eng.member(1).time(), t_retired);
+  EXPECT_GT(eng.member(0).time(), t_retired);
+  EXPECT_EQ(eng.member(0).time(), eng.member(2).time());
+}
+
+// A checkpoint taken from an ensemble member restores into a
+// standalone simulator (and vice versa) and both continuations stay
+// bit-identical -- lockstep advancement leaves no hidden state behind.
+TEST(EnsembleEngine, CheckpointsInterchangeWithScalarSimulators) {
+  const PllParameters p = make_typical_loop(0.1 * kW0, kW0);
+  const double sigma = 5e-5 * p.icp;
+  TransientConfig cfg;
+  cfg.record = false;
+  EnsembleTransientEngine eng(p, 4, {}, cfg);
+  for (std::size_t k = 0; k < eng.size(); ++k) {
+    eng.member(k).set_noise_current(
+        sigma, static_cast<unsigned>(mc_stream_seed(5, k)));
+  }
+  eng.run_periods(20.0);
+
+  // Warm-start a scalar sim from member 2 and advance both.
+  const TransientCheckpoint cp = eng.member(2).checkpoint();
+  PllTransientSim scalar(p, {}, cfg);
+  scalar.restore(cp);
+  eng.run_periods(15.0);
+  scalar.run_periods(15.0);
+  expect_same_run(eng.member(2), scalar);
+
+  // And back: restore a member from the scalar continuation, advance
+  // the ensemble again, compare against the scalar run.
+  eng.member(2).restore(scalar.checkpoint());
+  eng.run_periods(5.0);
+  scalar.run_periods(5.0);
+  expect_same_run(eng.member(2), scalar);
+}
+
+// After a warm-up leg, lockstep advancement of a recording-off
+// ensemble performs no heap allocation at all: the SoA scratch, the
+// shared store's slots (assign_zero reuse) and the pulse-history rings
+// are all fixed-capacity.
+TEST(EnsembleEngine, SteadyStateRunsAllocationFree) {
+  const PllParameters p = make_typical_loop(0.1 * kW0, kW0);
+  const double sigma = 1e-4 * p.icp;
+  TransientConfig cfg;
+  cfg.record = false;
+  EnsembleTransientEngine eng(p, 8, {}, cfg);
+  for (std::size_t k = 0; k < eng.size(); ++k) {
+    eng.member(k).set_noise_current(
+        sigma, static_cast<unsigned>(mc_stream_seed(11, k)));
+  }
+  eng.run_periods(30.0);  // warm-up: store slots and scratch sized here
+  const std::uint64_t before = g_allocations.load();
+  eng.run_periods(30.0);
+  const std::uint64_t after = g_allocations.load();
+  EXPECT_EQ(after - before, 0u);
+}
+
+// --- Monte Carlo drivers on the ensemble path ---
+
+TEST(EnsembleMonteCarlo, NoiseEnsembleMatchesScalarChainBitwise) {
+  const PllParameters p = make_typical_loop(0.1 * kW0, kW0);
+  const double sigma = 1e-4 * p.icp;
+  NoiseEnsembleOptions opts;
+  opts.settle_periods = 20.0;
+  opts.measure_periods = 60.0;
+  ThreadPool one(1), four(4);
+  for (std::size_t n : {1u, 3u, 8u, 64u}) {
+    NoiseEnsembleOptions scalar_opts = opts;
+    scalar_opts.mc.use_ensemble_engine = false;
+    const auto ref = run_noise_ensemble(p, sigma, 42, n, scalar_opts, one);
+    for (ThreadPool* pool : {&one, &four}) {
+      const auto got = run_noise_ensemble(p, sigma, 42, n, opts, *pool);
+      ASSERT_EQ(got.size(), ref.size());
+      for (std::size_t i = 0; i < n; ++i) {
+        EXPECT_EQ(got[i].theta_mean, ref[i].theta_mean);
+        EXPECT_EQ(got[i].theta_rms, ref[i].theta_rms);
+        EXPECT_EQ(got[i].theta_peak, ref[i].theta_peak);
+        EXPECT_EQ(got[i].events, ref[i].events);
+      }
+    }
+  }
+}
+
+TEST(EnsembleMonteCarlo, ForcedScalarPinMatchesEnginePath) {
+  const PllParameters p = make_typical_loop(0.1 * kW0, kW0);
+  const double sigma = 1e-4 * p.icp;
+  NoiseEnsembleOptions opts;
+  opts.settle_periods = 10.0;
+  opts.measure_periods = 40.0;
+  std::vector<NoiseRunStats> on, off;
+  {
+    ScopedEnsemble pin(true);
+    on = run_noise_ensemble(p, sigma, 9, 6, opts);
+  }
+  {
+    ScopedEnsemble pin(false);  // what HTMPLL_ENSEMBLE=0 sets
+    off = run_noise_ensemble(p, sigma, 9, 6, opts);
+  }
+  ASSERT_EQ(on.size(), off.size());
+  for (std::size_t i = 0; i < on.size(); ++i) {
+    EXPECT_EQ(on[i].theta_mean, off[i].theta_mean);
+    EXPECT_EQ(on[i].theta_rms, off[i].theta_rms);
+    EXPECT_EQ(on[i].theta_peak, off[i].theta_peak);
+    EXPECT_EQ(on[i].events, off[i].events);
+  }
+}
+
+// One member still acquiring while the rest of its block locks: the
+// locked members retire from the lockstep rounds and every lock time
+// matches the scalar chain exactly.
+TEST(EnsembleMonteCarlo, AcquisitionRetirementMatchesScalarChain) {
+  const PllParameters p = make_typical_loop(0.2 * kW0, kW0);
+  AcquisitionOptions opts;
+  opts.max_periods = 600.0;
+  std::vector<AcquisitionCase> cases{
+      {p, 0.0}, {p, 0.001}, {p, 0.05}, {p, 0.005}};
+  AcquisitionOptions scalar_opts = opts;
+  scalar_opts.mc.use_ensemble_engine = false;
+  const auto ref = acquisition_periods(cases, scalar_opts);
+  const auto got = acquisition_periods(cases, opts);
+  ASSERT_EQ(got.size(), ref.size());
+  for (std::size_t i = 0; i < got.size(); ++i) {
+    EXPECT_EQ(got[i], ref[i]) << "case " << i;
+  }
+}
+
+// Mixed batches: identical loops share lockstep blocks, distinct loops
+// split them; results never depend on the grouping.
+TEST(EnsembleMonteCarlo, StepResponseBatchMatchesScalarChain) {
+  const PllParameters a = make_typical_loop(0.1 * kW0, kW0);
+  const PllParameters b = make_typical_loop(0.2 * kW0, kW0);
+  const std::vector<PllParameters> loops{a, a, a, b, a, a};
+  MonteCarloOptions scalar_mc;
+  scalar_mc.use_ensemble_engine = false;
+  const auto ref = step_response_batch(loops, 60, 1e-3, scalar_mc);
+  const auto got = step_response_batch(loops, 60, 1e-3);
+  ASSERT_EQ(got.size(), ref.size());
+  for (std::size_t k = 0; k < got.size(); ++k) {
+    ASSERT_EQ(got[k].size(), ref[k].size()) << "loop " << k;
+    for (std::size_t i = 0; i < got[k].size(); ++i) {
+      EXPECT_EQ(got[k][i], ref[k][i]) << "loop " << k << " sample " << i;
+    }
+  }
+}
+
+// --- input validation (all four Monte Carlo entry points) ---
+
+TEST(MonteCarloValidation, RejectsDegenerateInputs) {
+  const PllParameters p = make_typical_loop(0.1 * kW0, kW0);
+
+  EXPECT_THROW(monte_carlo_map<double>(
+                   0, 1, [](std::size_t, std::uint64_t) { return 0.0; }),
+               std::invalid_argument);
+
+  NoiseEnsembleOptions nopts;
+  EXPECT_THROW(run_noise_ensemble(p, 1e-6, 1, 0, nopts),
+               std::invalid_argument);
+  nopts.settle_periods = -1.0;
+  EXPECT_THROW(run_noise_ensemble(p, 1e-6, 1, 2, nopts),
+               std::invalid_argument);
+  nopts.settle_periods = 1.0;
+  nopts.measure_periods = 0.0;
+  EXPECT_THROW(run_noise_ensemble(p, 1e-6, 1, 2, nopts),
+               std::invalid_argument);
+  nopts.measure_periods = -5.0;
+  EXPECT_THROW(run_noise_ensemble(p, 1e-6, 1, 2, nopts),
+               std::invalid_argument);
+  nopts.measure_periods = 10.0;
+  nopts.sample_interval = -0.25;
+  EXPECT_THROW(run_noise_ensemble(p, 1e-6, 1, 2, nopts),
+               std::invalid_argument);
+
+  EXPECT_THROW(acquisition_periods({}), std::invalid_argument);
+  AcquisitionOptions aopts;
+  aopts.max_periods = -1.0;
+  EXPECT_THROW(acquisition_periods({{p, 0.01}}, aopts),
+               std::invalid_argument);
+
+  EXPECT_THROW(step_response_batch({}, 10, 1e-3), std::invalid_argument);
+  EXPECT_THROW(step_response_batch({p}, 0, 1e-3), std::invalid_argument);
+  EXPECT_THROW(step_response_batch({p}, 10, 0.0), std::invalid_argument);
+}
+
+TEST(EnsembleEngine, RejectsEmptyEnsemble) {
+  const PllParameters p = make_typical_loop(0.1 * kW0, kW0);
+  EXPECT_THROW(EnsembleTransientEngine(p, 0), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace htmpll

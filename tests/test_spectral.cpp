@@ -253,6 +253,207 @@ TEST(SpectralPropagator, AutonomousSystem) {
   }
 }
 
+TEST(SpectralPropagator, Gamma2FreeBuildMatchesFullBuildBitwise) {
+  // The lockstep ensemble's shared store builds propagators with
+  // want_gamma2 == false, which routes through phi1/phi2-only
+  // evaluations (real-axis Horner, tiny-integrator-pole closed form,
+  // Smith-step quotient) and the modal_cexp libm elisions.  Every one
+  // of those shortcuts claims bit-identity with the full build's
+  // phi_functions/batch_cexp chain; this pins the claim end to end on
+  // random systems spanning both branch regimes and the sub/above-4
+  // mode widths.
+  ScopedSpectral pin(true);
+  std::mt19937 rng(1234u);
+  std::uniform_real_distribution<double> entry(-1.0, 1.0);
+  std::uniform_real_distribution<double> loghd(-3.0, 1.0);
+  int spectral_seen = 0;
+  for (int trial = 0; trial < 80; ++trial) {
+    const std::size_t n = 1 + static_cast<std::size_t>(rng() % 5);
+    RMatrix a(n, n);
+    for (std::size_t i = 0; i < n; ++i) {
+      for (std::size_t j = 0; j < n; ++j) a(i, j) = entry(rng);
+      a(i, i) -= 2.0;
+    }
+    if (trial % 2 == 0) {
+      // Half the draws carry the trailing zero column (phase-augmented
+      // structure), exercising the specialized scalar-input builder.
+      for (std::size_t i = 0; i < n; ++i) a(i, n - 1) = 0.0;
+    }
+    RMatrix b(n, 1);
+    for (std::size_t i = 0; i < n; ++i) b(i, 0) = entry(rng);
+    PropagatorFactory f(a, b);
+    if (!f.is_spectral()) continue;  // rare ill-conditioned draws
+    ++spectral_seen;
+    StepPropagator lean;
+    for (int k = 0; k < 4; ++k) {
+      const double h = std::pow(10.0, loghd(rng));
+      const StepPropagator full = f.make(h);
+      f.make_into(h, lean, /*want_gamma2=*/false);
+      EXPECT_TRUE(bitwise_equal(lean.phi0, full.phi0))
+          << "trial " << trial << " h " << h;
+      EXPECT_TRUE(bitwise_equal(lean.gamma1, full.gamma1))
+          << "trial " << trial << " h " << h;
+      EXPECT_TRUE(lean.gamma2.empty());
+    }
+  }
+  EXPECT_GT(spectral_seen, 50);
+
+  // The real PLL loop: near-zero integrator pole (tiny-argument fast
+  // paths) at hardware step lengths.
+  const double w0 = 2.0 * std::numbers::pi * 2e9;
+  const PllParameters p = make_typical_loop(0.1 * w0, w0);
+  const StateSpace aug =
+      augment_with_phase(to_state_space(p.filter.impedance()), p.kvco);
+  PropagatorFactory fpll(aug.a, aug.b);
+  ASSERT_EQ(fpll.mode(), PropagatorFactory::Mode::kSpectralAugmented);
+  StepPropagator lean;
+  std::uniform_real_distribution<double> loghp(-12.0, -8.0);
+  for (int k = 0; k < 40; ++k) {
+    const double h = std::pow(10.0, loghp(rng));
+    const StepPropagator full = fpll.make(h);
+    fpll.make_into(h, lean, /*want_gamma2=*/false);
+    EXPECT_TRUE(bitwise_equal(lean.phi0, full.phi0)) << "h " << h;
+    EXPECT_TRUE(bitwise_equal(lean.gamma1, full.gamma1)) << "h " << h;
+  }
+}
+
+TEST(SpectralPropagator, LastRowFastPathMatchesFullAdvanceBitwise) {
+  // propagate_last_row replaces the O(n^2) build + advance with a modal
+  // theta-row contraction; the ensemble record path leans on it being
+  // bit-identical to the full chain for every h the samplers request.
+  ScopedSpectral pin(true);
+  std::mt19937 rng(4321u);
+  std::uniform_real_distribution<double> entry(-1.0, 1.0);
+
+  const double w0 = 2.0 * std::numbers::pi * 2e9;
+  const PllParameters p = make_typical_loop(0.1 * w0, w0);
+  const StateSpace aug =
+      augment_with_phase(to_state_space(p.filter.impedance()), p.kvco);
+  const RMatrix small_a{{-0.3, 1.0, 0.0},
+                        {-1.0, -0.5, 0.0},
+                        {0.7, 0.2, 0.0}};
+  const RMatrix small_b{{0.1}, {1.0}, {0.4}};
+  struct Case {
+    PropagatorFactory f;
+    double logh_lo, logh_hi, xscale;
+  };
+  Case cases[] = {{PropagatorFactory(aug.a, aug.b), -12.0, -8.0, 1e-9},
+                  {PropagatorFactory(small_a, small_b), -3.0, 1.0, 1.0}};
+  for (Case& c : cases) {
+    ASSERT_TRUE(c.f.has_last_row_fast_path());
+    const std::size_t n = c.f.order();
+    RVector x(n), out(n);
+    std::uniform_real_distribution<double> logh(c.logh_lo, c.logh_hi);
+    for (int k = 0; k < 60; ++k) {
+      const double h = std::pow(10.0, logh(rng));
+      for (std::size_t i = 0; i < n; ++i) x[i] = entry(rng) * c.xscale;
+      const double u = entry(rng) * 1e-3;
+      const StepPropagator full = c.f.make(h);
+      full.advance_into(x, u, u, h, out);
+      const double fast = c.f.propagate_last_row(h, x.data(), u);
+      EXPECT_EQ(std::memcmp(&fast, &out[n - 1], sizeof(double)), 0)
+          << "h " << h << " fast " << fast << " full " << out[n - 1];
+    }
+  }
+}
+
+TEST(SpectralPropagator, PhiShortcutIdentitiesMatchLibraryOps) {
+  // Randomized differential pins for the floating-point identities the
+  // phi1/phi2 shortcuts rely on.  Each check replicates the exact flop
+  // DAG of the production shortcut and of the library op sequence it
+  // replaces, and demands bitwise agreement.
+  std::mt19937_64 rng(99u);
+  std::uniform_real_distribution<double> expo_tiny(-320.0, -60.01);
+  std::uniform_real_distribution<double> expo_series(-59.99, -1.01);
+  std::uniform_real_distribution<double> mant(1.0, 2.0);
+  std::uniform_real_distribution<double> uni(-1.0, 1.0);
+  const auto same = [](double a, double b) {
+    return std::memcmp(&a, &b, sizeof(double)) == 0;
+  };
+
+  // exp(x) == 1.0 exactly below 2^-60 (modal_cexp's integrator-pole
+  // elision), and the real-axis cexp collapse m*cos(+-0) == m,
+  // m*sin(+-0) == m*(+-0).
+  for (int i = 0; i < 50000; ++i) {
+    const double x = std::copysign(
+        std::ldexp(mant(rng),
+                   static_cast<int>(std::floor(expo_tiny(rng)))),
+        uni(rng));
+    ASSERT_LT(std::fabs(x), 0x1p-60);
+    EXPECT_EQ(std::exp(x), 1.0);
+    const double m = std::exp(uni(rng) * 5.0);
+    const double zi = std::copysign(0.0, uni(rng));
+    EXPECT_TRUE(same(m * std::cos(zi), m));
+    EXPECT_TRUE(same(m * std::sin(zi), m * zi));
+  }
+  EXPECT_EQ(std::exp(0.0), 1.0);
+  EXPECT_EQ(std::exp(-0.0), 1.0);
+
+  // Real-axis series Horner vs the complex-Horner DAG, 2^-60 <= |zr|
+  // < 0.5, both signs of zr and of the zero imaginary part.
+  double inv_fact[17];
+  double fct = 6.0;
+  for (int j = 0; j <= 16; ++j) {
+    inv_fact[j] = 1.0 / fct;
+    fct *= static_cast<double>(j + 4);
+  }
+  for (int i = 0; i < 200000; ++i) {
+    double zr = std::ldexp(mant(rng), static_cast<int>(expo_series(rng)));
+    if (zr >= 0.5) continue;
+    zr = std::copysign(zr, uni(rng));
+    const double zi = std::copysign(0.0, uni(rng));
+    // Reference: the exact complex-Horner flop DAG.
+    double ar = 0.0, ai = 0.0;
+    for (int j = 16; j >= 0; --j) {
+      const double tr = ar * zr - ai * zi;
+      ai = ar * zi + ai * zr;
+      ar = tr + inv_fact[j];
+    }
+    const double rp2r = (zr * ar - zi * ai) + 0.5;
+    const double rp2i = zr * ai + zi * ar;
+    const double rp1r = (zr * rp2r - zi * rp2i) + 1.0;
+    const double rp1i = zr * rp2i + zi * rp2r;
+    // Shortcut: real Horner + closed-form signed zeros.
+    double a = 0.0;
+    for (int j = 16; j >= 0; --j) a = a * zr + inv_fact[j];
+    const double sai = (std::signbit(zi) && std::signbit(zr)) ? -0.0 : 0.0;
+    const double sp2r = zr * a + 0.5;
+    const double sp2i = zr * sai + zi * a;
+    const double sp1r = zr * sp2r + 1.0;
+    const double sp1i = zr * sp2i + zi * sp2r;
+    EXPECT_TRUE(same(sp1r, rp1r) && same(sp1i, rp1i) &&
+                same(sp2r, rp2r) && same(sp2i, rp2i))
+        << "zr " << zr << " zi " << (std::signbit(zi) ? "-0" : "+0");
+  }
+
+  // Quotient shortcut (Smith step with ratio = 0) vs the library
+  // complex division, real z with 0.5 <= |z| <= 50.
+  for (int i = 0; i < 200000; ++i) {
+    const double zr = std::copysign(0.5 + 49.5 * std::fabs(uni(rng)),
+                                    uni(rng));
+    const double zi = std::copysign(0.0, uni(rng));
+    const cplx z{zr, zi};
+    const double m = std::exp(zr);
+    const cplx ez{m, m * zi};
+    // Reference: library division DAG of the production fallback.
+    const cplx rphi1 = (ez - 1.0) / z;
+    const cplx rphi2 = (rphi1 - 1.0) / z;
+    // Shortcut DAG.
+    const double c = zr, d = zi;
+    const double ratio = d / c;
+    const double a1 = ez.real() - 1.0, b1 = ez.imag();
+    const double denom = c + d * ratio;
+    const double p1r = (a1 + b1 * ratio) / denom;
+    const double p1i = (b1 - a1 * ratio) / denom;
+    const double a2 = p1r - 1.0;
+    const double p2r = (a2 + p1i * ratio) / denom;
+    const double p2i = (p1i - a2 * ratio) / denom;
+    EXPECT_TRUE(same(p1r, rphi1.real()) && same(p1i, rphi1.imag()) &&
+                same(p2r, rphi2.real()) && same(p2i, rphi2.imag()))
+        << "zr " << zr;
+  }
+}
+
 TEST(SpectralPropagator, RejectsBadArguments) {
   ScopedSpectral pin(true);
   EXPECT_THROW(PropagatorFactory(RMatrix(2, 3), RMatrix{}),
